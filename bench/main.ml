@@ -1,0 +1,573 @@
+(* Benchmark and experiment harness.
+
+   Regenerates every evaluation artefact of the paper (see EXPERIMENTS.md
+   for the index):
+
+   - E-T1   Table 1: the seven case-study queries over the intersection-
+            based global schema, verified against ground truth;
+   - E-CS1  the Section 3 headline: 26 manually-defined transformations
+            (intersection methodology) vs 95 (classical iSpider ladder);
+   - E-CS2  the pay-as-you-go curve: queries answerable vs cumulative
+            manual transformations, for both methodologies;
+   - E-F1..E-F4  machine-checked reconstructions of Figures 1-4;
+   - E-P*   Bechamel micro-benchmarks: IQL parsing/evaluation, query
+            reformulation, pathway reversal, bag algebra, plus the
+            ablations called out in DESIGN.md. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Ast = Automed_iql.Ast
+module Parser = Automed_iql.Parser
+module Value = Automed_iql.Value
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Federated = Automed_integration.Federated
+module Intersection = Automed_integration.Intersection
+module Global = Automed_integration.Global
+module Workflow = Automed_integration.Workflow
+module Classical = Automed_integration.Classical
+module Sources = Automed_ispider.Sources
+module Queries = Automed_ispider.Queries
+module Intersection_run = Automed_ispider.Intersection_run
+module Classical_run = Automed_ispider.Classical_run
+
+let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
+let ok = function Ok v -> v | Error e -> die "error: %s" e
+
+let ok_p = function
+  | Ok v -> v
+  | Error e -> die "error: %s" (Fmt.str "%a" Processor.pp_error e)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* one shared dataset and both integrations *)
+let dataset = Sources.generate ()
+
+let intersection_repo, intersection_run =
+  let repo = Repository.create () in
+  ok (Sources.wrap_all repo dataset);
+  let run = ok (Intersection_run.execute repo) in
+  (repo, run)
+
+let classical_repo, classical_run =
+  let repo = Repository.create () in
+  ok (Sources.wrap_all repo dataset);
+  let run = ok (Classical_run.execute repo) in
+  (repo, run)
+
+(* -- E-T1: Table 1 ------------------------------------------------------ *)
+
+let sample_answers bag n =
+  let items = Value.Bag.to_list bag in
+  let shown = List.filteri (fun i _ -> i < n) items in
+  String.concat ", " (List.map Value.to_string shown)
+  ^ if List.length items > n then ", ..." else ""
+
+let experiment_table1 () =
+  section
+    "E-T1  Table 1: the seven case-study queries (intersection global schema)";
+  let wf = intersection_run.Intersection_run.workflow in
+  Printf.printf "global schema: %s\n\n" (Workflow.global_name wf);
+  List.iter
+    (fun (q : Queries.query) ->
+      match Workflow.run_query wf q.Queries.global_text with
+      | Error e ->
+          die "query %d: %s" q.Queries.number (Fmt.str "%a" Processor.pp_error e)
+      | Ok (Value.Bag got) ->
+          let expected = q.Queries.ground_truth dataset in
+          Printf.printf "Q%d  %s\n" q.Queries.number q.Queries.title;
+          Printf.printf "    IQL: %s\n" q.Queries.global_text;
+          Printf.printf "    answers: %d (%s)\n" (Value.Bag.cardinal got)
+            (sample_answers got 3);
+          Printf.printf "    ground truth: %d -> %s\n\n"
+            (Value.Bag.cardinal expected)
+            (if Value.Bag.equal got expected then "MATCH" else "MISMATCH");
+          if not (Value.Bag.equal got expected) then
+            die "query %d does not match ground truth" q.Queries.number
+      | Ok v -> die "query %d returned %s" q.Queries.number (Value.to_string v))
+    Queries.all
+
+(* -- E-CS1: transformation counts --------------------------------------- *)
+
+let experiment_counts () =
+  section "E-CS1  Integration effort: manually-defined transformations";
+  Printf.printf "%-52s %s\n" "intersection methodology (query-driven)" "manual";
+  List.iter
+    (fun (s : Intersection_run.step) ->
+      Printf.printf "  %-50s %4d\n" s.Intersection_run.label
+        s.Intersection_run.manual)
+    intersection_run.Intersection_run.steps;
+  Printf.printf "  %-50s %4d   (paper: 26 = 6+1+1+15+3)\n" "TOTAL"
+    intersection_run.Intersection_run.total_manual;
+  Printf.printf "\n%-52s %s\n" "classical up-front methodology (iSpider ladder)"
+    "manual";
+  Printf.printf "  %-50s %4d   (paper: 19)\n" "gpmDB -> GS1 non-trivial"
+    classical_run.Classical_run.gs1_gpm;
+  Printf.printf "  %-50s %4d   (paper: 35)\n" "PepSeeker -> GS1 non-trivial"
+    classical_run.Classical_run.gs1_pep;
+  Printf.printf "  %-50s %4d   (paper: 41)\n" "PepSeeker -> GS2 additional"
+    classical_run.Classical_run.gs2_pep;
+  Printf.printf "  %-50s %4d   (paper: 95 = 19+35+41)\n" "TOTAL"
+    classical_run.Classical_run.total_manual;
+  Printf.printf "\nratio classical/intersection: %.2fx (paper: 95/26 = 3.65x)\n"
+    (float_of_int classical_run.Classical_run.total_manual
+    /. float_of_int intersection_run.Intersection_run.total_manual)
+
+(* -- E-CS2: pay-as-you-go curve ------------------------------------------ *)
+
+let experiment_payg () =
+  section
+    "E-CS2  Pay-as-you-go: queries answerable vs cumulative manual effort";
+  let proc = Processor.create intersection_repo in
+  let answerable schema (q : Queries.query) =
+    match Parser.parse q.Queries.global_text with
+    | Error _ -> false
+    | Ok ast -> Processor.answerable proc ~schema ast
+  in
+  Printf.printf "intersection methodology:\n";
+  Printf.printf "  %-46s %10s %10s\n" "after" "cum.manual" "answerable";
+  Printf.printf "  %-46s %10d %10d\n" "initial federated schema (v0)" 0
+    (List.length (List.filter (answerable "ispider_v0") Queries.all));
+  let cum = ref 0 in
+  List.iteri
+    (fun i (s : Intersection_run.step) ->
+      cum := !cum + s.Intersection_run.manual;
+      let schema = Printf.sprintf "ispider_v%d" (i + 1) in
+      Printf.printf "  %-46s %10d %10d\n" s.Intersection_run.label !cum
+        (List.length (List.filter (answerable schema) Queries.all)))
+    intersection_run.Intersection_run.steps;
+  let cproc = Processor.create classical_repo in
+  let canswerable schema (q : Queries.query) =
+    match Parser.parse q.Queries.classical_text with
+    | Error _ -> false
+    | Ok ast -> Processor.answerable cproc ~schema ast
+  in
+  Printf.printf
+    "\nclassical methodology (no services before a stage completes):\n";
+  Printf.printf "  %-46s %10s %10s\n" "after" "cum.manual" "answerable";
+  Printf.printf "  %-46s %10d %10d\n" "start" 0 0;
+  let cum = ref 0 in
+  List.iter
+    (fun (stage_name, fresh) ->
+      cum := !cum + fresh;
+      Printf.printf "  %-46s %10d %10d\n"
+        (Printf.sprintf "global schema %s complete" stage_name)
+        !cum
+        (List.length (List.filter (canswerable stage_name) Queries.all)))
+    classical_run.Classical_run.ladder.Classical.new_manual_per_stage
+
+(* -- E-F1..E-F4: figure reconstructions ---------------------------------- *)
+
+let two_library_repo () =
+  let repo = Repository.create () in
+  let mk name objs =
+    ok (Schema.of_objects name (List.map (fun o -> (o, None)) objs))
+  in
+  ok
+    (Repository.add_schema repo
+       (mk "lib1"
+          [ Scheme.table "book"; Scheme.column "book" "isbn";
+            Scheme.table "member" ]));
+  ok
+    (Repository.add_schema repo
+       (mk "lib2"
+          [ Scheme.table "volume"; Scheme.column "volume" "code";
+            Scheme.table "loan" ]));
+  let set s o vs =
+    ok
+      (Repository.set_extent repo ~schema:s o
+         (Value.Bag.of_list (List.map (fun x -> Value.Str x) vs)))
+  in
+  set "lib1" (Scheme.table "book") [ "b1"; "b2" ];
+  set "lib1" (Scheme.table "member") [ "m1" ];
+  set "lib2" (Scheme.table "volume") [ "v1"; "v2"; "v3" ];
+  set "lib2" (Scheme.table "loan") [ "l1"; "l2" ];
+  ok
+    (Repository.set_extent repo ~schema:"lib1" (Scheme.column "book" "isbn")
+       (Value.Bag.of_list
+          [ Value.tuple2 (Value.Str "b1") (Value.Str "111");
+            Value.tuple2 (Value.Str "b2") (Value.Str "222") ]));
+  ok
+    (Repository.set_extent repo ~schema:"lib2" (Scheme.column "volume" "code")
+       (Value.Bag.of_list
+          [ Value.tuple2 (Value.Str "v1") (Value.Str "111");
+            Value.tuple2 (Value.Str "v2") (Value.Str "333");
+            Value.tuple2 (Value.Str "v3") (Value.Str "444") ]));
+  repo
+
+let ubook_spec =
+  let q = Parser.parse_exn in
+  {
+    Intersection.name = "i_book";
+    sides =
+      [
+        {
+          Intersection.schema = "lib1";
+          mappings =
+            [
+              { Intersection.target = Scheme.table "UBook";
+                forward = q "[{'L1', k} | k <- <<book>>]"; restore = None };
+              { Intersection.target = Scheme.column "UBook" "isbn";
+                forward = q "[{'L1', k, x} | {k,x} <- <<book,isbn>>]";
+                restore = None };
+            ];
+        };
+        {
+          Intersection.schema = "lib2";
+          mappings =
+            [
+              { Intersection.target = Scheme.table "UBook";
+                forward = q "[{'L2', k} | k <- <<volume>>]"; restore = None };
+              { Intersection.target = Scheme.column "UBook" "isbn";
+                forward = q "[{'L2', k, x} | {k,x} <- <<volume,code>>]";
+                restore = None };
+            ];
+        };
+      ];
+  }
+
+let check name cond =
+  Printf.printf "  [%s] %s\n" (if cond then "ok" else "FAIL") name;
+  if not cond then die "figure check failed: %s" name
+
+let experiment_figures () =
+  section "E-F1  Figure 1: classical integration via union-compatible schemas";
+  let repo = two_library_repo () in
+  let stage =
+    {
+      Classical.stage_name = "GS";
+      sources =
+        [
+          {
+            Classical.schema = "lib1";
+            mappings =
+              [
+                { Intersection.target = Scheme.table "book";
+                  forward = Ast.SchemeRef (Scheme.table "book"); restore = None };
+              ];
+          };
+          {
+            Classical.schema = "lib2";
+            mappings =
+              [
+                { Intersection.target = Scheme.table "book";
+                  forward = Ast.SchemeRef (Scheme.table "volume");
+                  restore = None };
+              ];
+          };
+        ];
+    }
+  in
+  let o = ok (Classical.integrate_stage repo stage) in
+  check "every DSi has a pathway to a union-compatible USi"
+    (List.length (Repository.pathways_from repo "lib1") = 1
+    && List.length (Repository.pathways_from repo "lib2") = 1);
+  check "union-compatible schemas are idented into the global schema"
+    (List.exists
+       (fun (p : Transform.pathway) ->
+         p.Transform.to_schema = "GS"
+         && p.Transform.steps <> []
+         && List.for_all
+              (function Transform.Id _ -> true | _ -> false)
+              p.Transform.steps)
+       (Repository.pathways repo));
+  let proc = Processor.create repo in
+  let merged = ok_p (Processor.run_string proc ~schema:"GS" "count(<<book>>)") in
+  check "global extents are the bag union of all sources (2 + 3 = 5)"
+    (Value.equal merged (Value.Int 5));
+  check "identity derivations cost nothing, cross derivations count"
+    (o.Classical.per_source_manual = [ ("lib1", 0); ("lib2", 1) ]);
+
+  section "E-F2  Figure 2: the intersection schema and its canonical pathways";
+  let repo = two_library_repo () in
+  let o = ok (Intersection.create repo ubook_spec) in
+  check "both ES -> I' pathways have the add*/delete*/contract* shape"
+    (List.for_all
+       (fun (_, p) -> Result.is_ok (Transform.intersection_shape p))
+       o.Intersection.side_pathways);
+  check "the union-compatible counterparts are connected by ident"
+    (List.exists
+       (fun (p : Transform.pathway) ->
+         p.Transform.to_schema = "i_book"
+         && p.Transform.steps <> []
+         && List.for_all
+              (function Transform.Id _ -> true | _ -> false)
+              p.Transform.steps)
+       (Repository.pathways repo));
+  let proc = Processor.create repo in
+  let ubook = ok_p (Processor.run_string proc ~schema:"i_book" "count(<<UBook>>)") in
+  check "intersection extents are the bag union of both sides (2 + 3 = 5)"
+    (Value.equal ubook (Value.Int 5));
+
+  section
+    "E-F3  Figure 3: federated schema over extensional + intersection schemas";
+  let f =
+    ok (Federated.create repo ~name:"F" ~members:[ "lib1"; "lib2"; "i_book" ])
+  in
+  check "F unions every member object under a provenance prefix"
+    (Schema.object_count f = 8
+    && Schema.mem (Scheme.prefix "i_book" (Scheme.table "UBook")) f
+    && Schema.mem (Scheme.prefix "lib1" (Scheme.table "book")) f);
+  let proc = Processor.create repo in
+  let v = ok_p (Processor.run_string proc ~schema:"F" "count(<<lib2:loan>>)") in
+  check "data services run on F without any integration"
+    (Value.equal v (Value.Int 2));
+
+  section "E-F4  Figure 4: global schema G = I u (ES1 - I) u (ES2 - I)";
+  let repo = two_library_repo () in
+  let o = ok (Intersection.create repo ubook_spec) in
+  let g =
+    ok
+      (Global.create repo ~name:"G" ~intersections:[ o ]
+         ~extensionals:[ "lib1"; "lib2" ])
+  in
+  check "ES - I retains exactly the contracted (unmapped) objects"
+    (Scheme.Set.equal
+       (Scheme.Set.of_list (Global.dropped_objects [ o ] "lib1"))
+       (Scheme.Set.of_list [ Scheme.table "book"; Scheme.column "book" "isbn" ]));
+  check "G = I u (lib1 - I) u (lib2 - I): 2 + 1 + 1 objects"
+    (Schema.object_count g = 4);
+  let proc = Processor.create repo in
+  let v = ok_p (Processor.run_string proc ~schema:"G" "count(<<UBook,isbn>>)") in
+  check "dropped objects' data still reachable through I (2 + 3 = 5)"
+    (Value.equal v (Value.Int 5));
+  Printf.printf
+    "\nE-F5 (Figure 5, the GUI tool) is reproduced as a CLI: run\n\
+    \  dune exec bin/intersection_tool.exe -- demo\n"
+
+(* -- E-FW1: projected user-effort (the paper's planned evaluation) -------- *)
+
+let experiment_user_cost () =
+  section
+    "E-FW1  Projected user effort (simulating the Section 4 study metrics)";
+  let module User_cost = Automed_ispider.User_cost in
+  let ic = User_cost.intersection_cost intersection_run in
+  let cc = User_cost.classical_cost classical_repo in
+  Printf.printf "  %-28s %s\n" "intersection methodology"
+    (Fmt.str "%a" User_cost.pp ic);
+  Printf.printf "  %-28s %s\n" "classical methodology"
+    (Fmt.str "%a" User_cost.pp cc);
+  Printf.printf
+    "  projected time ratio: %.2fx (transformation-count ratio: %.2fx)\n"
+    (cc.User_cost.minutes /. ic.User_cost.minutes)
+    (float_of_int cc.User_cost.transformations
+    /. float_of_int ic.User_cost.transformations)
+
+(* -- E-P*: Bechamel micro-benchmarks -------------------------------------- *)
+
+let bench_query =
+  "[h | {p,h} <- <<uPeptideHitToProteinHitmm>>; {s,k,sq} <- \
+   <<UPeptideHit,sequence>>; p = {s,k}; sq = 'MVHLTPEEK']"
+
+let bechamel_tests () =
+  let open Bechamel in
+  let global = Workflow.global_name intersection_run.Intersection_run.workflow in
+  let parsed = Parser.parse_exn bench_query in
+  (* warmed processor: extents cached, only evaluation is measured *)
+  let warm = Processor.create intersection_repo in
+  ignore (ok_p (Processor.run warm ~schema:global parsed));
+  let iql_parse =
+    Test.make ~name:"iql-parse"
+      (Staged.stage (fun () -> Parser.parse_exn bench_query))
+  in
+  let iql_eval_warm =
+    Test.make ~name:"query-eval-warm-cache"
+      (Staged.stage (fun () -> ok_p (Processor.run warm ~schema:global parsed)))
+  in
+  let iql_eval_unoptimized =
+    Test.make ~name:"ablation-eval-no-optimizer"
+      (Staged.stage (fun () ->
+           ok_p (Processor.run ~optimize:false warm ~schema:global parsed)))
+  in
+  let q5_parsed =
+    Parser.parse_exn (Queries.find 5).Automed_ispider.Queries.global_text
+  in
+  let q5_optimized =
+    Test.make ~name:"q5-eval-optimized"
+      (Staged.stage (fun () -> ok_p (Processor.run warm ~schema:global q5_parsed)))
+  in
+  let q5_unoptimized =
+    Test.make ~name:"ablation-q5-no-optimizer"
+      (Staged.stage (fun () ->
+           ok_p (Processor.run ~optimize:false warm ~schema:global q5_parsed)))
+  in
+  let iql_eval_cold =
+    Test.make ~name:"query-eval-cold-cache"
+      (Staged.stage (fun () ->
+           let p = Processor.create intersection_repo in
+           ok_p (Processor.run p ~schema:global parsed)))
+  in
+  let reformulate =
+    Test.make ~name:"query-reformulate"
+      (Staged.stage (fun () ->
+           ok_p (Processor.reformulate warm ~schema:global parsed)))
+  in
+  let big_pathway =
+    List.concat_map
+      (fun (it : Workflow.iteration) ->
+        List.concat_map
+          (fun (_, (p : Transform.pathway)) -> p.Transform.steps)
+          it.Workflow.outcome.Intersection.side_pathways)
+      (Workflow.iterations intersection_run.Intersection_run.workflow)
+  in
+  let reverse =
+    Test.make ~name:"pathway-reverse"
+      (Staged.stage (fun () ->
+           Transform.reverse
+             { Transform.from_schema = "a"; to_schema = "b"; steps = big_pathway }))
+  in
+  let bag_a = Value.Bag.of_list (List.init 1000 (fun i -> Value.Int (i mod 400))) in
+  let bag_b =
+    Value.Bag.of_list (List.init 1000 (fun i -> Value.Int (i * 7 mod 500)))
+  in
+  let bag_union =
+    Test.make ~name:"bag-union-1k"
+      (Staged.stage (fun () -> Value.Bag.union bag_a bag_b))
+  in
+  (* ablation: canonical bags vs naive list concatenation + sort *)
+  let list_a = Value.Bag.to_list bag_a and list_b = Value.Bag.to_list bag_b in
+  let list_union =
+    Test.make ~name:"ablation-list-union-1k"
+      (Staged.stage (fun () ->
+           List.sort Value.compare (List.rev_append list_a list_b)))
+  in
+  let translate =
+    Test.make ~name:"query-translate"
+      (Staged.stage (fun () ->
+           ok_p
+             (Processor.translate warm ~from_schema:"pedro" ~to_schema:"i_protein"
+                (Parser.parse_exn "count(<<protein,accession_num>>)"))))
+  in
+  let group_query =
+    let parsed_group =
+      Parser.parse_exn
+        "[{o, count(g)} | {o, g} <- group([{x, k} | {s,k,x} <- \
+         <<UProtein,organism>>])]"
+    in
+    Test.make ~name:"group-aggregate"
+      (Staged.stage (fun () -> ok_p (Processor.run warm ~schema:global parsed_group)))
+  in
+  [
+    iql_parse; iql_eval_warm; iql_eval_unoptimized; q5_optimized;
+    q5_unoptimized; iql_eval_cold; reformulate; translate; group_query;
+    reverse; bag_union; list_union;
+  ]
+
+let run_bechamel () =
+  section "E-P1..E-P4  Bechamel micro-benchmarks (OLS on monotonic clock)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.one ols instance raw with
+          | ols_result -> (
+              match Analyze.OLS.estimates ols_result with
+              | Some (est :: _) ->
+                  Printf.printf "  %-28s %14.1f ns/run\n" name est
+              | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+          | exception _ -> Printf.printf "  %-28s (analysis failed)\n" name)
+        results)
+    (bechamel_tests ())
+
+let bench_federated_scaling () =
+  (* E-P5: federated-schema construction as the dataspace grows *)
+  section "E-P5  Federated schema construction scaling (wall clock)";
+  List.iter
+    (fun n ->
+      let repo = Repository.create () in
+      for i = 0 to n - 1 do
+        let objs =
+          List.concat
+            (List.init 5 (fun t ->
+                 let tn = Printf.sprintf "s%d_t%d" i t in
+                 (Scheme.table tn, None)
+                 :: List.init 4 (fun c ->
+                        (Scheme.column tn (Printf.sprintf "c%d" c), None))))
+        in
+        ok
+          (Repository.add_schema repo
+             (ok (Schema.of_objects (Printf.sprintf "s%d" i) objs)))
+      done;
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (ok
+           (Federated.create repo ~name:"F"
+              ~members:(List.init n (Printf.sprintf "s%d"))));
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "  %3d sources x 25 objects: %8.2f ms\n" n (dt *. 1000.0))
+    [ 2; 4; 8; 16; 32 ]
+
+let bench_scale_sweep () =
+  (* E-P7: the whole case study as the data volume grows *)
+  section "E-P7  Case-study scaling with data volume (wall clock)";
+  Printf.printf "  %8s %10s %12s %14s %14s\n" "proteins" "rows" "integrate"
+    "Q4 (cold)" "Q4 (warm)";
+  List.iter
+    (fun scale ->
+      let ds = Sources.generate ~scale () in
+      let rows =
+        List.fold_left
+          (fun acc db ->
+            List.fold_left
+              (fun acc t -> acc + Automed_datasource.Relational.row_count t)
+              acc
+              (Automed_datasource.Relational.tables db))
+          0
+          [ ds.Sources.pedro; ds.Sources.gpmdb; ds.Sources.pepseeker ]
+      in
+      let repo = Repository.create () in
+      ok (Sources.wrap_all repo ds);
+      let t0 = Unix.gettimeofday () in
+      let run = ok (Intersection_run.execute repo) in
+      let t_integrate = Unix.gettimeofday () -. t0 in
+      let proc = Processor.create repo in
+      let global = Workflow.global_name run.Intersection_run.workflow in
+      let q4 = Parser.parse_exn (Queries.find 4).Automed_ispider.Queries.global_text in
+      let t0 = Unix.gettimeofday () in
+      ignore (ok_p (Processor.run proc ~schema:global q4));
+      let t_cold = Unix.gettimeofday () -. t0 in
+      let t0 = Unix.gettimeofday () in
+      ignore (ok_p (Processor.run proc ~schema:global q4));
+      let t_warm = Unix.gettimeofday () -. t0 in
+      Printf.printf "  %8d %10d %10.1f ms %12.1f ms %12.2f ms\n" scale rows
+        (t_integrate *. 1000.0) (t_cold *. 1000.0) (t_warm *. 1000.0))
+    [ 10; 30; 100; 300 ]
+
+let bench_integration_end_to_end () =
+  (* E-P6: end-to-end integration runtime, intersection vs classical *)
+  section "E-P6  End-to-end integration runtime (wall clock)";
+  let time label f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Printf.printf "  %-44s %8.2f ms\n" label
+      ((Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  time "intersection methodology (6 iterations)" (fun () ->
+      let repo = Repository.create () in
+      ok (Sources.wrap_all repo dataset);
+      ignore (ok (Intersection_run.execute repo)));
+  time "classical ladder (GS1-GS3)" (fun () ->
+      let repo = Repository.create () in
+      ok (Sources.wrap_all repo dataset);
+      ignore (ok (Classical_run.execute repo)))
+
+let () =
+  experiment_table1 ();
+  experiment_counts ();
+  experiment_payg ();
+  experiment_figures ();
+  experiment_user_cost ();
+  run_bechamel ();
+  bench_federated_scaling ();
+  bench_integration_end_to_end ();
+  bench_scale_sweep ();
+  Printf.printf "\nall experiments completed.\n"

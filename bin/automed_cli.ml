@@ -1,0 +1,377 @@
+(* automed-cli: a command-line front end to the dataspace.
+
+   By default the commands operate on the built-in iSpider dataspace
+   (synthetic Pedro, gpmDB and PepSeeker sources); [--integrated] runs
+   the intersection-based integration first so that the global schema
+   versions exist.  With [--csv DIR] (repeatable, [NAME=DIR]) additional
+   relational sources are loaded from directories of CSV files (one file
+   per table, first header field is the key) and wrapped into the
+   repository. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Ast = Automed_iql.Ast
+module Types = Automed_iql.Types
+module Parser = Automed_iql.Parser
+module Relational = Automed_datasource.Relational
+module Csv = Automed_datasource.Csv
+module Wrapper = Automed_datasource.Wrapper
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Matcher = Automed_matching.Matcher
+module Workflow = Automed_integration.Workflow
+module Sources = Automed_ispider.Sources
+module Queries = Automed_ispider.Queries
+module Intersection_run = Automed_ispider.Intersection_run
+module Classical_run = Automed_ispider.Classical_run
+
+open Cmdliner
+
+let fail fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt
+
+(* -- repository construction -------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_csv_source repo spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Printf.sprintf "--csv expects NAME=DIR, got %S" spec)
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let dir = String.sub spec (i + 1) (String.length spec - i - 1) in
+      if not (Sys.is_directory dir) then
+        Error (Printf.sprintf "not a directory: %s" dir)
+      else
+        let files =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".csv")
+          |> List.sort String.compare
+        in
+        let ( let* ) = Result.bind in
+        let* db =
+          List.fold_left
+            (fun acc file ->
+              let* db = acc in
+              let tname = Filename.remove_extension file in
+              let* table =
+                Csv.load_table_auto ~name:tname
+                  (read_file (Filename.concat dir file))
+              in
+              Relational.add_table db table)
+            (Ok (Relational.create_db name))
+            files
+        in
+        let* _ = Wrapper.wrap repo db in
+        Ok ()
+
+let build_repo ~integrated ~csv_specs =
+  let repo = Repository.create () in
+  let ( let* ) = Result.bind in
+  let* () = Sources.wrap_all repo (Sources.generate ()) in
+  let* () =
+    List.fold_left
+      (fun acc spec ->
+        let* () = acc in
+        load_csv_source repo spec)
+      (Ok ()) csv_specs
+  in
+  if integrated then
+    let* _run = Intersection_run.execute repo in
+    Ok repo
+  else Ok repo
+
+(* -- common options ------------------------------------------------------ *)
+
+let integrated =
+  Arg.(
+    value & flag
+    & info [ "integrated" ] ~doc:"Run the intersection-based integration first.")
+
+let csv_specs =
+  Arg.(
+    value & opt_all string []
+    & info [ "csv" ] ~docv:"NAME=DIR"
+        ~doc:"Load an additional relational source from a directory of CSV files.")
+
+let with_repo integrated csv_specs f =
+  match build_repo ~integrated ~csv_specs with
+  | Error e -> `Error (false, e)
+  | Ok repo -> f repo
+
+(* -- commands ------------------------------------------------------------ *)
+
+let schemas_cmd =
+  let run integrated csv_specs =
+    with_repo integrated csv_specs (fun repo ->
+        List.iter
+          (fun s ->
+            Printf.printf "%-28s %4d objects%s\n" (Schema.name s)
+              (Schema.object_count s)
+              (if Repository.has_stored_extents repo (Schema.name s) then
+                 "  [materialised]"
+               else ""))
+          (Repository.schemas repo);
+        `Ok ())
+  in
+  Cmd.v (Cmd.info "schemas" ~doc:"List all schemas in the repository.")
+    Term.(ret (const run $ integrated $ csv_specs))
+
+let schema_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SCHEMA" ~doc:"Schema name.")
+
+let show_cmd =
+  let run integrated csv_specs name =
+    with_repo integrated csv_specs (fun repo ->
+        match Repository.schema repo name with
+        | None -> fail "no schema %s" name
+        | Some s ->
+            Printf.printf "%s\n" (Fmt.str "%a" Schema.pp s);
+            `Ok ())
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Show a schema's objects and extent types.")
+    Term.(ret (const run $ integrated $ csv_specs $ schema_arg))
+
+let query_cmd =
+  let iql =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"IQL" ~doc:"IQL query text.")
+  in
+  let run integrated csv_specs name text =
+    with_repo integrated csv_specs (fun repo ->
+        let proc = Processor.create repo in
+        match Processor.run_string proc ~schema:name text with
+        | Ok (Value.Bag b) ->
+            List.iter
+              (fun (v, n) ->
+                if n = 1 then Printf.printf "%s\n" (Value.to_string v)
+                else Printf.printf "%s  (x%d)\n" (Value.to_string v) n)
+              b;
+            Printf.printf "-- %d answers\n" (Value.Bag.cardinal b);
+            `Ok ()
+        | Ok v ->
+            Printf.printf "%s\n" (Value.to_string v);
+            `Ok ()
+        | Error e -> fail "%s" (Fmt.str "%a" Processor.pp_error e))
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run an IQL query against a schema.")
+    Term.(ret (const run $ integrated $ csv_specs $ schema_arg $ iql))
+
+let reformulate_cmd =
+  let iql =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"IQL" ~doc:"IQL query text.")
+  in
+  let run integrated csv_specs name text =
+    with_repo integrated csv_specs (fun repo ->
+        let proc = Processor.create repo in
+        match Parser.parse text with
+        | Error e -> fail "%s" e
+        | Ok ast -> (
+            match Processor.reformulate proc ~schema:name ast with
+            | Ok unfolded ->
+                Printf.printf "%s\n" (Ast.to_string unfolded);
+                `Ok ()
+            | Error e -> fail "%s" (Fmt.str "%a" Processor.pp_error e)))
+  in
+  Cmd.v
+    (Cmd.info "reformulate"
+       ~doc:"Unfold a query over a schema onto the data source schemas.")
+    Term.(ret (const run $ integrated $ csv_specs $ schema_arg $ iql))
+
+let match_cmd =
+  let left =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"LEFT" ~doc:"Left schema.")
+  in
+  let right =
+    Arg.(
+      required & pos 1 (some string) None & info [] ~docv:"RIGHT" ~doc:"Right schema.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.35
+      & info [ "threshold" ] ~doc:"Minimum combined score to report.")
+  in
+  let run integrated csv_specs left right threshold =
+    with_repo integrated csv_specs (fun repo ->
+        match Matcher.suggest ~threshold repo ~left ~right with
+        | Error e -> fail "%s" e
+        | Ok suggestions ->
+            List.iter
+              (fun s -> Printf.printf "%s\n" (Fmt.str "%a" Matcher.pp_suggestion s))
+              suggestions;
+            Printf.printf "-- %d suggestions\n" (List.length suggestions);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "match"
+       ~doc:"Suggest semantic correspondences between two schemas.")
+    Term.(ret (const run $ integrated $ csv_specs $ left $ right $ threshold))
+
+let pathways_cmd =
+  let run integrated csv_specs =
+    with_repo integrated csv_specs (fun repo ->
+        List.iter
+          (fun (p : Automed_transform.Transform.pathway) ->
+            Printf.printf "%-28s -> %-28s %3d steps (%d non-trivial)\n"
+              p.Automed_transform.Transform.from_schema
+              p.Automed_transform.Transform.to_schema
+              (List.length p.Automed_transform.Transform.steps)
+              (Automed_transform.Transform.count_non_trivial p))
+          (Repository.pathways repo);
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "pathways" ~doc:"List all pathways in the repository.")
+    Term.(ret (const run $ integrated $ csv_specs))
+
+let export_cmd =
+  let with_extents =
+    Arg.(
+      value & flag
+      & info [ "extents" ] ~doc:"Also serialise the materialised extents.")
+  in
+  let run integrated csv_specs with_extents =
+    with_repo integrated csv_specs (fun repo ->
+        print_string
+          (Automed_repository.Serialize.save ~extents:with_extents repo);
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Serialise the repository (schemas, pathways, optionally extents) \
+          to stdout.")
+    Term.(ret (const run $ integrated $ csv_specs $ with_extents))
+
+let extent_cmd =
+  (* the paper's Extent Tool: "allows the extent of any schema object to
+     be displayed" (Section 2.3, step 4) *)
+  let obj =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OBJECT" ~doc:"Schema object, e.g. <<protein>>.")
+  in
+  let run integrated csv_specs name obj_text =
+    with_repo integrated csv_specs (fun repo ->
+        match Scheme.of_string obj_text with
+        | Error e -> fail "%s" e
+        | Ok scheme -> (
+            let proc = Processor.create repo in
+            match Processor.extent_of proc ~schema:name scheme with
+            | Error e -> fail "%s" (Fmt.str "%a" Processor.pp_error e)
+            | Ok bag ->
+                List.iter
+                  (fun (v, n) ->
+                    if n = 1 then Printf.printf "%s\n" (Value.to_string v)
+                    else Printf.printf "%s  (x%d)\n" (Value.to_string v) n)
+                  bag;
+                Printf.printf "-- %d elements (%d distinct)\n"
+                  (Value.Bag.cardinal bag)
+                  (Value.Bag.distinct_cardinal bag);
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "extent"
+       ~doc:"Display the derived extent of a schema object (the Extent Tool).")
+    Term.(ret (const run $ integrated $ csv_specs $ schema_arg $ obj))
+
+let materialize_cmd =
+  let run integrated csv_specs name =
+    with_repo integrated csv_specs (fun repo ->
+        let proc = Processor.create repo in
+        match Automed_datasource.Materialize.db_of_schema proc ~schema:name with
+        | Error e -> fail "%s" e
+        | Ok db ->
+            List.iter
+              (fun t ->
+                Printf.printf "-- table %s\n" (Relational.table_name t);
+                let header = List.map fst (Relational.columns t) in
+                let rows =
+                  List.map
+                    (List.map (function
+                      | None -> ""
+                      | Some (Value.Str s) -> s
+                      | Some v -> Value.to_string v))
+                    (Relational.rows t)
+                in
+                print_string (Csv.render (header :: rows)))
+              (Relational.tables db);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "materialize"
+       ~doc:
+         "Derive every relational table of a schema and print it as CSV \
+          (integration as ETL).")
+    Term.(ret (const run $ integrated $ csv_specs $ schema_arg))
+
+let case_study_cmd =
+  let run () =
+    let repo = Repository.create () in
+    let ds = Sources.generate () in
+    (match Sources.wrap_all repo ds with
+    | Ok () -> ()
+    | Error e -> prerr_endline e; exit 1);
+    match Intersection_run.execute repo with
+    | Error e -> `Error (false, e)
+    | Ok run ->
+        Printf.printf "intersection methodology: %d manual transformations\n"
+          run.Intersection_run.total_manual;
+        List.iter
+          (fun (s : Intersection_run.step) ->
+            Printf.printf "  %-48s %3d\n" s.Intersection_run.label
+              s.Intersection_run.manual)
+          run.Intersection_run.steps;
+        let repo2 = Repository.create () in
+        (match Sources.wrap_all repo2 ds with
+        | Ok () -> ()
+        | Error e -> prerr_endline e; exit 1);
+        (match Classical_run.execute repo2 with
+        | Error e -> prerr_endline e
+        | Ok c ->
+            Printf.printf
+              "classical methodology: %d manual transformations (19+35+41)\n"
+              c.Classical_run.total_manual);
+        Printf.printf "\nqueries over %s:\n"
+          (Workflow.global_name run.Intersection_run.workflow);
+        List.iter
+          (fun (q : Queries.query) ->
+            match
+              Workflow.run_query run.Intersection_run.workflow
+                q.Queries.global_text
+            with
+            | Ok (Value.Bag b) ->
+                Printf.printf "  Q%d: %d answers\n" q.Queries.number
+                  (Value.Bag.cardinal b)
+            | Ok _ | Error _ -> Printf.printf "  Q%d: failed\n" q.Queries.number)
+          Queries.all;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "case-study"
+       ~doc:"Replay the paper's Section 3 case study end to end.")
+    Term.(ret (const run $ const ()))
+
+let main =
+  let doc = "AutoMed-style dataspace integration with intersection schemas" in
+  let info = Cmd.info "automed-cli" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ schemas_cmd; show_cmd; query_cmd; reformulate_cmd; match_cmd;
+      pathways_cmd; export_cmd; extent_cmd; materialize_cmd; case_study_cmd ]
+
+let () = exit (Cmd.eval main)

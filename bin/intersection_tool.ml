@@ -1,0 +1,260 @@
+(* The Intersection Schema Tool (the paper's Figure 5), as a CLI.
+
+   The GUI tool showed three panels: source schemas on the left, the
+   current global schema on the right, and the mappings table (with the
+   transformation queries) at the bottom; after the forwards queries, a
+   second screen collected the reverse queries, pre-filling the ones the
+   tool could derive automatically.
+
+   `demo` walks the same flow on the paper's Section 2.4 example - the
+   Pedro/PepSeeker proteinhit intersection - printing each panel and then
+   verifying the integration by querying the new global schema.
+
+   `interactive` reads mapping lines from stdin, so the same flow can be
+   driven by hand or from a script:
+
+     TARGET := SIDE_SCHEMA : FORWARD_QUERY
+     (empty line to finish)                                               *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Ast = Automed_iql.Ast
+module Parser = Automed_iql.Parser
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Matcher = Automed_matching.Matcher
+module Transform = Automed_transform.Transform
+module Intersection = Automed_integration.Intersection
+module Workflow = Automed_integration.Workflow
+module Sources = Automed_ispider.Sources
+
+let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
+let ok = function Ok v -> v | Error e -> die "error: %s" e
+
+let heading title =
+  Printf.printf "\n== %s %s\n" title
+    (String.make (max 0 (66 - String.length title)) '=')
+
+let show_schema repo name =
+  match Repository.schema repo name with
+  | None -> die "no schema %s" name
+  | Some s ->
+      Printf.printf "%s:\n" name;
+      List.iter
+        (fun o -> Printf.printf "    %s\n" (Scheme.to_string o))
+        (Schema.objects s)
+
+let show_mappings side =
+  Printf.printf "  source schema %s:\n" side.Intersection.schema;
+  List.iter
+    (fun m ->
+      Printf.printf "    %-28s <=  %s\n"
+        (Scheme.to_string m.Intersection.target)
+        (Ast.to_string m.Intersection.forward))
+    side.Intersection.mappings
+
+let show_reverse_queries side =
+  Printf.printf "  reverse queries for %s (auto-derived where possible):\n"
+    side.Intersection.schema;
+  List.iter
+    (fun m ->
+      match
+        ( m.Intersection.restore,
+          match m.Intersection.forward with
+          | Ast.SchemeRef src -> Some src
+          | Ast.Comp (_, [ Ast.Gen (_, Ast.SchemeRef src) ]) -> Some src
+          | _ -> None )
+      with
+      | Some (src, q), _ ->
+          Printf.printf "    %-28s <=  %s   [user]\n" (Scheme.to_string src)
+            (Ast.to_string q)
+      | None, Some src -> (
+          match
+            Intersection.invert_forward ~target:m.Intersection.target ~source:src
+              m.Intersection.forward
+          with
+          | Some q ->
+              Printf.printf "    %-28s <=  %s   [auto]\n" (Scheme.to_string src)
+                (Ast.to_string q)
+          | None ->
+              Printf.printf "    %-28s <=  Range Void Any   [not derivable]\n"
+                (Scheme.to_string src))
+      | None, None -> ())
+    side.Intersection.mappings
+
+(* -- demo: the paper's Section 2.4 example ------------------------------- *)
+
+let demo () =
+  let repo = Repository.create () in
+  ok (Sources.wrap_all repo (Sources.generate ()));
+  let wf =
+    ok
+      (Workflow.start repo ~name:"demo"
+         ~sources:[ Sources.pedro_name; Sources.pepseeker_name; Sources.gpmdb_name ])
+  in
+  heading "Step 1-2: federated schema created; data services available";
+  Printf.printf "initial global schema: %s\n" (Workflow.global_name wf);
+  (match Workflow.run_query wf "count(<<pedro:proteinhit>>)" with
+  | Ok v -> Printf.printf "count(<<pedro:proteinhit>>) = %s\n" (Value.to_string v)
+  | Error e -> die "%s" (Fmt.str "%a" Processor.pp_error e));
+
+  heading "Step 3: inspect source schemas (left panel)";
+  Printf.printf "(fragments relevant to the example)\n";
+  List.iter
+    (fun (schema, objs) ->
+      Printf.printf "%s:\n" schema;
+      List.iter (fun o -> Printf.printf "    %s\n" o) objs)
+    [
+      ("pedro", [ "<<proteinhit>>"; "<<proteinhit,db_search>>" ]);
+      ("pepseeker", [ "<<proteinhit>>"; "<<proteinhit,fileparameters>>" ]);
+    ];
+
+  heading "Step 4: mappings table (bottom panel) - forwards direction";
+  let spec =
+    {
+      Intersection.name = "i_uproteinhit";
+      sides =
+        [
+          {
+            Intersection.schema = Sources.pedro_name;
+            mappings =
+              [
+                {
+                  Intersection.target = Scheme.column "UProteinHit" "dbsearch";
+                  forward =
+                    Parser.parse_exn
+                      "[{'PEDRO', k, x} | {k,x} <- <<proteinhit,db_search>>]";
+                  restore = None;
+                };
+              ];
+          };
+          {
+            Intersection.schema = Sources.pepseeker_name;
+            mappings =
+              [
+                {
+                  Intersection.target = Scheme.column "UProteinHit" "dbsearch";
+                  forward =
+                    Parser.parse_exn
+                      "[{'pepSeeker', k, x} | {k,x} <- \
+                       <<proteinhit,fileparameters>>]";
+                  restore = None;
+                };
+              ];
+          };
+        ];
+    }
+  in
+  List.iter show_mappings spec.Intersection.sides;
+
+  heading "Step 4b: reverse direction (second screen)";
+  List.iter show_reverse_queries spec.Intersection.sides;
+
+  heading "Step 5: generate the intersection schema and the new global schema";
+  let it = ok (Workflow.integrate wf spec) in
+  Printf.printf "intersection schema: %s (%d user transformations, %d automatic)\n"
+    (Schema.name it.Workflow.outcome.Intersection.intersection)
+    it.Workflow.outcome.Intersection.manual_steps
+    it.Workflow.outcome.Intersection.auto_steps;
+  Printf.printf "new global schema (right panel): %s\n" (Workflow.global_name wf);
+  show_schema repo "i_uproteinhit";
+  Printf.printf
+    "redundant objects dropped from the global schema:\n\
+    \    <<pedro:proteinhit,db_search>>\n\
+    \    <<pepseeker:proteinhit,fileparameters>>\n";
+
+  heading "Step 6: verify by querying the new global schema";
+  (match Workflow.run_query wf "count(<<UProteinHit,dbsearch>>)" with
+  | Ok v ->
+      Printf.printf "count(<<UProteinHit,dbsearch>>) = %s (bag union of both sources)\n"
+        (Value.to_string v)
+  | Error e -> die "%s" (Fmt.str "%a" Processor.pp_error e));
+  (match
+     Workflow.run_query wf
+       "[{k, x} | {s, k, x} <- <<UProteinHit,dbsearch>>; s = 'pepSeeker']"
+   with
+  | Ok (Value.Bag b) ->
+      Printf.printf "pepSeeker-side entries: %d\n" (Value.Bag.cardinal b)
+  | Ok _ | Error _ -> die "verification query failed");
+  Printf.printf "\nworkflow can now continue from step 3 with another pair.\n"
+
+(* -- interactive --------------------------------------------------------- *)
+
+let find_sub ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i =
+    if i + lsub > ls then None
+    else if String.sub s i lsub = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_mapping_line line =
+  (* TARGET := SIDE : FORWARD *)
+  match find_sub ~sub:":=" line with
+  | None -> Error (Printf.sprintf "expected TARGET := SIDE : QUERY in %S" line)
+  | Some i -> (
+      let target = String.trim (String.sub line 0 i) in
+      let rest = String.sub line (i + 2) (String.length line - i - 2) in
+      match String.index_opt rest ':' with
+      | None -> Error "missing ':' between side schema and query"
+      | Some j ->
+          let side = String.trim (String.sub rest 0 j) in
+          let qtext = String.sub rest (j + 1) (String.length rest - j - 1) in
+          let ( let* ) = Result.bind in
+          let* target = Scheme.of_string target in
+          let* forward = Parser.parse qtext in
+          Ok (target, side, forward))
+
+let interactive () =
+  let module Mapping_table = Automed_integration.Mapping_table in
+  let repo = Repository.create () in
+  ok (Sources.wrap_all repo (Sources.generate ()));
+  let session =
+    ok
+      (Mapping_table.start repo ~name:"i_interactive"
+         ~sources:[ "pedro"; "gpmdb"; "pepseeker" ])
+  in
+  Printf.printf
+    "sources: pedro, gpmdb, pepseeker\n\
+     enter mappings as  <<Target>> := side : [ ... | ... ]  (blank line ends):\n";
+  (try
+     while true do
+       print_string "> ";
+       let line = String.trim (read_line ()) in
+       if line = "" then raise Exit
+       else
+         match parse_mapping_line line with
+         | Error e -> Printf.printf "error: %s\n" e
+         | Ok (target, side, forward) -> (
+             (* every entry is validated (and type-checked) on the spot *)
+             match
+               Mapping_table.add session ~target ~source:side
+                 ~forward:(Ast.to_string forward)
+             with
+             | Ok e ->
+                 Printf.printf "  added #%d%s" e.Mapping_table.entry_id
+                   (if e.Mapping_table.typed then "" else " (untyped)");
+                 (match e.Mapping_table.reverse with
+                 | Some r ->
+                     Printf.printf "; auto reverse: %s\n" (Ast.to_string r)
+                 | None -> print_newline ())
+             | Error e -> Printf.printf "error: %s\n" e)
+     done
+   with Exit | End_of_file -> ());
+  let spec = ok (Mapping_table.finish session) in
+  let o = ok (Intersection.create repo spec) in
+  Printf.printf "created %s with %d objects (%d manual, %d auto steps)\n"
+    (Schema.name o.Intersection.intersection)
+    (Schema.object_count o.Intersection.intersection)
+    o.Intersection.manual_steps o.Intersection.auto_steps;
+  show_schema repo "i_interactive"
+
+let () =
+  match Sys.argv with
+  | [| _; "demo" |] | [| _ |] -> demo ()
+  | [| _; "interactive" |] -> interactive ()
+  | _ ->
+      prerr_endline "usage: intersection_tool [demo|interactive]";
+      exit 2

@@ -1,0 +1,133 @@
+(* Quickstart: integrate two small relational sources with an
+   intersection schema and query the result.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Scheme = Automed_base.Scheme
+module Value = Automed_iql.Value
+module Parser = Automed_iql.Parser
+module Relational = Automed_datasource.Relational
+module Wrapper = Automed_datasource.Wrapper
+module Repository = Automed_repository.Repository
+module Intersection = Automed_integration.Intersection
+module Workflow = Automed_integration.Workflow
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+(* 1. Two data sources that overlap semantically: a store's "album"
+   catalogue and a radio station's "record" playlist. *)
+
+let store_db =
+  let album =
+    ok
+      (Relational.create_table ~name:"album" ~key:"id"
+         [ ("id", Relational.CStr); ("title", Relational.CStr);
+           ("price", Relational.CFloat) ])
+  in
+  let album =
+    ok
+      (Relational.insert_all album
+         [
+           [ Relational.str_cell "a1"; Relational.str_cell "Blue Train";
+             Relational.float_cell 9.99 ];
+           [ Relational.str_cell "a2"; Relational.str_cell "Kind of Blue";
+             Relational.float_cell 12.50 ];
+         ])
+  in
+  ok (Relational.add_table (Relational.create_db "store") album)
+
+let radio_db =
+  let record =
+    ok
+      (Relational.create_table ~name:"record" ~key:"rid"
+         [ ("rid", Relational.CStr); ("name", Relational.CStr);
+           ("airplays", Relational.CInt) ])
+  in
+  let record =
+    ok
+      (Relational.insert_all record
+         [
+           [ Relational.str_cell "r7"; Relational.str_cell "Kind of Blue";
+             Relational.int_cell 41 ];
+           [ Relational.str_cell "r8"; Relational.str_cell "A Love Supreme";
+             Relational.int_cell 17 ];
+         ])
+  in
+  ok (Relational.add_table (Relational.create_db "radio") record)
+
+let () =
+  (* 2. Wrap both sources: this extracts their schemas into the
+     repository and materialises their extents. *)
+  let repo = Repository.create () in
+  let _ = ok (Wrapper.wrap repo store_db) in
+  let _ = ok (Wrapper.wrap repo radio_db) in
+
+  (* 3. Start the incremental workflow.  The initial global schema is a
+     federated schema: all objects of both sources, prefixed with their
+     provenance - queryable before any integration work. *)
+  let wf = ok (Workflow.start repo ~name:"music" ~sources:[ "store"; "radio" ]) in
+  Printf.printf "initial global schema: %s\n" (Workflow.global_name wf);
+  let count = ok (Result.map_error (Fmt.str "%a" Automed_query.Processor.pp_error)
+                    (Workflow.run_query wf "count(<<store:album>>)")) in
+  Printf.printf "albums visible on day one: %s\n\n" (Value.to_string count);
+
+  (* 4. Declare the semantic intersection: albums and records are the
+     same concept.  Each side gives a forward (add) query tagging its
+     contribution; reverse (delete) queries are derived automatically. *)
+  let spec =
+    {
+      Intersection.name = "i_release";
+      sides =
+        [
+          {
+            Intersection.schema = "store";
+            mappings =
+              [
+                { Intersection.target = Scheme.table "URelease";
+                  forward = Parser.parse_exn "[{'store', k} | k <- <<album>>]";
+                  restore = None };
+                { Intersection.target = Scheme.column "URelease" "title";
+                  forward =
+                    Parser.parse_exn
+                      "[{'store', k, x} | {k,x} <- <<album,title>>]";
+                  restore = None };
+              ];
+          };
+          {
+            Intersection.schema = "radio";
+            mappings =
+              [
+                { Intersection.target = Scheme.table "URelease";
+                  forward = Parser.parse_exn "[{'radio', k} | k <- <<record>>]";
+                  restore = None };
+                { Intersection.target = Scheme.column "URelease" "title";
+                  forward =
+                    Parser.parse_exn
+                      "[{'radio', k, x} | {k,x} <- <<record,name>>]";
+                  restore = None };
+              ];
+          };
+        ];
+    }
+  in
+  let it = ok (Workflow.integrate wf spec) in
+  Printf.printf "created intersection schema %s: %d user transformations\n"
+    (Automed_model.Schema.name it.Workflow.outcome.Intersection.intersection)
+    it.Workflow.outcome.Intersection.manual_steps;
+  Printf.printf "new global schema: %s\n\n" (Workflow.global_name wf);
+
+  (* 5. Query the integrated concept.  Extents are the bag union of both
+     sides; provenance tags tell contributions apart. *)
+  let run text =
+    match Workflow.run_query wf text with
+    | Ok v -> Printf.printf "%s\n  = %s\n" text (Value.to_string v)
+    | Error e -> failwith (Fmt.str "%a" Automed_query.Processor.pp_error e)
+  in
+  run "count(<<URelease>>)";
+  run "[t | {s, k, t} <- <<URelease,title>>; s = 'radio']";
+  (* titles known to both sources: a join within the intersection *)
+  run
+    "[t | {s1, k1, t} <- <<URelease,title>>; {s2, k2, t2} <- \
+     <<URelease,title>>; s1 = 'store'; s2 = 'radio'; t = t2]";
+  (* un-integrated content remains available through its prefixed name *)
+  run "[{k, p} | {k, p} <- <<store:album,price>>]"

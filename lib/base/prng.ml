@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* SplitMix64: fast, high-quality, trivially reproducible. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's native int without wrapping *)
+  let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t k xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  if k >= n then xs
+  else begin
+    shuffle t a;
+    Array.to_list (Array.sub a 0 k)
+  end

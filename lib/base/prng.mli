@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Used by the synthetic workload generators so that every run of the test
+    suite and benchmark harness sees exactly the same data, independent of
+    the OCaml runtime's [Random] state. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator.  Generators are mutable. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [k] elements without replacement (all of [xs] if
+    [k >= List.length xs]), preserving no particular order. *)

@@ -1,0 +1,237 @@
+module Scheme = Automed_base.Scheme
+module Parser = Automed_iql.Parser
+module Relational = Automed_datasource.Relational
+module Csv = Automed_datasource.Csv
+module Document = Automed_datasource.Document
+module Wrapper = Automed_datasource.Wrapper
+module Repository = Automed_repository.Repository
+module Intersection = Automed_integration.Intersection
+module Workflow = Automed_integration.Workflow
+
+let shared_title = "A Relational Model of Data for Large Shared Data Banks"
+let partial_title = "Dataspaces: a new abstraction for information management"
+
+let ( let* ) = Result.bind
+
+(* -- dblp: relational ----------------------------------------------------- *)
+
+let dblp_db () =
+  let publication =
+    Relational.create_table ~name:"publication" ~key:"id"
+      [ ("id", Relational.CStr); ("title", Relational.CStr);
+        ("year", Relational.CInt); ("venue", Relational.CStr) ]
+  in
+  let author =
+    Relational.create_table ~name:"author" ~key:"id"
+      [ ("id", Relational.CStr); ("name", Relational.CStr) ]
+  in
+  let authored =
+    Relational.create_table ~name:"authored" ~key:"id"
+      [ ("id", Relational.CStr); ("author", Relational.CStr);
+        ("publication", Relational.CStr) ]
+  in
+  let s = Relational.str_cell and i = Relational.int_cell in
+  let* publication = publication in
+  let* publication =
+    Relational.insert_all publication
+      [
+        [ s "d1"; s shared_title; i 1970; s "CACM" ];
+        [ s "d2"; s partial_title; i 2005; s "SIGMOD Record" ];
+        [ s "d3"; s "Data integration: a theoretical perspective"; i 2002;
+          s "PODS" ];
+      ]
+  in
+  let* author = author in
+  let* author =
+    Relational.insert_all author
+      [ [ s "a1"; s "E. F. Codd" ]; [ s "a2"; s "A. Halevy" ];
+        [ s "a3"; s "M. Lenzerini" ] ]
+  in
+  let* authored = authored in
+  let* authored =
+    Relational.insert_all authored
+      [
+        [ s "w1"; s "a1"; s "d1" ]; [ s "w2"; s "a2"; s "d2" ];
+        [ s "w3"; s "a3"; s "d3" ];
+      ]
+  in
+  let db = Relational.create_db "dblp" in
+  let* db = Relational.add_table db publication in
+  let* db = Relational.add_table db author in
+  Relational.add_table db authored
+
+(* -- arxiv: XML ------------------------------------------------------------ *)
+
+let arxiv_xml =
+  Printf.sprintf
+    {|<arxiv>
+  <paper title="%s" year="1970" area="cs.DB"/>
+  <paper title="%s" year="2005" area="cs.DB"/>
+  <paper title="From databases to dataspaces" year="2005" area="cs.DB"/>
+</arxiv>|}
+    shared_title partial_title
+
+(* -- library: CSV ----------------------------------------------------------- *)
+
+let holdings_csv =
+  Printf.sprintf "id,title,copies,shelf\nh1,%s,3,DB-1\nh2,Readings in Database Systems,1,DB-2\n"
+    shared_title
+
+(* -- setup ------------------------------------------------------------------ *)
+
+let setup repo =
+  let* db = dblp_db () in
+  let* _ = Wrapper.wrap repo db in
+  let* doc = Document.parse arxiv_xml in
+  let* _ = Document.wrap repo ~name:"arxiv" doc in
+  let* holdings = Csv.load_table_auto ~name:"holdings" holdings_csv in
+  let* library = Relational.add_table (Relational.create_db "library") holdings in
+  let* _ = Wrapper.wrap repo library in
+  Ok ()
+
+(* -- integration ------------------------------------------------------------ *)
+
+let q = Parser.parse_exn
+
+let integrate repo =
+  let* wf =
+    Workflow.start repo ~name:"biblio" ~sources:[ "dblp"; "arxiv"; "library" ]
+  in
+  (* iteration 1: the publication concept and its title, across all
+     three representations *)
+  let* _ =
+    Workflow.integrate ~description:"UPublication across three models" wf
+      {
+        Intersection.name = "i_publication";
+        sides =
+          [
+            {
+              Intersection.schema = "dblp";
+              mappings =
+                [
+                  { Intersection.target = Scheme.table "UPublication";
+                    forward = q "[{'dblp', k} | k <- <<publication>>]";
+                    restore = None };
+                  { Intersection.target = Scheme.column "UPublication" "title";
+                    forward =
+                      q "[{'dblp', k, x} | {k,x} <- <<publication,title>>]";
+                    restore = None };
+                ];
+            };
+            {
+              Intersection.schema = "arxiv";
+              mappings =
+                [
+                  { Intersection.target = Scheme.table "UPublication";
+                    forward = q "[{'arxiv', k} | k <- <<xml,element,paper>>]";
+                    restore = None };
+                  { Intersection.target = Scheme.column "UPublication" "title";
+                    forward =
+                      q
+                        "[{'arxiv', k, x} | {k,x} <- \
+                         <<xml,attribute,paper,title>>]";
+                    restore = None };
+                ];
+            };
+            {
+              Intersection.schema = "library";
+              mappings =
+                [
+                  { Intersection.target = Scheme.table "UPublication";
+                    forward = q "[{'library', k} | k <- <<holdings>>]";
+                    restore = None };
+                  { Intersection.target = Scheme.column "UPublication" "title";
+                    forward =
+                      q "[{'library', k, x} | {k,x} <- <<holdings,title>>]";
+                    restore = None };
+                ];
+            };
+          ];
+      }
+  in
+  (* iteration 2: the year, known to dblp and arxiv only; the XML source
+     stores it as a string attribute, so the mapping casts nothing - the
+     tagged values keep their source types, as in the paper's bag-union
+     semantics *)
+  let* _ =
+    Workflow.integrate ~description:"UPublication year (dblp + arxiv)" wf
+      {
+        Intersection.name = "i_pub_year";
+        sides =
+          [
+            {
+              Intersection.schema = "dblp";
+              mappings =
+                [
+                  { Intersection.target = Scheme.column "UPublication" "year";
+                    forward =
+                      q "[{'dblp', k, x} | {k,x} <- <<publication,year>>]";
+                    restore = None };
+                ];
+            };
+            {
+              Intersection.schema = "arxiv";
+              mappings =
+                [
+                  { Intersection.target = Scheme.column "UPublication" "year";
+                    forward =
+                      q
+                        "[{'arxiv', k, x} | {k,x} <- \
+                         <<xml,attribute,paper,year>>]";
+                    restore = None };
+                ];
+            };
+          ];
+      }
+  in
+  Ok wf
+
+(* -- verifiable answers ------------------------------------------------------ *)
+
+type check = { label : string; query : string; expected : string }
+
+let checks =
+  [
+    {
+      label = "the shared publication is found in all three sources";
+      query =
+        Printf.sprintf "[s | {s, k, t} <- <<UPublication,title>>; t = '%s']"
+          shared_title;
+      expected = "['arxiv'; 'dblp'; 'library']";
+    };
+    {
+      label = "the partially-shared publication is in two";
+      query =
+        Printf.sprintf "[s | {s, k, t} <- <<UPublication,title>>; t = '%s']"
+          partial_title;
+      expected = "['arxiv'; 'dblp']";
+    };
+    {
+      label = "publications per source";
+      query =
+        "[{s, count(g)} | {s, g} <- group([{s, k} | {s, k} <- \
+         <<UPublication>>])]";
+      expected = "[{'arxiv',3}; {'dblp',3}; {'library',2}]";
+    };
+    {
+      label = "total publication entries (bag union)";
+      query = "count(<<UPublication>>)";
+      expected = "8";
+    };
+    {
+      label = "un-integrated library detail stays queryable (federated)";
+      query = "[{k, c} | {k, c} <- <<library:holdings,copies>>; c > 1]";
+      expected = "[{'h1',3}]";
+    };
+    {
+      label = "author join across the remainder and the intersection";
+      query =
+        Printf.sprintf
+          "[n | {w, a} <- <<dblp:authored,author>>; {w2, p} <- \
+           <<dblp:authored,publication>>; w = w2; {s, k, t} <- \
+           <<UPublication,title>>; s = 'dblp'; k = p; t = '%s'; {a2, n} <- \
+           <<dblp:author,name>>; a2 = a]"
+          shared_title;
+      expected = "['E. F. Codd']";
+    };
+  ]

@@ -1,0 +1,40 @@
+(** A second, smaller integration setting (the paper's Section 4 calls
+    for evaluating the methodology on "further real-world large-scale
+    data integration settings"): a bibliographic dataspace whose three
+    sources use three different representations -
+
+    - [dblp]: a relational database (publications, authors, authorship);
+    - [arxiv]: an XML document of papers, wrapped through the XML
+      modelling language;
+    - [library]: CSV holdings, loaded with type inference.
+
+    Unlike the iSpider workload the data here is tiny and hand-written,
+    so it doubles as documentation: every expected answer is visible in
+    the source text.  Two publications ("A Relational Model..." appears
+    in all three sources; "Dataspaces..." in two) provide the semantic
+    overlap. *)
+
+module Repository = Automed_repository.Repository
+module Workflow = Automed_integration.Workflow
+
+val shared_title : string
+(** A title present in all three sources. *)
+
+val partial_title : string
+(** A title present in dblp and arxiv only. *)
+
+val setup : Repository.t -> (unit, string) result
+(** Builds and wraps the three sources ([dblp], [arxiv], [library]). *)
+
+val integrate : Repository.t -> (Workflow.t, string) result
+(** Runs the incremental integration: a federated schema, then a
+    three-way intersection [UPublication]/[UPublication,title], then a
+    two-way intersection adding [UPublication,year] (the library holdings
+    have no year).  4 + 2 = 6 user-defined transformations. *)
+
+type check = { label : string; query : string; expected : string }
+(** A query over the current global schema with its expected rendering. *)
+
+val checks : check list
+(** Hand-verifiable answers used by the tests, the example and the
+    bench. *)

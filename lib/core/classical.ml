@@ -1,0 +1,133 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+
+type source_spec = { schema : string; mappings : Intersection.mapping list }
+type stage = { stage_name : string; sources : source_spec list }
+
+type stage_outcome = {
+  global : Schema.t;
+  union_schemas : string list;
+  per_source_manual : (string * int) list;
+}
+
+let stage_manual o = List.fold_left (fun acc (_, n) -> acc + n) 0 o.per_source_manual
+
+type ladder_outcome = {
+  stages : stage_outcome list;
+  new_manual_per_stage : (string * int) list;
+  total_manual : int;
+}
+
+let ( let* ) = Result.bind
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let manual_mappings mappings =
+  List.length
+    (List.filter (fun m -> not (Intersection.is_identity_mapping m)) mappings)
+
+let integrate_stage repo stage =
+  let* () =
+    if stage.sources = [] then err "stage %s has no sources" stage.stage_name
+    else Ok ()
+  in
+  let* () =
+    if Repository.mem_schema repo stage.stage_name then
+      err "schema %s already exists" stage.stage_name
+    else Ok ()
+  in
+  let targets =
+    List.concat_map
+      (fun src -> List.map (fun m -> m.Intersection.target) src.mappings)
+      stage.sources
+    |> Scheme.Set.of_list |> Scheme.Set.elements
+  in
+  let us_name i src =
+    if i = 0 then stage.stage_name
+    else Printf.sprintf "%s~%s" stage.stage_name src.schema
+  in
+  let* registered =
+    List.fold_left
+      (fun acc (i, src) ->
+        let* acc = acc in
+        match Repository.schema repo src.schema with
+        | None -> err "source schema %s is not registered" src.schema
+        | Some sch ->
+            let side =
+              { Intersection.schema = src.schema; mappings = src.mappings }
+            in
+            let pathway, _, _ =
+              Intersection.side_pathway ~to_name:(us_name i src) ~targets side
+                sch
+            in
+            let* () = Repository.add_pathway repo pathway in
+            Ok ((i, src, us_name i src) :: acc))
+      (Ok [])
+      (List.mapi (fun i s -> (i, s)) stage.sources)
+  in
+  let registered = List.rev registered in
+  let global = Repository.schema_exn repo stage.stage_name in
+  let* () =
+    List.fold_left
+      (fun acc (i, _, us) ->
+        let* () = acc in
+        if i = 0 then Ok ()
+        else
+          let aux = Repository.schema_exn repo us in
+          let* p = Transform.ident aux global in
+          Repository.add_pathway repo p)
+      (Ok ()) registered
+  in
+  Ok
+    {
+      global;
+      union_schemas =
+        List.filter_map
+          (fun (i, _, us) -> if i = 0 then None else Some us)
+          registered;
+      per_source_manual =
+        List.map
+          (fun (_, src, _) -> (src.schema, manual_mappings src.mappings))
+          registered;
+    }
+
+let ladder repo stages =
+  let* outcomes =
+    List.fold_left
+      (fun acc stage ->
+        let* acc = acc in
+        let* o = integrate_stage repo stage in
+        Ok (o :: acc))
+      (Ok []) stages
+  in
+  let outcomes = List.rev outcomes in
+  (* newly written transformations per stage: a mapping already stated in
+     a previous stage (same target, same source) costs nothing again *)
+  let stated : (string * Scheme.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let new_counts =
+    List.map
+      (fun stage ->
+        let fresh = ref 0 in
+        List.iter
+          (fun src ->
+            List.iter
+              (fun m ->
+                if not (Intersection.is_identity_mapping m) then begin
+                  let key = (src.schema, m.Intersection.target) in
+                  if not (Hashtbl.mem stated key) then begin
+                    Hashtbl.replace stated key ();
+                    incr fresh
+                  end
+                end)
+              src.mappings)
+          stage.sources;
+        (stage.stage_name, !fresh))
+      stages
+  in
+  Ok
+    {
+      stages = outcomes;
+      new_manual_per_stage = new_counts;
+      total_manual = List.fold_left (fun acc (_, n) -> acc + n) 0 new_counts;
+    }

@@ -1,0 +1,75 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Ast = Automed_iql.Ast
+
+let ( let* ) = Result.bind
+
+let member_prefix ~member scheme = Scheme.prefix member scheme
+
+let rec check_distinct = function
+  | [] -> Ok ()
+  | m :: rest ->
+      if List.mem m rest then
+        Error (Printf.sprintf "member %s listed twice" m)
+      else check_distinct rest
+
+let create repo ~name ~members =
+  let* () = if members = [] then Error "no members" else Ok () in
+  let* () = check_distinct members in
+  let* () =
+    if Repository.mem_schema repo name then
+      Error (Printf.sprintf "schema %s already exists" name)
+    else Ok ()
+  in
+  let* member_schemas =
+    List.fold_left
+      (fun acc m ->
+        let* acc = acc in
+        match Repository.schema repo m with
+        | Some s -> Ok (s :: acc)
+        | None -> Error (Printf.sprintf "member schema %s is not registered" m))
+      (Ok []) members
+  in
+  let member_schemas = List.rev member_schemas in
+  (* all objects of the federation, prefixed, with their extent types *)
+  let all_objects =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun o ->
+            (member_prefix ~member:(Schema.name s) o, Schema.extent_ty o s))
+          (Schema.objects s))
+      member_schemas
+  in
+  let pathway_for s =
+    let m = Schema.name s in
+    let renames =
+      List.map
+        (fun o -> Transform.Rename (o, member_prefix ~member:m o))
+        (Schema.objects s)
+    in
+    let own =
+      Scheme.Set.of_list
+        (List.map (member_prefix ~member:m) (Schema.objects s))
+    in
+    let extends =
+      List.filter_map
+        (fun (o, _) ->
+          if Scheme.Set.mem o own then None
+          else Some (Transform.Extend (o, Ast.Void, Ast.Any)))
+        all_objects
+    in
+    { Transform.from_schema = m; to_schema = name; steps = renames @ extends }
+  in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        Repository.add_pathway repo (pathway_for s))
+      (Ok ()) member_schemas
+  in
+  match Repository.schema repo name with
+  | Some f -> Ok f
+  | None -> Error "internal: federated schema not registered"

@@ -1,0 +1,24 @@
+(** Federated schemas (paper Section 2.2, Figures 3 and 4).
+
+    A federated schema [F = S1 U ... U Sn] combines member schemas into a
+    single virtual schema without any transformation or integration:
+    every member object appears in [F] prefixed with its member's schema
+    identifier, so provenance is visible and same-named objects from
+    different members do not clash.
+
+    Construction registers one pathway [Si -> F] per member, consisting of
+    rename steps (the prefixing) followed by trivial extend steps for the
+    objects contributed by the other members.  Queries over [F] therefore
+    reformulate onto the members immediately: this is the "data services
+    from day one" property of the dataspace. *)
+
+module Schema = Automed_model.Schema
+module Repository = Automed_repository.Repository
+
+val create :
+  Repository.t -> name:string -> members:string list -> (Schema.t, string) result
+(** Members must be registered and pairwise distinct; the federated name
+    must be fresh. *)
+
+val member_prefix : member:string -> Automed_base.Scheme.t -> Automed_base.Scheme.t
+(** How member objects are renamed into the federation ([Scheme.prefix]).  *)

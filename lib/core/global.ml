@@ -1,0 +1,110 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Ast = Automed_iql.Ast
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+
+let ( let* ) = Result.bind
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let dropped_objects intersections es =
+  List.concat_map
+    (fun (o : Intersection.outcome) ->
+      List.concat_map
+        (fun (side, (p : Transform.pathway)) ->
+          if side <> es then []
+          else
+            List.filter_map
+              (function Transform.Delete (s, _) -> Some s | _ -> None)
+              p.steps)
+        o.side_pathways)
+    intersections
+  |> Scheme.Set.of_list |> Scheme.Set.elements
+
+let create ?(drop_redundant = true) repo ~name ~intersections ~extensionals =
+  let* () =
+    if Repository.mem_schema repo name then
+      err "schema %s already exists" name
+    else Ok ()
+  in
+  let* es_schemas =
+    List.fold_left
+      (fun acc es ->
+        let* acc = acc in
+        match Repository.schema repo es with
+        | Some s -> Ok ((es, s) :: acc)
+        | None -> err "extensional schema %s is not registered" es)
+      (Ok []) extensionals
+  in
+  let es_schemas = List.rev es_schemas in
+  (* the object set of G *)
+  let intersection_objects =
+    List.concat_map
+      (fun (o : Intersection.outcome) -> Schema.objects o.intersection)
+      intersections
+    |> Scheme.Set.of_list
+  in
+  let survivors es sch =
+    let dropped =
+      if drop_redundant then Scheme.Set.of_list (dropped_objects intersections es)
+      else Scheme.Set.empty
+    in
+    List.filter (fun o -> not (Scheme.Set.mem o dropped)) (Schema.objects sch)
+  in
+  let es_objects =
+    List.concat_map
+      (fun (es, sch) ->
+        List.map (fun o -> Scheme.prefix es o) (survivors es sch))
+      es_schemas
+    |> Scheme.Set.of_list
+  in
+  let all_objects = Scheme.Set.union intersection_objects es_objects in
+  let extends_for own =
+    Scheme.Set.fold
+      (fun o acc ->
+        if Scheme.Set.mem o own then acc
+        else Transform.Extend (o, Ast.Void, Ast.Any) :: acc)
+      all_objects []
+    |> List.rev
+  in
+  (* pathway from each intersection schema: identity on its objects *)
+  let intersection_pathway (o : Intersection.outcome) =
+    let own = Scheme.Set.of_list (Schema.objects o.intersection) in
+    {
+      Transform.from_schema = Schema.name o.intersection;
+      to_schema = name;
+      steps = extends_for own;
+    }
+  in
+  (* pathway from each extensional schema: contract redundant objects,
+     prefix the survivors, extend with the rest of G *)
+  let es_pathway (es, sch) =
+    let dropped =
+      if drop_redundant then dropped_objects intersections es else []
+    in
+    let contracts =
+      List.map (fun o -> Transform.Contract (o, Ast.Void, Ast.Any)) dropped
+    in
+    let surv = survivors es sch in
+    let renames =
+      List.map (fun o -> Transform.Rename (o, Scheme.prefix es o)) surv
+    in
+    let own = Scheme.Set.of_list (List.map (Scheme.prefix es) surv) in
+    {
+      Transform.from_schema = es;
+      to_schema = name;
+      steps = contracts @ renames @ extends_for own;
+    }
+  in
+  let* () =
+    List.fold_left
+      (fun acc p ->
+        let* () = acc in
+        Repository.add_pathway repo p)
+      (Ok ())
+      (List.map intersection_pathway intersections
+      @ List.map es_pathway es_schemas)
+  in
+  match Repository.schema repo name with
+  | Some g -> Ok g
+  | None -> err "internal: global schema %s not registered" name

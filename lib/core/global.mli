@@ -1,0 +1,37 @@
+(** Global schema generation (paper Section 2.2, Figure 4).
+
+    Given intersection schemas [I1 ... Im] derived from extensional
+    schemas [ES1 ... ESn], the global schema is
+
+    {v G = I1 U ... U Im U (ES1 - I) U ... U (ESn - I) v}
+
+    where [ES - I] removes from [ES] the objects that are semantically
+    redundant: those removed by a {e delete} step in some pathway
+    [ES -> I] (their extents are included in the intersection objects'
+    extents).  Objects removed by {e contract} steps are retained - the
+    intersection carries no information about them.
+
+    Extensional objects are carried into [G] under their provenance
+    prefix (as in the federated schema); intersection objects keep their
+    own (globally unique) names.  Redundancy removal is optional, as in
+    the Intersection Schema Tool. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Repository = Automed_repository.Repository
+
+val dropped_objects :
+  Intersection.outcome list -> string -> Scheme.t list
+(** The objects of the given extensional schema that became redundant:
+    delete-step sources of its side pathways across all intersections. *)
+
+val create :
+  ?drop_redundant:bool ->
+  Repository.t ->
+  name:string ->
+  intersections:Intersection.outcome list ->
+  extensionals:string list ->
+  (Schema.t, string) result
+(** Builds and registers the global schema and one pathway into it from
+    every intersection schema and every extensional schema.
+    [drop_redundant] defaults to [true]. *)

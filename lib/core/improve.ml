@@ -1,0 +1,114 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Ast = Automed_iql.Ast
+module Value = Automed_iql.Value
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+
+type finding =
+  | Duplicate_extents of Scheme.t * Scheme.t
+  | Empty_extent of Scheme.t
+  | Untyped of Scheme.t
+  | Orphan_column of Scheme.t
+
+let pp_finding ppf = function
+  | Duplicate_extents (a, b) ->
+      Fmt.pf ppf "duplicate extents: %a and %a" Scheme.pp a Scheme.pp b
+  | Empty_extent s -> Fmt.pf ppf "empty extent: %a" Scheme.pp s
+  | Untyped s -> Fmt.pf ppf "no extent type: %a" Scheme.pp s
+  | Orphan_column s -> Fmt.pf ppf "column without its table: %a" Scheme.pp s
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+let ( let* ) = Result.bind
+
+let inspect proc ~schema =
+  let repo = Processor.repository proc in
+  match Repository.schema repo schema with
+  | None -> err "no schema %s" schema
+  | Some s ->
+      let objects = Schema.objects s in
+      let extents =
+        List.map
+          (fun o ->
+            match Processor.extent_of proc ~schema o with
+            | Ok bag -> (o, Some bag)
+            | Error _ -> (o, None))
+          objects
+      in
+      let empties =
+        List.filter_map
+          (fun (o, bag) ->
+            match bag with
+            | Some b when not (Value.Bag.is_empty b) -> None
+            | _ -> Some (Empty_extent o))
+          extents
+      in
+      let untyped =
+        List.filter_map
+          (fun o ->
+            if Schema.extent_ty o s = None then Some (Untyped o) else None)
+          objects
+      in
+      let orphans =
+        List.filter_map
+          (fun o ->
+            if
+              Scheme.language o = "sql"
+              && Scheme.construct o = "column"
+              && not
+                   (Schema.mem
+                      (Scheme.make ~language:"sql" ~construct:"table"
+                         [ List.hd (Scheme.args o) ])
+                      s)
+            then Some (Orphan_column o)
+            else None)
+          objects
+      in
+      (* pairwise duplicate detection over non-empty extents *)
+      let nonempty =
+        List.filter_map
+          (fun (o, bag) ->
+            match bag with
+            | Some b when not (Value.Bag.is_empty b) -> Some (o, b)
+            | _ -> None)
+          extents
+      in
+      let rec dups acc = function
+        | [] -> List.rev acc
+        | (o, b) :: rest ->
+            let acc =
+              List.fold_left
+                (fun acc (o', b') ->
+                  if Value.Bag.equal b b' then Duplicate_extents (o, o') :: acc
+                  else acc)
+                acc rest
+            in
+            dups acc rest
+      in
+      Ok (dups [] nonempty @ empties @ untyped @ orphans)
+
+let derive repo ~schema ~new_name steps =
+  let* () =
+    if Repository.mem_schema repo new_name then
+      err "schema %s already exists" new_name
+    else Ok ()
+  in
+  let* s =
+    Repository.derive_schema repo
+      { Transform.from_schema = schema; to_schema = new_name; steps }
+  in
+  Ok s
+
+let rename_concept repo ~schema ~new_name ~from_ ~to_ =
+  derive repo ~schema ~new_name [ Transform.Rename (from_, to_) ]
+
+let drop_concepts repo ~schema ~new_name objects =
+  derive repo ~schema ~new_name
+    (List.map (fun o -> Transform.Contract (o, Ast.Void, Ast.Any)) objects)
+
+let merge_concepts repo ~schema ~new_name ~into redundant =
+  if Scheme.equal into redundant then err "cannot merge an object into itself"
+  else
+    derive repo ~schema ~new_name
+      [ Transform.Delete (redundant, Ast.SchemeRef into) ]

@@ -1,0 +1,63 @@
+(** Schema improvement (the third subprocess of data integration in the
+    paper's Section 1: raising the quality of an integrated schema, e.g.
+    by removing redundant information or renaming concepts).
+
+    {!inspect} analyses a schema over its {e derived} extents and reports
+    quality findings; the refinement operations each derive a new,
+    improved schema version through a registered pathway, so improvements
+    are ordinary BAV transformations: reversible, and the pre-improvement
+    schema stays queryable. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+
+type finding =
+  | Duplicate_extents of Scheme.t * Scheme.t
+      (** two objects with identical derived extents: integration may have
+          left semantically redundant concepts *)
+  | Empty_extent of Scheme.t
+      (** no source contributes any data (often a contracted concept that
+          was never re-mapped) *)
+  | Untyped of Scheme.t  (** no extent type is known *)
+  | Orphan_column of Scheme.t
+      (** a relational column whose table object is not in the schema *)
+
+val pp_finding : finding Fmt.t
+
+val inspect : Processor.t -> schema:string -> (finding list, string) result
+(** Quality report over the derived extents.  Objects whose extents
+    cannot be derived at all are reported as {!Empty_extent}. *)
+
+val rename_concept :
+  Repository.t ->
+  schema:string ->
+  new_name:string ->
+  from_:Scheme.t ->
+  to_:Scheme.t ->
+  (Schema.t, string) result
+(** Derives an improved schema [new_name] from [schema] in which the
+    concept [from_] is renamed to [to_] (a [rename] pathway step). *)
+
+val drop_concepts :
+  Repository.t ->
+  schema:string ->
+  new_name:string ->
+  Scheme.t list ->
+  (Schema.t, string) result
+(** Derives an improved schema without the given objects (trivial
+    [contract] steps: their information is declared out of scope). *)
+
+val merge_concepts :
+  Repository.t ->
+  schema:string ->
+  new_name:string ->
+  into:Scheme.t ->
+  Scheme.t ->
+  (Schema.t, string) result
+(** Derives an improved schema in which a redundant object's extent is
+    folded into [into] ([add] of the union under the target name is not
+    needed - the two extents are asserted equivalent, the redundant
+    object is removed with a [delete] recovering it from [into]).
+    Intended for {!Duplicate_extents} findings. *)

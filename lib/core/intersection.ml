@@ -1,0 +1,357 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Ast = Automed_iql.Ast
+module Value = Automed_iql.Value
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+
+type mapping = {
+  target : Scheme.t;
+  forward : Ast.expr;
+  restore : (Scheme.t * Ast.expr) option;
+}
+
+type side = { schema : string; mappings : mapping list }
+type spec = { name : string; sides : side list }
+
+type outcome = {
+  intersection : Schema.t;
+  aux_schemas : string list;
+  side_pathways : (string * Transform.pathway) list;
+  manual_steps : int;
+  auto_steps : int;
+}
+
+let ( let* ) = Result.bind
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* -- automatic inversion of tagging adds ------------------------------- *)
+
+(* [{'TAG', x1...xn} | pat <- <<source>>]  with pat binding x1...xn
+   inverts to
+   [{x1...xn} | {t, x1...xn} <- <<target>>; t = 'TAG']
+   (scalar head when n = 1). *)
+let invert_forward ~target ~source forward =
+  match (forward : Ast.expr) with
+  | SchemeRef src when Scheme.equal src source ->
+      (* identity derivation: the source object simply becomes the target *)
+      Some (Ast.SchemeRef target)
+  | Comp (Tuple (Const (Value.Str tag) :: head_rest), [ Gen (pat, SchemeRef src) ])
+    when Scheme.equal src source ->
+      let head_vars =
+        List.map (function Ast.Var x -> Some x | _ -> None) head_rest
+      in
+      if List.exists Option.is_none head_vars then None
+      else
+        let head_vars = List.map Option.get head_vars in
+        let bound = Ast.pat_vars pat in
+        if head_vars <> bound || head_vars = [] then None
+        else
+          (* a tag variable that cannot clash with the bound variables *)
+          let rec fresh candidate =
+            if List.mem candidate bound then fresh (candidate ^ "0")
+            else candidate
+          in
+          let tag_var = fresh "t" in
+          let gen_pat =
+            Ast.PTuple (Ast.PVar tag_var :: List.map (fun x -> Ast.PVar x) bound)
+          in
+          let head =
+            match head_vars with
+            | [ x ] -> Ast.Var x
+            | xs -> Ast.Tuple (List.map (fun x -> Ast.Var x) xs)
+          in
+          Some
+            (Ast.Comp
+               ( head,
+                 [
+                   Ast.Gen (gen_pat, Ast.SchemeRef target);
+                   Ast.Filter
+                     (Ast.Binop (Eq, Var tag_var, Const (Value.Str tag)));
+                 ] ))
+  | _ -> None
+
+(* the single source object an invertible forward query draws from *)
+let forward_source forward =
+  match (forward : Ast.expr) with
+  | SchemeRef src -> Some src
+  | Comp (_, [ Gen (_, SchemeRef src) ]) -> Some src
+  | _ -> None
+
+let is_identity_mapping m =
+  match m.forward with
+  | Ast.SchemeRef s -> Scheme.equal s m.target
+  | _ -> false
+
+(* -- validation -------------------------------------------------------- *)
+
+let rec distinct_names = function
+  | [] -> Ok ()
+  | s :: rest ->
+      if List.exists (fun s' -> s'.schema = s.schema) rest then
+        err "side schema %s listed twice" s.schema
+      else distinct_names rest
+
+let validate_side repo side =
+  match Repository.schema repo side.schema with
+  | None -> err "side schema %s is not registered" side.schema
+  | Some sch ->
+      let* () =
+        List.fold_left
+          (fun acc m ->
+            let* () = acc in
+            (* the forward query may only reference objects of the side *)
+            let missing =
+              Scheme.Set.filter
+                (fun s -> not (Schema.mem s sch))
+                (Ast.schemes m.forward)
+            in
+            if not (Scheme.Set.is_empty missing) then
+              err "mapping for %s: query references %s absent from %s"
+                (Scheme.to_string m.target)
+                (String.concat ", "
+                   (List.map Scheme.to_string (Scheme.Set.elements missing)))
+                side.schema
+            else Ok ())
+          (Ok ()) side.mappings
+      in
+      let rec dup = function
+        | [] -> Ok ()
+        | m :: rest ->
+            if List.exists (fun m' -> Scheme.equal m'.target m.target) rest then
+              err "side %s defines %s twice" side.schema
+                (Scheme.to_string m.target)
+            else dup rest
+      in
+      let* () = dup side.mappings in
+      Ok sch
+
+(* -- pathway construction ---------------------------------------------- *)
+
+let side_pathway ~to_name ~targets side side_schema =
+  let defined = List.map (fun m -> m.target) side.mappings in
+  (* identity mappings carry an existing object through unchanged: no add
+     is possible (the object is already there) and the object must not be
+     contracted away at the end *)
+  let carried, proper =
+    List.partition is_identity_mapping side.mappings
+  in
+  let carried = List.map (fun m -> m.target) carried in
+  (* a source object whose name collides with a target it does not carry
+     (e.g. gpmDB's own <<protein>> while <<protein>> names the Pedro-shaped
+     target) is renamed out of the way before the adds *)
+  let collides o =
+    List.exists (Scheme.equal o) targets
+    && not (List.exists (Scheme.equal o) carried)
+  in
+  let tmp_of o = Scheme.rename (List.nth (List.rev (Scheme.args o)) 0 ^ "__src") o in
+  let collisions = List.filter collides (Schema.objects side_schema) in
+  let renames = List.map (fun o -> Transform.Rename (o, tmp_of o)) collisions in
+  let resolve o =
+    if List.exists (Scheme.equal o) collisions then tmp_of o else o
+  in
+  let resolve_query q =
+    Ast.subst_schemes
+      (fun o ->
+        if List.exists (Scheme.equal o) collisions then
+          Some (Ast.SchemeRef (tmp_of o))
+        else None)
+      q
+  in
+  let adds =
+    List.map
+      (fun m -> Transform.Add (m.target, resolve_query m.forward))
+      proper
+  in
+  let extends =
+    List.filter_map
+      (fun t ->
+        if List.exists (Scheme.equal t) defined then None
+        else Some (Transform.Extend (t, Ast.Void, Ast.Any)))
+      targets
+  in
+  (* deletes: user-specified restores first, then automatic inversions;
+     each source object is deleted at most once *)
+  (* an object that is carried (identity-mapped) or already deleted must
+     not be deleted again, even when another mapping draws from it *)
+  let deletes, deleted, user_restores =
+    List.fold_left
+      (fun (steps, deleted, users) m ->
+        let unavailable src =
+          List.exists (Scheme.equal src) deleted
+          || List.exists (Scheme.equal src) carried
+        in
+        if is_identity_mapping m then (steps, deleted, users)
+        else
+          match m.restore with
+          | Some (src, q) ->
+              let src = resolve src in
+              if unavailable src then (steps, deleted, users)
+              else (Transform.Delete (src, q) :: steps, src :: deleted, users + 1)
+          | None -> (
+              match forward_source (resolve_query m.forward) with
+              | None -> (steps, deleted, users)
+              | Some src -> (
+                  if unavailable src then (steps, deleted, users)
+                  else
+                    match
+                      invert_forward ~target:m.target ~source:src
+                        (resolve_query m.forward)
+                    with
+                    | Some q ->
+                        (Transform.Delete (src, q) :: steps, src :: deleted, users)
+                    | None -> (steps, deleted, users))))
+      ([], [], 0) side.mappings
+  in
+  let deletes = List.rev deletes in
+  let contracts =
+    List.filter_map
+      (fun o ->
+        let o = resolve o in
+        if
+          List.exists (Scheme.equal o) deleted
+          || List.exists (Scheme.equal o) carried
+        then None
+        else Some (Transform.Contract (o, Ast.Void, Ast.Any)))
+      (Schema.objects side_schema)
+  in
+  let pathway =
+    {
+      Transform.from_schema = side.schema;
+      to_schema = to_name;
+      steps = renames @ adds @ extends @ deletes @ contracts;
+    }
+  in
+  (pathway, List.length proper + user_restores,
+   List.length renames + List.length extends
+   + (List.length deletes - user_restores)
+   + List.length contracts)
+
+let create repo spec =
+  let* () =
+    if List.length spec.sides < 2 then
+      err "intersection %s needs at least two sides" spec.name
+    else Ok ()
+  in
+  let* () = distinct_names spec.sides in
+  let* () =
+    if Repository.mem_schema repo spec.name then
+      err "schema %s already exists" spec.name
+    else Ok ()
+  in
+  let* side_schemas =
+    List.fold_left
+      (fun acc side ->
+        let* acc = acc in
+        let* sch = validate_side repo side in
+        Ok (sch :: acc))
+      (Ok []) spec.sides
+  in
+  let side_schemas = List.rev side_schemas in
+  let targets =
+    List.concat_map (fun side -> List.map (fun m -> m.target) side.mappings)
+      spec.sides
+    |> Scheme.Set.of_list |> Scheme.Set.elements
+  in
+  let* () =
+    if targets = [] then err "intersection %s defines no objects" spec.name
+    else Ok ()
+  in
+  let aux_name i side = Printf.sprintf "%s~%s" spec.name side.schema |> fun s ->
+    if i = 0 then spec.name else s
+  in
+  (* build and register every side pathway *)
+  let* registered =
+    List.fold_left
+      (fun acc (i, side, sch) ->
+        let* acc = acc in
+        let to_name = aux_name i side in
+        let pathway, manual, auto = side_pathway ~to_name ~targets side sch in
+        let* () = Repository.add_pathway repo pathway in
+        Ok ((i, side, to_name, pathway, manual, auto) :: acc))
+      (Ok [])
+      (List.mapi (fun i (side, sch) -> (i, side, sch))
+         (List.combine spec.sides side_schemas))
+  in
+  let registered = List.rev registered in
+  (* ident pathways from each aux to the designated intersection *)
+  let intersection = Repository.schema_exn repo spec.name in
+  let* ident_steps =
+    List.fold_left
+      (fun acc (i, _, to_name, _, _, _) ->
+        let* acc = acc in
+        if i = 0 then Ok acc
+        else
+          let aux = Repository.schema_exn repo to_name in
+          let* p = Transform.ident aux intersection in
+          let* () = Repository.add_pathway repo p in
+          Ok (acc + List.length p.steps))
+      (Ok 0) registered
+  in
+  let manual_steps =
+    List.fold_left (fun acc (_, _, _, _, m, _) -> acc + m) 0 registered
+  in
+  let auto_steps =
+    List.fold_left (fun acc (_, _, _, _, _, a) -> acc + a) ident_steps registered
+  in
+  Ok
+    {
+      intersection;
+      aux_schemas =
+        List.filter_map
+          (fun (i, _, to_name, _, _, _) -> if i = 0 then None else Some to_name)
+          registered;
+      side_pathways =
+        List.map (fun (_, side, _, p, _, _) -> (side.schema, p)) registered;
+      manual_steps;
+      auto_steps;
+    }
+
+let extend_single repo ~name side =
+  let* () =
+    if Repository.mem_schema repo name then
+      err "schema %s already exists" name
+    else Ok ()
+  in
+  let* sch = validate_side repo side in
+  let targets = List.map (fun m -> m.target) side.mappings in
+  let* () =
+    if targets = [] then err "extension %s defines no objects" name else Ok ()
+  in
+  let pathway, manual, auto = side_pathway ~to_name:name ~targets side sch in
+  let* () = Repository.add_pathway repo pathway in
+  Ok
+    {
+      intersection = Repository.schema_exn repo name;
+      aux_schemas = [];
+      side_pathways = [ (side.schema, pathway) ];
+      manual_steps = manual;
+      auto_steps = auto;
+    }
+
+let mapped_sources repo ~intersection =
+  (* aux schemas: sources of all-Id pathways into the intersection *)
+  let all = Repository.pathways repo in
+  let is_all_ids (p : Transform.pathway) =
+    p.steps <> []
+    && List.for_all (function Transform.Id _ -> true | _ -> false) p.steps
+  in
+  let aux =
+    List.filter_map
+      (fun (p : Transform.pathway) ->
+        if p.to_schema = intersection && is_all_ids p then Some p.from_schema
+        else None)
+      all
+  in
+  let targets = intersection :: aux in
+  List.filter_map
+    (fun (p : Transform.pathway) ->
+      if List.mem p.to_schema targets && not (is_all_ids p) then
+        let deleted =
+          List.filter_map
+            (function Transform.Delete (s, _) -> Some s | _ -> None)
+            p.steps
+        in
+        Some (p.from_schema, deleted)
+      else None)
+    all

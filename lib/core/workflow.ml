@@ -1,0 +1,97 @@
+module Schema = Automed_model.Schema
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Parser = Automed_iql.Parser
+module Value = Automed_iql.Value
+module Ast = Automed_iql.Ast
+module Matcher = Automed_matching.Matcher
+
+type iteration = {
+  index : int;
+  description : string;
+  outcome : Intersection.outcome;
+  global_name : string;
+}
+
+type t = {
+  repo : Repository.t;
+  proc : Processor.t;
+  base_name : string;
+  srcs : string list;
+  mutable iters : iteration list; (* newest first *)
+}
+
+let ( let* ) = Result.bind
+
+let version_name base i = Printf.sprintf "%s_v%d" base i
+
+let start repo ~name ~sources =
+  let* () =
+    if sources = [] then Error "workflow needs at least one source" else Ok ()
+  in
+  let* _g =
+    Global.create repo ~name:(version_name name 0) ~intersections:[]
+      ~extensionals:sources
+  in
+  Ok
+    {
+      repo;
+      proc = Processor.create repo;
+      base_name = name;
+      srcs = sources;
+      iters = [];
+    }
+
+let repository t = t.repo
+let processor t = t.proc
+let sources t = t.srcs
+
+let global_name t =
+  match t.iters with
+  | [] -> version_name t.base_name 0
+  | it :: _ -> it.global_name
+
+let global_schema t = Repository.schema_exn t.repo (global_name t)
+let iterations t = List.rev t.iters
+
+let all_outcomes t =
+  List.rev_map (fun it -> it.outcome) t.iters |> List.rev
+
+let record ?(description = "") t outcome ~drop_redundant =
+  let index = List.length t.iters + 1 in
+  let global = version_name t.base_name index in
+  let* _g =
+    Global.create ~drop_redundant t.repo ~name:global
+      ~intersections:(all_outcomes t @ [ outcome ])
+      ~extensionals:t.srcs
+  in
+  let it = { index; description; outcome; global_name = global } in
+  t.iters <- it :: t.iters;
+  Processor.invalidate t.proc;
+  Ok it
+
+let integrate ?(drop_redundant = true) ?description t spec =
+  let* outcome = Intersection.create t.repo spec in
+  record ?description t outcome ~drop_redundant
+
+let integrate_adhoc ?(drop_redundant = true) ?description t ~name side =
+  let* outcome = Intersection.extend_single t.repo ~name side in
+  record ?description t outcome ~drop_redundant
+
+let run t q = Processor.run t.proc ~schema:(global_name t) q
+
+let run_query t text =
+  match Parser.parse text with
+  | Error e -> Error { Processor.message = e }
+  | Ok q -> run t q
+
+let answerable t q = Processor.answerable t.proc ~schema:(global_name t) q
+
+let manual_steps t =
+  List.fold_left (fun acc it -> acc + it.outcome.Intersection.manual_steps) 0 t.iters
+
+let auto_steps t =
+  List.fold_left (fun acc it -> acc + it.outcome.Intersection.auto_steps) 0 t.iters
+
+let suggestions ?threshold t ~left ~right =
+  Matcher.suggest ?threshold t.repo ~left ~right

@@ -1,0 +1,82 @@
+(** The incremental integration workflow (paper Section 2.3).
+
+    The workflow drives the pay-as-you-go process:
+
+    + identify the extensional schemas to integrate;
+    + create an initial federated schema over them - this is the first
+      version of the global schema, and data services are available on it
+      immediately;
+    + select schemas and identify mappings into a new intersection schema
+      (consulting the Schema Matching tool);
+    + generate the intersection schema;
+    + automatically combine it with the extensional schemas into a new
+      version of the global schema (optionally dropping redundant
+      objects);
+    + test by running queries; repeat from step 3.
+
+    Every global schema version remains registered (and queryable): the
+    integration history is part of the dataspace. *)
+
+module Schema = Automed_model.Schema
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Value = Automed_iql.Value
+module Ast = Automed_iql.Ast
+
+type iteration = {
+  index : int;  (** 1-based iteration number *)
+  description : string;
+  outcome : Intersection.outcome;
+  global_name : string;  (** the global schema version this produced *)
+}
+
+type t
+
+val start :
+  Repository.t -> name:string -> sources:string list -> (t, string) result
+(** Steps 1-2: registers the initial federated/global schema
+    ["<name>_v0"] over the (already wrapped) source schemas. *)
+
+val repository : t -> Repository.t
+val processor : t -> Processor.t
+val sources : t -> string list
+val global_name : t -> string
+(** Name of the current global schema version. *)
+
+val global_schema : t -> Schema.t
+val iterations : t -> iteration list
+(** Oldest first. *)
+
+val integrate :
+  ?drop_redundant:bool ->
+  ?description:string ->
+  t ->
+  Intersection.spec ->
+  (iteration, string) result
+(** Steps 3-5 for a proper intersection between two or more sources. *)
+
+val integrate_adhoc :
+  ?drop_redundant:bool ->
+  ?description:string ->
+  t ->
+  name:string ->
+  Intersection.side ->
+  (iteration, string) result
+(** Steps 3-5 for an ad-hoc single-schema extension (footnote 8). *)
+
+val run_query : t -> string -> (Value.t, Processor.error) result
+(** Step 6: parse and evaluate IQL text over the current global schema. *)
+
+val run : t -> Ast.expr -> (Value.t, Processor.error) result
+val answerable : t -> Ast.expr -> bool
+
+val manual_steps : t -> int
+(** Total user-defined transformations across all iterations: the
+    integration effort metric of Section 3. *)
+
+val auto_steps : t -> int
+
+val suggestions :
+  ?threshold:float -> t -> left:string -> right:string ->
+  (Automed_matching.Matcher.suggestion list, string) result
+(** Step 4 assistance: schema matching between two registered schemas. *)

@@ -1,0 +1,173 @@
+module Value = Automed_iql.Value
+
+type row = string list
+
+let parse text =
+  let n = String.length text in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec scan i in_quotes =
+    if i >= n then begin
+      if in_quotes then Error "unterminated quoted field"
+      else begin
+        (* final row only if there is pending content *)
+        if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+        Ok (List.rev !rows)
+      end
+    end
+    else
+      let c = text.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && text.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            scan (i + 2) true
+          end
+          else scan (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          scan (i + 1) true
+        end
+      else
+        match c with
+        | '"' -> scan (i + 1) true
+        | ',' ->
+            flush_field ();
+            scan (i + 1) false
+        | '\n' ->
+            flush_row ();
+            scan (i + 1) false
+        | '\r' ->
+            if i + 1 < n && text.[i + 1] = '\n' then begin
+              flush_row ();
+              scan (i + 2) false
+            end
+            else begin
+              flush_row ();
+              scan (i + 1) false
+            end
+        | c ->
+            Buffer.add_char buf c;
+            scan (i + 1) false
+  in
+  scan 0 false
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let render_field s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render rows =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map render_field row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let convert_cell ty s : (Relational.cell, string) result =
+  if s = "" then Ok None
+  else
+    match (ty : Relational.col_ty) with
+    | CStr -> Ok (Some (Value.Str s))
+    | CInt -> (
+        match int_of_string_opt s with
+        | Some i -> Ok (Some (Value.Int i))
+        | None -> Error (Printf.sprintf "not an int: %S" s))
+    | CFloat -> (
+        match float_of_string_opt s with
+        | Some f -> Ok (Some (Value.Float f))
+        | None -> Error (Printf.sprintf "not a float: %S" s))
+    | CBool -> (
+        match String.lowercase_ascii s with
+        | "true" | "1" | "yes" -> Ok (Some (Value.Bool true))
+        | "false" | "0" | "no" -> Ok (Some (Value.Bool false))
+        | _ -> Error (Printf.sprintf "not a bool: %S" s))
+
+let ( let* ) = Result.bind
+
+let infer_columns header rows =
+  let column_cells i = List.filter_map (fun row -> List.nth_opt row i) rows in
+  let nonempty cells = List.filter (fun c -> c <> "") cells in
+  let all p cells = cells <> [] && List.for_all p cells in
+  List.mapi
+    (fun i col ->
+      let cells = nonempty (column_cells i) in
+      let ty : Relational.col_ty =
+        if all (fun c -> int_of_string_opt c <> None) cells then CInt
+        else if all (fun c -> float_of_string_opt c <> None) cells then CFloat
+        else if
+          all
+            (fun c ->
+              match String.lowercase_ascii c with
+              | "true" | "false" -> true
+              | _ -> false)
+            cells
+        then CBool
+        else CStr
+      in
+      (col, ty))
+    header
+
+let load_table ~name ~key ~columns text =
+  let* rows = parse text in
+  match rows with
+  | [] -> Error (Printf.sprintf "table %s: empty CSV" name)
+  | header :: data ->
+      let* indices =
+        List.fold_left
+          (fun acc (col, _) ->
+            let* acc = acc in
+            match List.find_index (( = ) col) header with
+            | Some i -> Ok (i :: acc)
+            | None ->
+                Error (Printf.sprintf "table %s: CSV lacks column %s" name col))
+          (Ok []) columns
+      in
+      let indices = List.rev indices in
+      let* table = Relational.create_table ~name ~key columns in
+      let width = List.length header in
+      let* cells_rows =
+        List.fold_left
+          (fun acc row ->
+            let* acc = acc in
+            if List.length row <> width then
+              Error
+                (Printf.sprintf "table %s: row width %d, header width %d" name
+                   (List.length row) width)
+            else
+              let* cells =
+                List.fold_left2
+                  (fun acc i (_, ty) ->
+                    let* acc = acc in
+                    let* c = convert_cell ty (List.nth row i) in
+                    Ok (c :: acc))
+                  (Ok []) indices columns
+              in
+              Ok (List.rev cells :: acc))
+          (Ok []) data
+      in
+      Relational.insert_all table (List.rev cells_rows)
+
+let load_table_auto ~name ?key text =
+  let* rows = parse text in
+  match rows with
+  | [] -> Error (Printf.sprintf "table %s: empty CSV" name)
+  | header :: data ->
+      let columns = infer_columns header data in
+      let key = match key with Some k -> k | None -> List.hd header in
+      load_table ~name ~key ~columns text

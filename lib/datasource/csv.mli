@@ -1,0 +1,35 @@
+(** A small CSV reader/writer (RFC 4180 subset: quoted fields, embedded
+    commas, doubled quotes, CRLF or LF line endings).
+
+    Used to load external table dumps into the relational engine, so that
+    the examples can ship realistic data as plain text. *)
+
+type row = string list
+
+val parse : string -> (row list, string) result
+(** Parses a whole document.  Rows may have differing widths; callers
+    validate.  A trailing newline does not produce an empty row. *)
+
+val render : row list -> string
+(** Quotes fields when needed; terminates every row with ['\n']. *)
+
+val load_table :
+  name:string ->
+  key:string ->
+  columns:(string * Relational.col_ty) list ->
+  string ->
+  (Relational.table, string) result
+(** Parses CSV text whose first row is a header naming every declared
+    column (order may differ), converts cells to the declared types
+    (empty string is NULL), and inserts all rows. *)
+
+val infer_columns : string list -> string list list -> (string * Relational.col_ty) list
+(** [infer_columns header rows] guesses a column type for each header
+    field: [CInt] if every non-empty cell parses as an int, else [CFloat]
+    if every non-empty cell parses as a float, else [CBool] for
+    true/false columns, else [CStr]. *)
+
+val load_table_auto :
+  name:string -> ?key:string -> string -> (Relational.table, string) result
+(** Like {!load_table} but infers the column types from the data.  The
+    key column defaults to the first header field. *)

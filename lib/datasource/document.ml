@@ -1,0 +1,258 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Types = Automed_iql.Types
+module Value = Automed_iql.Value
+module Repository = Automed_repository.Repository
+
+type node = {
+  tag : string;
+  attrs : (string * string) list;
+  children : node list;
+  text : string;
+}
+
+let element ?(attrs = []) ?(text = "") tag children =
+  { tag; attrs; children; text }
+
+(* -- parsing ------------------------------------------------------------- *)
+
+exception Doc_error of int * string
+
+let fail pos fmt = Format.kasprintf (fun s -> raise (Doc_error (pos, s))) fmt
+
+let decode_entities pos s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Buffer.contents buf
+    else if s.[i] = '&' then begin
+      match String.index_from_opt s i ';' with
+      | None -> fail pos "unterminated entity"
+      | Some j ->
+          let name = String.sub s (i + 1) (j - i - 1) in
+          let c =
+            match name with
+            | "amp" -> "&"
+            | "lt" -> "<"
+            | "gt" -> ">"
+            | "quot" -> "\""
+            | "apos" -> "'"
+            | name -> fail pos "unknown entity &%s;" name
+          in
+          Buffer.add_string buf c;
+          go (j + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let parse text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let starts_with s =
+    !pos + String.length s <= n && String.sub text !pos (String.length s) = s
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && (text.[!pos] = ' ' || text.[!pos] = '\t' || text.[!pos] = '\n'
+         || text.[!pos] = '\r')
+    do
+      incr pos
+    done
+  in
+  let rec skip_misc () =
+    skip_ws ();
+    if starts_with "<!--" then begin
+      match
+        let rec find i =
+          if i + 3 > n then None
+          else if String.sub text i 3 = "-->" then Some i
+          else find (i + 1)
+        in
+        find (!pos + 4)
+      with
+      | None -> fail !pos "unterminated comment"
+      | Some i ->
+          pos := i + 3;
+          skip_misc ()
+    end
+    else if starts_with "<?" then begin
+      match String.index_from_opt text !pos '>' with
+      | None -> fail !pos "unterminated processing instruction"
+      | Some i ->
+          pos := i + 1;
+          skip_misc ()
+    end
+  in
+  let name () =
+    let start = !pos in
+    while !pos < n && is_name_char text.[!pos] do incr pos done;
+    if !pos = start then fail !pos "expected a name";
+    String.sub text start (!pos - start)
+  in
+  let attr_value () =
+    match peek () with
+    | Some (('"' | '\'') as q) ->
+        incr pos;
+        let start = !pos in
+        (match String.index_from_opt text !pos q with
+        | None -> fail start "unterminated attribute value"
+        | Some i ->
+            let v = String.sub text start (i - start) in
+            pos := i + 1;
+            decode_entities start v)
+    | _ -> fail !pos "expected a quoted attribute value"
+  in
+  let rec attrs acc =
+    skip_ws ();
+    match peek () with
+    | Some c when is_name_char c ->
+        let a = name () in
+        skip_ws ();
+        if peek () <> Some '=' then fail !pos "expected '='";
+        incr pos;
+        skip_ws ();
+        let v = attr_value () in
+        attrs ((a, v) :: acc)
+    | _ -> List.rev acc
+  in
+  let rec element_at () =
+    if peek () <> Some '<' then fail !pos "expected '<'";
+    incr pos;
+    let tag = name () in
+    let attributes = attrs [] in
+    skip_ws ();
+    if starts_with "/>" then begin
+      pos := !pos + 2;
+      { tag; attrs = attributes; children = []; text = "" }
+    end
+    else if peek () = Some '>' then begin
+      incr pos;
+      let children = ref [] in
+      let texts = Buffer.create 16 in
+      let rec content () =
+        if !pos >= n then fail !pos "unterminated element <%s>" tag
+        else if starts_with "<!--" || starts_with "<?" then begin
+          skip_misc ();
+          content ()
+        end
+        else if starts_with "</" then begin
+          pos := !pos + 2;
+          let closing = name () in
+          if closing <> tag then
+            fail !pos "mismatched closing tag </%s> for <%s>" closing tag;
+          skip_ws ();
+          if peek () <> Some '>' then fail !pos "expected '>'";
+          incr pos
+        end
+        else if peek () = Some '<' then begin
+          children := element_at () :: !children;
+          content ()
+        end
+        else begin
+          let start = !pos in
+          while !pos < n && text.[!pos] <> '<' do incr pos done;
+          Buffer.add_string texts
+            (decode_entities start (String.sub text start (!pos - start)));
+          content ()
+        end
+      in
+      content ();
+      {
+        tag;
+        attrs = attributes;
+        children = List.rev !children;
+        text = String.trim (Buffer.contents texts);
+      }
+    end
+    else fail !pos "expected '>' or '/>'"
+  in
+  match
+    skip_misc ();
+    let root = element_at () in
+    skip_misc ();
+    if !pos <> n then fail !pos "content after the root element";
+    root
+  with
+  | root -> Ok root
+  | exception Doc_error (p, msg) ->
+      Error (Printf.sprintf "XML parse error at %d: %s" p msg)
+
+(* -- wrapping ------------------------------------------------------------ *)
+
+module SM = Map.Make (String)
+
+let xml_element tag = Scheme.make ~language:"xml" ~construct:"element" [ tag ]
+
+let xml_attribute tag attr =
+  Scheme.make ~language:"xml" ~construct:"attribute" [ tag; attr ]
+
+let xml_nest parent child =
+  Scheme.make ~language:"xml" ~construct:"nest" [ parent; child ]
+
+let collect root =
+  (* walks the tree assigning positional identifiers, accumulating the
+     extent of every element / attribute / nest object *)
+  let elements = ref Scheme.Map.empty in
+  let add scheme v =
+    let bag =
+      Option.value ~default:Value.Bag.empty (Scheme.Map.find_opt scheme !elements)
+    in
+    elements := Scheme.Map.add scheme (Value.Bag.add v bag) !elements
+  in
+  let rec walk node node_id =
+    add (xml_element node.tag) (Value.Str node_id);
+    List.iter
+      (fun (a, v) ->
+        add (xml_attribute node.tag a)
+          (Value.tuple2 (Value.Str node_id) (Value.Str v)))
+      node.attrs;
+    if node.text <> "" then
+      add
+        (xml_attribute node.tag "#text")
+        (Value.tuple2 (Value.Str node_id) (Value.Str node.text));
+    List.iteri
+      (fun i child ->
+        let child_id = Printf.sprintf "%s.%d" node_id i in
+        add (xml_nest node.tag child.tag)
+          (Value.tuple2 (Value.Str node_id) (Value.Str child_id));
+        walk child child_id)
+      node.children
+  in
+  walk root "0";
+  !elements
+
+let ( let* ) = Result.bind
+
+let wrap repo ~name root =
+  let extents = collect root in
+  let* schema =
+    Scheme.Map.fold
+      (fun scheme _bag acc ->
+        let* s = acc in
+        let extent_ty =
+          if Scheme.construct scheme = "element" then Types.TBag Types.TStr
+          else Types.tuple_row [ Types.TStr; Types.TStr ]
+        in
+        Schema.add_object ~extent_ty scheme s)
+      extents
+      (Ok (Schema.create name))
+  in
+  let* () = Repository.add_schema repo schema in
+  let* () =
+    Scheme.Map.fold
+      (fun scheme bag acc ->
+        let* () = acc in
+        Repository.set_extent repo ~schema:name scheme bag)
+      extents (Ok ())
+  in
+  Ok schema

@@ -1,0 +1,41 @@
+(** XML-like document sources.
+
+    The paper's setting includes XML data sources; AutoMed models them
+    with an XML modelling language defined over the HDM.  This module
+    provides the substrate: a small XML subset parser (elements,
+    attributes, text, comments, entities) and a wrapper that extracts an
+    [xml]-language schema and materialises extents:
+
+    - element [<<xml,element,tag>>]: the bag of node identifiers;
+    - attribute [<<xml,attribute,tag,attr>>]: [{node, value}] pairs
+      (text content appears as the pseudo-attribute [#text]);
+    - nesting [<<xml,nest,parent,child>>]: [{parent-node, child-node}]
+      pairs per distinct parent/child tag pair.
+
+    Node identifiers are stable document positions ("0", "0.1", ...), so
+    wrapping is deterministic. *)
+
+module Schema = Automed_model.Schema
+module Repository = Automed_repository.Repository
+
+type node = {
+  tag : string;
+  attrs : (string * string) list;  (** in document order *)
+  children : node list;
+  text : string;  (** concatenated character data, trimmed *)
+}
+
+val parse : string -> (node, string) result
+(** Parses a document with a single root element.  Supported: nested
+    elements, attributes with double- or single-quoted values,
+    self-closing tags, character data, [<!-- comments -->], and the five
+    predefined entities. *)
+
+val element : ?attrs:(string * string) list -> ?text:string -> string ->
+  node list -> node
+(** Convenience constructor. *)
+
+val wrap : Repository.t -> name:string -> node -> (Schema.t, string) result
+(** Extracts the schema of the document (one object per distinct tag,
+    tag/attribute pair and parent/child tag pair), registers it, and
+    materialises the extents. *)

@@ -1,0 +1,148 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+
+let ( let* ) = Result.bind
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+module VM = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+(* the common scalar type of a list of values, falling back to CStr with
+   rendering for mixed or structured values *)
+let common_type values =
+  let all p = values <> [] && List.for_all p values in
+  if all (function Value.Int _ -> true | _ -> false) then Relational.CInt
+  else if all (function Value.Float _ -> true | _ -> false) then Relational.CFloat
+  else if all (function Value.Bool _ -> true | _ -> false) then Relational.CBool
+  else Relational.CStr
+
+let to_cell ty v : Relational.cell =
+  match ((ty : Relational.col_ty), (v : Value.t)) with
+  | CInt, Value.Int _ | CFloat, Value.Float _ | CBool, Value.Bool _
+  | CStr, Value.Str _ ->
+      Some v
+  | CStr, v -> Some (Value.Str (Value.to_string v))
+  | _ -> Some (Value.Str (Value.to_string v))
+
+let sanitise name =
+  String.map (fun c -> if c = ':' then '_' else c) name
+
+let table_of_object proc ~schema ~table =
+  let repo = Processor.repository proc in
+  let* sch =
+    match Repository.schema repo schema with
+    | Some s -> Ok s
+    | None -> err "no schema %s" schema
+  in
+  let table_scheme =
+    (* accept both plain and provenance-prefixed spellings *)
+    if Schema.mem (Scheme.table table) sch then Ok (Scheme.table table)
+    else err "schema %s has no table object <<%s>>" schema table
+  in
+  let* table_scheme = table_scheme in
+  let columns =
+    List.filter
+      (fun o ->
+        Scheme.language o = "sql"
+        && Scheme.construct o = "column"
+        && List.hd (Scheme.args o) = table)
+      (Schema.objects sch)
+  in
+  let* keys =
+    Result.map_error (Fmt.str "%a" Processor.pp_error)
+      (Processor.extent_of proc ~schema table_scheme)
+  in
+  let* col_data =
+    List.fold_left
+      (fun acc col ->
+        let* acc = acc in
+        let* pairs =
+          Result.map_error (Fmt.str "%a" Processor.pp_error)
+            (Processor.extent_of proc ~schema col)
+        in
+        (* the last component is the value; everything before it is the
+           key - a bare key for plain column extents ({k, v}), a tagged
+           tuple for intersection concepts ({src, k, v}) *)
+        let split = function
+          | Value.Tuple [ k; x ] -> Some (k, x)
+          | Value.Tuple comps when List.length comps > 2 ->
+              let rec go acc = function
+                | [ x ] -> (Value.Tuple (List.rev acc), x)
+                | c :: rest -> go (c :: acc) rest
+                | [] -> assert false
+              in
+              Some (go [] comps)
+          | _ -> None
+        in
+        let by_key =
+          Value.Bag.fold
+            (fun v _ m ->
+              match split v with
+              | Some (k, x) when not (VM.mem k m) -> VM.add k x m
+              | _ -> m)
+            pairs VM.empty
+        in
+        Ok ((List.nth (Scheme.args col) 1, by_key) :: acc))
+      (Ok []) columns
+  in
+  let col_data = List.rev col_data in
+  let distinct_keys = List.map fst keys (* (value, count) pairs *) in
+  let key_ty = common_type distinct_keys in
+  let multiplicities_matter = List.exists (fun (_, n) -> n > 1) keys in
+  let col_types =
+    List.map
+      (fun (c, by_key) ->
+        (c, common_type (List.map snd (VM.bindings by_key))))
+      col_data
+  in
+  let header =
+    (("id", key_ty) :: col_types)
+    @ if multiplicities_matter then [ ("__count", Relational.CInt) ] else []
+  in
+  let* t = Relational.create_table ~name:(sanitise table) ~key:"id" header in
+  let rows =
+    List.map
+      (fun (k, n) ->
+        let key_cell = to_cell key_ty k in
+        let cells =
+          List.map
+            (fun ((_, by_key), (_, ty)) ->
+              match VM.find_opt k by_key with
+              | Some v -> to_cell ty v
+              | None -> None)
+            (List.combine col_data col_types)
+        in
+        (key_cell :: cells)
+        @ if multiplicities_matter then [ Some (Value.Int n) ] else [])
+      keys
+  in
+  Relational.insert_all t rows
+
+let db_of_schema proc ~schema =
+  let repo = Processor.repository proc in
+  let* sch =
+    match Repository.schema repo schema with
+    | Some s -> Ok s
+    | None -> err "no schema %s" schema
+  in
+  let tables =
+    List.filter_map
+      (fun o ->
+        if Scheme.language o = "sql" && Scheme.construct o = "table" then
+          Some (List.hd (Scheme.args o))
+        else None)
+      (Schema.objects sch)
+  in
+  List.fold_left
+    (fun acc table ->
+      let* db = acc in
+      let* t = table_of_object proc ~schema ~table in
+      Relational.add_table db t)
+    (Ok (Relational.create_db (sanitise schema)))
+    tables

@@ -1,0 +1,28 @@
+(** Materialising an integrated schema back into a relational database.
+
+    The inverse of {!Wrapper}: for every relational [table] object of a
+    schema, derive its extent (through the query processor, so pathways
+    are followed and contributions bag-unioned) and rebuild a table whose
+    rows join the table's key extent with its columns' [{key, value}]
+    pair extents.  Useful for exporting a global schema snapshot - the
+    warehouse-style endpoint of an integration - or for feeding the
+    integrated data to tools that only read relations.
+
+    Non-scalar keys and values (e.g. the provenance-tagged [{source, key}]
+    keys of intersection concepts) are rendered to strings, since
+    relational cells are scalars.  A key with several values for the same
+    column keeps the first (bag order) and the multiplicity is recorded
+    in the generated [__count] column when it exceeds one anywhere. *)
+
+module Processor = Automed_query.Processor
+
+val table_of_object :
+  Processor.t -> schema:string -> table:string -> (Relational.table, string) result
+(** Materialises one relational table object (and its column objects)
+    of the schema. *)
+
+val db_of_schema :
+  Processor.t -> schema:string -> (Relational.db, string) result
+(** Materialises every relational [table] object of the schema.
+    Prefixed provenance names ([lib1:book]) become valid table names by
+    replacing [':'] with ['_'] . *)

@@ -1,0 +1,196 @@
+module Value = Automed_iql.Value
+module Types = Automed_iql.Types
+module SM = Map.Make (String)
+
+type col_ty = CInt | CFloat | CStr | CBool
+
+let pp_col_ty ppf = function
+  | CInt -> Fmt.string ppf "int"
+  | CFloat -> Fmt.string ppf "float"
+  | CStr -> Fmt.string ppf "str"
+  | CBool -> Fmt.string ppf "bool"
+
+let iql_ty = function
+  | CInt -> Types.TInt
+  | CFloat -> Types.TFloat
+  | CStr -> Types.TStr
+  | CBool -> Types.TBool
+
+type cell = Value.t option
+
+type table = {
+  t_name : string;
+  t_key : string;
+  t_key_index : int;
+  t_columns : (string * col_ty) list;
+  t_rows : cell list list; (* reverse insertion order *)
+  t_keys : Value.Bag.t; (* key values seen, for uniqueness *)
+}
+
+type db = { d_name : string; d_tables : table SM.t }
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let create_table ~name ~key columns =
+  if columns = [] then err "table %s has no columns" name
+  else
+    match List.find_index (fun (c, _) -> c = key) columns with
+    | None -> err "table %s: key column %s not among columns" name key
+    | Some i ->
+        let dup =
+          List.exists
+            (fun (c, _) ->
+              List.length (List.filter (fun (c', _) -> c' = c) columns) > 1)
+            columns
+        in
+        if dup then err "table %s has duplicate column names" name
+        else
+          Ok
+            {
+              t_name = name;
+              t_key = key;
+              t_key_index = i;
+              t_columns = columns;
+              t_rows = [];
+              t_keys = Value.Bag.empty;
+            }
+
+let table_name t = t.t_name
+let key_column t = t.t_key
+let columns t = t.t_columns
+let row_count t = List.length t.t_rows
+
+let cell_matches ty (c : cell) =
+  match (c, ty) with
+  | None, _ -> true
+  | Some (Value.Int _), CInt
+  | Some (Value.Float _), CFloat
+  | Some (Value.Str _), CStr
+  | Some (Value.Bool _), CBool ->
+      true
+  | Some _, _ -> false
+
+let insert t cells =
+  if List.length cells <> List.length t.t_columns then
+    err "table %s: expected %d cells, got %d" t.t_name
+      (List.length t.t_columns) (List.length cells)
+  else
+    match
+      List.find_opt
+        (fun ((_, ty), c) -> not (cell_matches ty c))
+        (List.combine t.t_columns cells)
+    with
+    | Some ((name, ty), c) ->
+        err "table %s: column %s expects %s, got %s" t.t_name name
+          (Fmt.to_to_string pp_col_ty ty)
+          (match c with None -> "NULL" | Some v -> Value.to_string v)
+    | None -> (
+        match List.nth cells t.t_key_index with
+        | None -> err "table %s: NULL key" t.t_name
+        | Some k ->
+            if Value.Bag.mem k t.t_keys then
+              err "table %s: duplicate key %s" t.t_name (Value.to_string k)
+            else
+              Ok
+                {
+                  t with
+                  t_rows = cells :: t.t_rows;
+                  t_keys = Value.Bag.add k t.t_keys;
+                })
+
+let insert_all t rows =
+  List.fold_left (fun acc r -> Result.bind acc (fun t -> insert t r)) (Ok t) rows
+
+let rows t = List.rev t.t_rows
+
+let key_extent t = t.t_keys
+
+let column_index t c =
+  let rec go i = function
+    | [] -> None
+    | (name, _) :: _ when name = c -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.t_columns
+
+let column_extent t c =
+  match column_index t c with
+  | None -> err "table %s has no column %s" t.t_name c
+  | Some i ->
+      let add acc row =
+        match (List.nth row t.t_key_index, List.nth row i) with
+        | Some k, Some v -> Value.Bag.add (Value.tuple2 k v) acc
+        | _ -> acc
+      in
+      Ok (List.fold_left add Value.Bag.empty t.t_rows)
+
+let project t cols =
+  let idx =
+    List.map
+      (fun c ->
+        match column_index t c with
+        | Some i -> Ok i
+        | None -> err "table %s has no column %s" t.t_name c)
+      cols
+  in
+  match List.find_opt Result.is_error idx with
+  | Some (Error e) -> Error e
+  | Some (Ok _) -> assert false
+  | None ->
+      let idx = List.map Result.get_ok idx in
+      Ok (List.map (fun row -> List.map (List.nth row) idx) (rows t))
+
+let select t p =
+  let kept = List.filter p t.t_rows in
+  let keys =
+    List.fold_left
+      (fun acc row ->
+        match List.nth row t.t_key_index with
+        | Some k -> Value.Bag.add k acc
+        | None -> acc)
+      Value.Bag.empty kept
+  in
+  { t with t_rows = kept; t_keys = keys }
+
+let lookup t k =
+  List.find_opt
+    (fun row ->
+      match List.nth row t.t_key_index with
+      | Some k' -> Value.equal k k'
+      | None -> false)
+    t.t_rows
+
+let create_db name = { d_name = name; d_tables = SM.empty }
+let db_name d = d.d_name
+
+let add_table d t =
+  if SM.mem t.t_name d.d_tables then
+    err "db %s already has table %s" d.d_name t.t_name
+  else Ok { d with d_tables = SM.add t.t_name t d.d_tables }
+
+let replace_table d t = { d with d_tables = SM.add t.t_name t d.d_tables }
+let find_table d name = SM.find_opt name d.d_tables
+let tables d = SM.bindings d.d_tables |> List.map snd
+
+let pp_cell ppf = function
+  | None -> Fmt.string ppf "NULL"
+  | Some v -> Value.pp ppf v
+
+let pp_table ppf t =
+  Fmt.pf ppf "@[<v2>table %s (key %s), %d rows:@,%a@]" t.t_name t.t_key
+    (row_count t)
+    Fmt.(
+      list ~sep:cut (fun ppf row ->
+          Fmt.pf ppf "%a" (list ~sep:(any " | ") pp_cell) row))
+    (rows t)
+
+let pp_db ppf d =
+  Fmt.pf ppf "@[<v2>db %s:@,%a@]" d.d_name
+    Fmt.(list ~sep:cut pp_table)
+    (tables d)
+
+let int_cell i = Some (Value.Int i)
+let float_cell f = Some (Value.Float f)
+let str_cell s = Some (Value.Str s)
+let bool_cell b = Some (Value.Bool b)
+let null = None

@@ -1,0 +1,69 @@
+(** A small in-memory relational engine.
+
+    This stands in for the heterogeneous relational data sources of the
+    paper (Pedro, gpmDB, PepSeeker were all relational).  Tables have a
+    designated key column, typed columns, and rows whose cells may be
+    NULL.  The engine enforces key presence and uniqueness and cell
+    types on insertion. *)
+
+module Value = Automed_iql.Value
+
+type col_ty = CInt | CFloat | CStr | CBool
+
+val pp_col_ty : col_ty Fmt.t
+val iql_ty : col_ty -> Automed_iql.Types.ty
+
+type cell = Value.t option
+(** [None] is NULL.  A present value must be the scalar matching the
+    column type. *)
+
+type table
+type db
+
+val create_table :
+  name:string -> key:string -> (string * col_ty) list -> (table, string) result
+(** The key column must be among the columns. *)
+
+val table_name : table -> string
+val key_column : table -> string
+val columns : table -> (string * col_ty) list
+val row_count : table -> int
+
+val insert : table -> cell list -> (table, string) result
+(** Cells in column order.  Checks arity, types, key non-null and key
+    uniqueness. *)
+
+val insert_all : table -> cell list list -> (table, string) result
+
+val rows : table -> cell list list
+(** In insertion order. *)
+
+val key_extent : table -> Value.Bag.t
+(** The bag of key values: the extent of [<<t>>]. *)
+
+val column_extent : table -> string -> (Value.Bag.t, string) result
+(** The bag of [{key, value}] pairs, skipping NULLs: the extent of
+    [<<t,c>>]. *)
+
+val project : table -> string list -> (cell list list, string) result
+val select : table -> (cell list -> bool) -> table
+val lookup : table -> Value.t -> cell list option
+(** Row with the given key. *)
+
+val create_db : string -> db
+val db_name : db -> string
+val add_table : db -> table -> (db, string) result
+val replace_table : db -> table -> db
+val find_table : db -> string -> table option
+val tables : db -> table list
+(** Sorted by name. *)
+
+val pp_table : table Fmt.t
+val pp_db : db Fmt.t
+
+(** Convenience constructors for cells. *)
+val int_cell : int -> cell
+val float_cell : float -> cell
+val str_cell : string -> cell
+val bool_cell : bool -> cell
+val null : cell

@@ -1,0 +1,69 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Types = Automed_iql.Types
+module Repository = Automed_repository.Repository
+
+let ( let* ) = Result.bind
+
+let key_ty table =
+  let key = Relational.key_column table in
+  match List.assoc_opt key (Relational.columns table) with
+  | Some ty -> Relational.iql_ty ty
+  | None -> Types.TStr
+
+let relational_schema db =
+  let add_table schema table =
+    let* schema = schema in
+    let tname = Relational.table_name table in
+    let kty = key_ty table in
+    let* schema =
+      Schema.add_object ~extent_ty:(Types.TBag kty) (Scheme.table tname) schema
+    in
+    (* the key column is not emitted as a separate object: the table
+       object's extent already is the bag of keys *)
+    List.fold_left
+      (fun schema (col, ty) ->
+        let* schema = schema in
+        if col = Relational.key_column table then Ok schema
+        else
+          Schema.add_object
+            ~extent_ty:(Types.tuple_row [ kty; Relational.iql_ty ty ])
+            (Scheme.column tname col) schema)
+      (Ok schema) (Relational.columns table)
+  in
+  List.fold_left add_table
+    (Ok (Schema.create (Relational.db_name db)))
+    (Relational.tables db)
+
+let store_extents repo db =
+  let name = Relational.db_name db in
+  let store_table acc table =
+    let* () = acc in
+    let tname = Relational.table_name table in
+    let* () =
+      Repository.set_extent repo ~schema:name (Scheme.table tname)
+        (Relational.key_extent table)
+    in
+    List.fold_left
+      (fun acc (col, _) ->
+        let* () = acc in
+        if col = Relational.key_column table then Ok ()
+        else
+          let* extent = Relational.column_extent table col in
+          Repository.set_extent repo ~schema:name (Scheme.column tname col)
+            extent)
+      (Ok ()) (Relational.columns table)
+  in
+  List.fold_left store_table (Ok ()) (Relational.tables db)
+
+let wrap repo db =
+  let* schema = relational_schema db in
+  let* () = Repository.add_schema repo schema in
+  let* () = store_extents repo db in
+  Ok schema
+
+let refresh_extents repo db =
+  match Repository.schema repo (Relational.db_name db) with
+  | None ->
+      Error (Printf.sprintf "schema %s is not registered" (Relational.db_name db))
+  | Some _ -> store_extents repo db

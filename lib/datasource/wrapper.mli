@@ -1,0 +1,21 @@
+(** Data source wrappers.
+
+    A wrapper extracts the metadata of a data source into an AutoMed data
+    source schema (the [DSi] of Figure 1), registers it in the repository,
+    and materialises the extents of its objects: the extent of [<<t>>] is
+    the bag of key values of table [t], and the extent of [<<t,c>>] is the
+    bag of [{key, value}] pairs of column [c]. *)
+
+module Schema = Automed_model.Schema
+module Repository = Automed_repository.Repository
+
+val relational_schema : Relational.db -> (Schema.t, string) result
+(** Schema extraction only: one [table] object per table, one [column]
+    object per column, with extent types derived from the column types. *)
+
+val wrap : Repository.t -> Relational.db -> (Schema.t, string) result
+(** Extracts the schema, registers it under the database's name, and
+    stores every object's extent. *)
+
+val refresh_extents : Repository.t -> Relational.db -> (unit, string) result
+(** Re-materialises extents after the database content changed. *)

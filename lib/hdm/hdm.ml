@@ -1,0 +1,245 @@
+type node = string
+type endpoint = Node_end of node | Edge_end of string
+type edge = { edge_name : string; participants : endpoint list }
+
+type constr =
+  | Unique of endpoint
+  | Mandatory of node * string
+  | Inclusion of { subset : string; superset : string }
+  | Cardinality of { edge : string; position : int; min : int; max : int option }
+
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+type graph = {
+  g_nodes : SS.t;
+  g_edges : edge SM.t;
+  g_constraints : constr list; (* reverse insertion order *)
+}
+
+let empty = { g_nodes = SS.empty; g_edges = SM.empty; g_constraints = [] }
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let endpoint_exists g = function
+  | Node_end n -> SS.mem n g.g_nodes
+  | Edge_end e -> SM.mem e g.g_edges
+
+let pp_endpoint ppf = function
+  | Node_end n -> Fmt.pf ppf "node:%s" n
+  | Edge_end e -> Fmt.pf ppf "edge:%s" e
+
+let add_node n g =
+  if SS.mem n g.g_nodes then err "HDM: node %s already exists" n
+  else Ok { g with g_nodes = SS.add n g.g_nodes }
+
+let add_edge e g =
+  if SM.mem e.edge_name g.g_edges then
+    err "HDM: edge %s already exists" e.edge_name
+  else if e.participants = [] then
+    err "HDM: edge %s has no participants" e.edge_name
+  else
+    match List.find_opt (fun p -> not (endpoint_exists g p)) e.participants with
+    | Some p ->
+        err "HDM: edge %s references missing %a" e.edge_name pp_endpoint p
+    | None -> Ok { g with g_edges = SM.add e.edge_name e g.g_edges }
+
+let constraint_endpoints = function
+  | Unique ep -> [ ep ]
+  | Mandatory (n, e) -> [ Node_end n; Edge_end e ]
+  | Inclusion { subset; superset } -> [ Edge_end subset; Edge_end superset ]
+  | Cardinality { edge; _ } -> [ Edge_end edge ]
+
+let pp_constr ppf = function
+  | Unique ep -> Fmt.pf ppf "unique(%a)" pp_endpoint ep
+  | Mandatory (n, e) -> Fmt.pf ppf "mandatory(%s in %s)" n e
+  | Inclusion { subset; superset } ->
+      Fmt.pf ppf "inclusion(%s <= %s)" subset superset
+  | Cardinality { edge; position; min; max } ->
+      Fmt.pf ppf "card(%s[%d]: %d..%a)" edge position min
+        Fmt.(option ~none:(any "*") int)
+        max
+
+let add_constraint c g =
+  match
+    List.find_opt (fun ep -> not (endpoint_exists g ep)) (constraint_endpoints c)
+  with
+  | Some ep -> err "HDM: constraint %a references missing %a" pp_constr c pp_endpoint ep
+  | None -> Ok { g with g_constraints = c :: g.g_constraints }
+
+let edges_referencing_node n g =
+  SM.fold
+    (fun name e acc ->
+      if List.exists (function Node_end m -> m = n | Edge_end _ -> false) e.participants
+      then name :: acc
+      else acc)
+    g.g_edges []
+
+let edges_referencing_edge en g =
+  SM.fold
+    (fun name e acc ->
+      if
+        name <> en
+        && List.exists (function Edge_end m -> m = en | Node_end _ -> false) e.participants
+      then name :: acc
+      else acc)
+    g.g_edges []
+
+let constraints_referencing ep g =
+  List.filter (fun c -> List.mem ep (constraint_endpoints c)) g.g_constraints
+
+let remove_node n g =
+  if not (SS.mem n g.g_nodes) then err "HDM: no node %s" n
+  else
+    match edges_referencing_node n g with
+    | e :: _ -> err "HDM: node %s still referenced by edge %s" n e
+    | [] -> (
+        match constraints_referencing (Node_end n) g with
+        | c :: _ ->
+            err "HDM: node %s still referenced by constraint %a" n pp_constr c
+        | [] -> Ok { g with g_nodes = SS.remove n g.g_nodes })
+
+let remove_edge en g =
+  if not (SM.mem en g.g_edges) then err "HDM: no edge %s" en
+  else
+    match edges_referencing_edge en g with
+    | e :: _ -> err "HDM: edge %s still referenced by edge %s" en e
+    | [] -> (
+        match constraints_referencing (Edge_end en) g with
+        | c :: _ ->
+            err "HDM: edge %s still referenced by constraint %a" en pp_constr c
+        | [] -> Ok { g with g_edges = SM.remove en g.g_edges })
+
+let rename_endpoint ~from_ ~to_ ep =
+  if ep = from_ then to_ else ep
+
+let map_constraint f = function
+  | Unique ep -> Unique (f ep)
+  | Mandatory (n, e) -> (
+      match (f (Node_end n), f (Edge_end e)) with
+      | Node_end n', Edge_end e' -> Mandatory (n', e')
+      | _ -> assert false)
+  | Inclusion { subset; superset } -> (
+      match (f (Edge_end subset), f (Edge_end superset)) with
+      | Edge_end s', Edge_end t' -> Inclusion { subset = s'; superset = t' }
+      | _ -> assert false)
+  | Cardinality c -> (
+      match f (Edge_end c.edge) with
+      | Edge_end e' -> Cardinality { c with edge = e' }
+      | _ -> assert false)
+
+let rename_node old_n new_n g =
+  if not (SS.mem old_n g.g_nodes) then err "HDM: no node %s" old_n
+  else if SS.mem new_n g.g_nodes then err "HDM: node %s already exists" new_n
+  else
+    let f = rename_endpoint ~from_:(Node_end old_n) ~to_:(Node_end new_n) in
+    let g_edges =
+      SM.map
+        (fun e -> { e with participants = List.map f e.participants })
+        g.g_edges
+    in
+    Ok
+      {
+        g_nodes = SS.add new_n (SS.remove old_n g.g_nodes);
+        g_edges;
+        g_constraints = List.map (map_constraint f) g.g_constraints;
+      }
+
+let rename_edge old_e new_e g =
+  match SM.find_opt old_e g.g_edges with
+  | None -> err "HDM: no edge %s" old_e
+  | Some e ->
+      if SM.mem new_e g.g_edges then err "HDM: edge %s already exists" new_e
+      else
+        let f = rename_endpoint ~from_:(Edge_end old_e) ~to_:(Edge_end new_e) in
+        let g_edges =
+          SM.remove old_e g.g_edges
+          |> SM.add new_e { e with edge_name = new_e }
+          |> SM.map (fun e -> { e with participants = List.map f e.participants })
+        in
+        Ok
+          {
+            g with
+            g_edges;
+            g_constraints = List.map (map_constraint f) g.g_constraints;
+          }
+
+let mem_node n g = SS.mem n g.g_nodes
+let mem_edge e g = SM.mem e g.g_edges
+let find_edge e g = SM.find_opt e g.g_edges
+let nodes g = SS.elements g.g_nodes
+let edges g = SM.bindings g.g_edges |> List.map snd
+let constraints g = List.rev g.g_constraints
+let size g = SS.cardinal g.g_nodes + SM.cardinal g.g_edges
+
+let equal a b =
+  SS.equal a.g_nodes b.g_nodes
+  && SM.equal ( = ) a.g_edges b.g_edges
+  && List.sort compare a.g_constraints = List.sort compare b.g_constraints
+
+let union a b =
+  let clash = ref None in
+  let g_edges =
+    SM.union
+      (fun name ea eb ->
+        if ea = eb then Some ea
+        else begin
+          clash := Some name;
+          Some ea
+        end)
+      a.g_edges b.g_edges
+  in
+  match !clash with
+  | Some name -> err "HDM: union clash on edge %s" name
+  | None ->
+      Ok
+        {
+          g_nodes = SS.union a.g_nodes b.g_nodes;
+          g_edges;
+          g_constraints =
+            List.rev_append a.g_constraints (List.rev b.g_constraints)
+            |> List.sort_uniq compare;
+        }
+
+let validate g =
+  let check_edge _ e acc =
+    match acc with
+    | Error _ -> acc
+    | Ok () -> (
+        match
+          List.find_opt (fun p -> not (endpoint_exists g p)) e.participants
+        with
+        | Some p ->
+            err "HDM: edge %s references missing %a" e.edge_name pp_endpoint p
+        | None -> Ok ())
+  in
+  let check_constr acc c =
+    match acc with
+    | Error _ -> acc
+    | Ok () -> (
+        match
+          List.find_opt
+            (fun ep -> not (endpoint_exists g ep))
+            (constraint_endpoints c)
+        with
+        | Some ep ->
+            err "HDM: constraint %a references missing %a" pp_constr c
+              pp_endpoint ep
+        | None -> Ok ())
+  in
+  let r = SM.fold check_edge g.g_edges (Ok ()) in
+  List.fold_left check_constr r g.g_constraints
+
+let pp_edge ppf e =
+  Fmt.pf ppf "%s(%a)" e.edge_name
+    Fmt.(list ~sep:(any ", ") pp_endpoint)
+    e.participants
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>nodes: %a@,edges: %a@,constraints: %a@]"
+    Fmt.(list ~sep:(any ", ") string)
+    (nodes g)
+    Fmt.(list ~sep:(any ", ") pp_edge)
+    (edges g)
+    Fmt.(list ~sep:(any ", ") pp_constr)
+    (constraints g)

@@ -1,0 +1,73 @@
+(** The Hypergraph Data Model (HDM): AutoMed's low-level common data model.
+
+    An HDM schema is a triple [(Nodes, Edges, Constraints)].  Nodes are
+    named; edges are named hyperedges whose participants are nodes or other
+    edges; constraints restrict the permissible extents.  Higher-level
+    modelling languages (relational, XML, RDF) are defined in terms of the
+    HDM by the Model Definitions Repository ({!Automed_model.Model}). *)
+
+type node = string
+(** Nodes are identified by name. *)
+
+type endpoint = Node_end of node | Edge_end of string
+(** A hyperedge participant: either a node or another edge (by name). *)
+
+type edge = { edge_name : string; participants : endpoint list }
+
+type constr =
+  | Unique of endpoint
+      (** values at this endpoint appear at most once in the edge extent *)
+  | Mandatory of node * string
+      (** every value of the node participates in the named edge *)
+  | Inclusion of { subset : string; superset : string }
+      (** extent inclusion between two edges or two nodes *)
+  | Cardinality of { edge : string; position : int; min : int; max : int option }
+      (** each value at [position] of [edge] occurs between [min] and [max]
+          times ([None] meaning unbounded) *)
+
+type graph
+(** An immutable HDM schema graph. *)
+
+val empty : graph
+val add_node : node -> graph -> (graph, string) result
+val add_edge : edge -> graph -> (graph, string) result
+(** Fails if a participant does not exist, or the edge name is taken. *)
+
+val add_constraint : constr -> graph -> (graph, string) result
+val remove_node : node -> graph -> (graph, string) result
+(** Fails if any edge still references the node. *)
+
+val remove_edge : string -> graph -> (graph, string) result
+(** Fails if another edge or constraint still references the edge. *)
+
+val rename_node : node -> node -> graph -> (graph, string) result
+(** Renames the node and rewrites all edges and constraints mentioning it. *)
+
+val rename_edge : string -> string -> graph -> (graph, string) result
+
+val mem_node : node -> graph -> bool
+val mem_edge : string -> graph -> bool
+val find_edge : string -> graph -> edge option
+val nodes : graph -> node list
+(** In lexicographic order. *)
+
+val edges : graph -> edge list
+(** In lexicographic order of name. *)
+
+val constraints : graph -> constr list
+val size : graph -> int
+(** Number of nodes plus edges. *)
+
+val equal : graph -> graph -> bool
+(** Structural equality (order-insensitive). *)
+
+val union : graph -> graph -> (graph, string) result
+(** Disjoint-name union; fails on a clash with differing definitions, and
+    merges silently when definitions coincide. *)
+
+val validate : graph -> (unit, string) result
+(** Re-checks referential integrity of every edge and constraint. *)
+
+val pp : graph Fmt.t
+val pp_constr : constr Fmt.t
+val pp_edge : edge Fmt.t

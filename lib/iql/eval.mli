@@ -1,0 +1,41 @@
+(** IQL evaluator.
+
+    Evaluation is defined against an environment that resolves schema
+    object references to their extents (bags of values).  Comprehension
+    semantics are the standard bag-monad semantics: generators iterate
+    with multiplicity, refutable patterns filter, and the head is
+    collected into a bag whose multiplicities multiply along the nesting.
+
+    [Void] evaluates to the empty bag.  [Range l u] evaluates to its lower
+    bound [l]: the {e certain} answers (the paper uses lower bounds when a
+    contracted object's extent cannot be derived precisely).  [Any] cannot
+    be materialised and evaluating it is an error. *)
+
+type env
+(** Immutable evaluation environment. *)
+
+val env :
+  ?schemes:(Automed_base.Scheme.t -> Value.Bag.t option) ->
+  ?vars:(string * Value.t) list ->
+  unit ->
+  env
+
+val bind : string -> Value.t -> env -> env
+
+type error = { message : string; context : string list }
+
+val pp_error : error Fmt.t
+
+val eval : env -> Ast.expr -> (Value.t, error) result
+
+val eval_exn : env -> Ast.expr -> Value.t
+(** @raise Failure with the rendered error. *)
+
+val match_pat : Ast.pat -> Value.t -> (string * Value.t) list option
+(** [match_pat p v] is [Some bindings] when [v] matches [p]. *)
+
+val builtins : string list
+(** Names recognised in [App]: aggregation ([count], [sum], [avg], [max],
+    [min]), collections ([distinct], [member], [flatten], [group]),
+    strings ([contains], [startswith], [upper], [lower], [strlen]) and
+    arithmetic ([abs], [mod]).  All pure. *)

@@ -1,0 +1,198 @@
+module Scheme = Automed_base.Scheme
+
+type token =
+  | LBRACKET | RBRACKET
+  | LBRACE | RBRACE
+  | LPAREN | RPAREN
+  | BAR | SEMI | COMMA
+  | ARROW
+  | PLUS | MINUS | STAR | SLASH
+  | PLUSPLUS | MINUSMINUS
+  | EQ | NEQ | LT | LE | GT | GE
+  | KW_RANGE | KW_VOID | KW_ANY
+  | KW_IF | KW_THEN | KW_ELSE | KW_LET | KW_IN
+  | KW_AND | KW_OR | KW_NOT
+  | KW_TRUE | KW_FALSE
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | SCHEME of Scheme.t
+  | UNDERSCORE
+  | EOF
+
+type located = { token : token; pos : int }
+
+exception Lex_error of int * string
+
+let keyword = function
+  | "Range" -> Some KW_RANGE
+  | "Void" -> Some KW_VOID
+  | "Any" -> Some KW_ANY
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "let" -> Some KW_LET
+  | "in" -> Some KW_IN
+  | "and" -> Some KW_AND
+  | "or" -> Some KW_OR
+  | "not" -> Some KW_NOT
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '.' || c = ':'
+
+let tokenize_exn src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit pos token = toks := { token; pos } :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let p = !i in
+    let c = src.[p] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let j = ref p in
+      while !j < n && is_digit src.[!j] do incr j done;
+      let is_float = ref false in
+      if !j < n - 1 && src.[!j] = '.' && is_digit src.[!j + 1] then begin
+        is_float := true;
+        incr j;
+        while !j < n && is_digit src.[!j] do incr j done
+      end;
+      (* exponent part: e or E, optional sign, digits *)
+      if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+        let k = ref (!j + 1) in
+        if !k < n && (src.[!k] = '+' || src.[!k] = '-') then incr k;
+        if !k < n && is_digit src.[!k] then begin
+          is_float := true;
+          j := !k;
+          while !j < n && is_digit src.[!j] do incr j done
+        end
+      end;
+      if !is_float then
+        emit p (FLOAT (float_of_string (String.sub src p (!j - p))))
+      else emit p (INT (int_of_string (String.sub src p (!j - p))));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref p in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      (* identifiers may embed '.' or ':' (prefixed names) but not end
+         with them, so that "x = y" style juxtaposition is unaffected *)
+      while !j > p && (src.[!j - 1] = '.' || src.[!j - 1] = ':') do decr j done;
+      let word = String.sub src p (!j - p) in
+      (match keyword word with
+      | Some k -> emit p k
+      | None -> if word = "_" then emit p UNDERSCORE else emit p (IDENT word));
+      i := !j
+    end
+    else
+      match c with
+      | '\'' ->
+          let j = ref (p + 1) in
+          while !j < n && src.[!j] <> '\'' do incr j done;
+          if !j >= n then raise (Lex_error (p, "unterminated string literal"));
+          emit p (STRING (String.sub src (p + 1) (!j - p - 1)));
+          i := !j + 1
+      | '[' -> emit p LBRACKET; incr i
+      | ']' -> emit p RBRACKET; incr i
+      | '{' -> emit p LBRACE; incr i
+      | '}' -> emit p RBRACE; incr i
+      | '(' -> emit p LPAREN; incr i
+      | ')' -> emit p RPAREN; incr i
+      | '|' -> emit p BAR; incr i
+      | ';' -> emit p SEMI; incr i
+      | ',' -> emit p COMMA; incr i
+      | '*' -> emit p STAR; incr i
+      | '/' -> emit p SLASH; incr i
+      | '=' -> emit p EQ; incr i
+      | '+' ->
+          if p + 1 < n && src.[p + 1] = '+' then (emit p PLUSPLUS; i := p + 2)
+          else (emit p PLUS; incr i)
+      | '-' ->
+          if p + 1 < n && src.[p + 1] = '-' then (emit p MINUSMINUS; i := p + 2)
+          else (emit p MINUS; incr i)
+      | '>' ->
+          if p + 1 < n && src.[p + 1] = '=' then (emit p GE; i := p + 2)
+          else (emit p GT; incr i)
+      | '<' ->
+          if p + 1 < n && src.[p + 1] = '<' then begin
+            (* scheme literal: scan to the matching '>>' *)
+            let j = ref (p + 2) in
+            while !j + 1 < n && not (src.[!j] = '>' && src.[!j + 1] = '>') do
+              incr j
+            done;
+            if !j + 1 >= n then
+              raise (Lex_error (p, "unterminated scheme literal"));
+            let text = String.sub src p (!j + 2 - p) in
+            (match Scheme.of_string text with
+            | Ok s -> emit p (SCHEME s)
+            | Error e -> raise (Lex_error (p, e)));
+            i := !j + 2
+          end
+          else if p + 1 < n && src.[p + 1] = '-' then (emit p ARROW; i := p + 2)
+          else if p + 1 < n && src.[p + 1] = '=' then (emit p LE; i := p + 2)
+          else if p + 1 < n && src.[p + 1] = '>' then (emit p NEQ; i := p + 2)
+          else (emit p LT; incr i)
+      | c ->
+          raise (Lex_error (p, Printf.sprintf "unexpected character %C" c))
+  done;
+  emit n EOF;
+  List.rev !toks
+
+let tokenize src =
+  match tokenize_exn src with
+  | toks -> Ok toks
+  | exception Lex_error (pos, msg) ->
+      Error (Printf.sprintf "lex error at %d: %s" pos msg)
+
+let pp_token ppf = function
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | BAR -> Fmt.string ppf "|"
+  | SEMI -> Fmt.string ppf ";"
+  | COMMA -> Fmt.string ppf ","
+  | ARROW -> Fmt.string ppf "<-"
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | SLASH -> Fmt.string ppf "/"
+  | PLUSPLUS -> Fmt.string ppf "++"
+  | MINUSMINUS -> Fmt.string ppf "--"
+  | EQ -> Fmt.string ppf "="
+  | NEQ -> Fmt.string ppf "<>"
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | KW_RANGE -> Fmt.string ppf "Range"
+  | KW_VOID -> Fmt.string ppf "Void"
+  | KW_ANY -> Fmt.string ppf "Any"
+  | KW_IF -> Fmt.string ppf "if"
+  | KW_THEN -> Fmt.string ppf "then"
+  | KW_ELSE -> Fmt.string ppf "else"
+  | KW_LET -> Fmt.string ppf "let"
+  | KW_IN -> Fmt.string ppf "in"
+  | KW_AND -> Fmt.string ppf "and"
+  | KW_OR -> Fmt.string ppf "or"
+  | KW_NOT -> Fmt.string ppf "not"
+  | KW_TRUE -> Fmt.string ppf "true"
+  | KW_FALSE -> Fmt.string ppf "false"
+  | IDENT s -> Fmt.pf ppf "ident:%s" s
+  | INT i -> Fmt.int ppf i
+  | FLOAT f -> Fmt.float ppf f
+  | STRING s -> Fmt.pf ppf "'%s'" s
+  | SCHEME s -> Scheme.pp ppf s
+  | UNDERSCORE -> Fmt.string ppf "_"
+  | EOF -> Fmt.string ppf "<eof>"

@@ -1,0 +1,31 @@
+(** Hand-written lexer for IQL concrete syntax. *)
+
+type token =
+  | LBRACKET | RBRACKET        (* [ ] *)
+  | LBRACE | RBRACE            (* { } *)
+  | LPAREN | RPAREN            (* ( ) *)
+  | BAR | SEMI | COMMA         (* | ; , *)
+  | ARROW                      (* <- *)
+  | PLUS | MINUS | STAR | SLASH
+  | PLUSPLUS | MINUSMINUS      (* ++ -- *)
+  | EQ | NEQ | LT | LE | GT | GE
+  | KW_RANGE | KW_VOID | KW_ANY
+  | KW_IF | KW_THEN | KW_ELSE | KW_LET | KW_IN
+  | KW_AND | KW_OR | KW_NOT
+  | KW_TRUE | KW_FALSE
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string           (* '...' *)
+  | SCHEME of Automed_base.Scheme.t  (* <<...>> *)
+  | UNDERSCORE
+  | EOF
+
+type located = { token : token; pos : int }
+
+exception Lex_error of int * string
+
+val tokenize : string -> (located list, string) result
+(** Tokenizes the whole input.  Errors report a character offset. *)
+
+val pp_token : token Fmt.t

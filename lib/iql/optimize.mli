@@ -1,0 +1,29 @@
+(** A rule-based optimiser for IQL comprehensions.
+
+    Comprehension semantics over bags are insensitive to generator order
+    (multiplicities multiply) and filters are pure, so qualifiers can be
+    rescheduled freely as long as variable dependencies are respected.
+    The optimiser:
+
+    - evaluates each generator source and filter recursively (inner
+      comprehensions are optimised too);
+    - schedules generators greedily, preferring at each step the
+      generator that makes the most pending filters applicable (a proxy
+      for selectivity: filters prune the intermediate result earliest);
+    - places every filter immediately after the first point where all its
+      variables are bound (filter push-down).
+
+    This turns the paper's query 5 shape - all join conditions trailing a
+    chain of generators - into a filtered nested-loop join that prunes
+    after every generator.
+
+    The rewrite preserves the resulting bag for queries that evaluate
+    without error; a query whose filters fail on some bindings (e.g. a
+    type error guarded by an earlier filter) may surface the error
+    earlier or later. *)
+
+val optimize : Ast.expr -> Ast.expr
+
+val optimize_comprehension : Ast.expr -> Ast.qual list -> Ast.expr * Ast.qual list
+(** The core rescheduling on one comprehension's head and qualifiers
+    (exposed for tests). *)

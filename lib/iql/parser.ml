@@ -1,0 +1,295 @@
+open Lexer
+
+exception Parse_error of int * string
+
+type state = { mutable toks : located list }
+
+let peek st =
+  match st.toks with [] -> { token = EOF; pos = 0 } | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  let t = peek st in
+  if t.token = tok then advance st
+  else
+    raise
+      (Parse_error
+         (t.pos, Fmt.str "expected %s, found %a" what pp_token t.token))
+
+let fail st msg = raise (Parse_error ((peek st).pos, msg))
+
+(* Patterns ------------------------------------------------------------- *)
+
+let rec parse_pattern st : Ast.pat =
+  let t = peek st in
+  match t.token with
+  | UNDERSCORE -> advance st; PWild
+  | IDENT x -> advance st; PVar x
+  | INT i -> advance st; PConst (Value.Int i)
+  | FLOAT f -> advance st; PConst (Value.Float f)
+  | STRING s -> advance st; PConst (Value.Str s)
+  | KW_TRUE -> advance st; PConst (Value.Bool true)
+  | KW_FALSE -> advance st; PConst (Value.Bool false)
+  | LBRACE ->
+      advance st;
+      let rec items acc =
+        let p = parse_pattern st in
+        match (peek st).token with
+        | COMMA -> advance st; items (p :: acc)
+        | RBRACE -> advance st; List.rev (p :: acc)
+        | _ -> fail st "expected ',' or '}' in tuple pattern"
+      in
+      PTuple (items [])
+  | tok -> raise (Parse_error (t.pos, Fmt.str "not a pattern: %a" pp_token tok))
+
+(* Expressions ---------------------------------------------------------- *)
+
+let negate_literal (e : Ast.expr) : Ast.expr =
+  match e with
+  | Const (Value.Int i) -> Const (Value.Int (-i))
+  | Const (Value.Float f) -> Const (Value.Float (-.f))
+  | e -> Unop (Neg, e)
+
+let rec parse_expr st : Ast.expr =
+  match (peek st).token with
+  | KW_LET ->
+      advance st;
+      let x =
+        match (peek st).token with
+        | IDENT x -> advance st; x
+        | _ -> fail st "expected identifier after 'let'"
+      in
+      expect st EQ "'='";
+      let e = parse_expr st in
+      expect st KW_IN "'in'";
+      let body = parse_expr st in
+      Let (x, e, body)
+  | KW_IF ->
+      advance st;
+      let c = parse_expr st in
+      expect st KW_THEN "'then'";
+      let t = parse_expr st in
+      expect st KW_ELSE "'else'";
+      let e = parse_expr st in
+      If (c, t, e)
+  | _ -> parse_or st
+
+and parse_or st =
+  let rec go acc =
+    match (peek st).token with
+    | KW_OR ->
+        advance st;
+        go (Ast.Binop (Or, acc, parse_and st))
+    | _ -> acc
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go acc =
+    match (peek st).token with
+    | KW_AND ->
+        advance st;
+        go (Ast.Binop (And, acc, parse_cmp st))
+    | _ -> acc
+  in
+  go (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_bag st in
+  let op =
+    match (peek st).token with
+    | EQ -> Some Ast.Eq
+    | NEQ -> Some Ast.Neq
+    | LT -> Some Ast.Lt
+    | LE -> Some Ast.Le
+    | GT -> Some Ast.Gt
+    | GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Binop (op, lhs, parse_bag st)
+
+and parse_bag st =
+  let rec go acc =
+    match (peek st).token with
+    | PLUSPLUS ->
+        advance st;
+        go (Ast.Binop (Union, acc, parse_add st))
+    | MINUSMINUS ->
+        advance st;
+        go (Ast.Binop (Monus, acc, parse_add st))
+    | _ -> acc
+  in
+  go (parse_add st)
+
+and parse_add st =
+  let rec go acc =
+    match (peek st).token with
+    | PLUS ->
+        advance st;
+        go (Ast.Binop (Add, acc, parse_mul st))
+    | MINUS ->
+        advance st;
+        go (Ast.Binop (Sub, acc, parse_mul st))
+    | _ -> acc
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go acc =
+    match (peek st).token with
+    | STAR ->
+        advance st;
+        go (Ast.Binop (Mul, acc, parse_unary st))
+    | SLASH ->
+        advance st;
+        go (Ast.Binop (Div, acc, parse_unary st))
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st : Ast.expr =
+  match (peek st).token with
+  | MINUS ->
+      advance st;
+      negate_literal (parse_unary st)
+  | KW_NOT ->
+      advance st;
+      Unop (Not, parse_unary st)
+  | KW_RANGE ->
+      advance st;
+      let l = parse_atom st in
+      let u = parse_atom st in
+      Range (l, u)
+  | _ -> parse_atom st
+
+and parse_atom st : Ast.expr =
+  let t = peek st in
+  match t.token with
+  | INT i -> advance st; Const (Value.Int i)
+  | FLOAT f -> advance st; Const (Value.Float f)
+  | STRING s -> advance st; Const (Value.Str s)
+  | KW_TRUE -> advance st; Const (Value.Bool true)
+  | KW_FALSE -> advance st; Const (Value.Bool false)
+  | KW_VOID -> advance st; Void
+  | KW_ANY -> advance st; Any
+  | SCHEME s -> advance st; SchemeRef s
+  | IDENT x ->
+      advance st;
+      if (peek st).token = LPAREN then begin
+        advance st;
+        if (peek st).token = RPAREN then begin
+          advance st;
+          App (x, [])
+        end
+        else
+          let rec args acc =
+            let e = parse_expr st in
+            match (peek st).token with
+            | COMMA -> advance st; args (e :: acc)
+            | RPAREN -> advance st; List.rev (e :: acc)
+            | _ -> fail st "expected ',' or ')' in application"
+          in
+          App (x, args [])
+      end
+      else Var x
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN "')'";
+      e
+  | LBRACE ->
+      advance st;
+      if (peek st).token = RBRACE then begin
+        advance st;
+        Tuple []
+      end
+      else
+        let rec items acc =
+          let e = parse_expr st in
+          match (peek st).token with
+          | COMMA -> advance st; items (e :: acc)
+          | RBRACE -> advance st; List.rev (e :: acc)
+          | _ -> fail st "expected ',' or '}' in tuple"
+        in
+        Tuple (items [])
+  | LBRACKET ->
+      advance st;
+      if (peek st).token = RBRACKET then begin
+        advance st;
+        EBag []
+      end
+      else begin
+        let first = parse_expr st in
+        match (peek st).token with
+        | BAR ->
+            advance st;
+            let quals = parse_quals st in
+            expect st RBRACKET "']'";
+            Comp (first, quals)
+        | SEMI ->
+            let rec items acc =
+              match (peek st).token with
+              | SEMI ->
+                  advance st;
+                  items (parse_expr st :: acc)
+              | RBRACKET -> advance st; List.rev acc
+              | _ -> fail st "expected ';' or ']' in bag literal"
+            in
+            EBag (items [ first ])
+        | RBRACKET -> advance st; EBag [ first ]
+        | _ -> fail st "expected '|', ';' or ']' after first bag element"
+      end
+  | tok ->
+      raise (Parse_error (t.pos, Fmt.str "unexpected token %a" pp_token tok))
+
+(* A qualifier is either [pat <- src] or a filter expression.  We detect a
+   generator by attempting to parse a pattern and checking for '<-'; on
+   failure we backtrack and parse a filter.  Patterns are tiny, so the
+   backtracking is cheap. *)
+and parse_quals st =
+  let rec go acc =
+    let saved = st.toks in
+    let qual =
+      match parse_pattern st with
+      | pat when (peek st).token = ARROW ->
+          advance st;
+          Ast.Gen (pat, parse_bag st)
+      | _ | (exception Parse_error _) ->
+          st.toks <- saved;
+          Ast.Filter (parse_cmp st)
+    in
+    match (peek st).token with
+    | SEMI -> advance st; go (qual :: acc)
+    | _ -> List.rev (qual :: acc)
+  in
+  go []
+
+let run_parser f src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks } in
+      match f st with
+      | result ->
+          let t = peek st in
+          if t.token = EOF then Ok result
+          else
+            Error
+              (Fmt.str "parse error at %d: trailing input starting with %a"
+                 t.pos pp_token t.token)
+      | exception Parse_error (pos, msg) ->
+          Error (Printf.sprintf "parse error at %d: %s" pos msg)
+      | exception Lex_error (pos, msg) ->
+          Error (Printf.sprintf "lex error at %d: %s" pos msg))
+
+let parse src = run_parser parse_expr src
+
+let parse_exn src =
+  match parse src with Ok e -> e | Error msg -> failwith msg
+
+let parse_pat src = run_parser parse_pattern src

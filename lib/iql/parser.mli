@@ -1,0 +1,28 @@
+(** Recursive-descent parser for IQL.
+
+    Grammar sketch (loosest binding first):
+    {v
+    expr     ::= 'let' id '=' expr 'in' expr
+               | 'if' expr 'then' expr 'else' expr
+               | or-expr
+    or-expr  ::= and-expr ('or' and-expr)*
+    and-expr ::= cmp-expr ('and' cmp-expr)*
+    cmp-expr ::= bag-expr (('='|'<>'|'<'|'<='|'>'|'>=') bag-expr)?
+    bag-expr ::= add-expr (('++'|'--') add-expr)*
+    add-expr ::= mul-expr (('+'|'-') mul-expr)*
+    mul-expr ::= unary (('*'|'/') unary)*
+    unary    ::= '-' unary | 'not' unary | 'Range' atom atom | atom
+    atom     ::= literal | ident | ident '(' args ')' | scheme
+               | '{' args '}' | '[' ... ']' | '(' expr ')'
+               | 'Void' | 'Any'
+    v}
+
+    A bracketed form [\[e | quals\]] is a comprehension; [\[e1; e2; ...\]]
+    and [\[\]] are bag literals.  Qualifiers are generators [pat <- expr]
+    or filter expressions. *)
+
+exception Parse_error of int * string
+
+val parse : string -> (Ast.expr, string) result
+val parse_exn : string -> Ast.expr
+val parse_pat : string -> (Ast.pat, string) result

@@ -1,0 +1,254 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Ast = Automed_iql.Ast
+module Repository = Automed_repository.Repository
+module Intersection = Automed_integration.Intersection
+module Classical = Automed_integration.Classical
+
+type run = {
+  ladder : Classical.ladder_outcome;
+  gs1_gpm : int;
+  gs1_pep : int;
+  gs2_pep : int;
+  total_manual : int;
+}
+
+let stage_names = [ "GS1"; "GS2"; "GS3" ]
+
+let ( let* ) = Result.bind
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* "t" denotes a table scheme, "t.c" a column scheme *)
+let scheme_of_dotted s =
+  match String.split_on_char '.' s with
+  | [ t ] -> Scheme.table t
+  | [ t; c ] -> Scheme.column t c
+  | _ -> invalid_arg (Printf.sprintf "bad dotted name %s" s)
+
+let cross (src, dst) =
+  {
+    Intersection.target = scheme_of_dotted dst;
+    forward = Ast.SchemeRef (scheme_of_dotted src);
+    restore = None;
+  }
+
+let identity obj =
+  { Intersection.target = obj; forward = Ast.SchemeRef obj; restore = None }
+
+(* The semantic core: gpmDB concepts corresponding to Pedro-shaped GS1
+   concepts - 19 non-trivial transformations, the paper's count. *)
+let gpm_to_gs1 =
+  [
+    ("proseq", "protein");
+    ("protein", "proteinhit");
+    ("peptide", "peptidehit");
+    ("path", "db_search");
+    ("sample_info", "sample");
+    ("result", "experiment");
+    ("proseq.label", "protein.accession_num");
+    ("proseq.seq", "protein.sequence");
+    ("protein.proseqid", "proteinhit.protein");
+    ("protein.expect", "proteinhit.score");
+    ("protein.pathid", "proteinhit.db_search");
+    ("peptide.seq", "peptidehit.sequence");
+    ("peptide.expect", "peptidehit.probability");
+    ("peptide.proid", "peptidehit.db_search");
+    ("path.file", "db_search.database");
+    ("path.title", "db_search.username");
+    ("path.client", "db_search.id_date");
+    ("sample_info.description", "sample.description");
+    ("result.note", "experiment.hypothesis");
+  ]
+
+(* PepSeeker concepts identical (in name and meaning) to Pedro's: carried
+   through without counting, like GS1's identity derivation from Pedro. *)
+let pep_identity_gs1 =
+  [ "protein"; "protein.description"; "protein.sequence"; "proteinhit";
+    "proteinhit.score"; "peptidehit"; "peptidehit.score" ]
+
+(* The semantic core of PepSeeker-to-GS1: 19 of the 35 non-trivial
+   transformations; the remaining 16 are padded deterministically below. *)
+let pep_to_gs1_core =
+  [
+    ("fileparameters", "db_search");
+    ("instrument", "ion_source");
+    ("protein.accession", "protein.accession_num");
+    ("protein.taxon", "protein.organism");
+    ("protein.mass", "protein.predicted_mass");
+    ("proteinhit.proteinid", "proteinhit.protein");
+    ("proteinhit.fileparameters", "proteinhit.db_search");
+    ("proteinhit.hitnumber", "proteinhit.all_peptides_matched");
+    ("peptidehit.pepseq", "peptidehit.sequence");
+    ("peptidehit.expect", "peptidehit.probability");
+    ("peptidehit.masserror", "peptidehit.mass_error");
+    ("peptidehit.fileparameters", "peptidehit.db_search");
+    ("fileparameters.database", "db_search.database");
+    ("fileparameters.username", "db_search.username");
+    ("fileparameters.search_date", "db_search.id_date");
+    ("fileparameters.db_version", "db_search.db_version");
+    ("instrument.fileparameters_id", "ion_source.db_search");
+    ("instrument.source", "ion_source.source_type");
+    ("instrument.voltage", "ion_source.voltage");
+  ]
+
+let is_table s = Scheme.construct s = "table"
+
+(* Deterministic padding: assign further cross mappings from a source
+   object pool onto the remaining targets until [need] more are defined.
+   Tables pair with tables, columns with columns; identity pairs are
+   skipped (they would not be counted). *)
+let pad ~need ~remaining_targets ~pool =
+  let tables_pool = List.filter is_table pool in
+  let cols_pool = List.filter (fun s -> not (is_table s)) pool in
+  let cycle pool i = List.nth pool (i mod List.length pool) in
+  let rec go acc n ti ci = function
+    | [] -> List.rev acc
+    | _ when n = 0 -> List.rev acc
+    | target :: rest ->
+        if is_table target then
+          if tables_pool = [] then List.rev acc
+          else
+            let src = cycle tables_pool ti in
+            if Scheme.equal src target then go acc n (ti + 1) ci (target :: rest)
+            else
+              go
+                ({ Intersection.target; forward = Ast.SchemeRef src;
+                   restore = None } :: acc)
+                (n - 1) (ti + 1) ci rest
+        else if cols_pool = [] then List.rev acc
+        else
+          let src = cycle cols_pool ci in
+          if Scheme.equal src target then go acc n ti (ci + 1) (target :: rest)
+          else
+            go
+              ({ Intersection.target; forward = Ast.SchemeRef src;
+                 restore = None } :: acc)
+              (n - 1) ti (ci + 1) rest
+  in
+  go [] need 0 0 remaining_targets
+
+let objects_of repo name =
+  match Repository.schema repo name with
+  | Some s -> Ok (Schema.objects s)
+  | None -> err "schema %s is not registered" name
+
+let targets_of mappings =
+  List.map (fun m -> m.Intersection.target) mappings
+
+let sources_of mappings =
+  List.filter_map
+    (fun m ->
+      match m.Intersection.forward with
+      | Ast.SchemeRef s -> Some s
+      | _ -> None)
+    mappings
+
+let diff a b = List.filter (fun o -> not (List.exists (Scheme.equal o) b)) a
+
+(* The ion tables stay out of every mapping pool: query 7's ion
+   information is a PepSeeker-only concept in the original project (it
+   reaches GS3 by identity, never by a mapping). *)
+let paddable pool =
+  List.filter (fun o -> not (List.mem "iontable" (Scheme.args o))) pool
+
+let execute repo =
+  let* pedro_objs = objects_of repo Sources.pedro_name in
+  let* gpm_objs = objects_of repo Sources.gpmdb_name in
+  let* pep_objs = objects_of repo Sources.pepseeker_name in
+  (* GS1: Pedro's shape *)
+  let pedro_maps = List.map identity pedro_objs in
+  let gpm_maps_gs1 = List.map cross gpm_to_gs1 in
+  let pep_core =
+    List.map (fun o -> identity (scheme_of_dotted o)) pep_identity_gs1
+    @ List.map cross pep_to_gs1_core
+  in
+  let pep_used_targets = targets_of pep_core in
+  let remaining_gs1 = diff pedro_objs pep_used_targets in
+  let pep_pad_pool = paddable (diff pep_objs (sources_of pep_core)) in
+  let core_counted =
+    List.length
+      (List.filter
+         (fun m -> not (Intersection.is_identity_mapping m))
+         pep_core)
+  in
+  let pep_maps_gs1 =
+    pep_core
+    @ pad ~need:(35 - core_counted) ~remaining_targets:remaining_gs1
+        ~pool:pep_pad_pool
+  in
+  let stage1 =
+    {
+      Classical.stage_name = "GS1";
+      sources =
+        [
+          { Classical.schema = Sources.pedro_name; mappings = pedro_maps };
+          { Classical.schema = Sources.gpmdb_name; mappings = gpm_maps_gs1 };
+          { Classical.schema = Sources.pepseeker_name; mappings = pep_maps_gs1 };
+        ];
+    }
+  in
+  (* GS2: add the gpmDB-only concepts (identity from gpmDB), which
+     PepSeeker also supports - 41 further non-trivial transformations *)
+  let gpm_only = diff gpm_objs (sources_of gpm_maps_gs1) in
+  let gpm_maps_gs2 = gpm_maps_gs1 @ List.map identity gpm_only in
+  let pep_pool_gs2 = paddable (diff pep_objs (sources_of pep_maps_gs1)) in
+  let pep_new_gs2 =
+    pad ~need:(List.length gpm_only) ~remaining_targets:gpm_only
+      ~pool:
+        (if pep_pool_gs2 = [] then paddable pep_objs
+         else pep_pool_gs2 @ paddable pep_objs)
+  in
+  let pep_maps_gs2 = pep_maps_gs1 @ pep_new_gs2 in
+  let stage2 =
+    {
+      Classical.stage_name = "GS2";
+      sources =
+        [
+          { Classical.schema = Sources.pedro_name; mappings = pedro_maps };
+          { Classical.schema = Sources.gpmdb_name; mappings = gpm_maps_gs2 };
+          { Classical.schema = Sources.pepseeker_name; mappings = pep_maps_gs2 };
+        ];
+    }
+  in
+  (* GS3: add the PepSeeker-only concepts (identity from PepSeeker);
+     no further non-trivial transformations, as in the paper *)
+  let gs2_targets =
+    targets_of pedro_maps @ targets_of gpm_maps_gs2 @ targets_of pep_maps_gs2
+  in
+  let pep_only =
+    diff (diff pep_objs (sources_of pep_maps_gs2)) gs2_targets
+  in
+  let pep_maps_gs3 = pep_maps_gs2 @ List.map identity pep_only in
+  let stage3 =
+    {
+      Classical.stage_name = "GS3";
+      sources =
+        [
+          { Classical.schema = Sources.pedro_name; mappings = pedro_maps };
+          { Classical.schema = Sources.gpmdb_name; mappings = gpm_maps_gs2 };
+          { Classical.schema = Sources.pepseeker_name; mappings = pep_maps_gs3 };
+        ];
+    }
+  in
+  let* ladder = Classical.ladder repo [ stage1; stage2; stage3 ] in
+  let manual stage source =
+    match List.nth_opt ladder.Classical.stages stage with
+    | Some o -> (
+        match List.assoc_opt source o.Classical.per_source_manual with
+        | Some n -> n
+        | None -> 0)
+    | None -> 0
+  in
+  let gs2_pep =
+    match ladder.Classical.new_manual_per_stage with
+    | _ :: ("GS2", n) :: _ -> n
+    | _ -> 0
+  in
+  Ok
+    {
+      ladder;
+      gs1_gpm = manual 0 Sources.gpmdb_name;
+      gs1_pep = manual 0 Sources.pepseeker_name;
+      gs2_pep;
+      total_manual = ladder.Classical.total_manual;
+    }

@@ -1,0 +1,252 @@
+module Value = Automed_iql.Value
+module Relational = Automed_datasource.Relational
+
+type query = {
+  number : int;
+  title : string;
+  global_text : string;
+  classical_text : string;
+  needs_iteration : int;
+  ground_truth : Sources.dataset -> Value.Bag.t;
+}
+
+(* -- helpers over the raw relational data ------------------------------- *)
+
+let get_table db name =
+  match Relational.find_table db name with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "ground truth: no table %s" name)
+
+(* (key, value) pairs of a column, skipping NULLs *)
+let pairs db tname col =
+  match Relational.column_extent (get_table db tname) col with
+  | Ok bag ->
+      Value.Bag.fold
+        (fun v n acc ->
+          match v with
+          | Value.Tuple [ k; x ] -> List.init n (fun _ -> (k, x)) @ acc
+          | _ -> acc)
+        bag []
+  | Error e -> invalid_arg e
+
+let str_of = function Value.Str s -> s | v -> Value.to_string v
+
+let tagged tag k = Value.tuple2 (Value.Str tag) k
+
+(* Pedro peptide hits with their search and sequence, and protein hits
+   with their search: the joins behind queries 4-6. *)
+let pedro_pephits ds =
+  let seqs = pairs ds.Sources.pedro "peptidehit" "sequence" in
+  let searches = pairs ds.Sources.pedro "peptidehit" "db_search" in
+  List.filter_map
+    (fun (k, sq) ->
+      match List.assoc_opt k searches with
+      | Some search -> Some (k, str_of sq, search)
+      | None -> None)
+    seqs
+
+let pedro_prothits ds = pairs ds.Sources.pedro "proteinhit" "db_search"
+
+(* -- ground truths ------------------------------------------------------ *)
+
+let gt_accession ds =
+  let hit tag tname col db =
+    pairs db tname col
+    |> List.filter_map (fun (k, v) ->
+           if str_of v = Sources.Known.accession then Some (tagged tag k)
+           else None)
+  in
+  Value.Bag.of_list
+    (hit Sources.Known.pedro_tag "protein" "accession_num" ds.Sources.pedro
+    @ hit Sources.Known.gpmdb_tag "proseq" "label" ds.Sources.gpmdb
+    @ hit Sources.Known.pepseeker_tag "protein" "accession" ds.Sources.pepseeker)
+
+let gt_pedro_column_match column wanted ds =
+  pairs ds.Sources.pedro "protein" column
+  |> List.filter_map (fun (k, v) ->
+         if str_of v = wanted then Some (tagged Sources.Known.pedro_tag k)
+         else None)
+  |> Value.Bag.of_list
+
+(* Query 4: protein hits sharing a db search with a peptide hit whose
+   sequence is the given peptide (all contributions are Pedro's, since
+   only Pedro populates <<UPeptideHit,dbsearch>>). *)
+let gt_peptide_hits ds =
+  let peps = pedro_pephits ds in
+  let hits = pedro_prothits ds in
+  List.concat_map
+    (fun (_, sq, search) ->
+      if sq = Sources.Known.peptide_sequence then
+        List.filter_map
+          (fun (h, s) ->
+            if Value.equal s search then
+              Some (tagged Sources.Known.pedro_tag h)
+            else None)
+          hits
+      else [])
+    peps
+  |> Value.Bag.of_list
+
+(* Query 5: as query 4, restricted to hits of the protein with the given
+   accession. *)
+let gt_peptide_hits_of_protein ds =
+  let protein_of = pairs ds.Sources.pedro "proteinhit" "protein" in
+  let accession_of = pairs ds.Sources.pedro "protein" "accession_num" in
+  let wanted h =
+    match List.assoc_opt h protein_of with
+    | None -> false
+    | Some p -> (
+        match List.assoc_opt p accession_of with
+        | Some a -> str_of a = Sources.Known.accession
+        | None -> false)
+  in
+  Value.Bag.fold
+    (fun v n acc ->
+      match v with
+      | Value.Tuple [ _; h ] when wanted h -> Value.Bag.add ~count:n v acc
+      | _ -> acc)
+    (gt_peptide_hits ds) Value.Bag.empty
+
+let given_hit = "PED-PH0"
+
+(* Query 6: sequences and probabilities of the peptide hits sharing the
+   given protein hit's db search. *)
+let gt_peptide_info ds =
+  let hits = pedro_prothits ds in
+  match List.assoc_opt (Value.Str given_hit) hits with
+  | None -> Value.Bag.empty
+  | Some search ->
+      let probs = pairs ds.Sources.pedro "peptidehit" "probability" in
+      pedro_pephits ds
+      |> List.filter_map (fun (k, sq, s) ->
+             if Value.equal s search then
+               match List.assoc_opt k probs with
+               | Some pb -> Some (Value.tuple2 (Value.Str sq) pb)
+               | None -> None
+             else None)
+      |> Value.Bag.of_list
+
+(* Query 7: all ion information - untouched PepSeeker content, available
+   through the federated part of the global schema. *)
+let gt_ions ds =
+  match
+    Relational.column_extent (get_table ds.Sources.pepseeker "iontable") "immon"
+  with
+  | Ok bag -> bag
+  | Error e -> invalid_arg e
+
+(* -- the seven queries --------------------------------------------------- *)
+
+let all =
+  [
+    {
+      number = 1;
+      title = "all protein identifications for a given protein accession number";
+      global_text =
+        Printf.sprintf
+          "[{s,k} | {s,k,a} <- <<UProtein,accession_num>>; a = '%s']"
+          Sources.Known.accession;
+      classical_text =
+        Printf.sprintf "[k | {k,a} <- <<protein,accession_num>>; a = '%s']"
+          Sources.Known.accession;
+      needs_iteration = 1;
+      ground_truth = gt_accession;
+    };
+    {
+      number = 2;
+      title = "all protein identifications for a given group of proteins";
+      global_text =
+        Printf.sprintf "[{s,k} | {s,k,d} <- <<UProtein,description>>; d = '%s']"
+          Sources.Known.family_description;
+      classical_text =
+        Printf.sprintf "[k | {k,d} <- <<protein,description>>; d = '%s']"
+          Sources.Known.family_description;
+      needs_iteration = 2;
+      ground_truth =
+        gt_pedro_column_match "description" Sources.Known.family_description;
+    };
+    {
+      number = 3;
+      title = "all protein identifications for a given organism";
+      global_text =
+        Printf.sprintf "[{s,k} | {s,k,o} <- <<UProtein,organism>>; o = '%s']"
+          Sources.Known.organism;
+      classical_text =
+        Printf.sprintf "[k | {k,o} <- <<protein,organism>>; o = '%s']"
+          Sources.Known.organism;
+      needs_iteration = 3;
+      ground_truth = gt_pedro_column_match "organism" Sources.Known.organism;
+    };
+    {
+      number = 4;
+      title =
+        "all protein identifications given a certain peptide and related \
+         amino acid information";
+      global_text =
+        Printf.sprintf
+          "[h | {p,h} <- <<uPeptideHitToProteinHitmm>>; {s,k,sq} <- \
+           <<UPeptideHit,sequence>>; p = {s,k}; sq = '%s']"
+          Sources.Known.peptide_sequence;
+      classical_text =
+        Printf.sprintf
+          "[h | {p,ds} <- <<peptidehit,db_search>>; {p2,sq} <- \
+           <<peptidehit,sequence>>; p2 = p; sq = '%s'; {h,ds2} <- \
+           <<proteinhit,db_search>>; ds2 = ds]"
+          Sources.Known.peptide_sequence;
+      needs_iteration = 5;
+      ground_truth = gt_peptide_hits;
+    };
+    {
+      number = 5;
+      title = "all identifications of a given protein given a certain peptide";
+      global_text =
+        Printf.sprintf
+          "[h | {p,h} <- <<uPeptideHitToProteinHitmm>>; {s,k,sq} <- \
+           <<UPeptideHit,sequence>>; p = {s,k}; sq = '%s'; {s2,h2,pr} <- \
+           <<UProteinHit,protein>>; h = {s2,h2}; {s3,k3,a} <- \
+           <<UProtein,accession_num>>; s3 = s2; k3 = pr; a = '%s']"
+          Sources.Known.peptide_sequence Sources.Known.accession;
+      classical_text =
+        Printf.sprintf
+          "[h | {p,ds} <- <<peptidehit,db_search>>; {p2,sq} <- \
+           <<peptidehit,sequence>>; p2 = p; sq = '%s'; {h,ds2} <- \
+           <<proteinhit,db_search>>; ds2 = ds; {h2,pr} <- \
+           <<proteinhit,protein>>; h2 = h; {k3,a} <- \
+           <<protein,accession_num>>; k3 = pr; a = '%s']"
+          Sources.Known.peptide_sequence Sources.Known.accession;
+      needs_iteration = 5;
+      ground_truth = gt_peptide_hits_of_protein;
+    };
+    {
+      number = 6;
+      title =
+        "all peptide-related information for a given protein identification";
+      global_text =
+        Printf.sprintf
+          "[{sq,pb} | {p,h} <- <<uPeptideHitToProteinHitmm>>; h = \
+           {'PEDRO','%s'}; {s,k,sq} <- <<UPeptideHit,sequence>>; p = {s,k}; \
+           {s2,k2,pb} <- <<UPeptideHit,probability>>; s2 = s; k2 = k]"
+          given_hit;
+      classical_text =
+        Printf.sprintf
+          "[{sq,pb} | {h,ds} <- <<proteinhit,db_search>>; h = '%s'; {p,ds2} \
+           <- <<peptidehit,db_search>>; ds2 = ds; {p2,sq} <- \
+           <<peptidehit,sequence>>; p2 = p; {p3,pb} <- \
+           <<peptidehit,probability>>; p3 = p]"
+          given_hit;
+      needs_iteration = 6;
+      ground_truth = gt_peptide_info;
+    };
+    {
+      number = 7;
+      title = "all ion related information";
+      global_text =
+        Printf.sprintf "[{k,v} | {k,v} <- <<%s:iontable,immon>>]"
+          Sources.pepseeker_name;
+      classical_text = "[{k,v} | {k,v} <- <<iontable,immon>>]";
+      needs_iteration = 0;
+      ground_truth = gt_ions;
+    };
+  ]
+
+let find n = List.find (fun q -> q.number = n) all

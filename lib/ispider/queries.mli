@@ -1,0 +1,35 @@
+(** The seven priority queries of the iSpider case study (paper Section 3
+    and Table 1), in two forms:
+
+    - {e global form}: over the intersection-methodology global schema
+      (concepts [UProtein], [UProteinHit], [UPeptideHit], ...), with the
+      provenance-tagged keys of the paper's transformations;
+    - {e classical form}: over the classical union-compatible global
+      schema GS1/GS2/GS3 (Pedro-shaped concepts, untagged merged extents).
+
+    Each query also carries a ground-truth function computing the expected
+    answer {e directly} from the generated relational data, bypassing the
+    whole integration machinery: the integration is correct when running
+    the query through the query processor returns exactly the ground
+    truth. *)
+
+module Value = Automed_iql.Value
+
+type query = {
+  number : int;  (** 1-7, the paper's priority order *)
+  title : string;  (** the paper's description *)
+  global_text : string;  (** IQL over the intersection-based global schema *)
+  classical_text : string;  (** IQL over the classical GS3 *)
+  needs_iteration : int;
+      (** first intersection-workflow iteration after which the global
+          form is answerable (0 = answerable on the initial federated
+          schema) *)
+  ground_truth : Sources.dataset -> Value.Bag.t;
+      (** expected answer of the global form *)
+}
+
+val all : query list
+(** The seven queries, in priority order. *)
+
+val find : int -> query
+(** @raise Not_found for numbers outside 1-7. *)

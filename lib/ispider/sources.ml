@@ -1,0 +1,523 @@
+module Relational = Automed_datasource.Relational
+module Wrapper = Automed_datasource.Wrapper
+module Prng = Automed_base.Prng
+module Repository = Automed_repository.Repository
+
+let pedro_name = "pedro"
+let gpmdb_name = "gpmdb"
+let pepseeker_name = "pepseeker"
+
+module Known = struct
+  let accession = "P68871"
+  let family_description = "kinase family"
+  let organism = "Homo sapiens"
+  let peptide_sequence = "MVHLTPEEK"
+  let pedro_tag = "PEDRO"
+  let gpmdb_tag = "gpmDB"
+  let pepseeker_tag = "pepSeeker"
+end
+
+type dataset = {
+  pedro : Relational.db;
+  gpmdb : Relational.db;
+  pepseeker : Relational.db;
+}
+
+(* -- schema definitions ------------------------------------------------ *)
+
+let s = Relational.CStr
+let f = Relational.CFloat
+let i = Relational.CInt
+
+let table name cols =
+  match Relational.create_table ~name ~key:"id" (("id", s) :: cols) with
+  | Ok t -> t
+  | Error e -> invalid_arg e
+
+(* Pedro: 9 tables, 34 non-key columns -> 43 schema objects. *)
+let pedro_tables () =
+  [
+    table "protein"
+      [ ("accession_num", s); ("description", s); ("organism", s);
+        ("predicted_mass", f); ("sequence", s) ];
+    table "proteinhit"
+      [ ("protein", s); ("db_search", s); ("score", f);
+        ("all_peptides_matched", i) ];
+    table "peptidehit"
+      [ ("db_search", s); ("sequence", s); ("score", f); ("probability", f);
+        ("mass_error", f) ];
+    table "db_search"
+      [ ("experiment", s); ("username", s); ("id_date", s); ("database", s);
+        ("db_version", s) ];
+    table "experiment"
+      [ ("hypothesis", s); ("method_citation", s); ("result_citation", s) ];
+    table "sample" [ ("experiment", s); ("sample_date", s); ("description", s) ];
+    table "analyte_processing_step"
+      [ ("sample", s); ("description", s); ("step_type", s) ];
+    table "gel_1d"
+      [ ("analyte_processing_step", s); ("description", s); ("pixel_size_x", f) ];
+    table "ion_source" [ ("db_search", s); ("source_type", s); ("voltage", f) ];
+  ]
+
+(* gpmDB: 14 tables, 46 non-key columns -> 60 schema objects. *)
+let gpmdb_tables () =
+  [
+    table "proseq" [ ("label", s); ("seq", s); ("rf", i) ];
+    table "protein" [ ("proseqid", s); ("pathid", s); ("expect", f); ("uid", i) ];
+    table "peptide"
+      [ ("proid", s); ("seq", s); ("start_pos", i); ("end_pos", i); ("expect", f) ];
+    table "path" [ ("file", s); ("title", s); ("client", s) ];
+    table "aa" [ ("pepid", s); ("type_", s); ("at_pos", i); ("modified", s) ];
+    table "result" [ ("pathid", s); ("proseqid", s); ("note", s) ];
+    table "histogram" [ ("pathid", s); ("htype", s); ("values_", s) ];
+    table "distribution" [ ("pathid", s); ("dtype", s); ("values_", s) ];
+    table "peptide_count" [ ("proseqid", s); ("cnt", i) ];
+    table "sample_info" [ ("pathid", s); ("description", s); ("taxonomy", s) ];
+    table "modification" [ ("aaid", s); ("mtype", s); ("mass_delta", f) ];
+    table "spectrum"
+      [ ("pathid", s); ("precursor_mz", f); ("charge", i); ("intensity", f) ];
+    table "protein_keywords" [ ("proseqid", s); ("keyword", s); ("source_db", s) ];
+    table "peptide_histogram" [ ("pepid", s); ("htype", s); ("values_", s) ];
+  ]
+
+(* PepSeeker: 12 tables, 50 non-key columns -> 62 schema objects. *)
+let pepseeker_tables () =
+  [
+    table "protein"
+      [ ("accession", s); ("description", s); ("mass", f); ("taxon", s);
+        ("sequence", s) ];
+    table "proteinhit"
+      [ ("proteinid", s); ("fileparameters", s); ("score", f);
+        ("hitnumber", i); ("masses", s) ];
+    table "peptidehit"
+      [ ("pepseq", s); ("score", f); ("expect", f); ("masserror", f);
+        ("charge", i); ("fileparameters", s) ];
+    table "fileparameters"
+      [ ("filename", s); ("database", s); ("taxonomy", s); ("enzyme", s);
+        ("username", s); ("search_date", s); ("db_version", s) ];
+    table "iontable"
+      [ ("peptidehit_id", s); ("immon", f); ("a_ion", f); ("b_ion", f);
+        ("y_ion", f) ];
+    table "querydata"
+      [ ("fileparameters_id", s); ("querynumber", i); ("precursor_mass", f) ];
+    table "proteindata"
+      [ ("proteinhit_id", s); ("start_pos", i); ("end_pos", i);
+        ("multiplicity", i) ];
+    table "phosphorylation" [ ("peptidehit_id", s); ("site", i); ("residue", s) ];
+    table "instrument"
+      [ ("fileparameters_id", s); ("name_", s); ("source", s); ("detector", s);
+        ("voltage", f) ];
+    table "modifications" [ ("peptidehit_id", s); ("mod_name", s); ("mod_mass", f) ];
+    table "errortolerant" [ ("peptidehit_id", s); ("err_type", s); ("delta", f) ];
+    table "searchsession"
+      [ ("fileparameters_id", s); ("hypothesis", s); ("session_date", s);
+        ("operator_", s) ];
+  ]
+
+(* -- synthetic data ----------------------------------------------------- *)
+
+type protein_info = {
+  p_index : int;
+  acc : string;
+  descr : string;
+  org : string;
+  seq : string;
+  mass : float;
+  peptides : string list;
+}
+
+let descriptions =
+  [| "kinase family"; "transport protein"; "membrane receptor";
+     "structural protein"; "transcription factor"; "heat shock protein" |]
+
+let organisms = [| "Homo sapiens"; "Mus musculus"; "Escherichia coli" |]
+let residues = "ACDEFGHIKLMNPQRSTVWY"
+
+let random_peptide rng len =
+  String.init len (fun _ -> residues.[Prng.int rng (String.length residues)])
+
+let make_universe rng scale =
+  List.init scale (fun idx ->
+      let planted = idx = 0 in
+      let acc =
+        if planted then Known.accession else Printf.sprintf "P%05d" (10000 + idx)
+      in
+      let descr =
+        if planted || idx mod 5 = 1 then Known.family_description
+        else Prng.choose rng descriptions
+      in
+      let org =
+        if planted || idx mod 3 = 1 then Known.organism
+        else Prng.choose rng organisms
+      in
+      let n_peps = 2 + Prng.int rng 3 in
+      let peptides =
+        List.init n_peps (fun p ->
+            if planted && p = 0 then Known.peptide_sequence
+            else random_peptide rng (6 + Prng.int rng 6))
+      in
+      let seq = String.concat "" peptides in
+      {
+        p_index = idx;
+        acc;
+        descr;
+        org;
+        seq;
+        mass = 10000.0 +. Prng.float rng 90000.0;
+        peptides;
+      })
+
+let sc = Relational.str_cell
+let fc = Relational.float_cell
+let ic = Relational.int_cell
+
+let get_table db name =
+  match Relational.find_table db name with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "no table %s" name)
+
+let with_rows db name rows =
+  let t = get_table db name in
+  match Relational.insert_all t rows with
+  | Ok t -> Relational.replace_table db t
+  | Error e -> invalid_arg e
+
+let db_of_tables name tables =
+  List.fold_left
+    (fun db t ->
+      match Relational.add_table db t with
+      | Ok db -> db
+      | Error e -> invalid_arg e)
+    (Relational.create_db name) tables
+
+(* Pedro holds every protein of the universe. *)
+let populate_pedro rng universe db =
+  let searches = max 2 (List.length universe / 8) in
+  let db =
+    with_rows db "experiment"
+      (List.init 2 (fun e ->
+           [ sc (Printf.sprintf "PED-E%d" e); sc "differential expression";
+             sc "doi:10.1000/pedro"; sc "doi:10.1000/results" ]))
+  in
+  let db =
+    with_rows db "db_search"
+      (List.init searches (fun j ->
+           [ sc (Printf.sprintf "PED-S%d" j);
+             sc (Printf.sprintf "PED-E%d" (j mod 2));
+             sc (Printf.sprintf "analyst%d" (j mod 3));
+             sc (Printf.sprintf "2006-0%d-01" (1 + (j mod 9)));
+             sc "SwissProt"; sc (Printf.sprintf "v%d" (40 + j)) ]))
+  in
+  let db =
+    with_rows db "protein"
+      (List.map
+         (fun p ->
+           [ sc (Printf.sprintf "PED-P%d" p.p_index); sc p.acc; sc p.descr;
+             sc p.org; fc p.mass; sc p.seq ])
+         universe)
+  in
+  let hit_rows, pep_rows =
+    List.fold_left
+      (fun (hits, peps) p ->
+        let search = p.p_index mod searches in
+        let hit =
+          [ sc (Printf.sprintf "PED-PH%d" p.p_index);
+            sc (Printf.sprintf "PED-P%d" p.p_index);
+            sc (Printf.sprintf "PED-S%d" search);
+            fc (30.0 +. Prng.float rng 70.0);
+            ic (List.length p.peptides) ]
+        in
+        let peps' =
+          List.mapi
+            (fun j pep ->
+              [ sc (Printf.sprintf "PED-PEP%d-%d" p.p_index j);
+                sc (Printf.sprintf "PED-S%d" search); sc pep;
+                fc (10.0 +. Prng.float rng 40.0);
+                fc (Prng.float rng 1.0); fc (Prng.float rng 0.01) ])
+            p.peptides
+        in
+        (hit :: hits, List.rev_append peps' peps))
+      ([], []) universe
+  in
+  let db = with_rows db "proteinhit" (List.rev hit_rows) in
+  let db = with_rows db "peptidehit" (List.rev pep_rows) in
+  let db =
+    with_rows db "sample"
+      (List.init 3 (fun k ->
+           [ sc (Printf.sprintf "PED-SA%d" k); sc (Printf.sprintf "PED-E%d" (k mod 2));
+             sc "2006-01-15"; sc (Printf.sprintf "serum sample %d" k) ]))
+  in
+  let db =
+    with_rows db "analyte_processing_step"
+      (List.init 3 (fun k ->
+           [ sc (Printf.sprintf "PED-APS%d" k); sc (Printf.sprintf "PED-SA%d" k);
+             sc "tryptic digest"; sc "digestion" ]))
+  in
+  let db =
+    with_rows db "gel_1d"
+      (List.init 2 (fun k ->
+           [ sc (Printf.sprintf "PED-GEL%d" k); sc (Printf.sprintf "PED-APS%d" k);
+             sc "12% acrylamide"; fc 0.5 ]))
+  in
+  with_rows db "ion_source"
+    (List.init searches (fun j ->
+         [ sc (Printf.sprintf "PED-ION%d" j); sc (Printf.sprintf "PED-S%d" j);
+           sc "ESI"; fc (2.0 +. Prng.float rng 3.0) ]))
+
+(* gpmDB holds every second protein (so it overlaps Pedro but not fully). *)
+let populate_gpmdb rng universe db =
+  let mine = List.filter (fun p -> p.p_index mod 2 = 0) universe in
+  let paths = max 2 (List.length mine / 6) in
+  let db =
+    with_rows db "path"
+      (List.init paths (fun j ->
+           [ sc (Printf.sprintf "GPM-PA%d" j);
+             sc (Printf.sprintf "run%03d.xml" j);
+             sc (Printf.sprintf "GPM run %d" j);
+             sc (Printf.sprintf "client%d" (j mod 4)) ]))
+  in
+  let db =
+    with_rows db "proseq"
+      (List.map
+         (fun p ->
+           [ sc (Printf.sprintf "GPM-PS%d" p.p_index); sc p.acc; sc p.seq;
+             ic (p.p_index mod 3) ])
+         mine)
+  in
+  let db =
+    with_rows db "protein"
+      (List.map
+         (fun p ->
+           [ sc (Printf.sprintf "GPM-PR%d" p.p_index);
+             sc (Printf.sprintf "GPM-PS%d" p.p_index);
+             sc (Printf.sprintf "GPM-PA%d" (p.p_index mod paths));
+             fc (Prng.float rng 0.1); ic (100000 + p.p_index) ])
+         mine)
+  in
+  let pep_rows =
+    List.concat_map
+      (fun p ->
+        List.mapi
+          (fun j pep ->
+            [ sc (Printf.sprintf "GPM-PE%d-%d" p.p_index j);
+              sc (Printf.sprintf "GPM-PR%d" p.p_index); sc pep;
+              ic (j * 10); ic ((j * 10) + String.length pep);
+              fc (Prng.float rng 0.2) ])
+          p.peptides)
+      mine
+  in
+  let db = with_rows db "peptide" pep_rows in
+  let first_peps =
+    List.filteri (fun idx _ -> idx < 10) pep_rows
+    |> List.map (fun row -> match row with
+        | Some (Automed_iql.Value.Str id) :: _ -> id
+        | _ -> "GPM-PE0-0")
+  in
+  let db =
+    with_rows db "aa"
+      (List.mapi
+         (fun k pid ->
+           [ sc (Printf.sprintf "GPM-AA%d" k); sc pid; sc "S"; ic (k mod 7);
+             sc (if k mod 2 = 0 then "phospho" else "none") ])
+         first_peps)
+  in
+  let db =
+    with_rows db "result"
+      (List.mapi
+         (fun k p ->
+           [ sc (Printf.sprintf "GPM-RES%d" k);
+             sc (Printf.sprintf "GPM-PA%d" (k mod paths));
+             sc (Printf.sprintf "GPM-PS%d" p.p_index);
+             sc "expression study" ])
+         (List.filteri (fun idx _ -> idx < 8) mine))
+  in
+  let db =
+    with_rows db "histogram"
+      (List.init paths (fun j ->
+           [ sc (Printf.sprintf "GPM-H%d" j); sc (Printf.sprintf "GPM-PA%d" j);
+             sc "expect"; sc "1,4,9,2" ]))
+  in
+  let db =
+    with_rows db "distribution"
+      (List.init paths (fun j ->
+           [ sc (Printf.sprintf "GPM-D%d" j); sc (Printf.sprintf "GPM-PA%d" j);
+             sc "charge"; sc "2:40,3:20" ]))
+  in
+  let db =
+    with_rows db "peptide_count"
+      (List.map
+         (fun p ->
+           [ sc (Printf.sprintf "GPM-PC%d" p.p_index);
+             sc (Printf.sprintf "GPM-PS%d" p.p_index);
+             ic (List.length p.peptides) ])
+         mine)
+  in
+  let db =
+    with_rows db "sample_info"
+      (List.init paths (fun j ->
+           [ sc (Printf.sprintf "GPM-SI%d" j); sc (Printf.sprintf "GPM-PA%d" j);
+             sc (Printf.sprintf "plasma sample %d" j); sc "Homo sapiens" ]))
+  in
+  let db =
+    with_rows db "modification"
+      (List.init (min 6 (List.length first_peps)) (fun k ->
+           [ sc (Printf.sprintf "GPM-MO%d" k); sc (Printf.sprintf "GPM-AA%d" k);
+             sc "phosphorylation"; fc 79.97 ]))
+  in
+  let db =
+    with_rows db "spectrum"
+      (List.init (paths * 2) (fun k ->
+           [ sc (Printf.sprintf "GPM-SP%d" k);
+             sc (Printf.sprintf "GPM-PA%d" (k mod paths));
+             fc (400.0 +. Prng.float rng 1200.0); ic (2 + (k mod 2));
+             fc (Prng.float rng 1e6) ]))
+  in
+  let db =
+    with_rows db "protein_keywords"
+      (List.mapi
+         (fun k p ->
+           [ sc (Printf.sprintf "GPM-KW%d" k);
+             sc (Printf.sprintf "GPM-PS%d" p.p_index); sc "enzyme";
+             sc "SwissProt" ])
+         (List.filteri (fun idx _ -> idx < 10) mine))
+  in
+  with_rows db "peptide_histogram"
+    (List.mapi
+       (fun k pid ->
+         [ sc (Printf.sprintf "GPM-PH%d" k); sc pid; sc "ion"; sc "3,1,4" ])
+       first_peps)
+
+(* PepSeeker holds every third protein. *)
+let populate_pepseeker rng universe db =
+  let mine = List.filter (fun p -> p.p_index mod 3 = 0) universe in
+  let files = max 2 (List.length mine / 5) in
+  let db =
+    with_rows db "fileparameters"
+      (List.init files (fun j ->
+           [ sc (Printf.sprintf "SEEK-F%d" j);
+             sc (Printf.sprintf "spectra%03d.mgf" j); sc "NCBInr";
+             sc "Homo sapiens"; sc "Trypsin";
+             sc (Printf.sprintf "operator%d" (j mod 2));
+             sc (Printf.sprintf "2006-1%d-05" (j mod 2));
+             sc (Printf.sprintf "nr%d" (20 + j)) ]))
+  in
+  let db =
+    with_rows db "protein"
+      (List.map
+         (fun p ->
+           [ sc (Printf.sprintf "SEEK-P%d" p.p_index); sc p.acc; sc p.descr;
+             fc p.mass; sc p.org; sc p.seq ])
+         mine)
+  in
+  let db =
+    with_rows db "proteinhit"
+      (List.map
+         (fun p ->
+           [ sc (Printf.sprintf "SEEK-PH%d" p.p_index);
+             sc (Printf.sprintf "SEEK-P%d" p.p_index);
+             sc (Printf.sprintf "SEEK-F%d" (p.p_index mod files));
+             fc (20.0 +. Prng.float rng 80.0); ic (1 + (p.p_index mod 5));
+             sc "1203.5,890.2" ])
+         mine)
+  in
+  let pep_rows =
+    List.concat_map
+      (fun p ->
+        List.mapi
+          (fun j pep ->
+            [ sc (Printf.sprintf "SEEK-PEP%d-%d" p.p_index j); sc pep;
+              fc (15.0 +. Prng.float rng 60.0); fc (Prng.float rng 0.5);
+              fc (Prng.float rng 0.02); ic (2 + (j mod 2));
+              sc (Printf.sprintf "SEEK-F%d" (p.p_index mod files)) ])
+          p.peptides)
+      mine
+  in
+  let db = with_rows db "peptidehit" pep_rows in
+  let pep_ids =
+    List.map
+      (fun row -> match row with
+        | Some (Automed_iql.Value.Str id) :: _ -> id
+        | _ -> "SEEK-PEP0-0")
+      pep_rows
+  in
+  let db =
+    with_rows db "iontable"
+      (List.mapi
+         (fun k pid ->
+           [ sc (Printf.sprintf "SEEK-ION%d" k); sc pid;
+             fc (60.0 +. Prng.float rng 100.0); fc (Prng.float rng 500.0);
+             fc (Prng.float rng 800.0); fc (Prng.float rng 900.0) ])
+         (List.filteri (fun idx _ -> idx < 12) pep_ids))
+  in
+  let db =
+    with_rows db "querydata"
+      (List.init files (fun j ->
+           [ sc (Printf.sprintf "SEEK-Q%d" j); sc (Printf.sprintf "SEEK-F%d" j);
+             ic (j + 1); fc (800.0 +. Prng.float rng 2000.0) ]))
+  in
+  let db =
+    with_rows db "proteindata"
+      (List.mapi
+         (fun k p ->
+           [ sc (Printf.sprintf "SEEK-PD%d" k);
+             sc (Printf.sprintf "SEEK-PH%d" p.p_index); ic 1;
+             ic (String.length p.seq); ic (1 + (k mod 3)) ])
+         (List.filteri (fun idx _ -> idx < 8) mine))
+  in
+  let db =
+    with_rows db "phosphorylation"
+      (List.mapi
+         (fun k pid ->
+           [ sc (Printf.sprintf "SEEK-PHOS%d" k); sc pid; ic (k mod 9); sc "S" ])
+         (List.filteri (fun idx _ -> idx < 6) pep_ids))
+  in
+  let db =
+    with_rows db "instrument"
+      (List.init files (fun j ->
+           [ sc (Printf.sprintf "SEEK-I%d" j); sc (Printf.sprintf "SEEK-F%d" j);
+             sc "QTOF-2"; sc "ESI"; sc "MCP"; fc (2.5 +. Prng.float rng 2.0) ]))
+  in
+  let db =
+    with_rows db "modifications"
+      (List.mapi
+         (fun k pid ->
+           [ sc (Printf.sprintf "SEEK-MOD%d" k); sc pid; sc "Oxidation (M)";
+             fc 15.99 ])
+         (List.filteri (fun idx _ -> idx < 6) pep_ids))
+  in
+  let db =
+    with_rows db "errortolerant"
+      (List.mapi
+         (fun k pid ->
+           [ sc (Printf.sprintf "SEEK-ET%d" k); sc pid; sc "substitution";
+             fc (Prng.float rng 1.0) ])
+         (List.filteri (fun idx _ -> idx < 4) pep_ids))
+  in
+  with_rows db "searchsession"
+    (List.init files (fun j ->
+         [ sc (Printf.sprintf "SEEK-SS%d" j); sc (Printf.sprintf "SEEK-F%d" j);
+           sc "protein identification"; sc "2006-11-05";
+           sc (Printf.sprintf "operator%d" (j mod 2)) ]))
+
+let generate ?(seed = 42L) ?(scale = 30) () =
+  let rng = Prng.create seed in
+  let universe = make_universe rng scale in
+  let pedro =
+    populate_pedro rng universe (db_of_tables pedro_name (pedro_tables ()))
+  in
+  let gpmdb =
+    populate_gpmdb rng universe (db_of_tables gpmdb_name (gpmdb_tables ()))
+  in
+  let pepseeker =
+    populate_pepseeker rng universe
+      (db_of_tables pepseeker_name (pepseeker_tables ()))
+  in
+  { pedro; gpmdb; pepseeker }
+
+let ( let* ) = Result.bind
+
+let wrap_all repo ds =
+  let* _ = Wrapper.wrap repo ds.pedro in
+  let* _ = Wrapper.wrap repo ds.gpmdb in
+  let* _ = Wrapper.wrap repo ds.pepseeker in
+  Ok ()

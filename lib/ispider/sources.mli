@@ -1,0 +1,64 @@
+(** The iSpider case-study data sources: Pedro, gpmDB and PepSeeker.
+
+    The real services are long offline and their full schemas are not in
+    the paper, so this module reconstructs representative fragments: every
+    table and column the paper mentions is present under its paper name,
+    and each schema is padded with further realistic proteomics tables so
+    that the transformation counts of the paper's Section 3 case study
+    (19, 35 and 41 non-trivial classical transformations; see
+    {!Classical_run}) are reproducible.  Data is synthetic, produced by a
+    deterministic generator, with a protein/peptide universe shared across
+    the three sources so that their semantic intersections are non-empty.
+
+    All tables use a surrogate string key column [id]; wrappers do not
+    emit a schema object for the key column (the table object's extent
+    already carries the keys). *)
+
+module Relational = Automed_datasource.Relational
+
+(** Well-known values planted by the generator, used as query parameters
+    and in ground-truth checks. *)
+module Known : sig
+  (** An accession present in all three sources. *)
+  val accession : string
+
+  (** A description shared by several Pedro proteins (query 2's "group of
+      proteins"). *)
+  val family_description : string
+
+  (** An organism used by several Pedro proteins. *)
+  val organism : string
+
+  (** A peptide sequence with hits. *)
+  val peptide_sequence : string
+
+  (** ['PEDRO'], the provenance tag. *)
+  val pedro_tag : string
+
+  (** ['gpmDB']. *)
+  val gpmdb_tag : string
+
+  (** ['pepSeeker']. *)
+  val pepseeker_tag : string
+end
+
+type dataset = {
+  pedro : Relational.db;
+  gpmdb : Relational.db;
+  pepseeker : Relational.db;
+}
+
+val generate : ?seed:int64 -> ?scale:int -> unit -> dataset
+(** [scale] (default 30) is the number of proteins in the shared
+    universe; row counts grow linearly with it.  The same seed and scale
+    always produce identical databases. *)
+
+val wrap_all :
+  Automed_repository.Repository.t -> dataset ->
+  (unit, string) result
+(** Registers the three source schemas ([pedro], [gpmdb], [pepseeker])
+    and materialises their extents. *)
+
+val pedro_name : string
+val gpmdb_name : string
+val pepseeker_name : string

@@ -1,0 +1,142 @@
+module Scheme = Automed_base.Scheme
+module Ast = Automed_iql.Ast
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Workflow = Automed_integration.Workflow
+module Intersection = Automed_integration.Intersection
+
+type model = {
+  clicks_per_manual : int;
+  clicks_per_auto : int;
+  seconds_per_click : float;
+  seconds_per_keystroke : float;
+}
+
+let default_model =
+  {
+    clicks_per_manual = 6;
+    clicks_per_auto = 1;
+    seconds_per_click = 1.5;
+    seconds_per_keystroke = 0.28;
+  }
+
+type cost = {
+  transformations : int;
+  clicks : int;
+  keystrokes : int;
+  minutes : float;
+}
+
+let zero = { transformations = 0; clicks = 0; keystrokes = 0; minutes = 0.0 }
+
+let add a b =
+  {
+    transformations = a.transformations + b.transformations;
+    clicks = a.clicks + b.clicks;
+    keystrokes = a.keystrokes + b.keystrokes;
+    minutes = a.minutes +. b.minutes;
+  }
+
+let pp ppf c =
+  Fmt.pf ppf "%d transformations, %d clicks, %d keystrokes, ~%.1f min"
+    c.transformations c.clicks c.keystrokes c.minutes
+
+let finish model c =
+  {
+    c with
+    minutes =
+      (float_of_int c.clicks *. model.seconds_per_click
+      +. float_of_int c.keystrokes *. model.seconds_per_keystroke)
+      /. 60.0;
+  }
+
+let step_cost model acc (step : Transform.prim) =
+  match step with
+  | Transform.Add (_, q) | Transform.Delete (_, q)
+    when not (Ast.is_range_void_any q) ->
+      (* typed by the integrator (automatically inverted deletes are
+         indistinguishable here; treating them as typed makes the model
+         conservative for the intersection methodology) *)
+      {
+        acc with
+        transformations = acc.transformations + 1;
+        clicks = acc.clicks + model.clicks_per_manual;
+        keystrokes = acc.keystrokes + String.length (Ast.to_string q);
+      }
+  | Transform.Add _ | Transform.Delete _ | Transform.Extend _
+  | Transform.Contract _ | Transform.Rename _ | Transform.Id _ ->
+      { acc with clicks = acc.clicks + model.clicks_per_auto }
+
+let pathway_cost ?(model = default_model) (p : Transform.pathway) =
+  finish model (List.fold_left (step_cost model) zero p.Transform.steps)
+
+(* For effort accounting we distinguish user-typed adds from tool-derived
+   deletes: only the add of each (target) is typed; its inverted delete
+   is accepted with a click. *)
+let side_pathway_cost model (p : Transform.pathway) =
+  let acc =
+    List.fold_left
+      (fun acc (step : Transform.prim) ->
+        match step with
+        | Transform.Add (_, q) when not (Ast.is_range_void_any q) ->
+            {
+              acc with
+              transformations = acc.transformations + 1;
+              clicks = acc.clicks + model.clicks_per_manual;
+              keystrokes = acc.keystrokes + String.length (Ast.to_string q);
+            }
+        | _ -> { acc with clicks = acc.clicks + model.clicks_per_auto })
+      zero p.Transform.steps
+  in
+  finish model acc
+
+let intersection_cost ?(model = default_model) (run : Intersection_run.run) =
+  List.fold_left
+    (fun acc (it : Workflow.iteration) ->
+      List.fold_left
+        (fun acc (_, p) -> add acc (side_pathway_cost model p))
+        acc it.Workflow.outcome.Intersection.side_pathways)
+    zero
+    (Workflow.iterations run.Intersection_run.workflow)
+
+let classical_cost ?(model = default_model) repo =
+  let stage_targets = [ "GS1"; "GS2"; "GS3" ] in
+  let us_of stage =
+    (* the designated schema plus its union-compatible counterparts *)
+    stage
+    :: List.filter_map
+         (fun (p : Transform.pathway) ->
+           if
+             Automed_base.Strutil.starts_with ~prefix:(stage ^ "~")
+               p.Transform.to_schema
+           then Some p.Transform.to_schema
+           else None)
+         (Repository.pathways repo)
+    |> List.sort_uniq String.compare
+  in
+  let seen : (string * Scheme.t, unit) Hashtbl.t = Hashtbl.create 128 in
+  List.fold_left
+    (fun acc stage ->
+      let targets = us_of stage in
+      List.fold_left
+        (fun acc (p : Transform.pathway) ->
+          if not (List.mem p.Transform.to_schema targets) then acc
+          else
+            let fresh_steps =
+              List.filter
+                (fun (step : Transform.prim) ->
+                  match step with
+                  | Transform.Add (o, q) when not (Ast.is_range_void_any q) ->
+                      let key = (p.Transform.from_schema, o) in
+                      if Hashtbl.mem seen key then false
+                      else begin
+                        Hashtbl.replace seen key ();
+                        true
+                      end
+                  | _ -> true)
+                p.Transform.steps
+            in
+            add acc
+              (side_pathway_cost model { p with Transform.steps = fresh_steps }))
+        acc (Repository.pathways repo))
+    zero stage_targets

@@ -1,0 +1,97 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Strutil = Automed_base.Strutil
+module Repository = Automed_repository.Repository
+
+type evidence = { name_score : float; instance_score : float option }
+type suggestion = { left : Scheme.t; right : Scheme.t; score : float; evidence : evidence }
+
+let identifier_score a b =
+  max (Strutil.similarity a b) (Strutil.token_overlap a b)
+
+let name_score l r =
+  (* compare argument lists pairwise from the end: the most specific part
+     of the identifier (column name) carries the most weight *)
+  let la = List.rev (Scheme.args l) and lb = List.rev (Scheme.args r) in
+  let rec go w acc total la lb =
+    match (la, lb) with
+    | [], [] -> if total = 0.0 then 0.0 else acc /. total
+    | a :: la, b :: lb ->
+        go (w /. 2.0) (acc +. (w *. identifier_score a b)) (total +. w) la lb
+    | _ :: la, [] -> go (w /. 2.0) acc (total +. w) la []
+    | [], _ :: lb -> go (w /. 2.0) acc (total +. w) [] lb
+  in
+  go 1.0 0.0 0.0 la lb
+
+(* The comparable content of a value: for {key, v} column-extent pairs we
+   compare the value component, for bare keys the key itself. *)
+let atomic_of = function
+  | Value.Tuple [ _; v ] -> v
+  | Value.Tuple (_ :: rest) -> Value.Tuple rest
+  | v -> v
+
+module VS = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let instance_score a b =
+  let distinct bag =
+    Value.Bag.fold (fun v _ acc -> VS.add (atomic_of v) acc) bag VS.empty
+  in
+  let sa = distinct a and sb = distinct b in
+  let union = VS.cardinal (VS.union sa sb) in
+  if union = 0 then 0.0
+  else float_of_int (VS.cardinal (VS.inter sa sb)) /. float_of_int union
+
+let combine e =
+  match e.instance_score with
+  | None -> e.name_score
+  | Some i -> (0.5 *. e.name_score) +. (0.5 *. i)
+
+let suggest ?(threshold = 0.35) ?(limit = 50) repo ~left ~right =
+  match (Repository.schema repo left, Repository.schema repo right) with
+  | None, _ -> Error (Printf.sprintf "no schema %s" left)
+  | _, None -> Error (Printf.sprintf "no schema %s" right)
+  | Some sl, Some sr ->
+      let pairs =
+        List.concat_map
+          (fun ol ->
+            List.filter_map
+              (fun or_ ->
+                if
+                  Scheme.language ol = Scheme.language or_
+                  && Scheme.construct ol = Scheme.construct or_
+                then Some (ol, or_)
+                else None)
+              (Schema.objects sr))
+          (Schema.objects sl)
+      in
+      let score (ol, or_) =
+        let name_score = name_score ol or_ in
+        let instance_score =
+          match
+            ( Repository.stored_extent repo ~schema:left ol,
+              Repository.stored_extent repo ~schema:right or_ )
+          with
+          | Some ba, Some bb -> Some (instance_score ba bb)
+          | _ -> None
+        in
+        let evidence = { name_score; instance_score } in
+        { left = ol; right = or_; score = combine evidence; evidence }
+      in
+      let suggestions =
+        List.map score pairs
+        |> List.filter (fun s -> s.score >= threshold)
+        |> List.stable_sort (fun a b -> Float.compare b.score a.score)
+      in
+      Ok (List.filteri (fun i _ -> i < limit) suggestions)
+
+let pp_suggestion ppf s =
+  Fmt.pf ppf "%a ~ %a  score %.2f (name %.2f%a)" Scheme.pp s.left Scheme.pp
+    s.right s.score s.evidence.name_score
+    Fmt.(
+      option (fun ppf i -> Fmt.pf ppf ", instance %.2f" i))
+    s.evidence.instance_score

@@ -1,0 +1,52 @@
+(** The Schema Matching tool: ranked suggestions of semantic
+    correspondences between the objects of two schemas, combining
+    name-based evidence (edit distance and token overlap on identifiers)
+    with instance-based evidence (value overlap between extents).
+
+    This reimplements the role of AutoMed's Schema Matching Tool [16] in
+    the workflow: step 4 of the paper's integration workflow consults it
+    for suggested mappings, which the integrator reviews and edits. *)
+
+module Scheme = Automed_base.Scheme
+module Value = Automed_iql.Value
+module Repository = Automed_repository.Repository
+
+type evidence = {
+  name_score : float;  (** in [\[0,1\]]: identifier similarity *)
+  instance_score : float option;
+      (** in [\[0,1\]]: Jaccard overlap of distinct extent values, when both
+          extents are available *)
+}
+
+type suggestion = {
+  left : Scheme.t;
+  right : Scheme.t;
+  score : float;  (** combined, in [\[0,1\]] *)
+  evidence : evidence;
+}
+
+val name_score : Scheme.t -> Scheme.t -> float
+(** Similarity of the identifying arguments (last argument weighted
+    highest, e.g. column name over table name). *)
+
+val instance_score : Value.Bag.t -> Value.Bag.t -> float
+(** Jaccard coefficient over distinct atomic values.  Column extents
+    compare their value components (not keys). *)
+
+val combine : evidence -> float
+(** [0.5 * name + 0.5 * instance] when instance evidence exists, otherwise
+    the name score alone. *)
+
+val suggest :
+  ?threshold:float ->
+  ?limit:int ->
+  Repository.t ->
+  left:string ->
+  right:string ->
+  (suggestion list, string) result
+(** All cross-pairs of same-construct objects between the two registered
+    schemas, scored and sorted descending; pairs below [threshold]
+    (default 0.35) are dropped; at most [limit] (default 50) returned.
+    Uses stored extents when present. *)
+
+val pp_suggestion : suggestion Fmt.t

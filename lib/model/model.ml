@@ -1,0 +1,226 @@
+module Scheme = Automed_base.Scheme
+module Hdm = Automed_hdm.Hdm
+module Types = Automed_iql.Types
+
+type construct = {
+  construct_name : string;
+  arity : int;
+  has_textual_name : bool;
+  default_extent_ty : Types.ty;
+  hdm_add : Scheme.t -> Hdm.graph -> (Hdm.graph, string) result;
+  hdm_remove : Scheme.t -> Hdm.graph -> (Hdm.graph, string) result;
+}
+
+type t = { model_name : string; constructs : construct list }
+
+let find_construct m name =
+  List.find_opt (fun c -> c.construct_name = name) m.constructs
+
+let ( let* ) = Result.bind
+
+let arg s i = List.nth (Scheme.args s) i
+
+(* -- relational -------------------------------------------------------- *)
+
+let table_node s = "sql:" ^ arg s 0
+let column_node s = Printf.sprintf "sql:%s:%s" (arg s 0) (arg s 1)
+let column_edge s = Printf.sprintf "sql:%s:%s!" (arg s 0) (arg s 1)
+
+let table_construct =
+  {
+    construct_name = "table";
+    arity = 1;
+    has_textual_name = true;
+    default_extent_ty = Types.TBag (Types.TVar 0);
+    hdm_add = (fun s g -> Hdm.add_node (table_node s) g);
+    hdm_remove = (fun s g -> Hdm.remove_node (table_node s) g);
+  }
+
+let column_construct =
+  {
+    construct_name = "column";
+    arity = 2;
+    has_textual_name = true;
+    default_extent_ty = Types.TBag (Types.TTuple [ Types.TVar 0; Types.TVar 1 ]);
+    hdm_add =
+      (fun s g ->
+        let* g =
+          if Hdm.mem_node (table_node s) g then Ok g
+          else Hdm.add_node (table_node s) g
+        in
+        let* g = Hdm.add_node (column_node s) g in
+        Hdm.add_edge
+          {
+            edge_name = column_edge s;
+            participants =
+              [ Hdm.Node_end (table_node s); Hdm.Node_end (column_node s) ];
+          }
+          g);
+    hdm_remove =
+      (fun s g ->
+        let* g = Hdm.remove_edge (column_edge s) g in
+        Hdm.remove_node (column_node s) g);
+  }
+
+let relational =
+  { model_name = "sql"; constructs = [ table_construct; column_construct ] }
+
+(* -- xml --------------------------------------------------------------- *)
+
+let xml_elem_node s = "xml:" ^ arg s 0
+let xml_attr_node s = Printf.sprintf "xml:%s@%s" (arg s 0) (arg s 1)
+let xml_attr_edge s = Printf.sprintf "xml:%s@%s!" (arg s 0) (arg s 1)
+let xml_nest_edge s = Printf.sprintf "xml:%s/%s" (arg s 0) (arg s 1)
+
+let xml =
+  {
+    model_name = "xml";
+    constructs =
+      [
+        {
+          construct_name = "element";
+          arity = 1;
+          has_textual_name = true;
+          default_extent_ty = Types.TBag (Types.TVar 0);
+          hdm_add = (fun s g -> Hdm.add_node (xml_elem_node s) g);
+          hdm_remove = (fun s g -> Hdm.remove_node (xml_elem_node s) g);
+        };
+        {
+          construct_name = "attribute";
+          arity = 2;
+          has_textual_name = true;
+          default_extent_ty =
+            Types.TBag (Types.TTuple [ Types.TVar 0; Types.TVar 1 ]);
+          hdm_add =
+            (fun s g ->
+              let* g =
+                if Hdm.mem_node (xml_elem_node s) g then Ok g
+                else Hdm.add_node (xml_elem_node s) g
+              in
+              let* g = Hdm.add_node (xml_attr_node s) g in
+              Hdm.add_edge
+                {
+                  edge_name = xml_attr_edge s;
+                  participants =
+                    [
+                      Hdm.Node_end (xml_elem_node s);
+                      Hdm.Node_end (xml_attr_node s);
+                    ];
+                }
+                g);
+          hdm_remove =
+            (fun s g ->
+              let* g = Hdm.remove_edge (xml_attr_edge s) g in
+              Hdm.remove_node (xml_attr_node s) g);
+        };
+        {
+          construct_name = "nest";
+          arity = 2;
+          has_textual_name = false;
+          default_extent_ty =
+            Types.TBag (Types.TTuple [ Types.TVar 0; Types.TVar 1 ]);
+          hdm_add =
+            (fun s g ->
+              let parent = "xml:" ^ arg s 0 and child = "xml:" ^ arg s 1 in
+              let* g =
+                if Hdm.mem_node parent g then Ok g else Hdm.add_node parent g
+              in
+              let* g =
+                if Hdm.mem_node child g then Ok g else Hdm.add_node child g
+              in
+              Hdm.add_edge
+                {
+                  edge_name = xml_nest_edge s;
+                  participants = [ Hdm.Node_end parent; Hdm.Node_end child ];
+                }
+                g);
+          hdm_remove = (fun s g -> Hdm.remove_edge (xml_nest_edge s) g);
+        };
+      ];
+  }
+
+(* -- rdf --------------------------------------------------------------- *)
+
+let rdf_class_node s = "rdf:" ^ arg s 0
+let rdf_prop_edge s = "rdf:prop:" ^ arg s 0
+
+let rdf =
+  {
+    model_name = "rdf";
+    constructs =
+      [
+        {
+          construct_name = "class";
+          arity = 1;
+          has_textual_name = true;
+          default_extent_ty = Types.TBag (Types.TVar 0);
+          hdm_add = (fun s g -> Hdm.add_node (rdf_class_node s) g);
+          hdm_remove = (fun s g -> Hdm.remove_node (rdf_class_node s) g);
+        };
+        {
+          construct_name = "property";
+          arity = 1;
+          has_textual_name = true;
+          default_extent_ty =
+            Types.TBag (Types.TTuple [ Types.TStr; Types.TStr ]);
+          hdm_add =
+            (fun s g ->
+              let res = "rdf:resource" in
+              let* g =
+                if Hdm.mem_node res g then Ok g else Hdm.add_node res g
+              in
+              Hdm.add_edge
+                {
+                  edge_name = rdf_prop_edge s;
+                  participants = [ Hdm.Node_end res; Hdm.Node_end res ];
+                }
+                g);
+          hdm_remove = (fun s g -> Hdm.remove_edge (rdf_prop_edge s) g);
+        };
+      ];
+  }
+
+(* -- registry ---------------------------------------------------------- *)
+
+let registered : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let register m = Hashtbl.replace registered m.model_name m
+
+let lookup = function
+  | "sql" -> Some relational
+  | "xml" -> Some xml
+  | "rdf" -> Some rdf
+  | name -> Hashtbl.find_opt registered name
+
+let validate_scheme s =
+  match lookup (Scheme.language s) with
+  | None -> Error (Printf.sprintf "unknown modelling language %s" (Scheme.language s))
+  | Some m -> (
+      match find_construct m (Scheme.construct s) with
+      | None ->
+          Error
+            (Printf.sprintf "language %s has no construct %s" m.model_name
+               (Scheme.construct s))
+      | Some c ->
+          if List.length (Scheme.args s) <> c.arity then
+            Error
+              (Printf.sprintf "construct %s.%s expects %d argument(s), got %d"
+                 m.model_name c.construct_name c.arity
+                 (List.length (Scheme.args s)))
+          else Ok c)
+
+let hdm_of_schemes schemes =
+  (* add lower-arity constructs (tables, elements, classes) first so that
+     columns and attributes find their parents *)
+  let ordered =
+    List.stable_sort
+      (fun a b ->
+        Int.compare (List.length (Scheme.args a)) (List.length (Scheme.args b)))
+      schemes
+  in
+  List.fold_left
+    (fun acc s ->
+      let* g = acc in
+      let* c = validate_scheme s in
+      c.hdm_add s g)
+    (Ok Hdm.empty) ordered

@@ -1,0 +1,52 @@
+(** The Model Definitions Repository (MDR).
+
+    A modelling language [M] is defined in terms of the HDM by giving, for
+    each construct kind of [M], the HDM nodes/edges that represent an
+    instance of the construct.  AutoMed ships definitions for relational,
+    XML and RDF-style languages; we provide the same three, and new
+    languages can be registered at runtime. *)
+
+module Scheme = Automed_base.Scheme
+
+type construct = {
+  construct_name : string;  (** e.g. ["table"], ["column"] *)
+  arity : int;  (** number of scheme arguments *)
+  has_textual_name : bool;
+      (** whether [rename] applies to this construct (paper Section 2.1) *)
+  default_extent_ty : Automed_iql.Types.ty;
+      (** extent type before any data source refines it *)
+  hdm_add : Scheme.t -> Automed_hdm.Hdm.graph -> (Automed_hdm.Hdm.graph, string) result;
+  hdm_remove : Scheme.t -> Automed_hdm.Hdm.graph -> (Automed_hdm.Hdm.graph, string) result;
+}
+
+type t = { model_name : string; constructs : construct list }
+
+val find_construct : t -> string -> construct option
+
+val relational : t
+(** Constructs [table t] (extent: bag of keys) and [column t c]
+    (extent: bag of [{key, value}] pairs), as configured in the paper's
+    examples. *)
+
+val xml : t
+(** Constructs [element tag], [attribute tag attr] and [nest parent child]. *)
+
+val rdf : t
+(** Constructs [class c] and [property p] (extents: resources and
+    [{subject, object}] pairs). *)
+
+val register : t -> unit
+(** Adds a language to the repository.  Replaces any previous definition
+    with the same name. *)
+
+val lookup : string -> t option
+(** Looks up built-ins ([sql], [xml], [rdf]) and registered languages. *)
+
+val validate_scheme : Scheme.t -> (construct, string) result
+(** Checks that the scheme's language and construct exist and the argument
+    count matches the construct's arity. *)
+
+val hdm_of_schemes : Scheme.t list -> (Automed_hdm.Hdm.graph, string) result
+(** Builds the HDM graph representing a set of schema objects.  Objects
+    must be given in dependency order or not at all dependent; relational
+    tables are added before their columns automatically. *)

@@ -1,0 +1,247 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Ast = Automed_iql.Ast
+module Value = Automed_iql.Value
+module Eval = Automed_iql.Eval
+module Parser = Automed_iql.Parser
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+
+type error = { message : string }
+
+let pp_error ppf e = Fmt.string ppf e.message
+
+exception Err of error
+
+let err fmt = Format.kasprintf (fun message -> raise (Err { message })) fmt
+
+module EK = struct
+  type t = string * Scheme.t
+
+  let equal (s1, o1) (s2, o2) = String.equal s1 s2 && Scheme.equal o1 o2
+  let hash = Hashtbl.hash
+end
+
+module EH = Hashtbl.Make (EK)
+
+type t = {
+  repo : Repository.t;
+  cache : Value.Bag.t EH.t;
+  mutable visiting : string list; (* schemas on the derivation stack *)
+}
+
+let create repo = { repo; cache = EH.create 64; visiting = [] }
+let repository t = t.repo
+
+let invalidate t =
+  EH.reset t.cache;
+  t.visiting <- []
+
+(* Derive, for each object of [p.to_schema], its defining expression over
+   the objects of [p.from_schema], by symbolically replaying the pathway. *)
+let defs_of_pathway repo (p : Transform.pathway) : Ast.expr Scheme.Map.t =
+  let src =
+    match Repository.schema repo p.from_schema with
+    | Some s -> s
+    | None -> err "pathway source schema %s is not registered" p.from_schema
+  in
+  let subst defs q =
+    let missing = ref None in
+    let q' =
+      Ast.subst_schemes
+        (fun s ->
+          match Scheme.Map.find_opt s defs with
+          | Some e -> Some e
+          | None ->
+              if !missing = None then missing := Some s;
+              None)
+        q
+    in
+    match !missing with
+    | Some s ->
+        err "query %s references %s, absent at this point of pathway %s -> %s"
+          (Ast.to_string q) (Scheme.to_string s) p.from_schema p.to_schema
+    | None -> q'
+  in
+  let init =
+    List.fold_left
+      (fun m o -> Scheme.Map.add o (Ast.SchemeRef o) m)
+      Scheme.Map.empty (Schema.objects src)
+  in
+  List.fold_left
+    (fun defs step ->
+      match (step : Transform.prim) with
+      | Add (o, q) -> Scheme.Map.add o (subst defs q) defs
+      | Extend (o, ql, _) ->
+          (* only the lower bound is derivable: certain answers *)
+          Scheme.Map.add o (subst defs ql) defs
+      | Delete (o, _) | Contract (o, _, _) -> Scheme.Map.remove o defs
+      | Rename (a, b) -> (
+          match Scheme.Map.find_opt a defs with
+          | Some e -> Scheme.Map.add b e (Scheme.Map.remove a defs)
+          | None -> err "rename of unknown object %s" (Scheme.to_string a))
+      | Id (a, b) -> (
+          if Scheme.equal a b then defs
+          else
+            match Scheme.Map.find_opt a defs with
+            | Some e -> Scheme.Map.add b e defs
+            | None -> err "id of unknown object %s" (Scheme.to_string a)))
+    init p.steps
+
+let rec extent_exn t ~schema o =
+  match EH.find_opt t.cache (schema, o) with
+  | Some bag -> bag
+  | None ->
+      if List.mem schema t.visiting then
+        err "cycle in pathway network at schema %s" schema;
+      let sch =
+        match Repository.schema t.repo schema with
+        | Some s -> s
+        | None -> err "no schema %s" schema
+      in
+      if not (Schema.mem o sch) then
+        err "schema %s has no object %s" schema (Scheme.to_string o);
+      t.visiting <- schema :: t.visiting;
+      let finish () = t.visiting <- List.tl t.visiting in
+      let bag =
+        match compute_extent t ~schema o with
+        | bag -> finish (); bag
+        | exception e -> finish (); raise e
+      in
+      EH.replace t.cache (schema, o) bag;
+      bag
+
+and compute_extent t ~schema o =
+  let stored =
+    match Repository.stored_extent t.repo ~schema o with
+    | Some b -> [ b ]
+    | None -> []
+  in
+  let from_pathways =
+    List.filter_map
+      (fun (p : Transform.pathway) ->
+        let defs = defs_of_pathway t.repo p in
+        match Scheme.Map.find_opt o defs with
+        | None -> None
+        | Some e -> Some (eval_over t ~schema:p.from_schema e))
+      (Repository.pathways_into t.repo schema)
+  in
+  List.fold_left Value.Bag.union Value.Bag.empty (stored @ from_pathways)
+
+and eval_over t ~schema e =
+  let env =
+    Eval.env ~schemes:(fun s -> Some (extent_exn t ~schema s)) ()
+  in
+  match Eval.eval env e with
+  | Ok (Value.Bag b) -> b
+  | Ok v ->
+      err "query %s over %s produced a non-collection %s" (Ast.to_string e)
+        schema (Value.to_string v)
+  | Error e -> err "%s" (Fmt.str "%a" Eval.pp_error e)
+
+let extent_of t ~schema o =
+  match extent_exn t ~schema o with
+  | bag -> Ok bag
+  | exception Err e -> Error e
+
+let check_refs t ~schema q =
+  let sch =
+    match Repository.schema t.repo schema with
+    | Some s -> s
+    | None -> err "no schema %s" schema
+  in
+  Scheme.Set.iter
+    (fun s ->
+      if not (Schema.mem s sch) then
+        err "schema %s has no object %s" schema (Scheme.to_string s))
+    (Ast.schemes q)
+
+let run ?(optimize = true) t ~schema q =
+  match
+    check_refs t ~schema q;
+    let q = if optimize then Automed_iql.Optimize.optimize q else q in
+    let env = Eval.env ~schemes:(fun s -> Some (extent_exn t ~schema s)) () in
+    Eval.eval env q
+  with
+  | Ok v -> Ok v
+  | Error e -> Error { message = Fmt.str "%a" Eval.pp_error e }
+  | exception Err e -> Error e
+
+let run_string t ~schema text =
+  match Parser.parse text with
+  | Error e -> Error { message = e }
+  | Ok q -> run t ~schema q
+
+(* -- reformulation ----------------------------------------------------- *)
+
+let rec unfold_expr t ~schema q =
+  Ast.subst_schemes (fun o -> Some (unfold_scheme t ~schema o)) q
+
+and unfold_scheme t ~schema o =
+  if List.mem schema t.visiting then
+    err "cycle in pathway network at schema %s" schema;
+  let stored =
+    match Repository.stored_extent t.repo ~schema o with
+    | Some _ -> [ Ast.SchemeRef (Scheme.prefix schema o) ]
+    | None -> []
+  in
+  t.visiting <- schema :: t.visiting;
+  let finish () = t.visiting <- List.tl t.visiting in
+  let from_pathways =
+    match
+      List.filter_map
+        (fun (p : Transform.pathway) ->
+          let defs = defs_of_pathway t.repo p in
+          match Scheme.Map.find_opt o defs with
+          | None -> None
+          | Some e -> Some (unfold_expr t ~schema:p.from_schema e))
+        (Repository.pathways_into t.repo schema)
+    with
+    | contributions -> finish (); contributions
+    | exception e -> finish (); raise e
+  in
+  match stored @ from_pathways with
+  | [] -> Ast.Void (* no derivation: certain answers are empty *)
+  | [ e ] -> e
+  | e :: rest -> List.fold_left (fun acc e -> Ast.Binop (Union, acc, e)) e rest
+
+let reformulate t ~schema q =
+  match
+    check_refs t ~schema q;
+    unfold_expr t ~schema q
+  with
+  | q' -> Ok q'
+  | exception Err e -> Error e
+
+let source_env t =
+  Eval.env
+    ~schemes:(fun s ->
+      match Scheme.unprefix s with
+      | Some (schema, base) -> Repository.stored_extent t.repo ~schema base
+      | None -> None)
+    ()
+
+let answerable t ~schema q =
+  match run t ~schema q with Ok _ -> true | Error _ -> false
+
+(* Translate a query on [from_schema] onto [to_schema]: a pathway
+   [to_schema -> from_schema] expresses every object of [from_schema]
+   over [to_schema]'s objects; substituting those definitions rewrites
+   the query.  find_path composes stored pathways and their reverses, so
+   this works between any two connected schemas. *)
+let translate t ~from_schema ~to_schema q =
+  match
+    check_refs t ~schema:from_schema q;
+    match Repository.find_path t.repo ~src:to_schema ~dst:from_schema with
+    | Error e -> err "%s" e
+    | Ok pathway ->
+        let defs = defs_of_pathway t.repo pathway in
+        Ast.subst_schemes
+          (fun o ->
+            match Scheme.Map.find_opt o defs with
+            | Some e -> Some e
+            | None -> Some Ast.Void)
+          q
+  with
+  | q' -> Ok q'
+  | exception Err e -> Error e

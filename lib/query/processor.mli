@@ -1,0 +1,74 @@
+(** The query processor.
+
+    Queries posed against any schema in the repository are answered by
+    walking the pathway network down to the data source schemas whose
+    extents are materialised (BAV query processing: the add/extend steps
+    of a pathway provide GAV-style view definitions that are unfolded; a
+    contracted object contributes its lower bound - certain answers).
+
+    The extent of an object registered in several pathways' targets is the
+    {e bag union} of the contributions (the paper's default derivation).
+
+    Two interfaces are provided:
+
+    - {!run} evaluates a query directly, materialising (and caching)
+      intermediate extents;
+    - {!reformulate} produces the unfolded query text over source schemas,
+      with every residual reference qualified by its source schema name
+      ([<<Pedro:protein>>]) so that same-named objects from different
+      sources stay distinct.  Running the reformulated query against
+      {!source_env} gives the same answer as {!run}. *)
+
+module Scheme = Automed_base.Scheme
+module Ast = Automed_iql.Ast
+module Value = Automed_iql.Value
+module Repository = Automed_repository.Repository
+
+type t
+(** A processor wraps a repository with an extent cache. *)
+
+val create : Repository.t -> t
+val repository : t -> Repository.t
+
+val invalidate : t -> unit
+(** Drops the extent cache (call after data or pathway changes). *)
+
+type error = { message : string }
+
+val pp_error : error Fmt.t
+
+val extent_of : t -> schema:string -> Scheme.t -> (Value.Bag.t, error) result
+(** The derived extent of one schema object: bag union of the stored
+    extent (if any) and the contribution of every pathway into the
+    schema.  Extend/contract bounds contribute their lower bound. *)
+
+val run : ?optimize:bool -> t -> schema:string -> Ast.expr -> (Value.t, error) result
+(** Evaluates a query whose scheme references are objects of the given
+    schema.  [optimize] (default [true]) reschedules comprehension
+    qualifiers (filter push-down, selectivity-greedy generator order)
+    before evaluation; pass [false] to evaluate the query verbatim. *)
+
+val run_string : t -> schema:string -> string -> (Value.t, error) result
+(** Parses and runs. *)
+
+val reformulate : t -> schema:string -> Ast.expr -> (Ast.expr, error) result
+(** Unfolds the query onto the data source schemas.  Residual references
+    are schema-qualified. *)
+
+val source_env : t -> Automed_iql.Eval.env
+(** Environment resolving schema-qualified references ([<<S:t>>] or
+    [<<S:t,c>>]) to stored extents; for evaluating reformulated queries. *)
+
+val answerable : t -> schema:string -> Ast.expr -> bool
+(** True when every referenced object exists in the schema and the query
+    evaluates without error. *)
+
+val translate :
+  t -> from_schema:string -> to_schema:string -> Ast.expr -> (Ast.expr, error) result
+(** Translates a query stated on one schema into an equivalent query on
+    another schema connected to it through the pathway network (in either
+    direction, since pathways reverse automatically - the peer-to-peer
+    BAV reformulation of McBrien & Poulovassilis).  Objects that the
+    target schema cannot derive are replaced by their certain-answer
+    lower bound ([Void] when nothing is known), so the translated query
+    under-approximates in the same way {!run} does. *)

@@ -1,0 +1,165 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Transform = Automed_transform.Transform
+module Value = Automed_iql.Value
+module SM = Map.Make (String)
+
+type extent_key = string * Scheme.t
+
+module EK = struct
+  type t = extent_key
+
+  let compare (s1, o1) (s2, o2) =
+    match String.compare s1 s2 with 0 -> Scheme.compare o1 o2 | c -> c
+end
+
+module EM = Map.Make (EK)
+
+type t = {
+  mutable schemas : Schema.t SM.t;
+  mutable pathways : Transform.pathway list; (* reverse insertion order *)
+  mutable extents : Value.Bag.t EM.t;
+}
+
+let create () =
+  { schemas = SM.empty; pathways = []; extents = EM.empty }
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+let ( let* ) = Result.bind
+
+let add_schema t s =
+  let name = Schema.name s in
+  if SM.mem name t.schemas then err "repository already has schema %s" name
+  else begin
+    t.schemas <- SM.add name s t.schemas;
+    Ok ()
+  end
+
+let schema t name = SM.find_opt name t.schemas
+
+let schema_exn t name =
+  match schema t name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "no schema %s in repository" name)
+
+let mem_schema t name = SM.mem name t.schemas
+let schemas t = SM.bindings t.schemas |> List.map snd
+
+let remove_schema t name =
+  if not (SM.mem name t.schemas) then err "no schema %s" name
+  else if
+    List.exists
+      (fun (p : Transform.pathway) ->
+        p.from_schema = name || p.to_schema = name)
+      t.pathways
+  then err "schema %s is still referenced by a pathway" name
+  else begin
+    t.schemas <- SM.remove name t.schemas;
+    t.extents <- EM.filter (fun (s, _) _ -> s <> name) t.extents;
+    Ok ()
+  end
+
+let add_pathway t (p : Transform.pathway) =
+  match schema t p.from_schema with
+  | None -> err "pathway source schema %s is not registered" p.from_schema
+  | Some src ->
+      let* () = Transform.well_formed src p in
+      let* derived = Transform.apply src p in
+      let* () =
+        match schema t p.to_schema with
+        | None ->
+            t.schemas <- SM.add p.to_schema derived t.schemas;
+            Ok ()
+        | Some existing ->
+            if Schema.same_objects existing derived then Ok ()
+            else
+              err
+                "pathway into %s produces a schema that disagrees with the \
+                 registered one"
+                p.to_schema
+      in
+      t.pathways <- p :: t.pathways;
+      Ok ()
+
+let derive_schema t p =
+  let* () = add_pathway t p in
+  match schema t p.to_schema with
+  | Some s -> Ok s
+  | None -> err "internal: schema %s vanished" p.to_schema
+
+let pathways t = List.rev t.pathways
+
+let pathways_from t name =
+  List.rev
+    (List.filter (fun (p : Transform.pathway) -> p.from_schema = name) t.pathways)
+
+let pathways_into t name =
+  List.rev
+    (List.filter (fun (p : Transform.pathway) -> p.to_schema = name) t.pathways)
+
+let find_path t ~src ~dst =
+  if not (mem_schema t src) then err "no schema %s" src
+  else if not (mem_schema t dst) then err "no schema %s" dst
+  else if src = dst then
+    Ok { Transform.from_schema = src; to_schema = dst; steps = [] }
+  else begin
+    (* BFS over schemas; each stored pathway is an edge in both directions *)
+    let edges = pathways t in
+    let visited = Hashtbl.create 16 in
+    Hashtbl.replace visited src ();
+    let queue = Queue.create () in
+    Queue.push (src, []) queue;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty queue) do
+      let here, acc = Queue.pop queue in
+      let step (p : Transform.pathway) =
+        if !result = None && not (Hashtbl.mem visited p.to_schema) then begin
+          let acc = p :: acc in
+          if p.to_schema = dst then result := Some (List.rev acc)
+          else begin
+            Hashtbl.replace visited p.to_schema ();
+            Queue.push (p.to_schema, acc) queue
+          end
+        end
+      in
+      List.iter
+        (fun (p : Transform.pathway) ->
+          if p.from_schema = here then step p
+          else if p.to_schema = here then step (Transform.reverse p))
+        edges
+    done;
+    match !result with
+    | None -> err "no pathway from %s to %s" src dst
+    | Some [] -> assert false
+    | Some (first :: rest) ->
+        List.fold_left
+          (fun acc p ->
+            let* acc = acc in
+            Transform.compose acc p)
+          (Ok first) rest
+  end
+
+let set_extent t ~schema:name obj bag =
+  match schema t name with
+  | None -> err "no schema %s" name
+  | Some s ->
+      if not (Schema.mem obj s) then
+        err "schema %s has no object %s" name (Scheme.to_string obj)
+      else begin
+        t.extents <- EM.add (name, obj) bag t.extents;
+        Ok ()
+      end
+
+let stored_extent t ~schema:name obj = EM.find_opt (name, obj) t.extents
+
+let has_stored_extents t name =
+  EM.exists (fun (s, _) _ -> s = name) t.extents
+
+let pp_summary ppf t =
+  Fmt.pf ppf "@[<v>schemas: %a@,pathways: %a@,stored extents: %d@]"
+    Fmt.(list ~sep:(any ", ") string)
+    (List.map Schema.name (schemas t))
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (p : Transform.pathway) ->
+          Fmt.pf ppf "%s->%s" p.from_schema p.to_schema))
+    (pathways t) (EM.cardinal t.extents)

@@ -1,0 +1,62 @@
+(** The Schemas & Transformations Repository (STR).
+
+    Stores all source, intermediate and integrated schemas together with
+    the pathways between them, and the materialised extents of data source
+    schema objects (put there by wrappers).  The pathway network is the
+    backbone of query reformulation: every registered pathway is usable in
+    both directions because pathways reverse automatically. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Transform = Automed_transform.Transform
+module Value = Automed_iql.Value
+
+type t
+(** Mutable repository. *)
+
+val create : unit -> t
+
+val add_schema : t -> Schema.t -> (unit, string) result
+(** Fails if a schema with the same name is registered. *)
+
+val schema : t -> string -> Schema.t option
+val schema_exn : t -> string -> Schema.t
+val mem_schema : t -> string -> bool
+val schemas : t -> Schema.t list
+(** Sorted by name. *)
+
+val remove_schema : t -> string -> (unit, string) result
+(** Fails while pathways still reference the schema. *)
+
+val add_pathway : t -> Transform.pathway -> (unit, string) result
+(** The source schema must be registered and the pathway must be
+    well-formed over it.  If the target schema is not yet registered, the
+    result of applying the pathway is registered under the target name;
+    if it is registered, its object set must agree with the application
+    result. *)
+
+val derive_schema : t -> Transform.pathway -> (Schema.t, string) result
+(** [add_pathway] followed by looking up the target. *)
+
+val pathways : t -> Transform.pathway list
+val pathways_from : t -> string -> Transform.pathway list
+(** Pathways stored with the given source, in insertion order. *)
+
+val pathways_into : t -> string -> Transform.pathway list
+(** Pathways stored with the given target, in insertion order. *)
+
+val find_path : t -> src:string -> dst:string -> (Transform.pathway, string) result
+(** Shortest composite pathway (BFS over the network, using stored
+    pathways and their automatic reverses). *)
+
+val set_extent : t -> schema:string -> Scheme.t -> Value.Bag.t -> (unit, string) result
+(** Materialises the extent of a data source schema object.  The schema
+    and object must exist. *)
+
+val stored_extent : t -> schema:string -> Scheme.t -> Value.Bag.t option
+(** Only consults materialised extents; no derivation. *)
+
+val has_stored_extents : t -> string -> bool
+(** True when at least one object of the schema has a stored extent. *)
+
+val pp_summary : t Fmt.t

@@ -1,0 +1,262 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Ast = Automed_iql.Ast
+module Parser = Automed_iql.Parser
+module Types = Automed_iql.Types
+module Value = Automed_iql.Value
+module Transform = Automed_transform.Transform
+
+let ( let* ) = Result.bind
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* -- rendering ----------------------------------------------------------- *)
+
+let quote name = "\"" ^ name ^ "\""
+
+(* Values rendered for exact round-tripping: floats get 17 significant
+   digits (Value.pp's %g display format would lose precision). *)
+let rec render_value = function
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Tuple vs ->
+      "{" ^ String.concat "," (List.map render_value vs) ^ "}"
+  | v -> Value.to_string v
+
+let render_value_expr bag =
+  (* a bag extent as an IQL bag literal with expanded multiplicities *)
+  let items = Value.Bag.to_list bag in
+  "[" ^ String.concat "; " (List.map render_value items) ^ "]"
+
+let render_schema buf s =
+  Buffer.add_string buf (Printf.sprintf "schema %s\n" (quote (Schema.name s)));
+  Schema.fold
+    (fun o { Schema.extent_ty } () ->
+      match extent_ty with
+      | Some ty ->
+          Buffer.add_string buf
+            (Printf.sprintf "object %s : %s\n" (Scheme.to_string o)
+               (Types.to_string ty))
+      | None ->
+          Buffer.add_string buf (Printf.sprintf "object %s\n" (Scheme.to_string o)))
+    s ()
+
+let render_step buf (step : Transform.prim) =
+  let line = function
+    | Transform.Add (o, q) ->
+        Printf.sprintf "step add %s := %s" (Scheme.to_string o) (Ast.to_string q)
+    | Transform.Delete (o, q) ->
+        Printf.sprintf "step delete %s := %s" (Scheme.to_string o)
+          (Ast.to_string q)
+    | Transform.Extend (o, ql, qu) ->
+        Printf.sprintf "step extend %s := %s" (Scheme.to_string o)
+          (Ast.to_string (Ast.Range (ql, qu)))
+    | Transform.Contract (o, ql, qu) ->
+        Printf.sprintf "step contract %s := %s" (Scheme.to_string o)
+          (Ast.to_string (Ast.Range (ql, qu)))
+    | Transform.Rename (a, b) ->
+        Printf.sprintf "step rename %s := %s" (Scheme.to_string a)
+          (Scheme.to_string b)
+    | Transform.Id (a, b) ->
+        Printf.sprintf "step id %s := %s" (Scheme.to_string a)
+          (Scheme.to_string b)
+  in
+  Buffer.add_string buf (line step);
+  Buffer.add_char buf '\n'
+
+let render_pathway buf (p : Transform.pathway) =
+  Buffer.add_string buf
+    (Printf.sprintf "pathway %s -> %s\n" (quote p.Transform.from_schema)
+       (quote p.Transform.to_schema));
+  List.iter (render_step buf) p.Transform.steps;
+  Buffer.add_string buf "end\n"
+
+let save ?(extents = false) repo =
+  let buf = Buffer.create 4096 in
+  List.iter (render_schema buf) (Repository.schemas repo);
+  List.iter (render_pathway buf) (Repository.pathways repo);
+  if extents then
+    List.iter
+      (fun s ->
+        let name = Schema.name s in
+        List.iter
+          (fun o ->
+            match Repository.stored_extent repo ~schema:name o with
+            | Some bag ->
+                Buffer.add_string buf
+                  (Printf.sprintf "extent %s %s := %s\n" (quote name)
+                     (Scheme.to_string o) (render_value_expr bag))
+            | None -> ())
+          (Schema.objects s))
+      (Repository.schemas repo);
+  Buffer.contents buf
+
+(* -- parsing ------------------------------------------------------------- *)
+
+let unquote s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then Ok (String.sub s 1 (n - 2))
+  else err "expected a quoted name, got %S" s
+
+let split_on_first sep line =
+  let ls = String.length sep in
+  let n = String.length line in
+  let rec go i =
+    if i + ls > n then None
+    else if String.sub line i ls = sep then
+      Some (String.sub line 0 i, String.sub line (i + ls) (n - i - ls))
+    else go (i + 1)
+  in
+  go 0
+
+let parse_object_line rest =
+  (* <<scheme>> [: ty] *)
+  match split_on_first " : " rest with
+  | Some (scheme_text, ty_text) ->
+      let* scheme = Scheme.of_string scheme_text in
+      let* ty = Types.of_string (String.trim ty_text) in
+      Ok (scheme, Some ty)
+  | None ->
+      let* scheme = Scheme.of_string rest in
+      Ok (scheme, None)
+
+let parse_range_query kind q =
+  match (q : Ast.expr) with
+  | Ast.Range (ql, qu) -> Ok (ql, qu)
+  | _ -> err "%s step expects a Range query" kind
+
+let parse_step line =
+  match split_on_first " := " line with
+  | None -> err "malformed step: %S" line
+  | Some (head, payload) -> (
+      match String.split_on_char ' ' (String.trim head) with
+      | [ kind; scheme_text ] -> (
+          let* scheme = Scheme.of_string scheme_text in
+          match kind with
+          | "add" ->
+              let* q = Parser.parse payload in
+              Ok (Transform.Add (scheme, q))
+          | "delete" ->
+              let* q = Parser.parse payload in
+              Ok (Transform.Delete (scheme, q))
+          | "extend" ->
+              let* q = Parser.parse payload in
+              let* ql, qu = parse_range_query "extend" q in
+              Ok (Transform.Extend (scheme, ql, qu))
+          | "contract" ->
+              let* q = Parser.parse payload in
+              let* ql, qu = parse_range_query "contract" q in
+              Ok (Transform.Contract (scheme, ql, qu))
+          | "rename" ->
+              let* target = Scheme.of_string (String.trim payload) in
+              Ok (Transform.Rename (scheme, target))
+          | "id" ->
+              let* target = Scheme.of_string (String.trim payload) in
+              Ok (Transform.Id (scheme, target))
+          | kind -> err "unknown step kind %S" kind)
+      | _ -> err "malformed step head: %S" head)
+
+let parse_extent_payload payload =
+  let* q = Parser.parse payload in
+  match q with
+  | Ast.EBag items ->
+      let* values =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match (item : Ast.expr) with
+            | Ast.Const v -> Ok (v :: acc)
+            | Ast.Tuple _ -> (
+                (* constant tuples evaluate without an environment *)
+                match Automed_iql.Eval.eval (Automed_iql.Eval.env ()) item with
+                | Ok v -> Ok (v :: acc)
+                | Error _ -> err "non-constant extent element")
+            | _ -> err "non-constant extent element")
+          (Ok []) items
+      in
+      Ok (Value.Bag.of_list (List.rev values))
+  | _ -> err "extent payload must be a bag literal"
+
+type parse_state = {
+  repo : Repository.t;
+  mutable current_schema : Schema.t option;
+  mutable current_pathway : (string * string * Transform.prim list) option;
+}
+
+let flush_schema st =
+  match st.current_schema with
+  | None -> Ok ()
+  | Some s ->
+      st.current_schema <- None;
+      Repository.add_schema st.repo s
+
+let load text =
+  let st =
+    { repo = Repository.create (); current_schema = None; current_pathway = None }
+  in
+  let lines = String.split_on_char '\n' text in
+  let process line_no line =
+    let line = String.trim line in
+    if line = "" then Ok ()
+    else
+      match (st.current_pathway, split_on_first " " line) with
+      | Some (from_s, to_s, steps), _ when line = "end" ->
+          st.current_pathway <- None;
+          Repository.add_pathway st.repo
+            {
+              Transform.from_schema = from_s;
+              to_schema = to_s;
+              steps = List.rev steps;
+            }
+      | Some (from_s, to_s, steps), Some ("step", rest) ->
+          let* step = parse_step rest in
+          st.current_pathway <- Some (from_s, to_s, step :: steps);
+          Ok ()
+      | Some _, _ -> err "line %d: expected a step or 'end'" line_no
+      | None, Some ("schema", rest) ->
+          let* () = flush_schema st in
+          let* name = unquote rest in
+          st.current_schema <- Some (Schema.create name);
+          Ok ()
+      | None, Some ("object", rest) -> (
+          match st.current_schema with
+          | None -> err "line %d: object outside a schema block" line_no
+          | Some s ->
+              let* scheme, extent_ty = parse_object_line rest in
+              let* s' = Schema.add_object ?extent_ty scheme s in
+              st.current_schema <- Some s';
+              Ok ())
+      | None, Some ("pathway", rest) -> (
+          let* () = flush_schema st in
+          match split_on_first " -> " rest with
+          | None -> err "line %d: malformed pathway header" line_no
+          | Some (from_text, to_text) ->
+              let* from_s = unquote from_text in
+              let* to_s = unquote to_text in
+              st.current_pathway <- Some (from_s, to_s, []);
+              Ok ())
+      | None, Some ("extent", rest) -> (
+          let* () = flush_schema st in
+          match split_on_first " := " rest with
+          | None -> err "line %d: malformed extent line" line_no
+          | Some (head, payload) -> (
+              match split_on_first " " (String.trim head) with
+              | None -> err "line %d: malformed extent head" line_no
+              | Some (name_text, scheme_text) ->
+                  let* name = unquote name_text in
+                  let* scheme = Scheme.of_string scheme_text in
+                  let* bag = parse_extent_payload payload in
+                  Repository.set_extent st.repo ~schema:name scheme bag))
+      | None, _ -> err "line %d: unrecognised line %S" line_no line
+  in
+  let* () =
+    List.fold_left
+      (fun acc (line_no, line) ->
+        let* () = acc in
+        process line_no line)
+      (Ok ())
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  let* () = flush_schema st in
+  match st.current_pathway with
+  | Some _ -> err "unterminated pathway block"
+  | None -> Ok st.repo

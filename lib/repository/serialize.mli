@@ -1,0 +1,30 @@
+(** Textual serialisation of a repository: schemas, pathways and
+    (optionally) materialised extents.
+
+    The format is line-oriented and human-diffable; IQL queries and
+    schemes use their concrete syntax, so a saved repository doubles as a
+    readable integration log:
+
+    {v
+    schema "pedro"
+    object <<protein>> : [str]
+    object <<protein,organism>> : [{str,str}]
+    ...
+    pathway "pedro" -> "i_protein"
+    step add <<UProtein>> := [{'PEDRO', k} | k <- <<protein>>]
+    step contract <<experiment>> := Range Void Any
+    end
+    extent "pedro" <<protein>> := ['PED-P0'; 'PED-P1']
+    v}
+
+    Restrictions: schema names must not contain double quotes or
+    newlines, and string values in serialised extents must not contain
+    single quotes (IQL string literals have no escape syntax). *)
+
+val save : ?extents:bool -> Repository.t -> string
+(** Renders the repository.  [extents] (default [false]) also writes the
+    materialised extents. *)
+
+val load : string -> (Repository.t, string) result
+(** Rebuilds a repository from {!save}'s output.  Pathways are re-checked
+    (well-formedness, target agreement) on the way in. *)

@@ -1,0 +1,133 @@
+(* PRNG determinism and string utilities. *)
+
+module Prng = Automed_base.Prng
+module Strutil = Automed_base.Strutil
+
+let test_prng_deterministic () =
+  let a = Prng.create 7L and b = Prng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_copy () =
+  let a = Prng.create 3L in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create 11L in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_prng_int_rejects () =
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int (Prng.create 1L) 0))
+
+let test_prng_float_bounds () =
+  let rng = Prng.create 13L in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_prng_choose_shuffle () =
+  let rng = Prng.create 5L in
+  let a = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 50 do
+    let v = Prng.choose rng a in
+    if v < 1 || v > 5 then Alcotest.failf "bad choice %d" v
+  done;
+  let b = Array.copy a in
+  Prng.shuffle rng b;
+  Alcotest.(check (list int)) "shuffle is a permutation" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare (Array.to_list b))
+
+let test_prng_sample () =
+  let rng = Prng.create 9L in
+  let xs = [ 1; 2; 3; 4; 5; 6 ] in
+  let s = Prng.sample rng 3 xs in
+  Alcotest.(check int) "sample size" 3 (List.length s);
+  List.iter
+    (fun x -> Alcotest.(check bool) "sampled from xs" true (List.mem x xs))
+    s;
+  Alcotest.(check int) "sample all when k too big" 6
+    (List.length (Prng.sample rng 10 xs))
+
+let test_levenshtein () =
+  Alcotest.(check int) "identical" 0 (Strutil.levenshtein "abc" "abc");
+  Alcotest.(check int) "empty" 3 (Strutil.levenshtein "" "abc");
+  Alcotest.(check int) "kitten/sitting" 3 (Strutil.levenshtein "kitten" "sitting");
+  Alcotest.(check int) "substitution" 1 (Strutil.levenshtein "cat" "car")
+
+let test_similarity () =
+  Alcotest.(check bool) "identical is 1" true (Strutil.similarity "abc" "abc" = 1.0);
+  Alcotest.(check bool) "case folded" true (Strutil.similarity "ABC" "abc" = 1.0);
+  Alcotest.(check bool) "different below 1" true (Strutil.similarity "abc" "xyz" < 0.5)
+
+let test_tokens () =
+  Alcotest.(check (list string)) "underscores" [ "db"; "search" ]
+    (Strutil.tokens "db_search");
+  Alcotest.(check (list string)) "camel case" [ "protein"; "hit" ]
+    (Strutil.tokens "proteinHit");
+  Alcotest.(check (list string)) "mixed" [ "db"; "search"; "id" ]
+    (Strutil.tokens "dbSearch_id");
+  Alcotest.(check (list string)) "empty" [] (Strutil.tokens "")
+
+let test_token_overlap () =
+  Alcotest.(check bool) "full overlap" true
+    (Strutil.token_overlap "db_search" "search_db" = 1.0);
+  Alcotest.(check bool) "no overlap" true
+    (Strutil.token_overlap "protein" "peptide" = 0.0)
+
+let test_pad_starts_contains () =
+  Alcotest.(check string) "pad" "ab  " (Strutil.pad 4 "ab");
+  Alcotest.(check string) "no truncate" "abcdef" (Strutil.pad 4 "abcdef");
+  Alcotest.(check bool) "starts_with" true
+    (Strutil.starts_with ~prefix:"pro" "protein");
+  Alcotest.(check bool) "contains" true (Strutil.contains_sub ~sub:"ote" "protein");
+  Alcotest.(check bool) "not contains" false
+    (Strutil.contains_sub ~sub:"xyz" "protein")
+
+let qcheck_levenshtein_symmetric =
+  QCheck.Test.make ~name:"levenshtein symmetric" ~count:200
+    QCheck.(pair string_printable string_printable)
+    (fun (a, b) -> Strutil.levenshtein a b = Strutil.levenshtein b a)
+
+let qcheck_levenshtein_triangle =
+  QCheck.Test.make ~name:"levenshtein triangle inequality" ~count:200
+    QCheck.(
+      triple string_printable string_printable
+        string_printable)
+    (fun (a, b, c) ->
+      Strutil.levenshtein a c <= Strutil.levenshtein a b + Strutil.levenshtein b c)
+
+let qcheck_similarity_range =
+  QCheck.Test.make ~name:"similarity in [0,1]" ~count:200
+    QCheck.(pair string_printable string_printable)
+    (fun (a, b) ->
+      let s = Strutil.similarity a b in
+      s >= 0.0 && s <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng int rejects" `Quick test_prng_int_rejects;
+    Alcotest.test_case "prng float bounds" `Quick test_prng_float_bounds;
+    Alcotest.test_case "prng choose/shuffle" `Quick test_prng_choose_shuffle;
+    Alcotest.test_case "prng sample" `Quick test_prng_sample;
+    Alcotest.test_case "levenshtein" `Quick test_levenshtein;
+    Alcotest.test_case "similarity" `Quick test_similarity;
+    Alcotest.test_case "tokens" `Quick test_tokens;
+    Alcotest.test_case "token overlap" `Quick test_token_overlap;
+    Alcotest.test_case "pad/starts/contains" `Quick test_pad_starts_contains;
+    QCheck_alcotest.to_alcotest qcheck_levenshtein_symmetric;
+    QCheck_alcotest.to_alcotest qcheck_levenshtein_triangle;
+    QCheck_alcotest.to_alcotest qcheck_similarity_range;
+  ]

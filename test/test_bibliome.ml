@@ -1,0 +1,78 @@
+(* The bibliographic dataspace: three modelling languages integrated
+   through two intersection schemas, with hand-verifiable answers. *)
+
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Workflow = Automed_integration.Workflow
+module Value = Automed_iql.Value
+module Bibliome = Automed_bibliome.Bibliome
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let env =
+  lazy
+    (let repo = Repository.create () in
+     ok (Bibliome.setup repo);
+     let wf = ok (Bibliome.integrate repo) in
+     (repo, wf))
+
+let test_setup_registers_three_models () =
+  let repo, _ = Lazy.force env in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) s true (Repository.mem_schema repo s))
+    [ "dblp"; "arxiv"; "library" ]
+
+let test_integration_versions () =
+  let _, wf = Lazy.force env in
+  Alcotest.(check string) "two iterations" "biblio_v2" (Workflow.global_name wf);
+  Alcotest.(check int) "manual transformations" 8 (Workflow.manual_steps wf)
+
+let test_checks () =
+  let _, wf = Lazy.force env in
+  List.iter
+    (fun (c : Bibliome.check) ->
+      match Workflow.run_query wf c.Bibliome.query with
+      | Ok v ->
+          Alcotest.(check string) c.Bibliome.label c.Bibliome.expected
+            (Value.to_string v)
+      | Error e ->
+          Alcotest.failf "%s: %a" c.Bibliome.label Processor.pp_error e)
+    Bibliome.checks
+
+let test_year_partial_concept () =
+  (* the year concept has contributions from two sources only *)
+  let _, wf = Lazy.force env in
+  match Workflow.run_query wf "[s | {s, k, y} <- <<UPublication,year>>]" with
+  | Ok (Value.Bag b) ->
+      let sources =
+        Value.Bag.fold
+          (fun v _ acc -> match v with Value.Str s -> s :: acc | _ -> acc)
+          (Value.Bag.distinct b) []
+      in
+      Alcotest.(check (list string)) "two sources" [ "arxiv"; "dblp" ]
+        (List.sort String.compare sources)
+  | Ok v -> Alcotest.failf "non-bag %s" (Value.to_string v)
+  | Error e -> Alcotest.failf "%a" Processor.pp_error e
+
+let test_redundant_dropped () =
+  let repo, wf = Lazy.force env in
+  let module Schema = Automed_model.Schema in
+  let module Scheme = Automed_base.Scheme in
+  let g = Repository.schema_exn repo (Workflow.global_name wf) in
+  Alcotest.(check bool) "mapped titles dropped" false
+    (Schema.mem
+       (Scheme.prefix "dblp" (Scheme.column "publication" "title"))
+       g);
+  Alcotest.(check bool) "unmapped venue kept" true
+    (Schema.mem (Scheme.prefix "dblp" (Scheme.column "publication" "venue")) g)
+
+let suite =
+  [
+    Alcotest.test_case "three models registered" `Quick
+      test_setup_registers_three_models;
+    Alcotest.test_case "integration versions" `Quick test_integration_versions;
+    Alcotest.test_case "hand-verifiable answers" `Quick test_checks;
+    Alcotest.test_case "partial year concept" `Quick test_year_partial_concept;
+    Alcotest.test_case "redundancy removal" `Quick test_redundant_dropped;
+  ]

@@ -1,0 +1,173 @@
+(* The relational engine, CSV loader and wrapper. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Relational = Automed_datasource.Relational
+module Csv = Automed_datasource.Csv
+module Wrapper = Automed_datasource.Wrapper
+module Repository = Automed_repository.Repository
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let err = function Ok _ -> Alcotest.fail "expected error" | Error _ -> ()
+
+let people () =
+  let t =
+    ok
+      (Relational.create_table ~name:"people" ~key:"id"
+         [ ("id", Relational.CStr); ("age", Relational.CInt);
+           ("name", Relational.CStr) ])
+  in
+  ok
+    (Relational.insert_all t
+       [
+         [ Relational.str_cell "p1"; Relational.int_cell 30;
+           Relational.str_cell "ada" ];
+         [ Relational.str_cell "p2"; Relational.int_cell 41; Relational.null ];
+       ])
+
+let test_create_table_checks () =
+  err (Relational.create_table ~name:"t" ~key:"id" []);
+  err (Relational.create_table ~name:"t" ~key:"missing" [ ("id", Relational.CStr) ]);
+  err
+    (Relational.create_table ~name:"t" ~key:"id"
+       [ ("id", Relational.CStr); ("id", Relational.CInt) ])
+
+let test_insert_checks () =
+  let t = people () in
+  Alcotest.(check int) "rows" 2 (Relational.row_count t);
+  (* arity *)
+  err (Relational.insert t [ Relational.str_cell "p3" ]);
+  (* type *)
+  err
+    (Relational.insert t
+       [ Relational.str_cell "p3"; Relational.str_cell "x"; Relational.null ]);
+  (* null key *)
+  err
+    (Relational.insert t
+       [ Relational.null; Relational.int_cell 1; Relational.null ]);
+  (* duplicate key *)
+  err
+    (Relational.insert t
+       [ Relational.str_cell "p1"; Relational.int_cell 1; Relational.null ])
+
+let test_extents () =
+  let t = people () in
+  let keys = Relational.key_extent t in
+  Alcotest.(check int) "keys" 2 (Value.Bag.cardinal keys);
+  Alcotest.(check bool) "p1 in keys" true (Value.Bag.mem (Value.Str "p1") keys);
+  let ages = ok (Relational.column_extent t "age") in
+  Alcotest.(check int) "ages" 2 (Value.Bag.cardinal ages);
+  (* NULLs are skipped *)
+  let names = ok (Relational.column_extent t "name") in
+  Alcotest.(check int) "names skip null" 1 (Value.Bag.cardinal names);
+  err (Relational.column_extent t "ghost")
+
+let test_project_select_lookup () =
+  let t = people () in
+  let proj = ok (Relational.project t [ "name"; "id" ]) in
+  Alcotest.(check int) "projected rows" 2 (List.length proj);
+  err (Relational.project t [ "nope" ]);
+  let old =
+    Relational.select t (fun row ->
+        match List.nth row 1 with Some (Value.Int a) -> a > 35 | _ -> false)
+  in
+  Alcotest.(check int) "selected" 1 (Relational.row_count old);
+  (match Relational.lookup t (Value.Str "p2") with
+  | Some row -> Alcotest.(check int) "row width" 3 (List.length row)
+  | None -> Alcotest.fail "lookup failed");
+  Alcotest.(check bool) "lookup missing" true
+    (Relational.lookup t (Value.Str "zz") = None)
+
+let test_db () =
+  let db = Relational.create_db "mydb" in
+  let db = ok (Relational.add_table db (people ())) in
+  err (Relational.add_table db (people ()));
+  Alcotest.(check bool) "find" true (Relational.find_table db "people" <> None);
+  Alcotest.(check int) "tables" 1 (List.length (Relational.tables db))
+
+let test_csv_parse () =
+  let rows = ok (Csv.parse "a,b,c\n1,2,3\n") in
+  Alcotest.(check int) "rows" 2 (List.length rows);
+  let rows = ok (Csv.parse "a,\"b,c\",\"d\"\"e\"\r\nx,,z") in
+  (match rows with
+  | [ [ "a"; "b,c"; "d\"e" ]; [ "x"; ""; "z" ] ] -> ()
+  | _ -> Alcotest.fail "quoted parsing wrong");
+  Alcotest.(check int) "empty doc" 0 (List.length (ok (Csv.parse "")));
+  err (Csv.parse "\"unterminated")
+
+let test_csv_roundtrip () =
+  let rows = [ [ "a"; "b,c" ]; [ "d\"e"; "newline\nhere" ]; [ ""; "x" ] ] in
+  let parsed = ok (Csv.parse (Csv.render rows)) in
+  Alcotest.(check bool) "roundtrip" true (rows = parsed)
+
+let test_csv_load_table () =
+  let csv = "name,id,age\nada,p1,30\n,p2,41\n" in
+  let t =
+    ok
+      (Csv.load_table ~name:"people" ~key:"id"
+         ~columns:
+           [ ("id", Relational.CStr); ("age", Relational.CInt);
+             ("name", Relational.CStr) ]
+         csv)
+  in
+  Alcotest.(check int) "rows" 2 (Relational.row_count t);
+  (* empty cell became NULL *)
+  let names = ok (Relational.column_extent t "name") in
+  Alcotest.(check int) "one name" 1 (Value.Bag.cardinal names);
+  (* header must cover declared columns *)
+  err
+    (Csv.load_table ~name:"t" ~key:"id" ~columns:[ ("id", Relational.CStr) ]
+       "wrong\nx\n");
+  (* type conversion errors *)
+  err
+    (Csv.load_table ~name:"t" ~key:"id"
+       ~columns:[ ("id", Relational.CStr); ("n", Relational.CInt) ]
+       "id,n\na,notanint\n")
+
+let test_wrapper () =
+  let repo = Repository.create () in
+  let db = ok (Relational.add_table (Relational.create_db "src") (people ())) in
+  let schema = ok (Wrapper.wrap repo db) in
+  Alcotest.(check string) "name" "src" (Schema.name schema);
+  (* table object + 2 non-key columns (id is not emitted) *)
+  Alcotest.(check int) "objects" 3 (Schema.object_count schema);
+  Alcotest.(check bool) "no key column object" false
+    (Schema.mem (Scheme.column "people" "id") schema);
+  (match Repository.stored_extent repo ~schema:"src" (Scheme.table "people") with
+  | Some b -> Alcotest.(check int) "key extent" 2 (Value.Bag.cardinal b)
+  | None -> Alcotest.fail "table extent missing");
+  match
+    Repository.stored_extent repo ~schema:"src" (Scheme.column "people" "age")
+  with
+  | Some b ->
+      Alcotest.(check int) "column extent" 2 (Value.Bag.cardinal b);
+      Alcotest.(check bool) "pair shape" true
+        (Value.Bag.mem (Value.tuple2 (Value.Str "p1") (Value.Int 30)) b)
+  | None -> Alcotest.fail "column extent missing"
+
+let test_refresh_extents () =
+  let repo = Repository.create () in
+  let db = ok (Relational.add_table (Relational.create_db "src") (people ())) in
+  ignore (ok (Wrapper.wrap repo db));
+  let t = ok (Relational.insert (Option.get (Relational.find_table db "people"))
+                [ Relational.str_cell "p3"; Relational.int_cell 7; Relational.null ]) in
+  let db = Relational.replace_table db t in
+  ok (Wrapper.refresh_extents repo db);
+  match Repository.stored_extent repo ~schema:"src" (Scheme.table "people") with
+  | Some b -> Alcotest.(check int) "refreshed" 3 (Value.Bag.cardinal b)
+  | None -> Alcotest.fail "extent missing"
+
+let suite =
+  [
+    Alcotest.test_case "create table checks" `Quick test_create_table_checks;
+    Alcotest.test_case "insert checks" `Quick test_insert_checks;
+    Alcotest.test_case "extents" `Quick test_extents;
+    Alcotest.test_case "project/select/lookup" `Quick test_project_select_lookup;
+    Alcotest.test_case "db" `Quick test_db;
+    Alcotest.test_case "csv parse" `Quick test_csv_parse;
+    Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv load table" `Quick test_csv_load_table;
+    Alcotest.test_case "wrapper" `Quick test_wrapper;
+    Alcotest.test_case "refresh extents" `Quick test_refresh_extents;
+  ]

@@ -1,0 +1,186 @@
+(* XML document sources: parsing and wrapping into the xml modelling
+   language. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Document = Automed_datasource.Document
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let err = function Ok _ -> Alcotest.fail "expected error" | Error _ -> ()
+
+let sample =
+  {|<?xml version="1.0"?>
+<!-- personnel extract -->
+<staff>
+  <person mail="ada@example.org" dept="cs">Ada</person>
+  <person mail="bob@example.org">Bob &amp; co</person>
+  <team name="db">
+    <person mail="eve@example.org"/>
+  </team>
+</staff>|}
+
+let test_parse_structure () =
+  let root = ok (Document.parse sample) in
+  Alcotest.(check string) "root tag" "staff" root.Document.tag;
+  Alcotest.(check int) "children" 3 (List.length root.Document.children);
+  let first = List.hd root.Document.children in
+  Alcotest.(check string) "attr" "ada@example.org"
+    (List.assoc "mail" first.Document.attrs);
+  Alcotest.(check string) "text" "Ada" first.Document.text;
+  let second = List.nth root.Document.children 1 in
+  Alcotest.(check string) "entity decoded" "Bob & co" second.Document.text;
+  let team = List.nth root.Document.children 2 in
+  Alcotest.(check int) "nested child" 1 (List.length team.Document.children)
+
+let test_parse_errors () =
+  List.iter
+    (fun doc -> err (Document.parse doc))
+    [
+      "";  (* no root *)
+      "<a><b></a>";  (* mismatched close *)
+      "<a>";  (* unterminated *)
+      "<a attr></a>";  (* attribute without value *)
+      "<a>&unknown;</a>";  (* bad entity *)
+      "<a/><b/>";  (* two roots *)
+      "<!-- only a comment -->";
+    ]
+
+let test_parse_self_closing_and_quotes () =
+  let root = ok (Document.parse "<r><x a='1' b=\"2\"/></r>") in
+  match root.Document.children with
+  | [ x ] ->
+      Alcotest.(check string) "single quotes" "1" (List.assoc "a" x.Document.attrs);
+      Alcotest.(check string) "double quotes" "2" (List.assoc "b" x.Document.attrs)
+  | _ -> Alcotest.fail "expected one child"
+
+let wrap_sample () =
+  let repo = Repository.create () in
+  let root = ok (Document.parse sample) in
+  let schema = ok (Document.wrap repo ~name:"personnel" root) in
+  (repo, schema)
+
+let xml_scheme construct args = Scheme.make ~language:"xml" ~construct args
+
+let test_wrap_schema () =
+  let _, schema = wrap_sample () in
+  Alcotest.(check bool) "person element" true
+    (Schema.mem (xml_scheme "element" [ "person" ]) schema);
+  Alcotest.(check bool) "mail attribute" true
+    (Schema.mem (xml_scheme "attribute" [ "person"; "mail" ]) schema);
+  Alcotest.(check bool) "text pseudo-attribute" true
+    (Schema.mem (xml_scheme "attribute" [ "person"; "#text" ]) schema);
+  Alcotest.(check bool) "staff/person nesting" true
+    (Schema.mem (xml_scheme "nest" [ "staff"; "person" ]) schema);
+  Alcotest.(check bool) "team/person nesting" true
+    (Schema.mem (xml_scheme "nest" [ "team"; "person" ]) schema)
+
+let test_wrap_extents () =
+  let repo, _ = wrap_sample () in
+  let extent scheme =
+    match Repository.stored_extent repo ~schema:"personnel" scheme with
+    | Some b -> b
+    | None -> Alcotest.failf "no extent for %s" (Scheme.to_string scheme)
+  in
+  Alcotest.(check int) "three persons" 3
+    (Value.Bag.cardinal (extent (xml_scheme "element" [ "person" ])));
+  Alcotest.(check int) "three mails" 3
+    (Value.Bag.cardinal (extent (xml_scheme "attribute" [ "person"; "mail" ])));
+  Alcotest.(check int) "two direct persons under staff" 2
+    (Value.Bag.cardinal (extent (xml_scheme "nest" [ "staff"; "person" ])))
+
+let test_wrap_queryable () =
+  let repo, _ = wrap_sample () in
+  let proc = Processor.create repo in
+  match
+    Processor.run_string proc ~schema:"personnel"
+      "[m | {k, m} <- <<xml,attribute,person,mail>>]"
+  with
+  | Ok (Value.Bag b) -> Alcotest.(check int) "queryable" 3 (Value.Bag.cardinal b)
+  | Ok v -> Alcotest.failf "non-bag %s" (Value.to_string v)
+  | Error e -> Alcotest.failf "%a" Processor.pp_error e
+
+let test_wrap_deterministic () =
+  let r1, _ = wrap_sample () in
+  let r2, _ = wrap_sample () in
+  let e repo =
+    Repository.stored_extent repo ~schema:"personnel"
+      (xml_scheme "element" [ "person" ])
+  in
+  Alcotest.(check bool) "same node ids" true (e r1 = e r2)
+
+let test_integrates_with_relational () =
+  (* an intersection schema spanning the XML source and a relational one *)
+  let repo, _ = wrap_sample () in
+  let module Relational = Automed_datasource.Relational in
+  let module Wrapper = Automed_datasource.Wrapper in
+  let staff =
+    ok
+      (Relational.create_table ~name:"staff" ~key:"id"
+         [ ("id", Relational.CStr); ("email", Relational.CStr) ])
+  in
+  let staff =
+    ok
+      (Relational.insert staff
+         [ Relational.str_cell "s1"; Relational.str_cell "ada@example.org" ])
+  in
+  let db = ok (Relational.add_table (Relational.create_db "hr") staff) in
+  let _ = ok (Wrapper.wrap repo db) in
+  let module Intersection = Automed_integration.Intersection in
+  let o =
+    ok
+      (Intersection.create repo
+         {
+           Intersection.name = "i_person";
+           sides =
+             [
+               {
+                 Intersection.schema = "hr";
+                 mappings =
+                   [
+                     { Intersection.target = Scheme.column "UPerson" "email";
+                       forward =
+                         Automed_iql.Parser.parse_exn
+                           "[{'hr', k, x} | {k,x} <- <<staff,email>>]";
+                       restore = None };
+                   ];
+               };
+               {
+                 Intersection.schema = "personnel";
+                 mappings =
+                   [
+                     { Intersection.target = Scheme.column "UPerson" "email";
+                       forward =
+                         Automed_iql.Parser.parse_exn
+                           "[{'xml', k, x} | {k,x} <- \
+                            <<xml,attribute,person,mail>>]";
+                       restore = None };
+                   ];
+               };
+             ];
+         })
+  in
+  let proc = Processor.create repo in
+  match
+    Processor.extent_of proc
+      ~schema:(Schema.name o.Intersection.intersection)
+      (Scheme.column "UPerson" "email")
+  with
+  | Ok b -> Alcotest.(check int) "1 + 3 contributions" 4 (Value.Bag.cardinal b)
+  | Error e -> Alcotest.failf "%a" Processor.pp_error e
+
+let suite =
+  [
+    Alcotest.test_case "parse structure" `Quick test_parse_structure;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "self-closing and quotes" `Quick
+      test_parse_self_closing_and_quotes;
+    Alcotest.test_case "wrap schema" `Quick test_wrap_schema;
+    Alcotest.test_case "wrap extents" `Quick test_wrap_extents;
+    Alcotest.test_case "wrapped source queryable" `Quick test_wrap_queryable;
+    Alcotest.test_case "wrap deterministic" `Quick test_wrap_deterministic;
+    Alcotest.test_case "integrates with relational source" `Quick
+      test_integrates_with_relational;
+  ]

@@ -1,0 +1,151 @@
+(* The HDM substrate: graph construction, referential integrity, renames. *)
+
+module Hdm = Automed_hdm.Hdm
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let graph_abc () =
+  let g = ok (Hdm.add_node "a" Hdm.empty) in
+  let g = ok (Hdm.add_node "b" g) in
+  ok
+    (Hdm.add_edge
+       { edge_name = "ab"; participants = [ Hdm.Node_end "a"; Hdm.Node_end "b" ] }
+       g)
+
+let test_add_node () =
+  let g = ok (Hdm.add_node "n" Hdm.empty) in
+  Alcotest.(check bool) "present" true (Hdm.mem_node "n" g);
+  match Hdm.add_node "n" g with
+  | Ok _ -> Alcotest.fail "duplicate node accepted"
+  | Error _ -> ()
+
+let test_add_edge_checks_participants () =
+  match
+    Hdm.add_edge
+      { edge_name = "e"; participants = [ Hdm.Node_end "ghost" ] }
+      Hdm.empty
+  with
+  | Ok _ -> Alcotest.fail "edge with missing participant accepted"
+  | Error _ -> ()
+
+let test_add_edge_no_participants () =
+  let g = ok (Hdm.add_node "a" Hdm.empty) in
+  match Hdm.add_edge { edge_name = "e"; participants = [] } g with
+  | Ok _ -> Alcotest.fail "empty edge accepted"
+  | Error _ -> ()
+
+let test_edge_over_edge () =
+  let g = graph_abc () in
+  let g = ok (Hdm.add_node "c" g) in
+  let g =
+    ok
+      (Hdm.add_edge
+         { edge_name = "nested";
+           participants = [ Hdm.Edge_end "ab"; Hdm.Node_end "c" ] }
+         g)
+  in
+  Alcotest.(check bool) "hyperedge over edge" true (Hdm.mem_edge "nested" g);
+  (* removing the inner edge must now fail *)
+  match Hdm.remove_edge "ab" g with
+  | Ok _ -> Alcotest.fail "removed edge still referenced"
+  | Error _ -> ()
+
+let test_remove_node_guard () =
+  let g = graph_abc () in
+  (match Hdm.remove_node "a" g with
+  | Ok _ -> Alcotest.fail "removed node still used by edge"
+  | Error _ -> ());
+  let g = ok (Hdm.remove_edge "ab" g) in
+  let g = ok (Hdm.remove_node "a" g) in
+  Alcotest.(check bool) "gone" false (Hdm.mem_node "a" g)
+
+let test_constraints () =
+  let g = graph_abc () in
+  let g = ok (Hdm.add_constraint (Hdm.Unique (Hdm.Node_end "a")) g) in
+  let g =
+    ok
+      (Hdm.add_constraint
+         (Hdm.Cardinality { edge = "ab"; position = 0; min = 1; max = None })
+         g)
+  in
+  Alcotest.(check int) "two constraints" 2 (List.length (Hdm.constraints g));
+  (match Hdm.add_constraint (Hdm.Mandatory ("ghost", "ab")) g with
+  | Ok _ -> Alcotest.fail "constraint on missing node accepted"
+  | Error _ -> ());
+  (* edge removal blocked by the cardinality constraint on it *)
+  match Hdm.remove_edge "ab" g with
+  | Ok _ -> Alcotest.fail "removed edge still constrained"
+  | Error _ -> ()
+
+let test_rename_node_rewrites () =
+  let g = graph_abc () in
+  let g = ok (Hdm.add_constraint (Hdm.Unique (Hdm.Node_end "a")) g) in
+  let g = ok (Hdm.rename_node "a" "a2" g) in
+  Alcotest.(check bool) "new name" true (Hdm.mem_node "a2" g);
+  Alcotest.(check bool) "old gone" false (Hdm.mem_node "a" g);
+  (match Hdm.find_edge "ab" g with
+  | Some e ->
+      Alcotest.(check bool) "edge rewritten" true
+        (List.mem (Hdm.Node_end "a2") e.participants)
+  | None -> Alcotest.fail "edge lost");
+  Alcotest.(check bool) "constraint rewritten" true
+    (List.mem (Hdm.Unique (Hdm.Node_end "a2")) (Hdm.constraints g));
+  Alcotest.(check bool) "validates" true (Result.is_ok (Hdm.validate g))
+
+let test_rename_edge () =
+  let g = graph_abc () in
+  let g = ok (Hdm.rename_edge "ab" "link" g) in
+  Alcotest.(check bool) "renamed" true (Hdm.mem_edge "link" g);
+  Alcotest.(check bool) "old gone" false (Hdm.mem_edge "ab" g)
+
+let test_union () =
+  let g1 = graph_abc () in
+  let g2 = ok (Hdm.add_node "c" Hdm.empty) in
+  let u = ok (Hdm.union g1 g2) in
+  Alcotest.(check int) "size" 4 (Hdm.size u);
+  (* unioning with itself is idempotent *)
+  let uu = ok (Hdm.union u u) in
+  Alcotest.(check bool) "idempotent" true (Hdm.equal u uu)
+
+let test_union_clash () =
+  let g1 = graph_abc () in
+  let g2 = ok (Hdm.add_node "a" Hdm.empty) in
+  let g2 = ok (Hdm.add_node "x" g2) in
+  let g2 =
+    ok
+      (Hdm.add_edge
+         { edge_name = "ab"; participants = [ Hdm.Node_end "a"; Hdm.Node_end "x" ] }
+         g2)
+  in
+  match Hdm.union g1 g2 with
+  | Ok _ -> Alcotest.fail "clashing edge definitions accepted"
+  | Error _ -> ()
+
+let test_equal_order_insensitive () =
+  let g1 = ok (Hdm.add_node "b" (ok (Hdm.add_node "a" Hdm.empty))) in
+  let g2 = ok (Hdm.add_node "a" (ok (Hdm.add_node "b" Hdm.empty))) in
+  Alcotest.(check bool) "order insensitive" true (Hdm.equal g1 g2)
+
+let test_size_and_lists () =
+  let g = graph_abc () in
+  Alcotest.(check int) "size" 3 (Hdm.size g);
+  Alcotest.(check (list string)) "nodes sorted" [ "a"; "b" ] (Hdm.nodes g);
+  Alcotest.(check int) "edges" 1 (List.length (Hdm.edges g))
+
+let suite =
+  [
+    Alcotest.test_case "add node" `Quick test_add_node;
+    Alcotest.test_case "edge participants checked" `Quick
+      test_add_edge_checks_participants;
+    Alcotest.test_case "edge needs participants" `Quick test_add_edge_no_participants;
+    Alcotest.test_case "hyperedge over edge" `Quick test_edge_over_edge;
+    Alcotest.test_case "remove node guarded" `Quick test_remove_node_guard;
+    Alcotest.test_case "constraints" `Quick test_constraints;
+    Alcotest.test_case "rename node rewrites" `Quick test_rename_node_rewrites;
+    Alcotest.test_case "rename edge" `Quick test_rename_edge;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "union clash" `Quick test_union_clash;
+    Alcotest.test_case "equality order-insensitive" `Quick
+      test_equal_order_insensitive;
+    Alcotest.test_case "size and listings" `Quick test_size_and_lists;
+  ]

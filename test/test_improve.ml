@@ -1,0 +1,144 @@
+(* Schema improvement: quality findings and refinement pathways. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Types = Automed_iql.Types
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Improve = Automed_integration.Improve
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let inspect_repo () =
+  let repo = Repository.create () in
+  let s =
+    ok
+      (Schema.of_objects "s"
+         [
+           (Scheme.table "a", Some (Types.TBag Types.TStr));
+           (Scheme.table "b", Some (Types.TBag Types.TStr));
+           (Scheme.table "empty", Some (Types.TBag Types.TStr));
+           (Scheme.table "untyped_t", None);
+           (Scheme.column "ghost" "c", Some (Types.tuple_row [ Types.TStr; Types.TStr ]));
+         ])
+  in
+  ok (Repository.add_schema repo s);
+  let bag = Value.Bag.of_list [ Value.Str "x"; Value.Str "y" ] in
+  ok (Repository.set_extent repo ~schema:"s" (Scheme.table "a") bag);
+  ok (Repository.set_extent repo ~schema:"s" (Scheme.table "b") bag);
+  ok
+    (Repository.set_extent repo ~schema:"s" (Scheme.table "untyped_t")
+       (Value.Bag.of_list [ Value.Str "z" ]));
+  repo
+
+let has findings p = List.exists p findings
+
+let test_inspect () =
+  let repo = inspect_repo () in
+  let proc = Processor.create repo in
+  let findings = ok (Improve.inspect proc ~schema:"s") in
+  Alcotest.(check bool) "duplicate detected" true
+    (has findings (function
+      | Improve.Duplicate_extents (a, b) ->
+          Scheme.equal a (Scheme.table "a") && Scheme.equal b (Scheme.table "b")
+      | _ -> false));
+  Alcotest.(check bool) "empty detected" true
+    (has findings (function
+      | Improve.Empty_extent s -> Scheme.equal s (Scheme.table "empty")
+      | _ -> false));
+  Alcotest.(check bool) "untyped detected" true
+    (has findings (function
+      | Improve.Untyped s -> Scheme.equal s (Scheme.table "untyped_t")
+      | _ -> false));
+  Alcotest.(check bool) "orphan column detected" true
+    (has findings (function
+      | Improve.Orphan_column s -> Scheme.equal s (Scheme.column "ghost" "c")
+      | _ -> false));
+  (* no spurious duplicate among distinct extents *)
+  Alcotest.(check bool) "a/untyped_t not duplicates" false
+    (has findings (function
+      | Improve.Duplicate_extents (_, b) -> Scheme.equal b (Scheme.table "untyped_t")
+      | _ -> false))
+
+let test_rename_concept () =
+  let repo = inspect_repo () in
+  let s2 =
+    ok
+      (Improve.rename_concept repo ~schema:"s" ~new_name:"s2"
+         ~from_:(Scheme.table "a") ~to_:(Scheme.table "alpha"))
+  in
+  Alcotest.(check bool) "renamed" true (Schema.mem (Scheme.table "alpha") s2);
+  Alcotest.(check bool) "old gone" false (Schema.mem (Scheme.table "a") s2);
+  (* data flows through the refinement pathway *)
+  let proc = Processor.create repo in
+  let b = ok (Result.map_error (Fmt.str "%a" Processor.pp_error)
+                (Processor.extent_of proc ~schema:"s2" (Scheme.table "alpha"))) in
+  Alcotest.(check int) "extent preserved" 2 (Value.Bag.cardinal b)
+
+let test_drop_concepts () =
+  let repo = inspect_repo () in
+  let s2 =
+    ok
+      (Improve.drop_concepts repo ~schema:"s" ~new_name:"s2"
+         [ Scheme.table "empty"; Scheme.column "ghost" "c" ])
+  in
+  Alcotest.(check int) "two objects fewer" 3 (Schema.object_count s2);
+  (* the refinement is reversible: the original schema is still there *)
+  Alcotest.(check bool) "original intact" true (Repository.mem_schema repo "s")
+
+let test_merge_concepts () =
+  let repo = inspect_repo () in
+  let s2 =
+    ok
+      (Improve.merge_concepts repo ~schema:"s" ~new_name:"s2"
+         ~into:(Scheme.table "a") (Scheme.table "b"))
+  in
+  Alcotest.(check bool) "redundant gone" false (Schema.mem (Scheme.table "b") s2);
+  Alcotest.(check bool) "kept" true (Schema.mem (Scheme.table "a") s2);
+  (match
+     Improve.merge_concepts repo ~schema:"s" ~new_name:"s3"
+       ~into:(Scheme.table "a") (Scheme.table "a")
+   with
+  | Ok _ -> Alcotest.fail "self-merge accepted"
+  | Error _ -> ());
+  (* reversibility: querying b through the reverse pathway recovers it
+     from a (the delete query documents the equivalence) *)
+  let proc = Processor.create repo in
+  match
+    Processor.translate proc ~from_schema:"s" ~to_schema:"s2"
+      (Automed_iql.Parser.parse_exn "count(<<b>>)")
+  with
+  | Ok translated -> (
+      match Processor.run proc ~schema:"s2" translated with
+      | Ok v -> Alcotest.(check string) "b recovered from a" "2" (Value.to_string v)
+      | Error e -> Alcotest.failf "%a" Processor.pp_error e)
+  | Error e -> Alcotest.failf "%a" Processor.pp_error e
+
+let test_inspect_on_ispider_global () =
+  (* the integrated global schema has no duplicate or empty concepts
+     among the intersection objects *)
+  let repo = Repository.create () in
+  ok (Automed_ispider.Sources.wrap_all repo (Automed_ispider.Sources.generate ()));
+  let run = ok (Automed_ispider.Intersection_run.execute repo) in
+  let global =
+    Automed_integration.Workflow.global_name run.Automed_ispider.Intersection_run.workflow
+  in
+  let proc = Processor.create repo in
+  let findings = ok (Improve.inspect proc ~schema:global) in
+  Alcotest.(check bool) "no empty intersection concepts" false
+    (List.exists
+       (function
+         | Improve.Empty_extent s -> not (Scheme.is_prefixed s)
+         | _ -> false)
+       findings)
+
+let suite =
+  [
+    Alcotest.test_case "inspect findings" `Quick test_inspect;
+    Alcotest.test_case "rename concept" `Quick test_rename_concept;
+    Alcotest.test_case "drop concepts" `Quick test_drop_concepts;
+    Alcotest.test_case "merge concepts" `Quick test_merge_concepts;
+    Alcotest.test_case "inspect integrated global schema" `Slow
+      test_inspect_on_ispider_global;
+  ]

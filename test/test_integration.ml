@@ -1,0 +1,542 @@
+(* The paper's core machinery, exercised in the shapes of Figures 1-4:
+   federated schemas, intersection schemas with the canonical pathway
+   shape, schema difference accounting, and global schema generation with
+   redundancy removal. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Ast = Automed_iql.Ast
+module Parser = Automed_iql.Parser
+module Value = Automed_iql.Value
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Federated = Automed_integration.Federated
+module Intersection = Automed_integration.Intersection
+module Global = Automed_integration.Global
+module Workflow = Automed_integration.Workflow
+module Classical = Automed_integration.Classical
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let err = function Ok _ -> Alcotest.fail "expected error" | Error _ -> ()
+let ok_p = function Ok v -> v | Error e -> Alcotest.failf "%a" Processor.pp_error e
+let q = Parser.parse_exn
+let bag vs = Value.Bag.of_list (List.map (fun s -> Value.Str s) vs)
+
+(* Two small overlapping sources: both know "books", each has a private
+   table. *)
+let two_sources () =
+  let repo = Repository.create () in
+  let s1 =
+    ok
+      (Schema.of_objects "lib1"
+         [
+           (Scheme.table "book", None);
+           (Scheme.column "book" "isbn", None);
+           (Scheme.table "member", None);
+         ])
+  in
+  let s2 =
+    ok
+      (Schema.of_objects "lib2"
+         [
+           (Scheme.table "volume", None);
+           (Scheme.column "volume" "code", None);
+           (Scheme.table "loan", None);
+         ])
+  in
+  ok (Repository.add_schema repo s1);
+  ok (Repository.add_schema repo s2);
+  let set s o vs = ok (Repository.set_extent repo ~schema:s o (bag vs)) in
+  set "lib1" (Scheme.table "book") [ "b1"; "b2" ];
+  ok
+    (Repository.set_extent repo ~schema:"lib1" (Scheme.column "book" "isbn")
+       (Value.Bag.of_list
+          [ Value.tuple2 (Value.Str "b1") (Value.Str "111");
+            Value.tuple2 (Value.Str "b2") (Value.Str "222") ]));
+  set "lib1" (Scheme.table "member") [ "m1" ];
+  set "lib2" (Scheme.table "volume") [ "v1"; "v2"; "v3" ];
+  ok
+    (Repository.set_extent repo ~schema:"lib2" (Scheme.column "volume" "code")
+       (Value.Bag.of_list
+          [ Value.tuple2 (Value.Str "v1") (Value.Str "111");
+            Value.tuple2 (Value.Str "v2") (Value.Str "333");
+            Value.tuple2 (Value.Str "v3") (Value.Str "444") ]));
+  set "lib2" (Scheme.table "loan") [ "l1"; "l2" ];
+  repo
+
+let ubook_spec =
+  {
+    Intersection.name = "i_book";
+    sides =
+      [
+        {
+          Intersection.schema = "lib1";
+          mappings =
+            [
+              { Intersection.target = Scheme.table "UBook";
+                forward = q "[{'L1', k} | k <- <<book>>]"; restore = None };
+              { Intersection.target = Scheme.column "UBook" "isbn";
+                forward = q "[{'L1', k, x} | {k,x} <- <<book,isbn>>]";
+                restore = None };
+            ];
+        };
+        {
+          Intersection.schema = "lib2";
+          mappings =
+            [
+              { Intersection.target = Scheme.table "UBook";
+                forward = q "[{'L2', k} | k <- <<volume>>]"; restore = None };
+              { Intersection.target = Scheme.column "UBook" "isbn";
+                forward = q "[{'L2', k, x} | {k,x} <- <<volume,code>>]";
+                restore = None };
+            ];
+        };
+      ];
+  }
+
+(* -- Figure 3: federated schema ----------------------------------------- *)
+
+let test_federated_objects () =
+  let repo = two_sources () in
+  let f = ok (Federated.create repo ~name:"F" ~members:[ "lib1"; "lib2" ]) in
+  Alcotest.(check int) "all objects, prefixed" 6 (Schema.object_count f);
+  Alcotest.(check bool) "provenance visible" true
+    (Schema.mem (Scheme.prefix "lib1" (Scheme.table "book")) f);
+  Alcotest.(check bool) "no unprefixed objects" false
+    (Schema.mem (Scheme.table "book") f)
+
+let test_federated_queryable_immediately () =
+  let repo = two_sources () in
+  ignore (ok (Federated.create repo ~name:"F" ~members:[ "lib1"; "lib2" ]));
+  let proc = Processor.create repo in
+  let v = ok_p (Processor.run_string proc ~schema:"F" "count(<<lib2:volume>>)") in
+  Alcotest.(check string) "data services on day one" "3" (Value.to_string v)
+
+let test_federated_errors () =
+  let repo = two_sources () in
+  err (Federated.create repo ~name:"F" ~members:[]);
+  err (Federated.create repo ~name:"F" ~members:[ "lib1"; "lib1" ]);
+  err (Federated.create repo ~name:"lib1" ~members:[ "lib2" ]);
+  err (Federated.create repo ~name:"F" ~members:[ "ghost" ])
+
+(* -- Figure 2: intersection schema --------------------------------------- *)
+
+let test_intersection_objects_and_counts () =
+  let repo = two_sources () in
+  let o = ok (Intersection.create repo ubook_spec) in
+  Alcotest.(check int) "intersection objects" 2
+    (Schema.object_count o.Intersection.intersection);
+  Alcotest.(check int) "manual = user mappings" 4 o.Intersection.manual_steps;
+  Alcotest.(check bool) "auto steps exist" true (o.Intersection.auto_steps > 0);
+  Alcotest.(check int) "one aux schema" 1 (List.length o.Intersection.aux_schemas)
+
+let test_intersection_pathway_shape () =
+  let repo = two_sources () in
+  let o = ok (Intersection.create repo ubook_spec) in
+  List.iter
+    (fun (_, p) ->
+      let shape = ok (Transform.intersection_shape p) in
+      Alcotest.(check int) "two adds per side" 2
+        (List.length shape.Transform.adds);
+      (* both forward queries are invertible, so both side objects used
+         are deleted, the rest contracted *)
+      Alcotest.(check int) "two deletes" 2 (List.length shape.Transform.deletes);
+      Alcotest.(check int) "one contract" 1 (List.length shape.Transform.contracts))
+    o.Intersection.side_pathways
+
+let test_intersection_extent_is_bag_union () =
+  let repo = two_sources () in
+  ignore (ok (Intersection.create repo ubook_spec));
+  let proc = Processor.create repo in
+  let b = ok_p (Processor.extent_of proc ~schema:"i_book" (Scheme.table "UBook")) in
+  (* 2 tagged books from lib1 + 3 tagged volumes from lib2 *)
+  Alcotest.(check int) "bag union across sides" 5 (Value.Bag.cardinal b);
+  Alcotest.(check bool) "lib1 tag present" true
+    (Value.Bag.mem (Value.tuple2 (Value.Str "L1") (Value.Str "b1")) b);
+  Alcotest.(check bool) "lib2 tag present" true
+    (Value.Bag.mem (Value.tuple2 (Value.Str "L2") (Value.Str "v3")) b)
+
+let test_intersection_validation () =
+  let repo = two_sources () in
+  (* fewer than two sides *)
+  err
+    (Intersection.create repo
+       { Intersection.name = "x"; sides = [ List.hd ubook_spec.Intersection.sides ] });
+  (* duplicate target within a side *)
+  let dup_side =
+    {
+      Intersection.schema = "lib1";
+      mappings =
+        [
+          { Intersection.target = Scheme.table "U";
+            forward = q "[{'L1', k} | k <- <<book>>]"; restore = None };
+          { Intersection.target = Scheme.table "U";
+            forward = q "[{'L1', k} | k <- <<member>>]"; restore = None };
+        ];
+    }
+  in
+  err
+    (Intersection.create repo
+       { Intersection.name = "x"; sides = [ dup_side; List.nth ubook_spec.Intersection.sides 1 ] });
+  (* forward query referencing an object missing from the side *)
+  let bad_side =
+    {
+      Intersection.schema = "lib1";
+      mappings =
+        [
+          { Intersection.target = Scheme.table "U";
+            forward = q "[{'L1', k} | k <- <<ghost>>]"; restore = None };
+        ];
+    }
+  in
+  err
+    (Intersection.create repo
+       { Intersection.name = "x"; sides = [ bad_side; List.nth ubook_spec.Intersection.sides 1 ] })
+
+let test_invert_forward () =
+  let target = Scheme.column "UBook" "isbn" in
+  let source = Scheme.column "book" "isbn" in
+  (match
+     Intersection.invert_forward ~target ~source
+       (q "[{'L1', k, x} | {k,x} <- <<book,isbn>>]")
+   with
+  | Some inv ->
+      Alcotest.(check string) "inverted"
+        "[{k, x} | {t,k,x} <- <<UBook,isbn>>; t = 'L1']" (Ast.to_string inv)
+  | None -> Alcotest.fail "should invert");
+  (* identity *)
+  (match Intersection.invert_forward ~target ~source (Ast.SchemeRef source) with
+  | Some (Ast.SchemeRef s) ->
+      Alcotest.(check bool) "identity inverse" true (Scheme.equal s target)
+  | _ -> Alcotest.fail "identity should invert");
+  (* non-invertible: head variables not matching the pattern *)
+  Alcotest.(check bool) "join not invertible" true
+    (Intersection.invert_forward ~target ~source
+       (q "[{'L1', x} | {k,x} <- <<book,isbn>>]")
+    = None)
+
+let test_inverted_delete_roundtrip () =
+  (* evaluating the auto-generated delete query over the intersection
+     recovers the original source extent *)
+  let repo = two_sources () in
+  ignore (ok (Intersection.create repo ubook_spec));
+  let proc = Processor.create repo in
+  let restore =
+    Option.get
+      (Intersection.invert_forward
+         ~target:(Scheme.column "UBook" "isbn")
+         ~source:(Scheme.column "book" "isbn")
+         (q "[{'L1', k, x} | {k,x} <- <<book,isbn>>]"))
+  in
+  let i_isbn =
+    ok_p (Processor.extent_of proc ~schema:"i_book" (Scheme.column "UBook" "isbn"))
+  in
+  let env =
+    Automed_iql.Eval.env
+      ~schemes:(fun s ->
+        if Scheme.equal s (Scheme.column "UBook" "isbn") then Some i_isbn
+        else None)
+      ()
+  in
+  match Automed_iql.Eval.eval env restore with
+  | Ok v ->
+      let original =
+        Value.Bag
+          (Value.Bag.of_list
+             [ Value.tuple2 (Value.Str "b1") (Value.Str "111");
+               Value.tuple2 (Value.Str "b2") (Value.Str "222") ])
+      in
+      Alcotest.(check bool) "restored" true (Value.equal v original)
+  | Error e -> Alcotest.failf "eval: %a" Automed_iql.Eval.pp_error e
+
+let test_mapped_sources () =
+  let repo = two_sources () in
+  ignore (ok (Intersection.create repo ubook_spec));
+  let mapped = Intersection.mapped_sources repo ~intersection:"i_book" in
+  Alcotest.(check int) "two sides" 2 (List.length mapped);
+  let lib1_deleted = List.assoc "lib1" mapped in
+  Alcotest.(check int) "lib1 deletions" 2 (List.length lib1_deleted)
+
+(* -- Figure 4: global schema with redundancy removal --------------------- *)
+
+let global_setup () =
+  let repo = two_sources () in
+  let o = ok (Intersection.create repo ubook_spec) in
+  let g =
+    ok
+      (Global.create repo ~name:"G" ~intersections:[ o ]
+         ~extensionals:[ "lib1"; "lib2" ])
+  in
+  (repo, o, g)
+
+let test_global_objects () =
+  let _, _, g = global_setup () in
+  (* UBook + UBook.isbn + lib1:member + lib2:loan: the mapped book/volume
+     objects are dropped as redundant *)
+  Alcotest.(check int) "object accounting" 4 (Schema.object_count g);
+  Alcotest.(check bool) "intersection objects kept" true
+    (Schema.mem (Scheme.table "UBook") g);
+  Alcotest.(check bool) "unmapped survives, prefixed" true
+    (Schema.mem (Scheme.prefix "lib1" (Scheme.table "member")) g);
+  Alcotest.(check bool) "mapped dropped" false
+    (Schema.mem (Scheme.prefix "lib1" (Scheme.table "book")) g)
+
+let test_global_without_redundancy_removal () =
+  let repo = two_sources () in
+  let o = ok (Intersection.create repo ubook_spec) in
+  let g =
+    ok
+      (Global.create ~drop_redundant:false repo ~name:"G2" ~intersections:[ o ]
+         ~extensionals:[ "lib1"; "lib2" ])
+  in
+  Alcotest.(check int) "everything kept" 8 (Schema.object_count g);
+  Alcotest.(check bool) "mapped kept" true
+    (Schema.mem (Scheme.prefix "lib1" (Scheme.table "book")) g)
+
+let test_global_queryable () =
+  let repo, _, _ = global_setup () in
+  let proc = Processor.create repo in
+  (* integrated concept *)
+  let v = ok_p (Processor.run_string proc ~schema:"G" "count(<<UBook>>)") in
+  Alcotest.(check string) "union extent" "5" (Value.to_string v);
+  (* join across intersection + remainder *)
+  let v2 =
+    ok_p
+      (Processor.run_string proc ~schema:"G"
+         "[x | {s, k, x} <- <<UBook,isbn>>; s = 'L2']")
+  in
+  Alcotest.(check string) "side filter" "['111'; '333'; '444']"
+    (Value.to_string v2);
+  (* leftover federated content still works *)
+  let v3 = ok_p (Processor.run_string proc ~schema:"G" "count(<<lib2:loan>>)") in
+  Alcotest.(check string) "remainder" "2" (Value.to_string v3)
+
+let test_dropped_objects_accounting () =
+  let repo = two_sources () in
+  let o = ok (Intersection.create repo ubook_spec) in
+  let d1 = Global.dropped_objects [ o ] "lib1" in
+  Alcotest.(check int) "lib1 drops" 2 (List.length d1);
+  Alcotest.(check bool) "book dropped" true
+    (List.exists (Scheme.equal (Scheme.table "book")) d1);
+  let d2 = Global.dropped_objects [ o ] "lib2" in
+  Alcotest.(check int) "lib2 drops" 2 (List.length d2);
+  Alcotest.(check (list string)) "unknown source drops nothing" []
+    (List.map Scheme.to_string (Global.dropped_objects [ o ] "nope"))
+
+let test_user_restore () =
+  (* footnote 7: for complex transformations the user supplies the delete
+     query; it must appear verbatim in the pathway and count as manual *)
+  let repo = two_sources () in
+  let restore_q = q "[k | {t, k} <- <<UBook>>; t = 'L1']" in
+  let spec =
+    {
+      Intersection.name = "i_user";
+      sides =
+        [
+          {
+            Intersection.schema = "lib1";
+            mappings =
+              [
+                { Intersection.target = Scheme.table "UBook";
+                  forward = q "[{'L1', k} | k <- <<book>>]";
+                  restore = Some (Scheme.table "book", restore_q) };
+              ];
+          };
+          {
+            Intersection.schema = "lib2";
+            mappings =
+              [
+                { Intersection.target = Scheme.table "UBook";
+                  forward = q "[{'L2', k} | k <- <<volume>>]"; restore = None };
+              ];
+          };
+        ];
+    }
+  in
+  let o = ok (Intersection.create repo spec) in
+  (* 2 adds + 1 user restore *)
+  Alcotest.(check int) "manual includes the restore" 3 o.Intersection.manual_steps;
+  let lib1_p = List.assoc "lib1" o.Intersection.side_pathways in
+  let shape = ok (Transform.intersection_shape lib1_p) in
+  (match shape.Transform.deletes with
+  | [ (src, dq) ] ->
+      Alcotest.(check bool) "deletes book" true
+        (Scheme.equal src (Scheme.table "book"));
+      Alcotest.(check bool) "verbatim user query" true (Ast.equal dq restore_q)
+  | l -> Alcotest.failf "expected one delete, got %d" (List.length l));
+  (* data still flows *)
+  let proc = Processor.create repo in
+  let b = ok_p (Processor.extent_of proc ~schema:"i_user" (Scheme.table "UBook")) in
+  Alcotest.(check int) "extent" 5 (Value.Bag.cardinal b)
+
+(* -- ad-hoc single-schema extension (footnote 8) ------------------------- *)
+
+let test_extend_single () =
+  let repo = two_sources () in
+  let o =
+    ok
+      (Intersection.extend_single repo ~name:"x_members"
+         {
+           Intersection.schema = "lib1";
+           mappings =
+             [
+               { Intersection.target = Scheme.table "UMember";
+                 forward = q "[{'L1', k} | k <- <<member>>]"; restore = None };
+             ];
+         })
+  in
+  Alcotest.(check int) "manual" 1 o.Intersection.manual_steps;
+  Alcotest.(check int) "no aux" 0 (List.length o.Intersection.aux_schemas);
+  let proc = Processor.create repo in
+  let b = ok_p (Processor.extent_of proc ~schema:"x_members" (Scheme.table "UMember")) in
+  Alcotest.(check int) "extent" 1 (Value.Bag.cardinal b)
+
+(* -- workflow ------------------------------------------------------------ *)
+
+let test_workflow () =
+  let repo = two_sources () in
+  let wf = ok (Workflow.start repo ~name:"demo" ~sources:[ "lib1"; "lib2" ]) in
+  Alcotest.(check string) "initial version" "demo_v0" (Workflow.global_name wf);
+  (* data services immediately *)
+  (match Workflow.run_query wf "count(<<lib1:book>>)" with
+  | Ok v -> Alcotest.(check string) "v0 queryable" "2" (Value.to_string v)
+  | Error e -> Alcotest.failf "%a" Processor.pp_error e);
+  let it = ok (Workflow.integrate wf ubook_spec) in
+  Alcotest.(check int) "iteration index" 1 it.Workflow.index;
+  Alcotest.(check string) "new version" "demo_v1" (Workflow.global_name wf);
+  (match Workflow.run_query wf "count(<<UBook>>)" with
+  | Ok v -> Alcotest.(check string) "integrated" "5" (Value.to_string v)
+  | Error e -> Alcotest.failf "%a" Processor.pp_error e);
+  Alcotest.(check int) "manual steps" 4 (Workflow.manual_steps wf);
+  Alcotest.(check int) "iterations" 1 (List.length (Workflow.iterations wf));
+  (* previous versions stay queryable: the dataspace keeps its history *)
+  let proc = Workflow.processor wf in
+  let v = ok_p (Processor.run_string proc ~schema:"demo_v0" "count(<<lib1:book>>)") in
+  Alcotest.(check string) "v0 still alive" "2" (Value.to_string v);
+  (* answerability grows monotonically *)
+  Alcotest.(check bool) "UBook answerable" true
+    (Workflow.answerable wf (q "count(<<UBook>>)"));
+  Alcotest.(check bool) "unknown not answerable" false
+    (Workflow.answerable wf (q "count(<<nothing>>)"))
+
+let test_workflow_suggestions () =
+  let repo = two_sources () in
+  let wf = ok (Workflow.start repo ~name:"demo" ~sources:[ "lib1"; "lib2" ]) in
+  let s = ok (Workflow.suggestions ~threshold:0.0 wf ~left:"lib1" ~right:"lib2") in
+  Alcotest.(check bool) "has suggestions" true (s <> [])
+
+(* -- Figure 1: classical union-compatible integration --------------------- *)
+
+let test_classical_stage () =
+  let repo = two_sources () in
+  let stage =
+    {
+      Classical.stage_name = "GS";
+      sources =
+        [
+          {
+            Classical.schema = "lib1";
+            mappings =
+              [
+                { Intersection.target = Scheme.table "book";
+                  forward = Ast.SchemeRef (Scheme.table "book"); restore = None };
+                { Intersection.target = Scheme.column "book" "isbn";
+                  forward = Ast.SchemeRef (Scheme.column "book" "isbn");
+                  restore = None };
+              ];
+          };
+          {
+            Classical.schema = "lib2";
+            mappings =
+              [
+                { Intersection.target = Scheme.table "book";
+                  forward = Ast.SchemeRef (Scheme.table "volume"); restore = None };
+                { Intersection.target = Scheme.column "book" "isbn";
+                  forward = Ast.SchemeRef (Scheme.column "volume" "code");
+                  restore = None };
+              ];
+          };
+        ];
+    }
+  in
+  let o = ok (Classical.integrate_stage repo stage) in
+  Alcotest.(check int) "GS objects" 2 (Schema.object_count o.Classical.global);
+  (* identity derivations are free; lib2's cross mappings count *)
+  Alcotest.(check (list (pair string int))) "per-source"
+    [ ("lib1", 0); ("lib2", 2) ]
+    o.Classical.per_source_manual;
+  Alcotest.(check int) "stage manual" 2 (Classical.stage_manual o);
+  (* merged, untagged extents *)
+  let proc = Processor.create repo in
+  let v = ok_p (Processor.run_string proc ~schema:"GS" "count(<<book>>)") in
+  Alcotest.(check string) "bag union" "5" (Value.to_string v)
+
+let test_classical_ladder_counting () =
+  let repo = two_sources () in
+  let m t f = { Intersection.target = t; forward = Ast.SchemeRef f; restore = None } in
+  let stage1 =
+    {
+      Classical.stage_name = "L1";
+      sources =
+        [
+          { Classical.schema = "lib1"; mappings = [ m (Scheme.table "book") (Scheme.table "book") ] };
+          { Classical.schema = "lib2"; mappings = [ m (Scheme.table "book") (Scheme.table "volume") ] };
+        ];
+    }
+  in
+  let stage2 =
+    {
+      Classical.stage_name = "L2";
+      sources =
+        [
+          { Classical.schema = "lib1"; mappings = [ m (Scheme.table "book") (Scheme.table "book") ] };
+          {
+            Classical.schema = "lib2";
+            mappings =
+              [
+                m (Scheme.table "book") (Scheme.table "volume");
+                (* new in stage 2 *)
+                m (Scheme.table "lending") (Scheme.table "loan");
+              ];
+          };
+        ];
+    }
+  in
+  let o = ok (Classical.ladder repo [ stage1; stage2 ]) in
+  Alcotest.(check (list (pair string int))) "new manual per stage"
+    [ ("L1", 1); ("L2", 1) ]
+    o.Classical.new_manual_per_stage;
+  Alcotest.(check int) "total" 2 o.Classical.total_manual
+
+let suite =
+  [
+    Alcotest.test_case "federated objects (Fig 3)" `Quick test_federated_objects;
+    Alcotest.test_case "federated queryable (Fig 3)" `Quick
+      test_federated_queryable_immediately;
+    Alcotest.test_case "federated errors" `Quick test_federated_errors;
+    Alcotest.test_case "intersection objects and counts (Fig 2)" `Quick
+      test_intersection_objects_and_counts;
+    Alcotest.test_case "intersection pathway shape (Fig 2)" `Quick
+      test_intersection_pathway_shape;
+    Alcotest.test_case "intersection extent bag-union" `Quick
+      test_intersection_extent_is_bag_union;
+    Alcotest.test_case "intersection validation" `Quick test_intersection_validation;
+    Alcotest.test_case "invert_forward" `Quick test_invert_forward;
+    Alcotest.test_case "inverted delete recovers extent" `Quick
+      test_inverted_delete_roundtrip;
+    Alcotest.test_case "mapped_sources" `Quick test_mapped_sources;
+    Alcotest.test_case "global objects (Fig 4)" `Quick test_global_objects;
+    Alcotest.test_case "global keeps redundancy on request" `Quick
+      test_global_without_redundancy_removal;
+    Alcotest.test_case "global queryable" `Quick test_global_queryable;
+    Alcotest.test_case "dropped objects accounting" `Quick
+      test_dropped_objects_accounting;
+    Alcotest.test_case "user-supplied restore queries" `Quick test_user_restore;
+    Alcotest.test_case "ad-hoc single-schema extension" `Quick test_extend_single;
+    Alcotest.test_case "workflow end-to-end" `Quick test_workflow;
+    Alcotest.test_case "workflow suggestions" `Quick test_workflow_suggestions;
+    Alcotest.test_case "classical stage (Fig 1)" `Quick test_classical_stage;
+    Alcotest.test_case "classical ladder counting" `Quick
+      test_classical_ladder_counting;
+  ]

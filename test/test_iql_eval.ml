@@ -1,0 +1,258 @@
+(* IQL evaluation: comprehension semantics, bag multiplicities, builtins,
+   Range/Void/Any behaviour, error cases. *)
+
+module Ast = Automed_iql.Ast
+module Parser = Automed_iql.Parser
+module Value = Automed_iql.Value
+module Eval = Automed_iql.Eval
+module Scheme = Automed_base.Scheme
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+let bag vs = Value.Bag (Value.Bag.of_list vs)
+
+let extents =
+  let t = Scheme.table "t" in
+  let tc = Scheme.column "t" "c" in
+  let dup = Scheme.table "dup" in
+  fun s ->
+    if Scheme.equal s t then
+      Some (Value.Bag.of_list [ v_str "k1"; v_str "k2"; v_str "k3" ])
+    else if Scheme.equal s tc then
+      Some
+        (Value.Bag.of_list
+           [
+             Value.tuple2 (v_str "k1") (v_int 10);
+             Value.tuple2 (v_str "k2") (v_int 20);
+             Value.tuple2 (v_str "k3") (v_int 10);
+           ])
+    else if Scheme.equal s dup then
+      Some (Value.Bag.of_list [ v_str "a"; v_str "a"; v_str "b" ])
+    else None
+
+let env = Eval.env ~schemes:extents ()
+
+let run src =
+  match Parser.parse src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok ast -> (
+      match Eval.eval env ast with
+      | Ok v -> v
+      | Error e -> Alcotest.failf "eval %s: %s" src (Fmt.str "%a" Eval.pp_error e))
+
+let run_err src =
+  match Parser.parse src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok ast -> (
+      match Eval.eval env ast with
+      | Ok v -> Alcotest.failf "expected error for %s, got %s" src (Value.to_string v)
+      | Error _ -> ())
+
+let check_value msg expected actual =
+  if not (Value.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Value.to_string expected)
+      (Value.to_string actual)
+
+let test_arithmetic () =
+  check_value "add" (v_int 7) (run "3 + 4");
+  check_value "precedence" (v_int 11) (run "3 + 4 * 2");
+  check_value "float" (Value.Float 1.5) (run "3.0 / 2.0");
+  check_value "string concat" (v_str "ab") (run "'a' + 'b'");
+  check_value "negation" (v_int (-5)) (run "-(2 + 3)");
+  run_err "1 / 0";
+  run_err "1 + 'a'"
+
+let test_comparisons () =
+  check_value "eq" (Value.Bool true) (run "1 = 1");
+  check_value "neq" (Value.Bool true) (run "1 <> 2");
+  check_value "lt strings" (Value.Bool true) (run "'a' < 'b'");
+  check_value "tuple order" (Value.Bool true) (run "{1, 2} < {1, 3}")
+
+let test_boolean () =
+  check_value "and" (Value.Bool false) (run "true and false");
+  check_value "or" (Value.Bool true) (run "true or false");
+  check_value "not" (Value.Bool false) (run "not true")
+
+let test_if_let () =
+  check_value "if" (v_int 1) (run "if 2 > 1 then 1 else 2");
+  check_value "let" (v_int 9) (run "let x = 4 in x + 5");
+  check_value "let shadows" (v_int 2) (run "let x = 1 in let x = 2 in x")
+
+let test_bag_literals () =
+  check_value "empty" (bag []) (run "[]");
+  check_value "bag" (bag [ v_int 1; v_int 2; v_int 2 ]) (run "[2; 1; 2]");
+  check_value "union" (bag [ v_int 1; v_int 1 ]) (run "[1] ++ [1]");
+  check_value "monus" (bag [ v_int 1 ]) (run "[1; 1; 2] -- [1; 2]")
+
+let test_scheme_lookup () =
+  check_value "table extent" (bag [ v_str "k1"; v_str "k2"; v_str "k3" ])
+    (run "<<t>>");
+  run_err "<<missing>>"
+
+let test_comprehension_basic () =
+  check_value "identity" (bag [ v_str "k1"; v_str "k2"; v_str "k3" ])
+    (run "[k | k <- <<t>>]");
+  check_value "projection" (bag [ v_int 10; v_int 10; v_int 20 ])
+    (run "[x | {k, x} <- <<t,c>>]");
+  check_value "filter" (bag [ v_str "k1"; v_str "k3" ])
+    (run "[k | {k, x} <- <<t,c>>; x = 10]")
+
+let test_comprehension_join () =
+  (* self-join on the value component: k1 and k3 share x = 10 *)
+  check_value "join pairs"
+    (bag
+       [
+         Value.tuple2 (v_str "k1") (v_str "k1");
+         Value.tuple2 (v_str "k1") (v_str "k3");
+         Value.tuple2 (v_str "k3") (v_str "k1");
+         Value.tuple2 (v_str "k3") (v_str "k3");
+         Value.tuple2 (v_str "k2") (v_str "k2");
+       ])
+    (run "[{a, b} | {a, x} <- <<t,c>>; {b, y} <- <<t,c>>; x = y]")
+
+let test_comprehension_multiplicity () =
+  (* generators iterate with multiplicity: 'a' appears twice in dup *)
+  check_value "multiplicity preserved" (bag [ v_str "a"; v_str "a"; v_str "b" ])
+    (run "[k | k <- <<dup>>]");
+  (* a cross product multiplies multiplicities: 3 x 3 = 9 elements *)
+  check_value "product count" (v_int 9) (run "count([{a,b} | a <- <<dup>>; b <- <<dup>>])");
+  (* constant head: multiplicities accumulate on the single element *)
+  check_value "constant head" (bag [ v_int 1; v_int 1; v_int 1 ])
+    (run "[1 | k <- <<dup>>]")
+
+let test_refutable_patterns_filter () =
+  (* a constant sub-pattern filters non-matching elements *)
+  check_value "const pattern" (bag [ v_str "k1"; v_str "k3" ])
+    (run "[k | {k, 10} <- <<t,c>>]");
+  (* tuple pattern mismatch on scalars: nothing matches *)
+  check_value "arity mismatch filters" (bag []) (run "[k | {k, x} <- <<t>>]")
+
+let test_builtins () =
+  check_value "count" (v_int 3) (run "count(<<t>>)");
+  check_value "count empty" (v_int 0) (run "count([])");
+  check_value "sum" (v_int 40) (run "sum([x | {k,x} <- <<t,c>>])");
+  check_value "avg" (Value.Float 2.0) (run "avg([1; 2; 3])");
+  check_value "max" (v_int 3) (run "max([1; 3; 2])");
+  check_value "min" (v_int 1) (run "min([1; 3; 2])");
+  check_value "distinct" (bag [ v_str "a"; v_str "b" ]) (run "distinct(<<dup>>)");
+  check_value "member" (Value.Bool true) (run "member('a', <<dup>>)");
+  check_value "not member" (Value.Bool false) (run "member('z', <<dup>>)");
+  check_value "flatten" (bag [ v_int 1; v_int 2; v_int 2 ])
+    (run "flatten([[1; 2]; [2]])");
+  check_value "abs" (v_int 3) (run "abs(-3)");
+  run_err "max([])";
+  run_err "avg([])";
+  run_err "unknown_fn(1)"
+
+let test_sum_mixed () =
+  check_value "sum promotes to float" (Value.Float 3.5) (run "sum([1; 2.5])")
+
+let test_group () =
+  (* group by the value component of <<t,c>>: 10 -> {k1, k3}, 20 -> {k2} *)
+  check_value "group"
+    (bag
+       [
+         Value.tuple2 (v_int 10) (bag [ v_str "k1"; v_str "k3" ]);
+         Value.tuple2 (v_int 20) (bag [ v_str "k2" ]);
+       ])
+    (run "group([{x, k} | {k, x} <- <<t,c>>])");
+  (* multiplicities inside groups are preserved *)
+  check_value "group multiplicities"
+    (bag [ Value.tuple2 (v_int 1) (bag [ v_str "a"; v_str "a"; v_str "b" ]) ])
+    (run "group([{1, k} | k <- <<dup>>])");
+  (* aggregation over groups *)
+  check_value "counts per group" (bag [ v_int 1; v_int 2 ])
+    (run "[count(g) | {x, g} <- group([{x, k} | {k, x} <- <<t,c>>])]");
+  run_err "group([1])"
+
+let test_string_builtins () =
+  check_value "contains" (Value.Bool true) (run "contains('protein kinase', 'kinase')");
+  check_value "not contains" (Value.Bool false) (run "contains('abc', 'z')");
+  check_value "startswith" (Value.Bool true) (run "startswith('protein', 'pro')");
+  check_value "upper" (v_str "ABC") (run "upper('abc')");
+  check_value "lower" (v_str "abc") (run "lower('ABC')");
+  check_value "strlen" (v_int 3) (run "strlen('abc')");
+  check_value "filter by substring" (bag [ v_str "k1"; v_str "k2"; v_str "k3" ])
+    (run "[k | k <- <<t>>; startswith(k, 'k')]");
+  run_err "contains(1, 'a')";
+  run_err "upper(1)"
+
+let test_mod () =
+  check_value "mod" (v_int 1) (run "mod(7, 3)");
+  run_err "mod(1, 0)";
+  run_err "mod(1.5, 2)"
+
+let test_range_void_any () =
+  check_value "void is empty" (bag []) (run "Void");
+  check_value "range evaluates lower bound" (bag [ v_int 1 ]) (run "Range [1] Any");
+  run_err "Any"
+
+let test_unbound () =
+  run_err "nosuchvar";
+  (* variables bound by generators are not visible outside *)
+  run_err "[k | k <- <<t>>] ++ [k]"
+
+let test_match_pat () =
+  let p =
+    match Parser.parse_pat "{a, {_, b}}" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "pattern: %s" e
+  in
+  (match
+     Eval.match_pat p
+       (Value.Tuple [ v_int 1; Value.tuple2 (v_str "x") (v_int 2) ])
+   with
+  | Some [ ("a", Value.Int 1); ("b", Value.Int 2) ] -> ()
+  | Some bs ->
+      Alcotest.failf "wrong bindings: %s"
+        (String.concat ", " (List.map fst bs))
+  | None -> Alcotest.fail "should match");
+  match Eval.match_pat p (v_int 1) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "should not match scalar"
+
+(* evaluation never produces non-canonical bags *)
+let qcheck_eval_canonical =
+  let gen =
+    QCheck.Gen.(
+      oneofl
+        [
+          "[x | {k,x} <- <<t,c>>] ++ <<dup>>";
+          "distinct(<<dup>>) ++ <<dup>>";
+          "[{a,b} | a <- <<dup>>; b <- <<t>>]";
+          "(<<dup>> ++ <<dup>>) -- <<dup>>";
+          "flatten([[1;1]; [2]])";
+        ])
+  in
+  QCheck.Test.make ~name:"evaluation results are canonical" ~count:50
+    (QCheck.make gen) (fun src ->
+      match Parser.parse src with
+      | Error _ -> false
+      | Ok ast -> (
+          match Eval.eval env ast with
+          | Ok v -> Value.is_canonical v
+          | Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "booleans" `Quick test_boolean;
+    Alcotest.test_case "if/let" `Quick test_if_let;
+    Alcotest.test_case "bag literals and algebra" `Quick test_bag_literals;
+    Alcotest.test_case "scheme lookup" `Quick test_scheme_lookup;
+    Alcotest.test_case "comprehension basics" `Quick test_comprehension_basic;
+    Alcotest.test_case "comprehension join" `Quick test_comprehension_join;
+    Alcotest.test_case "multiplicities" `Quick test_comprehension_multiplicity;
+    Alcotest.test_case "refutable patterns filter" `Quick
+      test_refutable_patterns_filter;
+    Alcotest.test_case "builtins" `Quick test_builtins;
+    Alcotest.test_case "sum promotes" `Quick test_sum_mixed;
+    Alcotest.test_case "group" `Quick test_group;
+    Alcotest.test_case "string builtins" `Quick test_string_builtins;
+    Alcotest.test_case "mod" `Quick test_mod;
+    Alcotest.test_case "Range/Void/Any" `Quick test_range_void_any;
+    Alcotest.test_case "unbound variables" `Quick test_unbound;
+    Alcotest.test_case "match_pat" `Quick test_match_pat;
+    QCheck_alcotest.to_alcotest qcheck_eval_canonical;
+  ]

@@ -1,0 +1,240 @@
+(* IQL concrete syntax: lexing, parsing, precedence, printer round-trips. *)
+
+module Ast = Automed_iql.Ast
+module Parser = Automed_iql.Parser
+module Value = Automed_iql.Value
+module Scheme = Automed_base.Scheme
+
+let parse s =
+  match Parser.parse s with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let check_ast msg expected actual =
+  if not (Ast.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Ast.to_string expected)
+      (Ast.to_string actual)
+
+let test_literals () =
+  check_ast "int" (Ast.int 42) (parse "42");
+  check_ast "negative int" (Ast.Const (Value.Int (-3))) (parse "-3");
+  check_ast "float" (Ast.Const (Value.Float 2.5)) (parse "2.5");
+  check_ast "string" (Ast.str "hello world") (parse "'hello world'");
+  check_ast "true" (Ast.Const (Value.Bool true)) (parse "true");
+  check_ast "void" Ast.Void (parse "Void");
+  check_ast "any" Ast.Any (parse "Any")
+
+let test_float_exponents () =
+  check_ast "exponent" (Ast.Const (Value.Float 1e6)) (parse "1e6");
+  check_ast "exponent with sign" (Ast.Const (Value.Float 2.5e-3)) (parse "2.5e-3");
+  check_ast "capital E" (Ast.Const (Value.Float 1.5E2)) (parse "1.5E2");
+  check_ast "full precision roundtrip"
+    (Ast.Const (Value.Float 0.69171452166651617))
+    (parse "0.69171452166651617");
+  (* 'e' not followed by digits is an identifier, not an exponent *)
+  match parse "[1 | e4x <- <<t>>]" with
+  | Ast.Comp (_, [ Ast.Gen (Ast.PVar "e4x", _) ]) -> ()
+  | e -> Alcotest.failf "unexpected: %s" (Ast.to_string e)
+
+let test_scheme_refs () =
+  check_ast "table" (Ast.scheme_ref (Scheme.table "protein")) (parse "<<protein>>");
+  check_ast "column"
+    (Ast.scheme_ref (Scheme.column "protein" "accession_num"))
+    (parse "<<protein,accession_num>>");
+  check_ast "prefixed"
+    (Ast.scheme_ref (Scheme.prefix "pedro" (Scheme.table "protein")))
+    (parse "<<pedro:protein>>")
+
+let test_tuples_bags () =
+  check_ast "tuple" (Ast.Tuple [ Ast.int 1; Ast.int 2 ]) (parse "{1, 2}");
+  check_ast "empty bag" (Ast.EBag []) (parse "[]");
+  check_ast "bag" (Ast.EBag [ Ast.int 1; Ast.int 2 ]) (parse "[1; 2]");
+  check_ast "singleton bag" (Ast.EBag [ Ast.int 7 ]) (parse "[7]")
+
+let test_comprehension () =
+  let e = parse "[{'PEDRO', k} | k <- <<protein>>]" in
+  match e with
+  | Ast.Comp (Ast.Tuple [ Ast.Const (Value.Str "PEDRO"); Ast.Var "k" ],
+              [ Ast.Gen (Ast.PVar "k", Ast.SchemeRef s) ]) ->
+      Alcotest.(check bool) "source" true (Scheme.equal s (Scheme.table "protein"))
+  | _ -> Alcotest.failf "unexpected AST: %s" (Ast.to_string e)
+
+let test_comprehension_filters () =
+  let e = parse "[x | {k,x} <- <<t,c>>; x = 'a'; k <> 'b']" in
+  match e with
+  | Ast.Comp (_, [ Ast.Gen _; Ast.Filter _; Ast.Filter _ ]) -> ()
+  | _ -> Alcotest.failf "unexpected AST: %s" (Ast.to_string e)
+
+let test_patterns () =
+  let e = parse "[1 | {_, {a, 3}} <- <<t>>]" in
+  match e with
+  | Ast.Comp (_, [ Ast.Gen (Ast.PTuple [ Ast.PWild;
+                                         Ast.PTuple [ Ast.PVar "a";
+                                                      Ast.PConst (Value.Int 3) ] ],
+                            _) ]) -> ()
+  | _ -> Alcotest.failf "unexpected AST: %s" (Ast.to_string e)
+
+let test_precedence () =
+  check_ast "mul binds tighter"
+    (Ast.Binop (Add, Ast.int 1, Ast.Binop (Mul, Ast.int 2, Ast.int 3)))
+    (parse "1 + 2 * 3");
+  check_ast "parens override"
+    (Ast.Binop (Mul, Ast.Binop (Add, Ast.int 1, Ast.int 2), Ast.int 3))
+    (parse "(1 + 2) * 3");
+  check_ast "comparison loosest"
+    (Ast.Binop (Lt, Ast.Binop (Add, Ast.int 1, Ast.int 2), Ast.int 4))
+    (parse "1 + 2 < 4");
+  check_ast "and over or"
+    (Ast.Binop (Or, Ast.Var "a", Ast.Binop (And, Ast.Var "b", Ast.Var "c")))
+    (parse "a or b and c");
+  check_ast "union level"
+    (Ast.Binop (Union, Ast.EBag [], Ast.EBag [ Ast.int 1 ]))
+    (parse "[] ++ [1]")
+
+let test_if_let () =
+  check_ast "if"
+    (Ast.If (Ast.Const (Value.Bool true), Ast.int 1, Ast.int 2))
+    (parse "if true then 1 else 2");
+  check_ast "let"
+    (Ast.Let ("x", Ast.int 1, Ast.Binop (Add, Ast.Var "x", Ast.int 2)))
+    (parse "let x = 1 in x + 2")
+
+let test_range () =
+  check_ast "range void any" (Ast.Range (Ast.Void, Ast.Any)) (parse "Range Void Any");
+  Alcotest.(check bool) "detected trivial" true
+    (Ast.is_range_void_any (parse "Range Void Any"));
+  Alcotest.(check bool) "not trivial" false
+    (Ast.is_range_void_any (parse "Range [] Any"))
+
+let test_application () =
+  check_ast "count" (Ast.App ("count", [ Ast.SchemeRef (Scheme.table "t") ]))
+    (parse "count(<<t>>)");
+  check_ast "member two args"
+    (Ast.App ("member", [ Ast.int 1; Ast.EBag [ Ast.int 1 ] ]))
+    (parse "member(1, [1])");
+  check_ast "ident without parens is a variable" (Ast.Var "count") (parse "count")
+
+let test_parse_errors () =
+  List.iter
+    (fun input ->
+      match Parser.parse input with
+      | Ok e -> Alcotest.failf "should reject %S, got %s" input (Ast.to_string e)
+      | Error _ -> ())
+    [ ""; "[1 |"; "{1, }"; "let = 3 in x"; "if x then 1"; "1 +"; "<<>>";
+      "'unterminated"; "[x | y <-]"; "1 2" ]
+
+let test_trailing_input () =
+  match Parser.parse "1 + 2 extra" with
+  | Ok _ -> Alcotest.fail "trailing input accepted"
+  | Error _ -> ()
+
+let test_paper_queries_parse () =
+  (* every transformation query quoted in the paper's case study parses *)
+  List.iter
+    (fun text -> ignore (parse text))
+    [
+      "[{'PEDRO', k} | k <- <<protein>>]";
+      "[{'gpmDB', k} | k <- <<proseq>>]";
+      "[{'pepSeeker', x} | {k, x} <- <<proteinhit,proteinid>>]";
+      "[{'PEDRO', k, x} | {k,x} <- <<protein,accession_num>>]";
+      "[{'gpmDB', k, x} | {k,x} <- <<proseq,label>>]";
+      "[{'PEDRO', k, x} | {k,x} <- <<protein,description>>]";
+      "[{'PEDRO', k, x} | {k,x} <- <<protein,organism>>]";
+      "[{'PEDRO', k, x} | {k,x} <- <<proteinhit,protein>>]";
+      "[{'gpmDB', k, x} | {k,x} <- <<protein,proseqid>>]";
+      "[{'pepSeeker', k, x} | {k,x} <- <<proteinhit,proteinid>>]";
+      "[{k1, k2} | {k1,x} <- <<upeptidehit,dbsearch>>; {k2,y} <- \
+       <<uproteinhit,dbsearch>>; x = y]";
+    ]
+
+(* -- printer/parser round-trip over generated ASTs ---------------------- *)
+
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "k"; "v" ] >|= fun x -> Ast.Var x in
+  let lit =
+    oneof
+      [
+        (small_nat >|= fun i -> Ast.int i);
+        (oneofl [ "a"; "b"; "tag" ] >|= fun s -> Ast.str s);
+        return (Ast.Const (Value.Bool true));
+        return Ast.Void;
+      ]
+  in
+  let scheme =
+    oneofl
+      [ Scheme.table "t"; Scheme.column "t" "c"; Scheme.table "u" ]
+    >|= fun s -> Ast.SchemeRef s
+  in
+  let rec expr n =
+    if n = 0 then oneof [ var; lit; scheme ]
+    else
+      frequency
+        [
+          (2, oneof [ var; lit; scheme ]);
+          ( 2,
+            let* op = oneofl Ast.[ Add; Mul; Union; Eq; Lt ] in
+            let* a = expr (n - 1) in
+            let* b = expr (n - 1) in
+            return (Ast.Binop (op, a, b)) );
+          ( 1,
+            let* es = list_size (int_range 1 3) (expr (n - 1)) in
+            return (Ast.Tuple es) );
+          ( 1,
+            let* es = list_size (int_range 0 3) (expr (n - 1)) in
+            return (Ast.EBag es) );
+          ( 2,
+            let* head = expr (n - 1) in
+            let* src = oneofl [ Scheme.table "t"; Scheme.column "t" "c" ] in
+            let* pat =
+              oneofl
+                Ast.[ PVar "k"; PWild; PTuple [ PVar "k"; PVar "v" ] ]
+            in
+            let* filt = expr (n - 1) in
+            return
+              (Ast.Comp
+                 (head, [ Ast.Gen (pat, Ast.SchemeRef src); Ast.Filter filt ]))
+          );
+          ( 1,
+            let* c = expr (n - 1) in
+            let* t = expr (n - 1) in
+            let* e = expr (n - 1) in
+            return (Ast.If (c, t, e)) );
+          ( 1,
+            let* e1 = expr (n - 1) in
+            let* e2 = expr (n - 1) in
+            return (Ast.Let ("x", e1, e2)) );
+          ( 1,
+            let* e1 = expr (n - 1) in
+            return (Ast.App ("count", [ e1 ])) );
+        ]
+  in
+  expr 3
+
+let arbitrary_expr = QCheck.make ~print:Ast.to_string gen_expr
+
+let qcheck_pp_roundtrip =
+  QCheck.Test.make ~name:"printer output re-parses to the same AST" ~count:500
+    arbitrary_expr (fun e ->
+      match Parser.parse (Ast.to_string e) with
+      | Ok e' -> Ast.equal e e'
+      | Error msg -> QCheck.Test.fail_reportf "re-parse failed: %s" msg)
+
+let suite =
+  [
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "float exponents" `Quick test_float_exponents;
+    Alcotest.test_case "scheme refs" `Quick test_scheme_refs;
+    Alcotest.test_case "tuples and bags" `Quick test_tuples_bags;
+    Alcotest.test_case "comprehension" `Quick test_comprehension;
+    Alcotest.test_case "comprehension filters" `Quick test_comprehension_filters;
+    Alcotest.test_case "patterns" `Quick test_patterns;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "if/let" `Quick test_if_let;
+    Alcotest.test_case "range" `Quick test_range;
+    Alcotest.test_case "application" `Quick test_application;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "trailing input rejected" `Quick test_trailing_input;
+    Alcotest.test_case "paper queries parse" `Quick test_paper_queries_parse;
+    QCheck_alcotest.to_alcotest qcheck_pp_roundtrip;
+  ]

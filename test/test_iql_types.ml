@@ -1,0 +1,193 @@
+(* The IQL type checker: inference, extent checking, error detection. *)
+
+module Ast = Automed_iql.Ast
+module Parser = Automed_iql.Parser
+module Types = Automed_iql.Types
+module Scheme = Automed_base.Scheme
+
+let typing =
+  let t = Scheme.table "t" in
+  let tc = Scheme.column "t" "c" in
+  fun s ->
+    if Scheme.equal s t then Some (Types.TBag Types.TStr)
+    else if Scheme.equal s tc then
+      Some (Types.tuple_row [ Types.TStr; Types.TInt ])
+    else None
+
+let infer src =
+  match Parser.parse src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok ast -> (
+      match Types.infer ~schemes:typing ast with
+      | Ok t -> t
+      | Error e -> Alcotest.failf "infer %s: %s" src (Fmt.str "%a" Types.pp_error e))
+
+let infer_err src =
+  match Parser.parse src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok ast -> (
+      match Types.infer ~schemes:typing ast with
+      | Ok t ->
+          Alcotest.failf "expected type error for %s, got %s" src
+            (Types.to_string t)
+      | Error _ -> ())
+
+let check_ty msg expected actual =
+  Alcotest.(check string) msg (Types.to_string expected) (Types.to_string actual)
+
+let test_literals () =
+  check_ty "int" Types.TInt (infer "42");
+  check_ty "float" Types.TFloat (infer "2.5");
+  check_ty "string" Types.TStr (infer "'x'");
+  check_ty "bool" Types.TBool (infer "true")
+
+let test_arith () =
+  check_ty "add" Types.TInt (infer "1 + 2");
+  check_ty "float div" Types.TFloat (infer "1.0 / 2.0");
+  infer_err "1 + 2.5";
+  infer_err "1 + true"
+
+let test_comparisons () =
+  check_ty "eq" Types.TBool (infer "1 = 2");
+  infer_err "1 = 'a'";
+  infer_err "1 < true"
+
+let test_collections () =
+  check_ty "bag literal" (Types.TBag Types.TInt) (infer "[1; 2]");
+  check_ty "scheme extent" (Types.TBag Types.TStr) (infer "<<t>>");
+  check_ty "column extent"
+    (Types.tuple_row [ Types.TStr; Types.TInt ])
+    (infer "<<t,c>>");
+  infer_err "[1; 'a']";
+  infer_err "[1] ++ ['a']";
+  check_ty "union" (Types.TBag Types.TInt) (infer "[1] ++ [2]")
+
+let test_comprehensions () =
+  check_ty "projection" (Types.TBag Types.TInt) (infer "[x | {k, x} <- <<t,c>>]");
+  check_ty "tagging"
+    (Types.TBag (Types.TTuple [ Types.TStr; Types.TStr ]))
+    (infer "[{'PEDRO', k} | k <- <<t>>]");
+  (* arity mismatch between pattern and extent element *)
+  infer_err "[x | {k, x, y} <- <<t,c>>]";
+  (* filter must be boolean *)
+  infer_err "[k | k <- <<t>>; k + 1]";
+  (* generator source must be a collection *)
+  infer_err "[k | k <- 42]";
+  (* pattern variable types flow into the head *)
+  infer_err "[x + 1 | {k, x} <- <<t,c>>; k = 1]"
+
+let test_builtins () =
+  check_ty "count" Types.TInt (infer "count(<<t>>)");
+  check_ty "sum" Types.TInt (infer "sum([1; 2])");
+  check_ty "avg" Types.TFloat (infer "avg([1; 2])");
+  check_ty "distinct" (Types.TBag Types.TStr) (infer "distinct(<<t>>)");
+  check_ty "member" Types.TBool (infer "member('a', <<t>>)");
+  check_ty "flatten" (Types.TBag Types.TInt) (infer "flatten([[1]])");
+  check_ty "group"
+    (Types.TBag (Types.TTuple [ Types.TInt; Types.TBag Types.TStr ]))
+    (infer "group([{x, k} | {k, x} <- <<t,c>>])");
+  check_ty "contains" Types.TBool (infer "contains('a', 'b')");
+  check_ty "strlen" Types.TInt (infer "strlen('abc')");
+  check_ty "mod" Types.TInt (infer "mod(7, 3)");
+  infer_err "count(1)";
+  infer_err "member(1, <<t>>)";
+  infer_err "group([1])";
+  infer_err "contains(1, 'a')";
+  infer_err "mod(1.5, 2)";
+  infer_err "nonexistent(1)"
+
+let test_if_let () =
+  check_ty "if" Types.TInt (infer "if true then 1 else 2");
+  infer_err "if 1 then 1 else 2";
+  infer_err "if true then 1 else 'a'";
+  check_ty "let" Types.TInt (infer "let x = 1 in x + 1")
+
+let test_range () =
+  check_ty "range of bounds" (Types.TBag Types.TInt) (infer "Range [1] Any");
+  infer_err "Range [1] ['a']";
+  match Types.infer ~schemes:typing (Ast.Range (Ast.Void, Ast.Any)) with
+  | Ok (Types.TBag _) -> ()
+  | Ok t -> Alcotest.failf "expected a bag, got %s" (Types.to_string t)
+  | Error e -> Alcotest.failf "%s" (Fmt.str "%a" Types.pp_error e)
+
+let test_unknown_scheme_flexible () =
+  (* unknown extents are unconstrained collections: both uses check *)
+  (match Types.infer ~schemes:typing (Parser.parse_exn "[k | k <- <<unknown>>]") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s" (Fmt.str "%a" Types.pp_error e));
+  match Types.infer ~schemes:typing (Parser.parse_exn "count(<<unknown>>)") with
+  | Ok Types.TInt -> ()
+  | Ok t -> Alcotest.failf "expected int, got %s" (Types.to_string t)
+  | Error e -> Alcotest.failf "%s" (Fmt.str "%a" Types.pp_error e)
+
+let test_check_extent_query () =
+  let expected = Types.TBag (Types.TTuple [ Types.TStr; Types.TStr ]) in
+  (match
+     Types.check_extent_query ~schemes:typing ~expected
+       (Parser.parse_exn "[{'PEDRO', k} | k <- <<t>>]")
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s" (Fmt.str "%a" Types.pp_error e));
+  match
+    Types.check_extent_query ~schemes:typing ~expected
+      (Parser.parse_exn "[x | {k, x} <- <<t,c>>]")
+  with
+  | Ok () -> Alcotest.fail "wrong extent type accepted"
+  | Error _ -> ()
+
+let test_vars_env () =
+  match Types.infer ~vars:[ ("n", Types.TInt) ] (Parser.parse_exn "n + 1") with
+  | Ok Types.TInt -> ()
+  | Ok t -> Alcotest.failf "expected int, got %s" (Types.to_string t)
+  | Error e -> Alcotest.failf "%s" (Fmt.str "%a" Types.pp_error e)
+
+(* anything the type checker accepts over known extents must evaluate
+   without a runtime type error *)
+let qcheck_soundness =
+  let module Value = Automed_iql.Value in
+  let module Eval = Automed_iql.Eval in
+  let extents s =
+    if Scheme.equal s (Scheme.table "t") then
+      Some (Value.Bag.of_list [ Value.Str "k1"; Value.Str "k2" ])
+    else if Scheme.equal s (Scheme.column "t" "c") then
+      Some
+        (Value.Bag.of_list
+           [ Value.tuple2 (Value.Str "k1") (Value.Int 1);
+             Value.tuple2 (Value.Str "k2") (Value.Int 2) ])
+    else None
+  in
+  let env = Eval.env ~schemes:extents () in
+  let gen =
+    QCheck.Gen.oneofl
+      [
+        "[x | {k,x} <- <<t,c>>; x < 2]";
+        "count(<<t>>) + sum([x | {k,x} <- <<t,c>>])";
+        "[{k, x + 1} | {k,x} <- <<t,c>>]";
+        "if count(<<t>>) = 2 then [1] else []";
+        "[k | k <- <<t>>; member(k, <<t>>)]";
+        "max([x | {k,x} <- <<t,c>>])";
+      ]
+  in
+  QCheck.Test.make ~name:"well-typed queries evaluate" ~count:30
+    (QCheck.make gen) (fun src ->
+      let ast = Parser.parse_exn src in
+      match Types.infer ~schemes:typing ast with
+      | Error _ -> false
+      | Ok _ -> ( match Eval.eval env ast with Ok _ -> true | Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "collections" `Quick test_collections;
+    Alcotest.test_case "comprehensions" `Quick test_comprehensions;
+    Alcotest.test_case "builtins" `Quick test_builtins;
+    Alcotest.test_case "if/let" `Quick test_if_let;
+    Alcotest.test_case "range" `Quick test_range;
+    Alcotest.test_case "unknown schemes flexible" `Quick
+      test_unknown_scheme_flexible;
+    Alcotest.test_case "check_extent_query" `Quick test_check_extent_query;
+    Alcotest.test_case "variable environment" `Quick test_vars_env;
+    QCheck_alcotest.to_alcotest qcheck_soundness;
+  ]

@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("scheme", Test_scheme.suite);
+      ("base", Test_base.suite);
+      ("value", Test_value.suite);
+      ("hdm", Test_hdm.suite);
+      ("iql-parser", Test_iql_parser.suite);
+      ("iql-eval", Test_iql_eval.suite);
+      ("iql-types", Test_iql_types.suite);
+      ("iql-optimize", Test_optimize.suite);
+      ("model", Test_model.suite);
+      ("transform", Test_transform.suite);
+      ("repository", Test_repository.suite);
+      ("datasource", Test_datasource.suite);
+      ("query", Test_query.suite);
+      ("serialize", Test_serialize.suite);
+      ("improve", Test_improve.suite);
+      ("document", Test_document.suite);
+      ("mapping-table", Test_mapping_table.suite);
+      ("materialize", Test_materialize.suite);
+      ("matching", Test_matching.suite);
+      ("integration", Test_integration.suite);
+      ("ispider", Test_ispider.suite);
+      ("user-cost", Test_user_cost.suite);
+      ("properties", Test_properties.suite);
+      ("bibliome", Test_bibliome.suite);
+      ("misc", Test_misc.suite);
+    ]

@@ -1,0 +1,198 @@
+(* The Intersection Schema Tool's mappings table: validated editing,
+   auto-derived reverse queries, matcher prefill, freezing to a spec. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Ast = Automed_iql.Ast
+module Types = Automed_iql.Types
+module Repository = Automed_repository.Repository
+module Intersection = Automed_integration.Intersection
+module Mapping_table = Automed_integration.Mapping_table
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let err = function Ok _ -> Alcotest.fail "expected error" | Error _ -> ()
+
+let repo_two_sources () =
+  let repo = Repository.create () in
+  let mk name objs = ok (Schema.of_objects name objs) in
+  ok
+    (Repository.add_schema repo
+       (mk "lib1"
+          [ (Scheme.table "book", Some (Types.TBag Types.TStr));
+            ( Scheme.column "book" "isbn",
+              Some (Types.tuple_row [ Types.TStr; Types.TStr ]) ) ]));
+  ok
+    (Repository.add_schema repo
+       (mk "lib2"
+          [ (Scheme.table "volume", Some (Types.TBag Types.TStr));
+            ( Scheme.column "volume" "code",
+              Some (Types.tuple_row [ Types.TStr; Types.TStr ]) ) ]));
+  repo
+
+let session () =
+  ok
+    (Mapping_table.start (repo_two_sources ()) ~name:"i_book"
+       ~sources:[ "lib1"; "lib2" ])
+
+let test_start_checks () =
+  let repo = repo_two_sources () in
+  err (Mapping_table.start repo ~name:"x" ~sources:[ "ghost" ]);
+  err (Mapping_table.start repo ~name:"x" ~sources:[])
+
+let test_add () =
+  let s = session () in
+  let e =
+    ok
+      (Mapping_table.add s ~target:(Scheme.table "UBook") ~source:"lib1"
+         ~forward:"[{'L1', k} | k <- <<book>>]")
+  in
+  Alcotest.(check bool) "typed" true e.Mapping_table.typed;
+  Alcotest.(check bool) "reverse derived" true (e.Mapping_table.reverse <> None);
+  (* unknown source schema and unknown objects are rejected *)
+  err
+    (Mapping_table.add s ~target:(Scheme.table "U") ~source:"nope"
+       ~forward:"<<book>>");
+  err
+    (Mapping_table.add s ~target:(Scheme.table "U") ~source:"lib1"
+       ~forward:"<<ghost>>");
+  (* duplicate (target, source) pairs are rejected *)
+  err
+    (Mapping_table.add s ~target:(Scheme.table "UBook") ~source:"lib1"
+       ~forward:"<<book>>");
+  (* parse errors are reported *)
+  err
+    (Mapping_table.add s ~target:(Scheme.table "U2") ~source:"lib1"
+       ~forward:"[ broken")
+
+let test_type_checking () =
+  let s = session () in
+  (* comparing the isbn value (a string) with an int cannot type-check *)
+  err
+    (Mapping_table.add s ~target:(Scheme.table "U") ~source:"lib1"
+       ~forward:"[k | {k,x} <- <<book,isbn>>; x = 3]");
+  let e =
+    ok
+      (Mapping_table.add_unchecked s ~target:(Scheme.table "U") ~source:"lib1"
+         ~forward:"[k | {k,x} <- <<book,isbn>>; x = 3]")
+  in
+  Alcotest.(check bool) "recorded as untyped" false e.Mapping_table.typed
+
+let test_edit_remove () =
+  let s = session () in
+  let e =
+    ok
+      (Mapping_table.add s ~target:(Scheme.table "UBook") ~source:"lib1"
+         ~forward:"<<book>>")
+  in
+  let e' =
+    ok
+      (Mapping_table.edit s e.Mapping_table.entry_id
+         ~forward:"[{'L1', k} | k <- <<book>>]")
+  in
+  Alcotest.(check bool) "same id" true
+    (e.Mapping_table.entry_id = e'.Mapping_table.entry_id);
+  Alcotest.(check int) "one entry" 1 (List.length (Mapping_table.entries s));
+  ok (Mapping_table.remove s e.Mapping_table.entry_id);
+  Alcotest.(check int) "removed" 0 (List.length (Mapping_table.entries s));
+  err (Mapping_table.remove s 99)
+
+let test_user_reverse () =
+  let s = session () in
+  let e =
+    ok
+      (Mapping_table.add s ~target:(Scheme.table "UBook") ~source:"lib1"
+         ~forward:"[{'L1', k} | k <- <<book>>]")
+  in
+  ok
+    (Mapping_table.set_reverse s e.Mapping_table.entry_id
+       ~reverse:"[k | {t, k} <- <<UBook>>; t = 'L1']"
+       ~source_object:(Scheme.table "book"));
+  err
+    (Mapping_table.set_reverse s e.Mapping_table.entry_id ~reverse:"Void"
+       ~source_object:(Scheme.table "ghost"));
+  (* the user reverse flows into the spec as a restore *)
+  ignore
+    (ok
+       (Mapping_table.add s ~target:(Scheme.table "UBook") ~source:"lib2"
+          ~forward:"[{'L2', k} | k <- <<volume>>]"));
+  let spec = ok (Mapping_table.finish s) in
+  let lib1_side =
+    List.find (fun side -> side.Intersection.schema = "lib1") spec.Intersection.sides
+  in
+  match (List.hd lib1_side.Intersection.mappings).Intersection.restore with
+  | Some (src, _) ->
+      Alcotest.(check bool) "restore source" true
+        (Scheme.equal src (Scheme.table "book"))
+  | None -> Alcotest.fail "user reverse lost"
+
+let test_finish_requires_two_sides () =
+  let s = session () in
+  ignore
+    (ok
+       (Mapping_table.add s ~target:(Scheme.table "UBook") ~source:"lib1"
+          ~forward:"[{'L1', k} | k <- <<book>>]"));
+  err (Mapping_table.finish s);
+  (match Mapping_table.finish_single s with
+  | Ok (name, side) ->
+      Alcotest.(check string) "name" "i_book" name;
+      Alcotest.(check int) "one mapping" 1 (List.length side.Intersection.mappings)
+  | Error e -> Alcotest.fail e);
+  ignore
+    (ok
+       (Mapping_table.add s ~target:(Scheme.table "UBook") ~source:"lib2"
+          ~forward:"[{'L2', k} | k <- <<volume>>]"));
+  err (Mapping_table.finish_single s);
+  let spec = ok (Mapping_table.finish s) in
+  Alcotest.(check int) "two sides" 2 (List.length spec.Intersection.sides)
+
+let test_finish_builds_working_intersection () =
+  let repo = repo_two_sources () in
+  ok
+    (Repository.set_extent repo ~schema:"lib1" (Scheme.table "book")
+       (Value.Bag.of_list [ Value.Str "b1" ]));
+  ok
+    (Repository.set_extent repo ~schema:"lib2" (Scheme.table "volume")
+       (Value.Bag.of_list [ Value.Str "v1"; Value.Str "v2" ]));
+  let s = ok (Mapping_table.start repo ~name:"i_book" ~sources:[ "lib1"; "lib2" ]) in
+  ignore
+    (ok
+       (Mapping_table.add s ~target:(Scheme.table "UBook") ~source:"lib1"
+          ~forward:"[{'L1', k} | k <- <<book>>]"));
+  ignore
+    (ok
+       (Mapping_table.add s ~target:(Scheme.table "UBook") ~source:"lib2"
+          ~forward:"[{'L2', k} | k <- <<volume>>]"));
+  let spec = ok (Mapping_table.finish s) in
+  let _ = ok (Intersection.create repo spec) in
+  let proc = Automed_query.Processor.create repo in
+  match
+    Automed_query.Processor.run_string proc ~schema:"i_book" "count(<<UBook>>)"
+  with
+  | Ok v -> Alcotest.(check string) "extent" "3" (Value.to_string v)
+  | Error e -> Alcotest.failf "%a" Automed_query.Processor.pp_error e
+
+let test_prefill () =
+  let repo = repo_two_sources () in
+  (* overlapping instances make the matcher confident *)
+  let bag = Value.Bag.of_list [ Value.Str "x"; Value.Str "y" ] in
+  ok (Repository.set_extent repo ~schema:"lib1" (Scheme.table "book") bag);
+  ok (Repository.set_extent repo ~schema:"lib2" (Scheme.table "volume") bag);
+  let s = ok (Mapping_table.start repo ~name:"i_auto" ~sources:[ "lib1"; "lib2" ]) in
+  let added = ok (Mapping_table.prefill ~threshold:0.4 s ~left:"lib1" ~right:"lib2") in
+  Alcotest.(check bool) "prefilled" true (List.length added >= 2);
+  let spec = ok (Mapping_table.finish s) in
+  Alcotest.(check int) "both sides populated" 2 (List.length spec.Intersection.sides)
+
+let suite =
+  [
+    Alcotest.test_case "start checks" `Quick test_start_checks;
+    Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "type checking" `Quick test_type_checking;
+    Alcotest.test_case "edit and remove" `Quick test_edit_remove;
+    Alcotest.test_case "user reverse queries" `Quick test_user_reverse;
+    Alcotest.test_case "finish arities" `Quick test_finish_requires_two_sides;
+    Alcotest.test_case "finish builds a working intersection" `Quick
+      test_finish_builds_working_intersection;
+    Alcotest.test_case "matcher prefill" `Quick test_prefill;
+  ]

@@ -1,0 +1,175 @@
+(* The schema matching tool: name evidence, instance evidence, ranking. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Repository = Automed_repository.Repository
+module Matcher = Automed_matching.Matcher
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let test_name_score () =
+  let high =
+    Matcher.name_score (Scheme.column "protein" "accession_num")
+      (Scheme.column "protein" "accession")
+  in
+  let low =
+    Matcher.name_score (Scheme.column "protein" "accession_num")
+      (Scheme.column "iontable" "immon")
+  in
+  Alcotest.(check bool) "similar > dissimilar" true (high > low);
+  Alcotest.(check bool) "identical is 1" true
+    (Matcher.name_score (Scheme.table "protein") (Scheme.table "protein") = 1.0)
+
+let test_name_score_token_based () =
+  (* token overlap rescues reordered identifiers *)
+  let s =
+    Matcher.name_score (Scheme.column "t" "db_search") (Scheme.column "t" "search_db")
+  in
+  Alcotest.(check bool) "token overlap" true (s > 0.9)
+
+let test_instance_score () =
+  let b1 = Value.Bag.of_list [ Value.Str "a"; Value.Str "b"; Value.Str "c" ] in
+  let b2 = Value.Bag.of_list [ Value.Str "b"; Value.Str "c"; Value.Str "d" ] in
+  let s = Matcher.instance_score b1 b2 in
+  Alcotest.(check bool) "jaccard 2/4" true (abs_float (s -. 0.5) < 1e-9);
+  Alcotest.(check bool) "disjoint" true
+    (Matcher.instance_score b1 (Value.Bag.of_list [ Value.Str "z" ]) = 0.0);
+  Alcotest.(check bool) "empty" true
+    (Matcher.instance_score Value.Bag.empty Value.Bag.empty = 0.0)
+
+let test_instance_score_pairs () =
+  (* column extents compare value components, ignoring keys *)
+  let pairs ks vs =
+    Value.Bag.of_list
+      (List.map2 (fun k v -> Value.tuple2 (Value.Str k) (Value.Str v)) ks vs)
+  in
+  let b1 = pairs [ "k1"; "k2" ] [ "x"; "y" ] in
+  let b2 = pairs [ "zz1"; "zz2" ] [ "x"; "y" ] in
+  Alcotest.(check bool) "same values, different keys" true
+    (Matcher.instance_score b1 b2 = 1.0)
+
+let test_combine () =
+  Alcotest.(check bool) "name only" true
+    (Matcher.combine { name_score = 0.8; instance_score = None } = 0.8);
+  Alcotest.(check bool) "averaged" true
+    (abs_float
+       (Matcher.combine { name_score = 0.8; instance_score = Some 0.4 } -. 0.6)
+    < 1e-9)
+
+let repo_with_two_schemas () =
+  let repo = Repository.create () in
+  let s1 =
+    ok
+      (Schema.of_objects "left"
+         [
+           (Scheme.table "protein", None);
+           (Scheme.column "protein" "accession_num", None);
+           (Scheme.table "peptidehit", None);
+         ])
+  in
+  let s2 =
+    ok
+      (Schema.of_objects "right"
+         [
+           (Scheme.table "protein", None);
+           (Scheme.column "protein" "accession", None);
+           (Scheme.table "iontable", None);
+         ])
+  in
+  ok (Repository.add_schema repo s1);
+  ok (Repository.add_schema repo s2);
+  ok
+    (Repository.set_extent repo ~schema:"left" (Scheme.table "protein")
+       (Value.Bag.of_list [ Value.Str "P1"; Value.Str "P2" ]));
+  ok
+    (Repository.set_extent repo ~schema:"right" (Scheme.table "protein")
+       (Value.Bag.of_list [ Value.Str "P1"; Value.Str "P3" ]));
+  repo
+
+let test_suggest () =
+  let repo = repo_with_two_schemas () in
+  let suggestions = ok (Matcher.suggest repo ~left:"left" ~right:"right") in
+  Alcotest.(check bool) "nonempty" true (suggestions <> []);
+  (* the accession columns are near-identical in name and rank first *)
+  let top = List.hd suggestions in
+  Alcotest.(check string) "top left" "<<protein,accession_num>>"
+    (Scheme.to_string top.Matcher.left);
+  Alcotest.(check string) "top right" "<<protein,accession>>"
+    (Scheme.to_string top.Matcher.right);
+  (* the protein tables are suggested with instance evidence attached *)
+  let protein_pair =
+    List.find_opt
+      (fun s ->
+        Scheme.equal s.Matcher.left (Scheme.table "protein")
+        && Scheme.equal s.Matcher.right (Scheme.table "protein"))
+      suggestions
+  in
+  (match protein_pair with
+  | Some s ->
+      Alcotest.(check bool) "instance evidence used" true
+        (s.Matcher.evidence.instance_score <> None)
+  | None -> Alcotest.fail "protein ~ protein not suggested");
+  (* sorted descending *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Matcher.score >= b.Matcher.score && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted suggestions);
+  (* same-construct pairs only *)
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "construct" (Scheme.construct s.Matcher.left)
+        (Scheme.construct s.Matcher.right))
+    suggestions
+
+let test_suggest_threshold_limit () =
+  let repo = repo_with_two_schemas () in
+  let all = ok (Matcher.suggest ~threshold:0.0 repo ~left:"left" ~right:"right") in
+  let strict = ok (Matcher.suggest ~threshold:0.9 repo ~left:"left" ~right:"right") in
+  Alcotest.(check bool) "threshold filters" true
+    (List.length strict < List.length all);
+  let limited = ok (Matcher.suggest ~threshold:0.0 ~limit:2 repo ~left:"left" ~right:"right") in
+  Alcotest.(check int) "limit" 2 (List.length limited)
+
+let test_suggest_missing_schema () =
+  let repo = repo_with_two_schemas () in
+  match Matcher.suggest repo ~left:"ghost" ~right:"right" with
+  | Ok _ -> Alcotest.fail "missing schema accepted"
+  | Error _ -> ()
+
+let test_suggest_on_ispider () =
+  (* the matcher finds the paper's first correspondence: Pedro's protein
+     accession and gpmDB's proseq label share instance values *)
+  let ds = Automed_ispider.Sources.generate () in
+  let repo = Repository.create () in
+  ok (Automed_ispider.Sources.wrap_all repo ds);
+  let suggestions =
+    ok
+      (Matcher.suggest ~threshold:0.2 ~limit:100 repo ~left:"pedro"
+         ~right:"gpmdb")
+  in
+  let found =
+    List.exists
+      (fun s ->
+        Scheme.equal s.Matcher.left (Scheme.column "protein" "accession_num")
+        && Scheme.equal s.Matcher.right (Scheme.column "proseq" "label")
+        && s.Matcher.evidence.instance_score <> None
+        && Option.get s.Matcher.evidence.instance_score > 0.0)
+      suggestions
+  in
+  Alcotest.(check bool) "accession ~ label surfaced" true found
+
+let suite =
+  [
+    Alcotest.test_case "name score" `Quick test_name_score;
+    Alcotest.test_case "token-based name score" `Quick test_name_score_token_based;
+    Alcotest.test_case "instance score" `Quick test_instance_score;
+    Alcotest.test_case "instance score on pairs" `Quick test_instance_score_pairs;
+    Alcotest.test_case "combine" `Quick test_combine;
+    Alcotest.test_case "suggest" `Quick test_suggest;
+    Alcotest.test_case "threshold and limit" `Quick test_suggest_threshold_limit;
+    Alcotest.test_case "missing schema" `Quick test_suggest_missing_schema;
+    Alcotest.test_case "suggests the paper's first mapping" `Quick
+      test_suggest_on_ispider;
+  ]

@@ -1,0 +1,151 @@
+(* Materialising integrated schemas back into relational databases. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Relational = Automed_datasource.Relational
+module Wrapper = Automed_datasource.Wrapper
+module Materialize = Automed_datasource.Materialize
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Intersection = Automed_integration.Intersection
+module Global = Automed_integration.Global
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let source_db () =
+  let book =
+    ok
+      (Relational.create_table ~name:"book" ~key:"id"
+         [ ("id", Relational.CStr); ("title", Relational.CStr);
+           ("year", Relational.CInt) ])
+  in
+  let book =
+    ok
+      (Relational.insert_all book
+         [
+           [ Relational.str_cell "b1"; Relational.str_cell "Blue Train";
+             Relational.int_cell 1957 ];
+           [ Relational.str_cell "b2"; Relational.null; Relational.int_cell 1959 ];
+         ])
+  in
+  ok (Relational.add_table (Relational.create_db "store") book)
+
+let test_roundtrip_source () =
+  (* wrap then materialise: the database must come back identical up to
+     column order *)
+  let repo = Repository.create () in
+  let _ = ok (Wrapper.wrap repo (source_db ())) in
+  let proc = Processor.create repo in
+  let t = ok (Materialize.table_of_object proc ~schema:"store" ~table:"book") in
+  Alcotest.(check int) "rows" 2 (Relational.row_count t);
+  Alcotest.(check int) "key extent" 2
+    (Value.Bag.cardinal (Relational.key_extent t));
+  (* the NULL title is preserved as a missing pair *)
+  let titles = ok (Relational.column_extent t "title") in
+  Alcotest.(check int) "one title" 1 (Value.Bag.cardinal titles);
+  let years = ok (Relational.column_extent t "year") in
+  Alcotest.(check bool) "typed int column" true
+    (Value.Bag.mem (Value.tuple2 (Value.Str "b1") (Value.Int 1957)) years)
+
+let integrated_repo () =
+  let repo = Repository.create () in
+  let _ = ok (Wrapper.wrap repo (source_db ())) in
+  let other =
+    let volume =
+      ok
+        (Relational.create_table ~name:"volume" ~key:"vid"
+           [ ("vid", Relational.CStr); ("name", Relational.CStr) ])
+    in
+    let volume =
+      ok
+        (Relational.insert volume
+           [ Relational.str_cell "v1"; Relational.str_cell "Giant Steps" ])
+    in
+    ok (Relational.add_table (Relational.create_db "radio") volume)
+  in
+  let _ = ok (Wrapper.wrap repo other) in
+  let q = Automed_iql.Parser.parse_exn in
+  let o =
+    ok
+      (Intersection.create repo
+         {
+           Intersection.name = "i_rel";
+           sides =
+             [
+               {
+                 Intersection.schema = "store";
+                 mappings =
+                   [
+                     { Intersection.target = Scheme.table "URelease";
+                       forward = q "[{'store', k} | k <- <<book>>]";
+                       restore = None };
+                     { Intersection.target = Scheme.column "URelease" "title";
+                       forward = q "[{'store', k, x} | {k,x} <- <<book,title>>]";
+                       restore = None };
+                   ];
+               };
+               {
+                 Intersection.schema = "radio";
+                 mappings =
+                   [
+                     { Intersection.target = Scheme.table "URelease";
+                       forward = q "[{'radio', k} | k <- <<volume>>]";
+                       restore = None };
+                     { Intersection.target = Scheme.column "URelease" "title";
+                       forward = q "[{'radio', k, x} | {k,x} <- <<volume,name>>]";
+                       restore = None };
+                   ];
+               };
+             ];
+         })
+  in
+  let _ =
+    ok
+      (Global.create repo ~name:"G" ~intersections:[ o ]
+         ~extensionals:[ "store"; "radio" ])
+  in
+  repo
+
+let test_materialise_intersection () =
+  let repo = integrated_repo () in
+  let proc = Processor.create repo in
+  let t = ok (Materialize.table_of_object proc ~schema:"i_rel" ~table:"URelease") in
+  (* 2 store books + 1 radio volume, tagged keys rendered to strings *)
+  Alcotest.(check int) "rows" 3 (Relational.row_count t);
+  let titles = ok (Relational.column_extent t "title") in
+  (* b2 has no title *)
+  Alcotest.(check int) "titles" 2 (Value.Bag.cardinal titles)
+
+let test_materialise_whole_global () =
+  let repo = integrated_repo () in
+  let proc = Processor.create repo in
+  let db = ok (Materialize.db_of_schema proc ~schema:"G") in
+  (* URelease only: book and volume were dropped as redundant and no
+     other table objects remain in G *)
+  Alcotest.(check (list string)) "tables" [ "URelease" ]
+    (List.map Relational.table_name (Relational.tables db))
+
+let test_materialise_federated_names () =
+  let repo = integrated_repo () in
+  let _ =
+    ok
+      (Automed_integration.Federated.create repo ~name:"F"
+         ~members:[ "store"; "radio" ])
+  in
+  let proc = Processor.create repo in
+  let db = ok (Materialize.db_of_schema proc ~schema:"F") in
+  Alcotest.(check (list string)) "sanitised table names"
+    [ "radio_volume"; "store_book" ]
+    (List.map Relational.table_name (Relational.tables db))
+
+let suite =
+  [
+    Alcotest.test_case "wrap/materialise round-trip" `Quick test_roundtrip_source;
+    Alcotest.test_case "materialise an intersection schema" `Quick
+      test_materialise_intersection;
+    Alcotest.test_case "materialise the whole global schema" `Quick
+      test_materialise_whole_global;
+    Alcotest.test_case "prefixed names sanitised" `Quick
+      test_materialise_federated_names;
+  ]

@@ -1,0 +1,165 @@
+(* Cross-cutting smaller behaviours: the type grammar round-trip, CSV
+   type inference, workflow options. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Types = Automed_iql.Types
+module Value = Automed_iql.Value
+module Csv = Automed_datasource.Csv
+module Relational = Automed_datasource.Relational
+module Repository = Automed_repository.Repository
+module Workflow = Automed_integration.Workflow
+module Intersection = Automed_integration.Intersection
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* -- Types.of_string ------------------------------------------------------ *)
+
+let gen_ty =
+  let open QCheck.Gen in
+  let base = oneofl Types.[ TUnit; TBool; TInt; TFloat; TStr ] in
+  let rec ty n =
+    if n = 0 then base
+    else
+      frequency
+        [
+          (3, base);
+          (1, map (fun t -> Types.TBag t) (ty (n - 1)));
+          ( 1,
+            map (fun ts -> Types.TTuple ts)
+              (list_size (int_range 1 3) (ty (n - 1))) );
+        ]
+  in
+  ty 3
+
+let qcheck_ty_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"type print/parse round-trip"
+    (QCheck.make ~print:Types.to_string gen_ty) (fun t ->
+      match Types.of_string (Types.to_string t) with
+      | Ok t' -> t = t'
+      | Error _ -> false)
+
+let test_ty_parse_errors () =
+  List.iter
+    (fun s ->
+      match Types.of_string s with
+      | Ok _ -> Alcotest.failf "should reject %S" s
+      | Error _ -> ())
+    [ ""; "nope"; "{int"; "[int"; "int]"; "{}"; "'t0"; "int int" ]
+
+(* -- CSV type inference ---------------------------------------------------- *)
+
+let test_infer_columns () =
+  let cols =
+    Csv.infer_columns
+      [ "a"; "b"; "c"; "d"; "e" ]
+      [
+        [ "1"; "1.5"; "true"; "x"; "" ];
+        [ "2"; "7"; "false"; "2"; "" ];
+        [ ""; "0.25"; "true"; "y"; "" ];
+      ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "inferred"
+    [ ("a", "int"); ("b", "float"); ("c", "bool"); ("d", "str"); ("e", "str") ]
+    (List.map
+       (fun (c, ty) -> (c, Fmt.str "%a" Relational.pp_col_ty ty))
+       cols)
+
+let test_load_table_auto () =
+  let t = ok (Csv.load_table_auto ~name:"x" "k,n\nr1,5\nr2,6\n") in
+  Alcotest.(check string) "key defaults to first header" "k"
+    (Relational.key_column t);
+  let ns = ok (Relational.column_extent t "n") in
+  Alcotest.(check bool) "int typed" true
+    (Value.Bag.mem (Value.tuple2 (Value.Str "r1") (Value.Int 5)) ns)
+
+(* -- workflow with redundancy kept ----------------------------------------- *)
+
+let test_workflow_keep_redundant () =
+  let repo = Repository.create () in
+  let mk name t =
+    ok
+      (Schema.of_objects name
+         [ (Scheme.table t, Some (Types.TBag Types.TStr)) ])
+  in
+  ok (Repository.add_schema repo (mk "s1" "a"));
+  ok (Repository.add_schema repo (mk "s2" "b"));
+  let bag = Value.Bag.of_list [ Value.Str "x" ] in
+  ok (Repository.set_extent repo ~schema:"s1" (Scheme.table "a") bag);
+  ok (Repository.set_extent repo ~schema:"s2" (Scheme.table "b") bag);
+  let wf = ok (Workflow.start repo ~name:"w" ~sources:[ "s1"; "s2" ]) in
+  let spec =
+    {
+      Intersection.name = "i";
+      sides =
+        [
+          {
+            Intersection.schema = "s1";
+            mappings =
+              [
+                { Intersection.target = Scheme.table "U";
+                  forward = Automed_iql.Parser.parse_exn "[{'s1', k} | k <- <<a>>]";
+                  restore = None };
+              ];
+          };
+          {
+            Intersection.schema = "s2";
+            mappings =
+              [
+                { Intersection.target = Scheme.table "U";
+                  forward = Automed_iql.Parser.parse_exn "[{'s2', k} | k <- <<b>>]";
+                  restore = None };
+              ];
+          };
+        ];
+    }
+  in
+  let _ = ok (Workflow.integrate ~drop_redundant:false wf spec) in
+  let g = Workflow.global_schema wf in
+  Alcotest.(check bool) "U present" true (Schema.mem (Scheme.table "U") g);
+  (* with drop_redundant:false the mapped sources survive, prefixed *)
+  Alcotest.(check bool) "redundant kept" true
+    (Schema.mem (Scheme.prefix "s1" (Scheme.table "a")) g);
+  Alcotest.(check int) "three objects" 3 (Schema.object_count g)
+
+(* -- value edge cases ------------------------------------------------------- *)
+
+let test_nested_bag_values () =
+  (* bags nest inside tuples and other bags, staying canonical *)
+  let inner = Value.Bag.of_list [ Value.Int 2; Value.Int 1 ] in
+  let v =
+    Value.Bag
+      (Value.Bag.of_list
+         [ Value.tuple2 (Value.Str "g") (Value.Bag inner);
+           Value.tuple2 (Value.Str "g") (Value.Bag inner) ])
+  in
+  Alcotest.(check bool) "canonical" true (Value.is_canonical v);
+  match v with
+  | Value.Bag b -> Alcotest.(check int) "merged" 1 (Value.Bag.distinct_cardinal b)
+  | _ -> assert false
+
+let test_float_total_order () =
+  let vs = [ Value.Float nan; Value.Float neg_infinity; Value.Float 0.0;
+             Value.Float infinity ] in
+  (* compare must stay a total order even with NaN (Float.compare is total) *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = Value.compare a b and c2 = Value.compare b a in
+          Alcotest.(check bool) "antisymmetric" true (compare c1 0 = compare 0 c2))
+        vs)
+    vs
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_ty_roundtrip;
+    Alcotest.test_case "type parse errors" `Quick test_ty_parse_errors;
+    Alcotest.test_case "csv type inference" `Quick test_infer_columns;
+    Alcotest.test_case "csv auto load" `Quick test_load_table_auto;
+    Alcotest.test_case "workflow keeps redundancy on request" `Quick
+      test_workflow_keep_redundant;
+    Alcotest.test_case "nested bag values" `Quick test_nested_bag_values;
+    Alcotest.test_case "float total order" `Quick test_float_total_order;
+  ]

@@ -1,0 +1,143 @@
+(* The Model Definitions Repository and high-level schemas. *)
+
+module Scheme = Automed_base.Scheme
+module Hdm = Automed_hdm.Hdm
+module Model = Automed_model.Model
+module Schema = Automed_model.Schema
+module Types = Automed_iql.Types
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let err = function Ok _ -> Alcotest.fail "expected error" | Error _ -> ()
+
+let test_builtin_languages () =
+  List.iter
+    (fun name ->
+      match Model.lookup name with
+      | Some m -> Alcotest.(check string) "name" name m.Model.model_name
+      | None -> Alcotest.failf "missing language %s" name)
+    [ "sql"; "xml"; "rdf" ];
+  Alcotest.(check bool) "unknown" true (Model.lookup "cobol" = None)
+
+let test_register () =
+  let custom =
+    {
+      Model.model_name = "kv";
+      constructs =
+        [
+          {
+            Model.construct_name = "store";
+            arity = 1;
+            has_textual_name = true;
+            default_extent_ty = Types.TBag Types.TStr;
+            hdm_add = (fun s g -> Hdm.add_node ("kv:" ^ List.hd (Scheme.args s)) g);
+            hdm_remove =
+              (fun s g -> Hdm.remove_node ("kv:" ^ List.hd (Scheme.args s)) g);
+          };
+        ];
+    }
+  in
+  Model.register custom;
+  match Model.lookup "kv" with
+  | Some m -> Alcotest.(check int) "constructs" 1 (List.length m.Model.constructs)
+  | None -> Alcotest.fail "registered language not found"
+
+let test_validate_scheme () =
+  ignore (ok (Model.validate_scheme (Scheme.table "t")));
+  ignore (ok (Model.validate_scheme (Scheme.column "t" "c")));
+  err (Model.validate_scheme (Scheme.make ~language:"nope" [ "x" ]));
+  err (Model.validate_scheme (Scheme.make ~language:"sql" ~construct:"view" [ "v" ]));
+  (* arity mismatch: a 3-argument column *)
+  err
+    (Model.validate_scheme
+       (Scheme.make ~language:"sql" ~construct:"column" [ "a"; "b"; "c" ]))
+
+let test_hdm_of_relational () =
+  let g =
+    ok
+      (Model.hdm_of_schemes
+         [ Scheme.column "t" "c1"; Scheme.table "t"; Scheme.column "t" "c2" ])
+  in
+  Alcotest.(check bool) "table node" true (Hdm.mem_node "sql:t" g);
+  Alcotest.(check bool) "column node" true (Hdm.mem_node "sql:t:c1" g);
+  Alcotest.(check bool) "column edge" true (Hdm.mem_edge "sql:t:c1!" g);
+  Alcotest.(check bool) "validates" true (Result.is_ok (Hdm.validate g));
+  (* columns may come without their table: the parent node is synthesised *)
+  let g2 = ok (Model.hdm_of_schemes [ Scheme.column "u" "c" ]) in
+  Alcotest.(check bool) "implicit parent" true (Hdm.mem_node "sql:u" g2)
+
+let test_hdm_of_xml_rdf () =
+  let elem tag = Scheme.make ~language:"xml" ~construct:"element" [ tag ] in
+  let nest p c = Scheme.make ~language:"xml" ~construct:"nest" [ p; c ] in
+  let g = ok (Model.hdm_of_schemes [ elem "a"; elem "b"; nest "a" "b" ]) in
+  Alcotest.(check bool) "nest edge" true (Hdm.mem_edge "xml:a/b" g);
+  let cls = Scheme.make ~language:"rdf" ~construct:"class" [ "Person" ] in
+  let prop = Scheme.make ~language:"rdf" ~construct:"property" [ "knows" ] in
+  let g2 = ok (Model.hdm_of_schemes [ cls; prop ]) in
+  Alcotest.(check bool) "class node" true (Hdm.mem_node "rdf:Person" g2);
+  Alcotest.(check bool) "property edge" true (Hdm.mem_edge "rdf:prop:knows" g2)
+
+let test_schema_objects () =
+  let s = ok (Schema.add_object (Scheme.table "t") (Schema.create "s")) in
+  let s = ok (Schema.add_object ~extent_ty:(Types.TBag Types.TStr)
+                (Scheme.column "t" "c") s) in
+  Alcotest.(check int) "count" 2 (Schema.object_count s);
+  Alcotest.(check bool) "mem" true (Schema.mem (Scheme.table "t") s);
+  err (Schema.add_object (Scheme.table "t") s);
+  err (Schema.add_object (Scheme.make ~language:"nope" [ "x" ]) s);
+  let s = ok (Schema.remove_object (Scheme.table "t") s) in
+  Alcotest.(check bool) "removed" false (Schema.mem (Scheme.table "t") s);
+  err (Schema.remove_object (Scheme.table "t") s)
+
+let test_schema_rename_object () =
+  let s = ok (Schema.add_object (Scheme.table "t") (Schema.create "s")) in
+  let s = ok (Schema.rename_object (Scheme.table "t") (Scheme.table "u") s) in
+  Alcotest.(check bool) "new" true (Schema.mem (Scheme.table "u") s);
+  Alcotest.(check bool) "old" false (Schema.mem (Scheme.table "t") s);
+  (* cannot rename across construct kinds *)
+  err (Schema.rename_object (Scheme.table "u") (Scheme.column "u" "c") s);
+  err (Schema.rename_object (Scheme.table "ghost") (Scheme.table "x") s)
+
+let test_schema_extent_ty () =
+  let ty = Types.tuple_row [ Types.TStr; Types.TInt ] in
+  let s = ok (Schema.add_object ~extent_ty:ty (Scheme.column "t" "c")
+                (Schema.create "s")) in
+  (match Schema.extent_ty (Scheme.column "t" "c") s with
+  | Some t -> Alcotest.(check string) "ty" (Types.to_string ty) (Types.to_string t)
+  | None -> Alcotest.fail "missing type");
+  Alcotest.(check bool) "typing fn" true
+    (Schema.typing s (Scheme.column "t" "c") <> None);
+  Alcotest.(check bool) "typing unknown" true
+    (Schema.typing s (Scheme.table "zz") = None)
+
+let test_same_objects () =
+  let mk name =
+    ok
+      (Schema.of_objects name
+         [ (Scheme.table "t", None); (Scheme.column "t" "c", None) ])
+  in
+  Alcotest.(check bool) "same" true (Schema.same_objects (mk "a") (mk "b"));
+  let extra = ok (Schema.add_object (Scheme.table "u") (mk "c")) in
+  Alcotest.(check bool) "different" false (Schema.same_objects (mk "a") extra)
+
+let test_schema_hdm () =
+  let s =
+    ok
+      (Schema.of_objects "s"
+         [ (Scheme.table "t", None); (Scheme.column "t" "c", None) ])
+  in
+  let g = ok (Schema.hdm s) in
+  Alcotest.(check int) "hdm size" 3 (Hdm.size g)
+
+let suite =
+  [
+    Alcotest.test_case "builtin languages" `Quick test_builtin_languages;
+    Alcotest.test_case "register language" `Quick test_register;
+    Alcotest.test_case "validate scheme" `Quick test_validate_scheme;
+    Alcotest.test_case "hdm of relational" `Quick test_hdm_of_relational;
+    Alcotest.test_case "hdm of xml/rdf" `Quick test_hdm_of_xml_rdf;
+    Alcotest.test_case "schema objects" `Quick test_schema_objects;
+    Alcotest.test_case "rename object" `Quick test_schema_rename_object;
+    Alcotest.test_case "extent types" `Quick test_schema_extent_ty;
+    Alcotest.test_case "same_objects" `Quick test_same_objects;
+    Alcotest.test_case "schema to hdm" `Quick test_schema_hdm;
+  ]

@@ -1,0 +1,147 @@
+(* The comprehension optimiser: filter push-down, generator reordering,
+   semantic preservation. *)
+
+module Ast = Automed_iql.Ast
+module Parser = Automed_iql.Parser
+module Value = Automed_iql.Value
+module Eval = Automed_iql.Eval
+module Optimize = Automed_iql.Optimize
+module Scheme = Automed_base.Scheme
+
+let parse s = Parser.parse_exn s
+
+let extents =
+  let t = Scheme.table "t" in
+  let tc = Scheme.column "t" "c" in
+  let u = Scheme.table "u" in
+  fun s ->
+    if Scheme.equal s t then
+      Some (Value.Bag.of_list [ Value.Str "k1"; Value.Str "k2"; Value.Str "k3" ])
+    else if Scheme.equal s tc then
+      Some
+        (Value.Bag.of_list
+           [
+             Value.tuple2 (Value.Str "k1") (Value.Int 10);
+             Value.tuple2 (Value.Str "k2") (Value.Int 20);
+             Value.tuple2 (Value.Str "k3") (Value.Int 10);
+           ])
+    else if Scheme.equal s u then
+      Some (Value.Bag.of_list [ Value.Int 10; Value.Int 30 ])
+    else None
+
+let env = Eval.env ~schemes:extents ()
+
+let eval e =
+  match Eval.eval env e with
+  | Ok v -> v
+  | Error err -> Alcotest.failf "eval: %a" Eval.pp_error err
+
+let quals_of = function
+  | Ast.Comp (_, quals) -> quals
+  | e -> Alcotest.failf "not a comprehension: %s" (Ast.to_string e)
+
+let test_filter_pushdown () =
+  (* the filter on x must move between the two generators *)
+  let q = parse "[{k, y} | {k, x} <- <<t,c>>; y <- <<u>>; x = 10]" in
+  let opt = Optimize.optimize q in
+  (match quals_of opt with
+  | [ Ast.Gen _; Ast.Filter _; Ast.Gen _ ] -> ()
+  | quals ->
+      Alcotest.failf "filter not pushed: %d quals in %s" (List.length quals)
+        (Ast.to_string opt));
+  Alcotest.(check bool) "same answers" true (Value.equal (eval q) (eval opt))
+
+let test_generator_reordering () =
+  (* the selective generator (whose filter applies immediately) comes
+     first even though it is written second *)
+  let q = parse "[{k, y} | y <- <<u>>; {k, x} <- <<t,c>>; x = 10]" in
+  let opt = Optimize.optimize q in
+  (match quals_of opt with
+  | [ Ast.Gen (Ast.PTuple _, _); Ast.Filter _; Ast.Gen (Ast.PVar "y", _) ] -> ()
+  | _ -> Alcotest.failf "not reordered: %s" (Ast.to_string opt));
+  Alcotest.(check bool) "same answers" true (Value.equal (eval q) (eval opt))
+
+let test_dependency_respected () =
+  (* the second generator's source depends on the first one's binding:
+     order must not change *)
+  let q = parse "[x | g <- [[1; 2]; [3]]; x <- g]" in
+  let opt = Optimize.optimize q in
+  (match quals_of opt with
+  | [ Ast.Gen (Ast.PVar "g", _); Ast.Gen (Ast.PVar "x", _) ] -> ()
+  | _ -> Alcotest.failf "dependency broken: %s" (Ast.to_string opt));
+  Alcotest.(check bool) "same answers" true (Value.equal (eval q) (eval opt))
+
+let test_inner_comprehensions_optimized () =
+  let q =
+    parse "[count([y | y <- <<u>>; {k2, x2} <- <<t,c>>; y = x2]) | k <- <<t>>]"
+  in
+  let opt = Optimize.optimize q in
+  Alcotest.(check bool) "same answers" true (Value.equal (eval q) (eval opt))
+
+let test_non_comprehension_untouched () =
+  let q = parse "1 + 2 * 3" in
+  Alcotest.(check bool) "identical" true (Ast.equal q (Optimize.optimize q))
+
+(* semantic preservation on a battery of realistic shapes *)
+let qcheck_preserves_semantics =
+  let shapes =
+    [
+      "[k | k <- <<t>>]";
+      "[{k, x} | {k, x} <- <<t,c>>; x = 10]";
+      "[{k, y} | {k, x} <- <<t,c>>; y <- <<u>>; x = y]";
+      "[{a, b} | {a, x} <- <<t,c>>; {b, z} <- <<t,c>>; x = z; a <> b]";
+      "[{k, y} | y <- <<u>>; {k, x} <- <<t,c>>; x = 10; y = 30]";
+      "[x | g <- [[1; 2]; [3]]; x <- g; x > 1]";
+      "count([{a, b} | a <- <<t>>; b <- <<u>>])";
+      "[{x, count(g)} | {x, g} <- group([{v, k} | {k, v} <- <<t,c>>])]";
+      "[k | {k, x} <- <<t,c>>; member(x, <<u>>)]";
+    ]
+  in
+  QCheck.Test.make ~count:(List.length shapes)
+    ~name:"optimisation preserves bag semantics"
+    (QCheck.make QCheck.Gen.(oneofl shapes))
+    (fun src ->
+      let q = parse src in
+      let opt = Optimize.optimize q in
+      Value.equal (eval q) (eval opt))
+
+(* the iSpider query 5 (all join filters trailing) must agree between
+   optimised and verbatim evaluation, and the optimiser must be active in
+   the default processor path *)
+let test_ispider_q5_agrees () =
+  let module Repository = Automed_repository.Repository in
+  let module Processor = Automed_query.Processor in
+  let module Sources = Automed_ispider.Sources in
+  let repo = Repository.create () in
+  (match Sources.wrap_all repo (Sources.generate ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let run =
+    match Automed_ispider.Intersection_run.execute repo with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let wf = run.Automed_ispider.Intersection_run.workflow in
+  let global = Automed_integration.Workflow.global_name wf in
+  let proc = Processor.create repo in
+  let q5 = (Automed_ispider.Queries.find 5).Automed_ispider.Queries.global_text in
+  let ast = parse q5 in
+  match
+    ( Processor.run ~optimize:true proc ~schema:global ast,
+      Processor.run ~optimize:false proc ~schema:global ast )
+  with
+  | Ok a, Ok b -> Alcotest.(check bool) "agree" true (Value.equal a b)
+  | _ -> Alcotest.fail "evaluation failed"
+
+let suite =
+  [
+    Alcotest.test_case "filter push-down" `Quick test_filter_pushdown;
+    Alcotest.test_case "generator reordering" `Quick test_generator_reordering;
+    Alcotest.test_case "dependencies respected" `Quick test_dependency_respected;
+    Alcotest.test_case "inner comprehensions" `Quick
+      test_inner_comprehensions_optimized;
+    Alcotest.test_case "non-comprehensions untouched" `Quick
+      test_non_comprehension_untouched;
+    QCheck_alcotest.to_alcotest qcheck_preserves_semantics;
+    Alcotest.test_case "iSpider query 5 agrees" `Slow test_ispider_q5_agrees;
+  ]

@@ -1,0 +1,272 @@
+(* Randomised end-to-end properties of the integration machinery:
+   arbitrary overlapping sources are generated, an intersection schema is
+   built over them, and the paper's structural invariants are checked. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Ast = Automed_iql.Ast
+module Value = Automed_iql.Value
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Intersection = Automed_integration.Intersection
+module Global = Automed_integration.Global
+
+(* -- a generated scenario ------------------------------------------------ *)
+
+type source = {
+  src_name : string;
+  shared_table : string;  (** the table mapped into the intersection *)
+  shared_rows : string list;
+  private_tables : (string * string list) list;
+}
+
+type scenario = { sources : source list }
+
+let gen_scenario : scenario QCheck.Gen.t =
+  let open QCheck.Gen in
+  let table_name i j = Printf.sprintf "priv%d_%d" i j in
+  let* n_sources = int_range 2 4 in
+  let* sources =
+    flatten_l
+      (List.init n_sources (fun i ->
+           let* shared_rows =
+             list_size (int_range 0 6)
+               (map (Printf.sprintf "s%d-row%d" i) (int_range 0 9))
+           in
+           let* n_priv = int_range 0 3 in
+           let* private_tables =
+             flatten_l
+               (List.init n_priv (fun j ->
+                    let* rows =
+                      list_size (int_range 0 3)
+                        (map (Printf.sprintf "p%d-%d-row%d" i j) (int_range 0 9))
+                    in
+                    return (table_name i j, rows)))
+           in
+           return
+             {
+               src_name = Printf.sprintf "src%d" i;
+               shared_table = Printf.sprintf "shared%d" i;
+               shared_rows;
+               private_tables;
+             }))
+  in
+  return { sources }
+
+let arbitrary_scenario =
+  QCheck.make
+    ~print:(fun sc ->
+      String.concat "; "
+        (List.map
+           (fun s ->
+             Printf.sprintf "%s(%s:%d rows, %d private)" s.src_name
+               s.shared_table
+               (List.length s.shared_rows)
+               (List.length s.private_tables))
+           sc.sources))
+    gen_scenario
+
+(* -- building the dataspace ---------------------------------------------- *)
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let build scenario =
+  let repo = Repository.create () in
+  List.iter
+    (fun s ->
+      let objs =
+        (Scheme.table s.shared_table, None)
+        :: List.map (fun (t, _) -> (Scheme.table t, None)) s.private_tables
+      in
+      ok (Repository.add_schema repo (ok (Schema.of_objects s.src_name objs)));
+      ok
+        (Repository.set_extent repo ~schema:s.src_name
+           (Scheme.table s.shared_table)
+           (Value.Bag.of_list (List.map (fun r -> Value.Str r) s.shared_rows)));
+      List.iter
+        (fun (t, rows) ->
+          ok
+            (Repository.set_extent repo ~schema:s.src_name (Scheme.table t)
+               (Value.Bag.of_list (List.map (fun r -> Value.Str r) rows))))
+        s.private_tables)
+    scenario.sources;
+  let spec =
+    {
+      Intersection.name = "i_shared";
+      sides =
+        List.map
+          (fun s ->
+            {
+              Intersection.schema = s.src_name;
+              mappings =
+                [
+                  {
+                    Intersection.target = Scheme.table "UShared";
+                    forward =
+                      Automed_iql.Parser.parse_exn
+                        (Printf.sprintf "[{'%s', k} | k <- <<%s>>]" s.src_name
+                           s.shared_table);
+                    restore = None;
+                  };
+                ];
+            })
+          scenario.sources;
+    }
+  in
+  let outcome = ok (Intersection.create repo spec) in
+  (repo, outcome)
+
+(* -- the invariants ------------------------------------------------------- *)
+
+let prop_extent_conservation =
+  QCheck.Test.make ~count:60
+    ~name:"intersection extent cardinality = sum of the sides'"
+    arbitrary_scenario
+    (fun scenario ->
+      let repo, _ = build scenario in
+      let proc = Processor.create repo in
+      match Processor.extent_of proc ~schema:"i_shared" (Scheme.table "UShared") with
+      | Error _ -> false
+      | Ok bag ->
+          Value.Bag.cardinal bag
+          = List.fold_left
+              (fun acc s -> acc + List.length s.shared_rows)
+              0 scenario.sources)
+
+let prop_canonical_shape =
+  QCheck.Test.make ~count:60
+    ~name:"every side pathway is in canonical intersection form"
+    arbitrary_scenario
+    (fun scenario ->
+      let _, outcome = build scenario in
+      List.for_all
+        (fun (_, p) -> Result.is_ok (Transform.intersection_shape p))
+        outcome.Intersection.side_pathways)
+
+let prop_global_accounting =
+  QCheck.Test.make ~count:60
+    ~name:"global schema object accounting: |G| = |I| + sum |ES - I|"
+    arbitrary_scenario
+    (fun scenario ->
+      let repo, outcome = build scenario in
+      let g =
+        ok
+          (Global.create repo ~name:"G" ~intersections:[ outcome ]
+             ~extensionals:(List.map (fun s -> s.src_name) scenario.sources))
+      in
+      (* each source keeps its private tables; the shared table is mapped
+         (and deleted) on every side, so it is dropped everywhere *)
+      let expected =
+        1 (* UShared *)
+        + List.fold_left
+            (fun acc s -> acc + List.length s.private_tables)
+            0 scenario.sources
+      in
+      Schema.object_count g = expected)
+
+let prop_global_answers =
+  QCheck.Test.make ~count:60
+    ~name:"per-side filter over G returns exactly that side's rows"
+    arbitrary_scenario
+    (fun scenario ->
+      let repo, outcome = build scenario in
+      let _ =
+        ok
+          (Global.create repo ~name:"G" ~intersections:[ outcome ]
+             ~extensionals:(List.map (fun s -> s.src_name) scenario.sources))
+      in
+      let proc = Processor.create repo in
+      List.for_all
+        (fun s ->
+          match
+            Processor.run_string proc ~schema:"G"
+              (Printf.sprintf "[k | {t, k} <- <<UShared>>; t = '%s']" s.src_name)
+          with
+          | Ok (Value.Bag b) ->
+              Value.Bag.equal b
+                (Value.Bag.of_list (List.map (fun r -> Value.Str r) s.shared_rows))
+          | _ -> false)
+        scenario.sources)
+
+let prop_reverse_restores =
+  QCheck.Test.make ~count:60
+    ~name:"applying a side pathway then its reverse restores the source"
+    arbitrary_scenario
+    (fun scenario ->
+      let repo, outcome = build scenario in
+      List.for_all
+        (fun (src, (p : Transform.pathway)) ->
+          let source = Repository.schema_exn repo src in
+          match Transform.apply source p with
+          | Error _ -> false
+          | Ok mid -> (
+              let back = Transform.reverse p in
+              match Transform.apply mid { back with Transform.to_schema = src } with
+              | Error _ -> false
+              | Ok restored -> Schema.same_objects source restored))
+        outcome.Intersection.side_pathways)
+
+let prop_translation_sound =
+  QCheck.Test.make ~count:40
+    ~name:"translated counts agree between source and intersection"
+    arbitrary_scenario
+    (fun scenario ->
+      let repo, _ = build scenario in
+      let proc = Processor.create repo in
+      List.for_all
+        (fun s ->
+          let q =
+            Automed_iql.Parser.parse_exn
+              (Printf.sprintf "count(<<%s>>)" s.shared_table)
+          in
+          match
+            Processor.translate proc ~from_schema:s.src_name
+              ~to_schema:"i_shared" q
+          with
+          | Error _ -> false
+          | Ok translated -> (
+              match
+                ( Processor.run proc ~schema:s.src_name q,
+                  Processor.run proc ~schema:"i_shared" translated )
+              with
+              | Ok a, Ok b -> Value.equal a b
+              | _ -> false))
+        scenario.sources)
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~count:40
+    ~name:"randomised dataspaces survive a serialisation round-trip"
+    arbitrary_scenario
+    (fun scenario ->
+      let repo, _ = build scenario in
+      let text = Automed_repository.Serialize.save ~extents:true repo in
+      match Automed_repository.Serialize.load text with
+      | Error _ -> false
+      | Ok repo' ->
+          let proc = Processor.create repo
+          and proc' = Processor.create repo' in
+          let extent p =
+            match
+              Processor.extent_of p ~schema:"i_shared" (Scheme.table "UShared")
+            with
+            | Ok b -> Some b
+            | Error _ -> None
+          in
+          (match (extent proc, extent proc') with
+          | Some a, Some b -> Value.Bag.equal a b
+          | _ -> false)
+          && List.length (Repository.pathways repo)
+             = List.length (Repository.pathways repo'))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_extent_conservation;
+      prop_canonical_shape;
+      prop_global_accounting;
+      prop_global_answers;
+      prop_reverse_restores;
+      prop_translation_sound;
+      prop_serialize_roundtrip;
+    ]

@@ -1,0 +1,143 @@
+(* The Schemas & Transformations Repository: registration, pathway
+   validation, composite pathway search, stored extents. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Parser = Automed_iql.Parser
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let err = function Ok _ -> Alcotest.fail "expected error" | Error _ -> ()
+let q = Parser.parse_exn
+
+let schema name objs =
+  ok (Schema.of_objects name (List.map (fun o -> (o, None)) objs))
+
+let test_schema_registry () =
+  let repo = Repository.create () in
+  ok (Repository.add_schema repo (schema "a" [ Scheme.table "t" ]));
+  Alcotest.(check bool) "mem" true (Repository.mem_schema repo "a");
+  err (Repository.add_schema repo (schema "a" []));
+  Alcotest.(check int) "count" 1 (List.length (Repository.schemas repo));
+  ok (Repository.remove_schema repo "a");
+  Alcotest.(check bool) "removed" false (Repository.mem_schema repo "a");
+  err (Repository.remove_schema repo "a")
+
+let test_add_pathway_derives_target () =
+  let repo = Repository.create () in
+  ok (Repository.add_schema repo (schema "a" [ Scheme.table "t" ]));
+  let p =
+    {
+      Transform.from_schema = "a";
+      to_schema = "b";
+      steps = [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ];
+    }
+  in
+  ok (Repository.add_pathway repo p);
+  (match Repository.schema repo "b" with
+  | Some b ->
+      Alcotest.(check int) "derived objects" 2 (Schema.object_count b)
+  | None -> Alcotest.fail "target not registered");
+  (* a schema referenced by a pathway cannot be removed *)
+  err (Repository.remove_schema repo "a")
+
+let test_add_pathway_checks () =
+  let repo = Repository.create () in
+  ok (Repository.add_schema repo (schema "a" [ Scheme.table "t" ]));
+  (* unknown source *)
+  err
+    (Repository.add_pathway repo
+       { Transform.from_schema = "ghost"; to_schema = "b"; steps = [] });
+  (* ill-formed: query references a missing object *)
+  err
+    (Repository.add_pathway repo
+       {
+         Transform.from_schema = "a";
+         to_schema = "b";
+         steps = [ Transform.Add (Scheme.table "u", q "<<ghost>>") ];
+       });
+  (* disagreeing target *)
+  ok (Repository.add_schema repo (schema "c" [ Scheme.table "other" ]));
+  err
+    (Repository.add_pathway repo
+       { Transform.from_schema = "a"; to_schema = "c"; steps = [] })
+
+let chain_repo () =
+  (* a -> b -> c, plus an unrelated island d *)
+  let repo = Repository.create () in
+  ok (Repository.add_schema repo (schema "a" [ Scheme.table "t" ]));
+  ok
+    (Repository.add_pathway repo
+       {
+         Transform.from_schema = "a";
+         to_schema = "b";
+         steps = [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ];
+       });
+  ok
+    (Repository.add_pathway repo
+       {
+         Transform.from_schema = "b";
+         to_schema = "c";
+         steps = [ Transform.Contract (Scheme.table "t", Automed_iql.Ast.Void, Automed_iql.Ast.Any) ];
+       });
+  ok (Repository.add_schema repo (schema "d" [ Scheme.table "x" ]));
+  repo
+
+let test_find_path_forward () =
+  let repo = chain_repo () in
+  let p = ok (Repository.find_path repo ~src:"a" ~dst:"c") in
+  Alcotest.(check string) "from" "a" p.Transform.from_schema;
+  Alcotest.(check string) "to" "c" p.Transform.to_schema;
+  Alcotest.(check int) "two steps composed" 2 (List.length p.Transform.steps)
+
+let test_find_path_reverse () =
+  let repo = chain_repo () in
+  let p = ok (Repository.find_path repo ~src:"c" ~dst:"a") in
+  (* reversal: the contract of t becomes an extend, the add becomes delete *)
+  match p.Transform.steps with
+  | [ Transform.Extend (s, _, _); Transform.Delete (u, _) ] ->
+      Alcotest.(check bool) "extend t" true (Scheme.equal s (Scheme.table "t"));
+      Alcotest.(check bool) "delete u" true (Scheme.equal u (Scheme.table "u"))
+  | steps -> Alcotest.failf "unexpected %d steps" (List.length steps)
+
+let test_find_path_failures () =
+  let repo = chain_repo () in
+  err (Repository.find_path repo ~src:"a" ~dst:"d");
+  err (Repository.find_path repo ~src:"a" ~dst:"ghost");
+  let self = ok (Repository.find_path repo ~src:"a" ~dst:"a") in
+  Alcotest.(check int) "empty pathway to self" 0 (List.length self.Transform.steps)
+
+let test_extents () =
+  let repo = Repository.create () in
+  ok (Repository.add_schema repo (schema "a" [ Scheme.table "t" ]));
+  let bag = Value.Bag.of_list [ Value.Str "k1" ] in
+  ok (Repository.set_extent repo ~schema:"a" (Scheme.table "t") bag);
+  (match Repository.stored_extent repo ~schema:"a" (Scheme.table "t") with
+  | Some b -> Alcotest.(check int) "stored" 1 (Value.Bag.cardinal b)
+  | None -> Alcotest.fail "extent lost");
+  Alcotest.(check bool) "has extents" true (Repository.has_stored_extents repo "a");
+  err (Repository.set_extent repo ~schema:"a" (Scheme.table "ghost") bag);
+  err (Repository.set_extent repo ~schema:"ghost" (Scheme.table "t") bag);
+  Alcotest.(check bool) "none elsewhere" true
+    (Repository.stored_extent repo ~schema:"a" (Scheme.table "ghost") = None)
+
+let test_pathways_listing () =
+  let repo = chain_repo () in
+  Alcotest.(check int) "total" 2 (List.length (Repository.pathways repo));
+  Alcotest.(check int) "from a" 1 (List.length (Repository.pathways_from repo "a"));
+  Alcotest.(check int) "into c" 1 (List.length (Repository.pathways_into repo "c"));
+  Alcotest.(check int) "into a" 0 (List.length (Repository.pathways_into repo "a"))
+
+let suite =
+  [
+    Alcotest.test_case "schema registry" `Quick test_schema_registry;
+    Alcotest.test_case "pathway derives target" `Quick test_add_pathway_derives_target;
+    Alcotest.test_case "pathway validation" `Quick test_add_pathway_checks;
+    Alcotest.test_case "find_path forward" `Quick test_find_path_forward;
+    Alcotest.test_case "find_path reverse" `Quick test_find_path_reverse;
+    Alcotest.test_case "find_path failures" `Quick test_find_path_failures;
+    Alcotest.test_case "stored extents" `Quick test_extents;
+    Alcotest.test_case "pathway listings" `Quick test_pathways_listing;
+  ]

@@ -1,0 +1,163 @@
+(* Repository serialisation: the save/load round-trip must preserve
+   schemas, pathways, extents - and therefore query answers. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Types = Automed_iql.Types
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Serialize = Automed_repository.Serialize
+module Processor = Automed_query.Processor
+module Sources = Automed_ispider.Sources
+module Queries = Automed_ispider.Queries
+module Intersection_run = Automed_ispider.Intersection_run
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let small_repo () =
+  let repo = Repository.create () in
+  let s =
+    ok
+      (Schema.of_objects "src"
+         [
+           (Scheme.table "t", Some (Types.TBag Types.TStr));
+           (Scheme.column "t" "c", Some (Types.tuple_row [ Types.TStr; Types.TInt ]));
+         ])
+  in
+  ok (Repository.add_schema repo s);
+  ok
+    (Repository.set_extent repo ~schema:"src" (Scheme.table "t")
+       (Value.Bag.of_list [ Value.Str "a"; Value.Str "a"; Value.Str "b" ]));
+  ok
+    (Repository.set_extent repo ~schema:"src" (Scheme.column "t" "c")
+       (Value.Bag.of_list
+          [ Value.tuple2 (Value.Str "a") (Value.Int 1);
+            Value.tuple2 (Value.Str "b") (Value.Int 2) ]));
+  ok
+    (Repository.add_pathway repo
+       {
+         Transform.from_schema = "src";
+         to_schema = "derived";
+         steps =
+           [
+             Transform.Add
+               (Scheme.table "tagged",
+                Automed_iql.Parser.parse_exn "[{'S', k} | k <- <<t>>]");
+             Transform.Extend (Scheme.table "hole", Automed_iql.Ast.Void,
+                               Automed_iql.Ast.Any);
+             Transform.Rename (Scheme.column "t" "c", Scheme.column "t" "c2");
+             Transform.Contract (Scheme.column "t" "c2", Automed_iql.Ast.Void,
+                                 Automed_iql.Ast.Any);
+           ];
+       });
+  repo
+
+let test_roundtrip_structure () =
+  let repo = small_repo () in
+  let text = Serialize.save ~extents:true repo in
+  let repo' = ok (Serialize.load text) in
+  (* same schemas with the same objects and types *)
+  Alcotest.(check (list string)) "schema names"
+    (List.map Schema.name (Repository.schemas repo))
+    (List.map Schema.name (Repository.schemas repo'));
+  List.iter
+    (fun s ->
+      let s' = Repository.schema_exn repo' (Schema.name s) in
+      Alcotest.(check bool)
+        (Printf.sprintf "objects of %s" (Schema.name s))
+        true (Schema.same_objects s s');
+      List.iter
+        (fun o ->
+          let show = function
+            | Some t -> Types.to_string t
+            | None -> "-"
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "type of %s" (Scheme.to_string o))
+            (show (Schema.extent_ty o s))
+            (show (Schema.extent_ty o s')))
+        (Schema.objects s))
+    (Repository.schemas repo);
+  (* same pathways *)
+  Alcotest.(check int) "pathway count"
+    (List.length (Repository.pathways repo))
+    (List.length (Repository.pathways repo'));
+  List.iter2
+    (fun (p : Transform.pathway) (p' : Transform.pathway) ->
+      Alcotest.(check bool) "pathway equal" true (p = p'))
+    (Repository.pathways repo)
+    (Repository.pathways repo');
+  (* same extents *)
+  (match Repository.stored_extent repo' ~schema:"src" (Scheme.table "t") with
+  | Some b ->
+      Alcotest.(check int) "multiplicity preserved" 2
+        (Value.Bag.multiplicity (Value.Str "a") b)
+  | None -> Alcotest.fail "extent lost")
+
+let test_roundtrip_queries () =
+  let repo = small_repo () in
+  let repo' = ok (Serialize.load (Serialize.save ~extents:true repo)) in
+  let q = "[k | {s, k} <- <<tagged>>; s = 'S']" in
+  let run repo =
+    let proc = Processor.create repo in
+    match Processor.run_string proc ~schema:"derived" q with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%a" Processor.pp_error e
+  in
+  Alcotest.(check bool) "same answers after reload" true
+    (Value.equal (run repo) (run repo'))
+
+let test_save_without_extents () =
+  let repo = small_repo () in
+  let repo' = ok (Serialize.load (Serialize.save repo)) in
+  Alcotest.(check bool) "no extents stored" false
+    (Repository.has_stored_extents repo' "src")
+
+let test_load_errors () =
+  List.iter
+    (fun text ->
+      match Serialize.load text with
+      | Ok _ -> Alcotest.failf "should reject %S" text
+      | Error _ -> ())
+    [
+      "object <<t>>";  (* object outside schema *)
+      "schema \"a\"\nnonsense line";
+      "pathway \"a\" -> \"b\"\nstep add <<t>> := <<u>>";  (* missing end *)
+      "schema \"a\"\nobject <<t>> : nosuchtype";
+      "pathway \"ghost\" -> \"b\"\nend";  (* unknown source schema *)
+    ]
+
+(* the flagship test: the fully-integrated iSpider dataspace survives a
+   round-trip, including all seven query answers *)
+let test_ispider_roundtrip () =
+  let ds = Sources.generate () in
+  let repo = Repository.create () in
+  ok (Sources.wrap_all repo ds);
+  let run = ok (Intersection_run.execute repo) in
+  let global =
+    Automed_integration.Workflow.global_name run.Intersection_run.workflow
+  in
+  let text = Serialize.save ~extents:true repo in
+  let repo' = ok (Serialize.load text) in
+  let proc = Processor.create repo and proc' = Processor.create repo' in
+  List.iter
+    (fun (q : Queries.query) ->
+      let a = Processor.run_string proc ~schema:global q.Queries.global_text in
+      let b = Processor.run_string proc' ~schema:global q.Queries.global_text in
+      match (a, b) with
+      | Ok va, Ok vb ->
+          Alcotest.(check bool)
+            (Printf.sprintf "query %d preserved" q.Queries.number)
+            true (Value.equal va vb)
+      | _ -> Alcotest.failf "query %d failed after reload" q.Queries.number)
+    Queries.all
+
+let suite =
+  [
+    Alcotest.test_case "structure round-trip" `Quick test_roundtrip_structure;
+    Alcotest.test_case "query answers round-trip" `Quick test_roundtrip_queries;
+    Alcotest.test_case "extents optional" `Quick test_save_without_extents;
+    Alcotest.test_case "load rejects malformed input" `Quick test_load_errors;
+    Alcotest.test_case "iSpider dataspace round-trip" `Slow test_ispider_roundtrip;
+  ]

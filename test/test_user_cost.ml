@@ -1,0 +1,86 @@
+(* The projected user-effort model (paper Section 4's planned metrics). *)
+
+module Repository = Automed_repository.Repository
+module Transform = Automed_transform.Transform
+module Scheme = Automed_base.Scheme
+module Parser = Automed_iql.Parser
+module Sources = Automed_ispider.Sources
+module Intersection_run = Automed_ispider.Intersection_run
+module Classical_run = Automed_ispider.Classical_run
+module User_cost = Automed_ispider.User_cost
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let envs =
+  lazy
+    (let ds = Sources.generate () in
+     let repo = Repository.create () in
+     ok (Sources.wrap_all repo ds);
+     let run = ok (Intersection_run.execute repo) in
+     let repo2 = Repository.create () in
+     ok (Sources.wrap_all repo2 ds);
+     let _ = ok (Classical_run.execute repo2) in
+     (run, repo2))
+
+let test_transformation_counts_agree () =
+  let run, crepo = Lazy.force envs in
+  let ic = User_cost.intersection_cost run in
+  let cc = User_cost.classical_cost crepo in
+  Alcotest.(check int) "intersection transformations" 26
+    ic.User_cost.transformations;
+  Alcotest.(check int) "classical transformations" 95 cc.User_cost.transformations
+
+let test_effort_ordering () =
+  let run, crepo = Lazy.force envs in
+  let ic = User_cost.intersection_cost run in
+  let cc = User_cost.classical_cost crepo in
+  Alcotest.(check bool) "fewer clicks" true (ic.User_cost.clicks < cc.User_cost.clicks);
+  Alcotest.(check bool) "less time" true (ic.User_cost.minutes < cc.User_cost.minutes);
+  Alcotest.(check bool) "positive" true (ic.User_cost.minutes > 0.0)
+
+let test_model_knobs () =
+  let run, _ = Lazy.force envs in
+  let base = User_cost.intersection_cost run in
+  let pricier =
+    User_cost.intersection_cost
+      ~model:{ User_cost.default_model with clicks_per_manual = 12 }
+      run
+  in
+  Alcotest.(check bool) "more clicks under a pricier model" true
+    (pricier.User_cost.clicks > base.User_cost.clicks);
+  Alcotest.(check int) "same transformation count" base.User_cost.transformations
+    pricier.User_cost.transformations
+
+let test_pathway_cost () =
+  let p =
+    {
+      Transform.from_schema = "a";
+      to_schema = "b";
+      steps =
+        [
+          Transform.Add (Scheme.table "u", Parser.parse_exn "[k | k <- <<t>>]");
+          Transform.Extend (Scheme.table "w", Automed_iql.Ast.Void,
+                            Automed_iql.Ast.Any);
+        ];
+    }
+  in
+  let c = User_cost.pathway_cost p in
+  Alcotest.(check int) "one manual" 1 c.User_cost.transformations;
+  Alcotest.(check int) "clicks = 6 manual + 1 auto" 7 c.User_cost.clicks;
+  Alcotest.(check int) "keystrokes = query length"
+    (String.length (Automed_iql.Ast.to_string (Parser.parse_exn "[k | k <- <<t>>]")))
+    c.User_cost.keystrokes
+
+let test_add_zero () =
+  let c = User_cost.add User_cost.zero User_cost.zero in
+  Alcotest.(check int) "zero" 0 c.User_cost.clicks
+
+let suite =
+  [
+    Alcotest.test_case "transformation counts agree" `Quick
+      test_transformation_counts_agree;
+    Alcotest.test_case "effort ordering" `Quick test_effort_ordering;
+    Alcotest.test_case "model knobs" `Quick test_model_knobs;
+    Alcotest.test_case "pathway cost" `Quick test_pathway_cost;
+    Alcotest.test_case "cost addition" `Quick test_add_zero;
+  ]

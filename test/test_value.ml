@@ -1,0 +1,197 @@
+(* IQL values and canonical bags: order, equality, bag algebra laws. *)
+
+module Value = Automed_iql.Value
+module Bag = Value.Bag
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+
+let bag_of ints = Bag.of_list (List.map v_int ints)
+
+let test_compare_total_order () =
+  let values =
+    [ Value.Unit; Value.Bool false; Value.Bool true; Value.Int 0; Value.Int 5;
+      Value.Float 1.5; Value.Str "a"; Value.Str "b";
+      Value.Tuple [ Value.Int 1 ]; Value.Tuple [ Value.Int 1; Value.Int 2 ];
+      Value.Bag (bag_of [ 1 ]) ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = Value.compare a b and c2 = Value.compare b a in
+          Alcotest.(check bool) "antisymmetric" true (compare c1 0 = compare 0 c2))
+        values)
+    values
+
+let test_equal () =
+  Alcotest.(check bool) "ints" true (Value.equal (v_int 3) (v_int 3));
+  Alcotest.(check bool) "tuple" true
+    (Value.equal (Value.tuple2 (v_int 1) (v_str "x"))
+       (Value.tuple2 (v_int 1) (v_str "x")));
+  Alcotest.(check bool) "different" false (Value.equal (v_int 1) (v_str "1"))
+
+let test_pp () =
+  Alcotest.(check string) "int" "3" (Value.to_string (v_int 3));
+  Alcotest.(check string) "str" "'abc'" (Value.to_string (v_str "abc"));
+  Alcotest.(check string) "tuple" "{1,'x'}"
+    (Value.to_string (Value.tuple2 (v_int 1) (v_str "x")));
+  Alcotest.(check string) "bag with multiplicity" "[1; 2*3]"
+    (Value.to_string (Value.Bag (Bag.of_list [ v_int 2; v_int 1; v_int 2; v_int 2 ])))
+
+let test_of_list_canonical () =
+  let b = Bag.of_list [ v_int 3; v_int 1; v_int 3; v_int 2 ] in
+  Alcotest.(check bool) "canonical" true (Value.is_canonical (Value.Bag b));
+  Alcotest.(check int) "cardinal" 4 (Bag.cardinal b);
+  Alcotest.(check int) "distinct" 3 (Bag.distinct_cardinal b);
+  Alcotest.(check int) "multiplicity of 3" 2 (Bag.multiplicity (v_int 3) b)
+
+let test_to_list_sorted () =
+  let b = Bag.of_list [ v_int 3; v_int 1; v_int 3 ] in
+  Alcotest.(check (list string)) "expanded ascending" [ "1"; "3"; "3" ]
+    (List.map Value.to_string (Bag.to_list b))
+
+let test_add_remove () =
+  let b = Bag.add ~count:2 (v_int 1) Bag.empty in
+  Alcotest.(check int) "two copies" 2 (Bag.multiplicity (v_int 1) b);
+  let b = Bag.add ~count:(-1) (v_int 1) b in
+  Alcotest.(check int) "one left" 1 (Bag.multiplicity (v_int 1) b);
+  let b = Bag.add ~count:(-5) (v_int 1) b in
+  Alcotest.(check bool) "floored at empty" true (Bag.is_empty b)
+
+let test_union_monus_inter () =
+  let a = bag_of [ 1; 1; 2 ] and b = bag_of [ 1; 2; 2; 3 ] in
+  Alcotest.(check int) "union cardinal" 7 (Bag.cardinal (Bag.union a b));
+  Alcotest.(check int) "union mult of 1" 3
+    (Bag.multiplicity (v_int 1) (Bag.union a b));
+  let m = Bag.monus a b in
+  Alcotest.(check int) "monus keeps one 1" 1 (Bag.multiplicity (v_int 1) m);
+  Alcotest.(check int) "monus drops 2" 0 (Bag.multiplicity (v_int 2) m);
+  let i = Bag.inter a b in
+  Alcotest.(check int) "inter mult 1" 1 (Bag.multiplicity (v_int 1) i);
+  Alcotest.(check int) "inter mult 2" 1 (Bag.multiplicity (v_int 2) i);
+  Alcotest.(check int) "inter no 3" 0 (Bag.multiplicity (v_int 3) i)
+
+let test_distinct_sub_bag () =
+  let a = bag_of [ 1; 1; 2 ] in
+  Alcotest.(check int) "distinct" 2 (Bag.cardinal (Bag.distinct a));
+  Alcotest.(check bool) "sub bag" true (Bag.sub_bag (bag_of [ 1; 2 ]) a);
+  Alcotest.(check bool) "not sub bag" false (Bag.sub_bag (bag_of [ 2; 2 ]) a)
+
+let test_map_filter_fold () =
+  let a = bag_of [ 1; 2; 2; 3 ] in
+  let doubled = Bag.map (function Value.Int i -> Value.Int (i * 2) | v -> v) a in
+  Alcotest.(check int) "map mult" 2 (Bag.multiplicity (v_int 4) doubled);
+  let evens =
+    Bag.filter (function Value.Int i -> i mod 2 = 0 | _ -> false) a
+  in
+  Alcotest.(check int) "filter" 2 (Bag.cardinal evens);
+  let sum = Bag.fold (fun v n acc ->
+      match v with Value.Int i -> acc + (i * n) | _ -> acc) a 0 in
+  Alcotest.(check int) "fold weighted" 8 sum
+
+let test_map_merges () =
+  (* mapping distinct elements onto the same element must merge counts *)
+  let a = bag_of [ 1; 2 ] in
+  let collapsed = Bag.map (fun _ -> v_int 0) a in
+  Alcotest.(check int) "merged multiplicity" 2 (Bag.multiplicity (v_int 0) collapsed);
+  Alcotest.(check bool) "canonical after map" true
+    (Value.is_canonical (Value.Bag collapsed))
+
+(* -- qcheck laws -------------------------------------------------------- *)
+
+let gen_bag =
+  QCheck.map bag_of QCheck.(small_list (int_range 0 10))
+
+let canonical b = Value.is_canonical (Value.Bag b)
+
+let qc name law = QCheck.Test.make ~name ~count:300 law
+
+let qcheck_union_comm =
+  qc "bag union commutative"
+    QCheck.(pair gen_bag gen_bag)
+    (fun (a, b) -> Bag.equal (Bag.union a b) (Bag.union b a))
+
+let qcheck_union_assoc =
+  qc "bag union associative"
+    QCheck.(triple gen_bag gen_bag gen_bag)
+    (fun (a, b, c) ->
+      Bag.equal (Bag.union a (Bag.union b c)) (Bag.union (Bag.union a b) c))
+
+let qcheck_union_canonical =
+  qc "bag union canonical"
+    QCheck.(pair gen_bag gen_bag)
+    (fun (a, b) -> canonical (Bag.union a b))
+
+let qcheck_monus_inverse =
+  qc "monus of union restores"
+    QCheck.(pair gen_bag gen_bag)
+    (fun (a, b) -> Bag.equal (Bag.monus (Bag.union a b) b) a)
+
+let qcheck_monus_canonical =
+  qc "monus canonical"
+    QCheck.(pair gen_bag gen_bag)
+    (fun (a, b) -> canonical (Bag.monus a b))
+
+let qcheck_inter_sub =
+  qc "intersection is a sub-bag of both"
+    QCheck.(pair gen_bag gen_bag)
+    (fun (a, b) ->
+      let i = Bag.inter a b in
+      Bag.sub_bag i a && Bag.sub_bag i b)
+
+let qcheck_cardinal_union =
+  qc "cardinal additive under union"
+    QCheck.(pair gen_bag gen_bag)
+    (fun (a, b) -> Bag.cardinal (Bag.union a b) = Bag.cardinal a + Bag.cardinal b)
+
+let qcheck_of_to_list =
+  qc "of_list . to_list = id"
+    gen_bag
+    (fun b -> Bag.equal (Bag.of_list (Bag.to_list b)) b)
+
+let qcheck_of_weighted_list =
+  qc "of_weighted_list agrees with repeated add"
+    QCheck.(small_list (pair (int_range 0 6) (int_range (-2) 3)))
+    (fun pairs ->
+      let pairs = List.map (fun (v, n) -> (v_int v, n)) pairs in
+      let built = Bag.of_weighted_list pairs in
+      let folded =
+        List.fold_left (fun b (v, n) -> Bag.add ~count:n v b) Bag.empty pairs
+      in
+      (* not identical in general (add floors at zero per step, the bulk
+         constructor sums first), but equal when no count dips below zero
+         along the way; restrict to non-negative counts for equality *)
+      let nonneg = List.for_all (fun (_, n) -> n >= 0) pairs in
+      (not nonneg) || Bag.equal built folded)
+
+let qcheck_of_weighted_canonical =
+  qc "of_weighted_list is canonical"
+    QCheck.(small_list (pair (int_range 0 6) (int_range (-2) 3)))
+    (fun pairs ->
+      let pairs = List.map (fun (v, n) -> (v_int v, n)) pairs in
+      canonical (Bag.of_weighted_list pairs))
+
+let suite =
+  [
+    Alcotest.test_case "compare is antisymmetric" `Quick test_compare_total_order;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "pp" `Quick test_pp;
+    Alcotest.test_case "of_list canonical" `Quick test_of_list_canonical;
+    Alcotest.test_case "to_list sorted" `Quick test_to_list_sorted;
+    Alcotest.test_case "add with counts" `Quick test_add_remove;
+    Alcotest.test_case "union/monus/inter" `Quick test_union_monus_inter;
+    Alcotest.test_case "distinct and sub_bag" `Quick test_distinct_sub_bag;
+    Alcotest.test_case "map/filter/fold" `Quick test_map_filter_fold;
+    Alcotest.test_case "map merges counts" `Quick test_map_merges;
+    QCheck_alcotest.to_alcotest qcheck_union_comm;
+    QCheck_alcotest.to_alcotest qcheck_union_assoc;
+    QCheck_alcotest.to_alcotest qcheck_union_canonical;
+    QCheck_alcotest.to_alcotest qcheck_monus_inverse;
+    QCheck_alcotest.to_alcotest qcheck_monus_canonical;
+    QCheck_alcotest.to_alcotest qcheck_inter_sub;
+    QCheck_alcotest.to_alcotest qcheck_cardinal_union;
+    QCheck_alcotest.to_alcotest qcheck_of_to_list;
+    QCheck_alcotest.to_alcotest qcheck_of_weighted_list;
+    QCheck_alcotest.to_alcotest qcheck_of_weighted_canonical;
+  ]
