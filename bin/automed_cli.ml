@@ -21,6 +21,8 @@ module Repository = Automed_repository.Repository
 module Processor = Automed_query.Processor
 module Matcher = Automed_matching.Matcher
 module Workflow = Automed_integration.Workflow
+module Analysis = Automed_analysis.Analysis
+module Diagnostic = Automed_analysis.Diagnostic
 module Sources = Automed_ispider.Sources
 module Queries = Automed_ispider.Queries
 module Intersection_run = Automed_ispider.Intersection_run
@@ -320,6 +322,56 @@ let materialize_cmd =
           (integration as ETL).")
     Term.(ret (const run $ integrated $ csv_specs $ schema_arg))
 
+let lint_cmd =
+  let root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~docv:"SCHEMA"
+          ~doc:
+            "Schema that reachability is measured from.  Defaults to the \
+             target of the most recently registered pathway (the current \
+             global schema version in workflow-built repositories).")
+  in
+  let format_ =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("tsv", `Tsv) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text) (human-readable) or $(b,tsv) \
+                (machine-readable, one diagnostic per line).")
+  in
+  let errors_only =
+    Arg.(
+      value & flag
+      & info [ "errors-only" ] ~doc:"Report only error-severity diagnostics.")
+  in
+  let run integrated csv_specs root format_ errors_only =
+    with_repo integrated csv_specs (fun repo ->
+        let diags = Analysis.lint_repository ?root repo in
+        let diags = if errors_only then Diagnostic.errors diags else diags in
+        (match format_ with
+        | `Text ->
+            List.iter
+              (fun d -> print_endline (Fmt.str "%a" Diagnostic.pp d))
+              diags;
+            Printf.printf "-- %d pathways checked: %s\n"
+              (List.length (Repository.pathways repo))
+              (Fmt.str "%a" Diagnostic.pp_summary (Diagnostic.count diags))
+        | `Tsv ->
+            List.iter (fun d -> print_endline (Diagnostic.to_tsv d)) diags);
+        if Diagnostic.has_errors diags then exit 1;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse every pathway and the repository network \
+          without executing anything: well-formedness of each step, IQL \
+          type checking of embedded queries, pathway-algebra hazards and \
+          network reachability.  Exits 1 when errors are found.")
+    Term.(ret (const run $ integrated $ csv_specs $ root $ format_ $ errors_only))
+
 let case_study_cmd =
   let run () =
     let repo = Repository.create () in
@@ -372,6 +424,7 @@ let main =
   let info = Cmd.info "automed-cli" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ schemas_cmd; show_cmd; query_cmd; reformulate_cmd; match_cmd;
-      pathways_cmd; export_cmd; extent_cmd; materialize_cmd; case_study_cmd ]
+      pathways_cmd; lint_cmd; export_cmd; extent_cmd; materialize_cmd;
+      case_study_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -90,4 +90,17 @@ let () =
   Printf.printf "intersection methodology needed %.1f%% of the classical effort.\n"
     (100.0
     *. float_of_int run.Intersection_run.total_manual
-    /. float_of_int c.Classical_run.total_manual)
+    /. float_of_int c.Classical_run.total_manual);
+
+  (* static analysis: both integration styles produce lint-clean networks *)
+  List.iter
+    (fun (label, r) ->
+      let diags = Automed_analysis.Analysis.lint_repository r in
+      List.iter
+        (fun d -> print_endline (Fmt.str "%a" Automed_analysis.Diagnostic.pp d))
+        diags;
+      Printf.printf "pathway linter (%s): %s\n" label
+        (Fmt.str "%a" Automed_analysis.Diagnostic.pp_summary
+           (Automed_analysis.Diagnostic.count diags));
+      if Automed_analysis.Diagnostic.has_errors diags then exit 1)
+    [ ("intersection", repo); ("classical", repo2) ]

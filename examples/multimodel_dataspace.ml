@@ -137,4 +137,14 @@ let () =
   (* the same person appearing in two models, joined on the email value *)
   run
     "[{s1, s2, m} | {s1, k1, m} <- <<UPerson,email>>; {s2, k2, m2} <- \
-     <<UPerson,email>>; m = m2; s1 < s2]"
+     <<UPerson,email>>; m = m2; s1 < s2]";
+
+  (* static analysis: the cross-model pathway network lints clean *)
+  let diags = Automed_analysis.Analysis.lint_repository repo in
+  List.iter
+    (fun d -> print_endline (Fmt.str "%a" Automed_analysis.Diagnostic.pp d))
+    diags;
+  Printf.printf "\npathway linter: %s\n"
+    (Fmt.str "%a" Automed_analysis.Diagnostic.pp_summary
+       (Automed_analysis.Diagnostic.count diags));
+  if Automed_analysis.Diagnostic.has_errors diags then exit 1

@@ -156,4 +156,14 @@ let () =
           Printf.printf "  %s: <<pedro:protein>> integrated into <<UProtein>>\n"
             schema)
     [ 0; 1; 2 ];
-  Printf.printf "\ntotal manual transformations so far: %d\n" (Workflow.manual_steps wf)
+  Printf.printf "\ntotal manual transformations so far: %d\n" (Workflow.manual_steps wf);
+
+  (* static analysis: every pathway registered along the way lints clean *)
+  let diags = Automed_analysis.Analysis.lint_repository repo in
+  List.iter
+    (fun d -> print_endline (Fmt.str "%a" Automed_analysis.Diagnostic.pp d))
+    diags;
+  Printf.printf "\npathway linter: %s\n"
+    (Fmt.str "%a" Automed_analysis.Diagnostic.pp_summary
+       (Automed_analysis.Diagnostic.count diags));
+  if Automed_analysis.Diagnostic.has_errors diags then exit 1

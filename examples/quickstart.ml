@@ -130,4 +130,14 @@ let () =
     "[t | {s1, k1, t} <- <<URelease,title>>; {s2, k2, t2} <- \
      <<URelease,title>>; s1 = 'store'; s2 = 'radio'; t = t2]";
   (* un-integrated content remains available through its prefixed name *)
-  run "[{k, p} | {k, p} <- <<store:album,price>>]"
+  run "[{k, p} | {k, p} <- <<store:album,price>>]";
+
+  (* 6. Static analysis: the pathway network we just built lints clean. *)
+  let diags = Automed_analysis.Analysis.lint_repository repo in
+  List.iter
+    (fun d -> print_endline (Fmt.str "%a" Automed_analysis.Diagnostic.pp d))
+    diags;
+  Printf.printf "\npathway linter: %s\n"
+    (Fmt.str "%a" Automed_analysis.Diagnostic.pp_summary
+       (Automed_analysis.Diagnostic.count diags));
+  if Automed_analysis.Diagnostic.has_errors diags then exit 1

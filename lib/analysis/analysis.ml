@@ -1,0 +1,21 @@
+module Schema = Automed_model.Schema
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module D = Diagnostic
+
+let lint_pathway = Pathway_lint.lint
+
+let lint_repository ?root repo =
+  List.stable_sort D.compare (Network_lint.lint ?root repo)
+
+let gate_validator src p =
+  match D.errors (Pathway_lint.lint src p) with
+  | [] -> Ok ()
+  | errors ->
+      Error
+        (Printf.sprintf "rejected by the pathway linter: %s"
+           (String.concat "; "
+              (List.map (fun d -> Fmt.str "%a" D.pp d) errors)))
+
+let install_gate repo = Repository.set_validator repo (Some gate_validator)
+let remove_gate repo = Repository.set_validator repo None

@@ -1,0 +1,31 @@
+(** Entry points of the static pathway/repository linter.
+
+    The linter validates BAV pathways and the repository network without
+    executing any transformation or query: it folds each pathway over a
+    symbolic schema state, type-checks every embedded IQL query with
+    {!Automed_iql.Types.infer} against the state at that step, and
+    analyses the pathway algebra and the repository graph.  See
+    {!Pathway_lint} and {!Network_lint} for the rule inventory, and the
+    README "Static analysis" section for the user-facing documentation
+    ([automed-cli lint]). *)
+
+module Schema = Automed_model.Schema
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+
+val lint_pathway :
+  ?name:string -> Schema.t -> Transform.pathway -> Diagnostic.t list
+(** {!Pathway_lint.lint}: every diagnostic for one pathway checked
+    against a starting schema. *)
+
+val lint_repository : ?root:string -> Repository.t -> Diagnostic.t list
+(** {!Network_lint.lint}: every registered pathway plus the network
+    checks, sorted errors-first. *)
+
+val install_gate : Repository.t -> unit
+(** Opt-in validation gate: after this call,
+    {!Repository.add_pathway} additionally rejects any pathway for which
+    the linter reports error-severity diagnostics (warnings pass).  The
+    error message carries the rule ids and step locations. *)
+
+val remove_gate : Repository.t -> unit

@@ -1,0 +1,87 @@
+module Scheme = Automed_base.Scheme
+
+type severity = Error | Warning | Info
+
+type location = {
+  pathway : string option;
+  step : int option;
+  scheme : Scheme.t option;
+}
+
+type t = {
+  severity : severity;
+  rule : string;
+  location : location;
+  message : string;
+}
+
+let no_location = { pathway = None; step = None; scheme = None }
+
+let make ?pathway ?step ?scheme severity ~rule fmt =
+  Format.kasprintf
+    (fun message ->
+      { severity; rule; location = { pathway; step; scheme }; message })
+    fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+      match
+        Option.compare String.compare a.location.pathway b.location.pathway
+      with
+      | 0 -> (
+          match Option.compare Int.compare a.location.step b.location.step with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let count ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s]" (severity_to_string d.severity) d.rule;
+  (match d.location.pathway with
+  | Some p -> Fmt.pf ppf " pathway %s" p
+  | None -> ());
+  (match d.location.step with
+  | Some i -> Fmt.pf ppf ", step %d" i
+  | None -> ());
+  Fmt.pf ppf ": %s" d.message
+
+let to_tsv d =
+  String.concat "\t"
+    [
+      severity_to_string d.severity;
+      d.rule;
+      Option.value ~default:"-" d.location.pathway;
+      (match d.location.step with Some i -> string_of_int i | None -> "-");
+      (match d.location.scheme with
+      | Some s -> Scheme.to_string s
+      | None -> "-");
+      d.message;
+    ]
+
+let pp_summary ppf (e, w, i) =
+  Fmt.pf ppf "%d error%s, %d warning%s, %d info" e
+    (if e = 1 then "" else "s")
+    w
+    (if w = 1 then "" else "s")
+    i

@@ -1,0 +1,62 @@
+(** Diagnostics produced by the static pathway/repository linter.
+
+    Every finding carries a severity, a stable rule identifier (the
+    kebab-case names documented in README "Static analysis"), a location
+    (which pathway, which 1-based step, which scheme, if known) and a
+    human-readable message.  [Error] findings are violations that would
+    make {!Automed_transform.Transform.apply} or the IQL evaluator fail
+    at runtime, or that break the repository network; [Warning] findings
+    are hazards (information loss, dead work, ambiguity); [Info] findings
+    are observations. *)
+
+module Scheme = Automed_base.Scheme
+
+type severity = Error | Warning | Info
+
+type location = {
+  pathway : string option;  (** e.g. ["pedro -> ispider_v0"] *)
+  step : int option;  (** 1-based step index within the pathway *)
+  scheme : Scheme.t option;  (** the offending schema object *)
+}
+
+type t = {
+  severity : severity;
+  rule : string;  (** stable rule id, e.g. ["add-present"] *)
+  location : location;
+  message : string;
+}
+
+val no_location : location
+
+val make :
+  ?pathway:string ->
+  ?step:int ->
+  ?scheme:Scheme.t ->
+  severity ->
+  rule:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [make ~rule Error "fmt" ...] builds a diagnostic with a formatted
+    message. *)
+
+val severity_to_string : severity -> string
+val compare : t -> t -> int
+(** Orders by severity (errors first), then pathway, step, rule. *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val has_errors : t list -> bool
+
+val count : t list -> int * int * int
+(** [(errors, warnings, infos)]. *)
+
+val pp : t Fmt.t
+(** One-line human-readable rendering:
+    [error\[add-present\] pathway a -> b, step 3: ...]. *)
+
+val to_tsv : t -> string
+(** Machine-readable rendering: severity, rule, pathway, step, scheme and
+    message separated by tabs ([-] for absent fields). *)
+
+val pp_summary : (int * int * int) Fmt.t
+(** Renders the triple returned by {!count}. *)

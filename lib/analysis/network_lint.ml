@@ -1,0 +1,140 @@
+module Schema = Automed_model.Schema
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module D = Diagnostic
+
+let label (p : Transform.pathway) =
+  Printf.sprintf "%s -> %s" p.from_schema p.to_schema
+
+let default_root repo =
+  match List.rev (Repository.pathways repo) with
+  | p :: _ -> Some p.Transform.to_schema
+  | [] -> None
+
+let endpoint_diags repo (p : Transform.pathway) =
+  let name = label p in
+  let missing side s =
+    if Repository.mem_schema repo s then []
+    else
+      [
+        D.make ~pathway:name D.Error ~rule:"endpoint-missing"
+          "%s schema %s is not registered in the repository" side s;
+      ]
+  in
+  missing "source" p.Transform.from_schema @ missing "target" p.Transform.to_schema
+
+let pathway_diags repo (p : Transform.pathway) =
+  match Repository.schema repo p.Transform.from_schema with
+  | None -> []
+  | Some src ->
+      let name = label p in
+      let ds = Pathway_lint.lint ~name src p in
+      let mismatch =
+        match Repository.schema repo p.Transform.to_schema with
+        | None -> []
+        | Some registered ->
+            (* only meaningful when the steps themselves are clean *)
+            if D.has_errors ds then []
+            else
+              let derived = Pathway_lint.final_state src p in
+              if Schema.same_objects derived registered then []
+              else
+                [
+                  D.make ~pathway:name D.Error ~rule:"endpoint-mismatch"
+                    "applying the pathway to %s yields %d object(s) that do \
+                     not match the %d object(s) of the registered schema %s"
+                    p.Transform.from_schema
+                    (Schema.object_count derived)
+                    (Schema.object_count registered)
+                    p.Transform.to_schema;
+                ]
+      in
+      ds @ mismatch
+
+let pair_diags pathways =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (p : Transform.pathway) :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc (q : Transform.pathway) ->
+              let same_pair =
+                p.from_schema = q.from_schema && p.to_schema = q.to_schema
+              in
+              let reverse_pair =
+                p.from_schema = q.to_schema && p.to_schema = q.from_schema
+              in
+              if same_pair && p.steps = q.steps then
+                D.make ~pathway:(label p) D.Warning ~rule:"duplicate-pathway"
+                  "registered twice with identical steps"
+                :: acc
+              else if reverse_pair && (Transform.reverse p).steps = q.steps
+              then
+                D.make ~pathway:(label p) D.Warning ~rule:"duplicate-pathway"
+                  "pathway %s is its automatic reverse: pathways are \
+                   bidirectional, registering both is redundant"
+                  (label q)
+                :: acc
+              else if same_pair || reverse_pair then
+                D.make ~pathway:(label p) D.Warning ~rule:"conflicting-pathway"
+                  "a structurally different pathway between the same schemas \
+                   is also registered; query reformulation will use \
+                   whichever the network search finds first"
+                :: acc
+              else acc)
+            acc rest
+        in
+        go acc rest
+  in
+  go [] pathways
+
+let reachability_diags ?root repo =
+  let pathways = Repository.pathways repo in
+  if pathways = [] then []
+  else
+    let root =
+      match root with Some r -> Some r | None -> default_root repo
+    in
+    match root with
+    | None -> []
+    | Some root when not (Repository.mem_schema repo root) ->
+        [
+          D.make D.Error ~rule:"unreachable-schema"
+            "root schema %s is not registered in the repository" root;
+        ]
+    | Some root ->
+        let reached = Hashtbl.create 16 in
+        Hashtbl.replace reached root ();
+        let queue = Queue.create () in
+        Queue.push root queue;
+        while not (Queue.is_empty queue) do
+          let here = Queue.pop queue in
+          List.iter
+            (fun (p : Transform.pathway) ->
+              let visit s =
+                if not (Hashtbl.mem reached s) then begin
+                  Hashtbl.replace reached s ();
+                  Queue.push s queue
+                end
+              in
+              if p.from_schema = here then visit p.to_schema
+              else if p.to_schema = here then visit p.from_schema)
+            pathways
+        done;
+        List.filter_map
+          (fun s ->
+            let n = Schema.name s in
+            if Hashtbl.mem reached n then None
+            else
+              Some
+                (D.make D.Error ~rule:"unreachable-schema"
+                   "schema %s is not reachable from %s through the pathway \
+                    network: queries over it cannot be reformulated"
+                   n root))
+          (Repository.schemas repo)
+
+let lint ?root repo =
+  let pathways = Repository.pathways repo in
+  List.concat_map (fun p -> endpoint_diags repo p @ pathway_diags repo p) pathways
+  @ pair_diags pathways
+  @ reachability_diags ?root repo

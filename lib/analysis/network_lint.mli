@@ -1,0 +1,35 @@
+(** Static analysis of a whole repository: every registered pathway is
+    linted against its registered source schema, and the pathway network
+    itself is checked.
+
+    Network rules:
+
+    {ul
+    {- [endpoint-missing] (error): a pathway endpoint names a schema that
+       is not registered.}
+    {- [endpoint-mismatch] (error): applying a pathway to its registered
+       source schema does not produce the object set of its registered
+       target schema.}
+    {- [duplicate-pathway] (warning): two registered pathways with the
+       same endpoints and structurally identical (or mutually reverse)
+       steps.}
+    {- [conflicting-pathway] (warning): two structurally different
+       pathways between the same pair of schemas — reformulation will use
+       whichever breadth-first search finds first.}
+    {- [unreachable-schema] (error): a schema that cannot be reached from
+       the root schema through the (bidirectional) pathway network, so no
+       query over it can ever be reformulated onto the rest of the
+       dataspace.  Only checked when the repository has at least one
+       pathway.}} *)
+
+module Repository = Automed_repository.Repository
+
+val default_root : Repository.t -> string option
+(** The target schema of the most recently registered pathway — in
+    workflow-built repositories this is the current global schema
+    version. *)
+
+val lint : ?root:string -> Repository.t -> Diagnostic.t list
+(** Network checks plus {!Pathway_lint.lint} over every registered
+    pathway.  [root] is the schema reachability is measured from,
+    defaulting to {!default_root}. *)

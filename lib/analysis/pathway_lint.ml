@@ -1,0 +1,335 @@
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Model = Automed_model.Model
+module Ast = Automed_iql.Ast
+module Types = Automed_iql.Types
+module Transform = Automed_transform.Transform
+module D = Diagnostic
+
+let label (p : Transform.pathway) =
+  Printf.sprintf "%s -> %s" p.from_schema p.to_schema
+
+(* -- symbolic schema-level step ------------------------------------------ *)
+
+(* Mirrors Transform.apply_prim but recovers from every violation: the
+   returned state is the best-effort effect of the step, so later steps
+   are checked against the most plausible schema. *)
+let schema_step ~name idx state prim =
+  let mk ?scheme sev rule fmt = D.make ~pathway:name ~step:idx ?scheme sev ~rule fmt in
+  let validity s =
+    match Model.validate_scheme s with
+    | Ok _ -> []
+    | Error e -> [ mk ~scheme:s D.Error "invalid-scheme" "%s" e ]
+  in
+  let add_like verb s ty_query =
+    let vd = validity s in
+    if Schema.mem s state then
+      ( vd
+        @ [
+            mk ~scheme:s D.Error "add-present"
+              "%s of %s: the object is already present in the schema state"
+              verb (Scheme.to_string s);
+          ],
+        state )
+    else if vd <> [] then (vd, state)
+    else
+      let extent_ty =
+        Option.bind ty_query (fun q -> Transform.infer_extent_ty state q)
+      in
+      match Schema.add_object ?extent_ty s state with
+      | Ok state' -> ([], state')
+      | Error e -> ([ mk ~scheme:s D.Error "invalid-scheme" "%s" e ], state)
+  in
+  let remove_like verb s =
+    match Schema.remove_object s state with
+    | Ok state' -> ([], state')
+    | Error _ ->
+        ( [
+            mk ~scheme:s D.Error "delete-absent"
+              "%s of %s: the object is absent from the schema state" verb
+              (Scheme.to_string s);
+          ],
+          state )
+  in
+  match prim with
+  | Transform.Add (s, q) -> add_like "add" s (Some q)
+  | Transform.Extend (s, ql, _) -> add_like "extend" s (Some ql)
+  | Transform.Delete (s, _) -> remove_like "delete" s
+  | Transform.Contract (s, _, _) -> remove_like "contract" s
+  | Transform.Rename (a, b) ->
+      let kind_diags =
+        if Scheme.language a <> Scheme.language b
+           || Scheme.construct a <> Scheme.construct b
+        then
+          [
+            mk ~scheme:a D.Error "rename-kind"
+              "rename cannot change the construct kind: %s -> %s"
+              (Scheme.to_string a) (Scheme.to_string b);
+          ]
+        else []
+      in
+      let source_diags =
+        if Schema.mem a state then []
+        else
+          [
+            mk ~scheme:a D.Error "rename-absent"
+              "rename of %s: the object is absent from the schema state"
+              (Scheme.to_string a);
+          ]
+      in
+      let target_diags =
+        if Schema.mem b state then
+          [
+            mk ~scheme:b D.Error "rename-collision"
+              "rename %s -> %s: the target is already present in the schema \
+               state"
+              (Scheme.to_string a) (Scheme.to_string b);
+          ]
+        else []
+      in
+      let diags = kind_diags @ source_diags @ target_diags in
+      if diags <> [] then (diags, state)
+      else (
+        match Schema.rename_object a b state with
+        | Ok state' -> ([], state')
+        | Error e -> ([ mk ~scheme:a D.Error "rename-kind" "%s" e ], state))
+  | Transform.Id (a, _) ->
+      let vd = validity a in
+      if Schema.mem a state then (vd, state)
+      else
+        ( vd
+          @ [
+              mk ~scheme:a D.Error "dangling-id"
+                "id endpoint %s is absent from the schema state"
+                (Scheme.to_string a);
+            ],
+          state )
+
+(* -- embedded query lints ------------------------------------------------ *)
+
+let query_diags ~name idx ~scheme ~side state q =
+  match q with
+  | Ast.Void | Ast.Any -> []
+  | _ ->
+      let missing =
+        Scheme.Set.filter (fun s -> not (Schema.mem s state)) (Ast.schemes q)
+      in
+      if not (Scheme.Set.is_empty missing) then
+        List.map
+          (fun m ->
+            D.make ~pathway:name ~step:idx ~scheme:m D.Error
+              ~rule:"query-unbound"
+              "query %s references %s, absent from the %s schema"
+              (Ast.to_string q) (Scheme.to_string m) side)
+          (Scheme.Set.elements missing)
+      else
+        match Types.infer ~schemes:(Schema.typing state) q with
+        | Ok _ -> []
+        | Error e ->
+            [
+              D.make ~pathway:name ~step:idx ~scheme D.Error
+                ~rule:"query-ill-typed" "%a" Types.pp_error e;
+            ]
+
+(* A delete's restore query should rebuild the deleted object's extent:
+   when the object declares an extent type, check compatibility. *)
+let restore_diags ~name idx ~scheme pre post q =
+  match (q, Schema.extent_ty scheme pre) with
+  | (Ast.Void | Ast.Any), _ | _, None -> []
+  | q, Some expected -> (
+      let unresolved =
+        Scheme.Set.exists (fun s -> not (Schema.mem s post)) (Ast.schemes q)
+      in
+      if unresolved then []
+      else
+        match
+          Types.check_extent_query ~schemes:(Schema.typing post) ~expected q
+        with
+        | Ok () -> []
+        | Error e ->
+            [
+              D.make ~pathway:name ~step:idx ~scheme D.Warning
+                ~rule:"query-extent-mismatch"
+                "restore query does not rebuild the extent type %s of %s: %a"
+                (Types.to_string expected) (Scheme.to_string scheme)
+                Types.pp_error e;
+            ])
+
+let step_diags ~name idx state prim =
+  let schema_ds, state' = schema_step ~name idx state prim in
+  let qd side st scheme q = query_diags ~name idx ~scheme ~side st q in
+  let query_ds =
+    match prim with
+    | Transform.Add (s, q) -> qd "pre" state s q
+    | Transform.Extend (s, ql, qu) -> qd "pre" state s ql @ qd "pre" state s qu
+    | Transform.Delete (s, q) ->
+        qd "post" state' s q @ restore_diags ~name idx ~scheme:s state state' q
+    | Transform.Contract (s, ql, qu) ->
+        qd "post" state' s ql @ qd "post" state' s qu
+    | Transform.Rename _ | Transform.Id _ -> []
+  in
+  (schema_ds @ query_ds, state')
+
+(* -- pathway-algebra lints ----------------------------------------------- *)
+
+let step_queries = function
+  | Transform.Add (_, q) | Transform.Delete (_, q) -> [ q ]
+  | Transform.Extend (_, ql, qu) | Transform.Contract (_, ql, qu) -> [ ql; qu ]
+  | Transform.Rename _ | Transform.Id _ -> []
+
+let reads s prim =
+  List.exists (fun q -> Scheme.Set.mem s (Ast.schemes q)) (step_queries prim)
+
+let touches s prim =
+  match prim with
+  | Transform.Rename (a, b) | Transform.Id (a, b) ->
+      Scheme.equal a s || Scheme.equal b s
+  | Transform.Add (x, _) | Transform.Extend (x, _, _) -> Scheme.equal x s
+  | Transform.Delete _ | Transform.Contract _ -> false
+
+let dead_pair_diags ~name steps =
+  let arr = Array.of_list steps in
+  let n = Array.length arr in
+  let out = ref [] in
+  Array.iteri
+    (fun i prim ->
+      match prim with
+      | Transform.Add (s, _) | Transform.Extend (s, _, _) ->
+          let rec scan j =
+            if j < n then
+              match arr.(j) with
+              | (Transform.Delete (x, _) | Transform.Contract (x, _, _)) as p
+                when Scheme.equal x s ->
+                  if not (reads s p) then
+                    out :=
+                      D.make ~pathway:name ~step:(j + 1) ~scheme:s D.Warning
+                        ~rule:"dead-step-pair"
+                        "%s introduced at step %d is removed at step %d with \
+                         no intervening reader; both steps can be dropped"
+                        (Scheme.to_string s) (i + 1) (j + 1)
+                      :: !out
+              | p -> if not (reads s p || touches s p) then scan (j + 1)
+          in
+          scan (i + 1)
+      | _ -> ())
+    arr;
+  List.rev !out
+
+let rename_chain_diags ~name steps =
+  let arr = Array.of_list steps in
+  let n = Array.length arr in
+  let out = ref [] in
+  Array.iteri
+    (fun i prim ->
+      match prim with
+      | Transform.Rename (a, b) ->
+          let rec scan j =
+            if j < n then
+              match arr.(j) with
+              | Transform.Rename (b', c) when Scheme.equal b' b ->
+                  out :=
+                    D.make ~pathway:name ~step:(j + 1) ~scheme:b D.Warning
+                      ~rule:"rename-chain"
+                      "%s is renamed to %s at step %d and on to %s at step %d \
+                       with no intervening use; collapse into a single rename"
+                      (Scheme.to_string a) (Scheme.to_string b) (i + 1)
+                      (Scheme.to_string c) (j + 1)
+                    :: !out
+              | p -> if not (reads b p || touches b p) then scan (j + 1)
+          in
+          scan (i + 1)
+      | _ -> ())
+    arr;
+  List.rev !out
+
+let lossy_reverse_diags ~name steps =
+  List.concat
+    (List.mapi
+       (fun i prim ->
+         match prim with
+         | Transform.Delete (s, Ast.Void) ->
+             [
+               D.make ~pathway:name ~step:(i + 1) ~scheme:s D.Warning
+                 ~rule:"non-reversible"
+                 "delete of %s carries restore query Void: the reverse \
+                  pathway cannot rebuild its extent — use contract Range \
+                  Void Any to make the information loss explicit"
+                 (Scheme.to_string s);
+             ]
+         | _ -> [])
+       steps)
+
+(* -- driver -------------------------------------------------------------- *)
+
+let fold ~name schema steps =
+  let diags, final, _ =
+    List.fold_left
+      (fun (diags, state, idx) prim ->
+        let ds, state' = step_diags ~name idx state prim in
+        (ds :: diags, state', idx + 1))
+      ([], schema, 1) steps
+  in
+  (List.concat (List.rev diags), final)
+
+let final_state schema (p : Transform.pathway) =
+  snd (fold ~name:(label p) schema p.steps)
+
+let id_target_diags ~name final steps =
+  List.concat
+    (List.mapi
+       (fun i prim ->
+         match prim with
+         | Transform.Id (_, b) when not (Schema.mem b final) ->
+             [
+               D.make ~pathway:name ~step:(i + 1) ~scheme:b D.Error
+                 ~rule:"dangling-id"
+                 "id endpoint %s is absent from the final schema"
+                 (Scheme.to_string b);
+             ]
+         | _ -> [])
+       steps)
+
+(* With the step lints clean, re-applying the reversed steps from the
+   final state must succeed; report any residue as a reversal hazard. *)
+let reverse_diags ~name final (p : Transform.pathway) =
+  let rev = Transform.reverse p in
+  let ds, _ = fold ~name final rev.steps in
+  match D.errors ds with
+  | [] -> []
+  | d :: _ ->
+      [
+        D.make ~pathway:name D.Warning ~rule:"non-reversible"
+          "the reverse pathway does not re-apply from the target schema: %s"
+          d.D.message;
+      ]
+
+let involution_diags ~name (p : Transform.pathway) =
+  if Transform.reverse (Transform.reverse p) = p then []
+  else
+    [
+      D.make ~pathway:name D.Error ~rule:"reverse-involution"
+        "reverse (reverse p) differs structurally from p";
+    ]
+
+let lint ?name schema (p : Transform.pathway) =
+  let name = match name with Some n -> n | None -> label p in
+  let step_ds, final = fold ~name schema p.steps in
+  let id_ds = id_target_diags ~name final p.steps in
+  let empty_ds =
+    if p.steps = [] then
+      [
+        D.make ~pathway:name D.Info ~rule:"empty-pathway"
+          "pathway has no steps; source and target must be identical schemas";
+      ]
+    else []
+  in
+  let reverse_ds =
+    if D.has_errors (step_ds @ id_ds) then [] else reverse_diags ~name final p
+  in
+  step_ds @ id_ds
+  @ dead_pair_diags ~name p.steps
+  @ rename_chain_diags ~name p.steps
+  @ lossy_reverse_diags ~name p.steps
+  @ reverse_ds
+  @ involution_diags ~name p
+  @ empty_ds

@@ -1,0 +1,50 @@
+(** Static analysis of a single pathway against a starting schema.
+
+    The linter folds the pathway over a symbolic schema state (the object
+    set with extent types — no extents are touched) exactly as
+    {!Automed_transform.Transform.apply} would, but recovers from each
+    violation instead of stopping, so one run reports every problem.
+
+    Rules (see README "Static analysis" for the full table):
+
+    {ul
+    {- [add-present] (error): [add]/[extend] of an object already in the
+       schema state.}
+    {- [delete-absent] (error): [delete]/[contract] of an absent object.}
+    {- [rename-absent] (error): [rename] of an absent object.}
+    {- [rename-collision] (error): [rename] onto an existing object.}
+    {- [rename-kind] (error): [rename] changing the construct kind.}
+    {- [dangling-id] (error): an [id] endpoint absent from the schema
+       state (left endpoint at the step, right endpoint in the final
+       state).}
+    {- [invalid-scheme] (error): a scheme that fails MDR validation.}
+    {- [query-unbound] (error): an embedded query referencing an object
+       absent from the schema state on the side the query is stated over
+       (pre-schema for add/extend, post-schema for delete/contract).}
+    {- [query-ill-typed] (error): IQL type inference fails on an embedded
+       query.}
+    {- [query-extent-mismatch] (warning): a delete's restore query is
+       typeable but produces a type incompatible with the deleted
+       object's declared extent type.}
+    {- [dead-step-pair] (warning): an object added and later removed with
+       no intervening query or id reading it.}
+    {- [rename-chain] (warning): [rename a b] followed by [rename b c]
+       with no intervening use of [b].}
+    {- [non-reversible] (warning): the reverse pathway loses information
+       ([delete] with restore query [Void]) or fails to re-apply.}
+    {- [reverse-involution] (error): [reverse (reverse p)] is not
+       structurally [p].}
+    {- [empty-pathway] (info): a pathway with no steps.}} *)
+
+module Schema = Automed_model.Schema
+module Transform = Automed_transform.Transform
+
+val lint : ?name:string -> Schema.t -> Transform.pathway -> Diagnostic.t list
+(** All diagnostics for the pathway, in step order.  [name] overrides the
+    ["from -> to"] label used in locations. *)
+
+val final_state : Schema.t -> Transform.pathway -> Schema.t
+(** Best-effort symbolic result of the pathway: each step that would fail
+    is skipped rather than aborting.  Coincides with
+    [Transform.apply] (up to the schema name) when {!lint} reports no
+    errors. *)

@@ -61,6 +61,18 @@ let integrate_stage repo stage =
               Intersection.side_pathway ~to_name:(us_name i src) ~targets side
                 sch
             in
+            (* an all-identity side yields an empty pathway (source and
+               target coincide); state the per-object id assertions
+               explicitly so the equivalence is checkable step by step *)
+            let pathway =
+              if pathway.Transform.steps = [] then
+                {
+                  pathway with
+                  Transform.steps =
+                    List.map (fun o -> Transform.Id (o, o)) (Schema.objects sch);
+                }
+              else pathway
+            in
             let* () = Repository.add_pathway repo pathway in
             Ok ((i, src, us_name i src) :: acc))
       (Ok [])

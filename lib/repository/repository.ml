@@ -15,14 +15,20 @@ end
 
 module EM = Map.Make (EK)
 
+type validator = Schema.t -> Transform.pathway -> (unit, string) result
+
 type t = {
   mutable schemas : Schema.t SM.t;
   mutable pathways : Transform.pathway list; (* reverse insertion order *)
   mutable extents : Value.Bag.t EM.t;
+  mutable validator : validator option;
 }
 
 let create () =
-  { schemas = SM.empty; pathways = []; extents = EM.empty }
+  { schemas = SM.empty; pathways = []; extents = EM.empty; validator = None }
+
+let set_validator t v = t.validator <- v
+let validator t = t.validator
 
 let err fmt = Format.kasprintf (fun s -> Error s) fmt
 let ( let* ) = Result.bind
@@ -64,6 +70,9 @@ let add_pathway t (p : Transform.pathway) =
   | None -> err "pathway source schema %s is not registered" p.from_schema
   | Some src ->
       let* () = Transform.well_formed src p in
+      let* () =
+        match t.validator with None -> Ok () | Some f -> f src p
+      in
       let* derived = Transform.apply src p in
       let* () =
         match schema t p.to_schema with

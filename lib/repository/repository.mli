@@ -14,7 +14,19 @@ module Value = Automed_iql.Value
 type t
 (** Mutable repository. *)
 
+type validator = Schema.t -> Transform.pathway -> (unit, string) result
+(** An extra admission check run by {!add_pathway} after the built-in
+    well-formedness test: the pathway and its registered source schema.
+    Returning [Error] rejects the registration. *)
+
 val create : unit -> t
+
+val set_validator : t -> validator option -> unit
+(** Installs (or, with [None], removes) the opt-in validation gate.  The
+    static analyser provides one — see
+    [Automed_analysis.Analysis.install_gate]. *)
+
+val validator : t -> validator option
 
 val add_schema : t -> Schema.t -> (unit, string) result
 (** Fails if a schema with the same name is registered. *)

@@ -19,6 +19,14 @@ let prim_scheme = function
   | Add (s, _) | Delete (s, _) | Extend (s, _, _) | Contract (s, _, _) -> s
   | Rename (s, _) | Id (s, _) -> s
 
+let prim_kind = function
+  | Add _ -> "add"
+  | Delete _ -> "delete"
+  | Extend _ -> "extend"
+  | Contract _ -> "contract"
+  | Rename _ -> "rename"
+  | Id _ -> "id"
+
 let reverse_prim = function
   | Add (s, q) -> Delete (s, q)
   | Delete (s, q) -> Add (s, q)
@@ -60,28 +68,46 @@ let infer_extent_ty schema q =
   | Ok _ | Error _ -> None
 
 let apply_prim schema prim =
-  match prim with
-  | Add (s, q) ->
-      Schema.add_object ?extent_ty:(infer_extent_ty schema q) s schema
-  | Extend (s, ql, _) ->
-      Schema.add_object ?extent_ty:(infer_extent_ty schema ql) s schema
-  | Delete (s, _) | Contract (s, _, _) -> Schema.remove_object s schema
-  | Rename (a, b) -> Schema.rename_object a b schema
-  | Id (a, _) ->
-      if Schema.mem a schema then Ok schema
-      else
-        Error
-          (Printf.sprintf "id: schema %s has no object %s" (Schema.name schema)
-             (Scheme.to_string a))
+  let result =
+    match prim with
+    | Add (s, q) ->
+        Schema.add_object ?extent_ty:(infer_extent_ty schema q) s schema
+    | Extend (s, ql, _) ->
+        Schema.add_object ?extent_ty:(infer_extent_ty schema ql) s schema
+    | Delete (s, _) | Contract (s, _, _) -> Schema.remove_object s schema
+    | Rename (a, b) -> Schema.rename_object a b schema
+    | Id (a, _) ->
+        if Schema.mem a schema then Ok schema
+        else
+          Error
+            (Printf.sprintf "schema %s has no object %s" (Schema.name schema)
+               (Scheme.to_string a))
+  in
+  Result.map_error
+    (fun e ->
+      Printf.sprintf "%s %s: %s" (prim_kind prim)
+        (Scheme.to_string (prim_scheme prim))
+        e)
+    result
 
-let apply schema p =
-  let* s =
+let fold_steps schema p f =
+  let* final, _ =
     List.fold_left
       (fun acc prim ->
-        let* s = acc in
-        apply_prim s prim)
-      (Ok schema) p.steps
+        let* s, i = acc in
+        match f s prim with
+        | Ok s' -> Ok (s', i + 1)
+        | Error e ->
+            Error
+              (Printf.sprintf "pathway %s -> %s, step %d: %s" p.from_schema
+                 p.to_schema i e))
+      (Ok (schema, 1))
+      p.steps
   in
+  Ok final
+
+let apply schema p =
+  let* s = fold_steps schema p apply_prim in
   Ok (Schema.rename p.to_schema s)
 
 (* A query attached to a step may only mention objects present in the
@@ -121,13 +147,7 @@ let well_formed schema p =
     in
     Ok post
   in
-  let* _final =
-    List.fold_left
-      (fun acc prim ->
-        let* pre = acc in
-        check_prim pre prim)
-      (Ok schema) p.steps
-  in
+  let* _final = fold_steps schema p check_prim in
   Ok ()
 
 let ident s1 s2 =

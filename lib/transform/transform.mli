@@ -39,6 +39,16 @@ val prim_scheme : prim -> Scheme.t
 (** The object the step introduces into, or removes from, or (for
     rename/id) maps {e from}, in the direction of travel. *)
 
+val prim_kind : prim -> string
+(** The step's verb: ["add"], ["delete"], ["extend"], ["contract"],
+    ["rename"] or ["id"] — used to tag error messages and diagnostics. *)
+
+val infer_extent_ty : Schema.t -> query -> Automed_iql.Types.ty option
+(** The extent type [apply_prim] records for an added object: the query's
+    inferred type when it is a fully-determined bag type, [None]
+    otherwise.  Exposed so static analysis tracks the same symbolic
+    state. *)
+
 val reverse_prim : prim -> prim
 val reverse : pathway -> pathway
 
@@ -58,7 +68,11 @@ val apply_prim : Schema.t -> prim -> (Schema.t, string) result
     be absent and infer its extent type from the query when possible;
     [Delete]/[Contract] require presence; [Rename] renames; [Id] checks
     that the object is present (it asserts cross-schema identity and has
-    no structural effect). *)
+    no structural effect).  Error messages are tagged with the step's verb
+    and offending scheme, e.g. [add <<u>>: schema s already contains
+    <<u>>]; {!apply} and {!well_formed} additionally prefix the pathway
+    endpoints and the 1-based step index, so runtime failures name the
+    same locations as the static linter's diagnostics. *)
 
 val apply : Schema.t -> pathway -> (Schema.t, string) result
 (** Applies all steps in order; the result keeps the target schema name. *)

@@ -1,0 +1,410 @@
+(* The static pathway/repository linter: one accepting and one rejecting
+   case per rule, the validation gate, and the soundness property that a
+   pathway the linter accepts is accepted by the apply_prim fold. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Types = Automed_iql.Types
+module Ast = Automed_iql.Ast
+module Parser = Automed_iql.Parser
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Analysis = Automed_analysis.Analysis
+module D = Automed_analysis.Diagnostic
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let q = Parser.parse_exn
+
+let base_schema () =
+  ok
+    (Schema.of_objects "s"
+       [
+         (Scheme.table "t", Some (Types.TBag Types.TStr));
+         (Scheme.column "t" "c", Some (Types.tuple_row [ Types.TStr; Types.TInt ]));
+       ])
+
+let pathway steps = { Transform.from_schema = "s"; to_schema = "g"; steps }
+
+let lint steps = Analysis.lint_pathway (base_schema ()) (pathway steps)
+
+let rules ?severity ds =
+  List.filter_map
+    (fun (d : D.t) ->
+      match severity with
+      | Some s when d.D.severity <> s -> None
+      | _ -> Some d.D.rule)
+    ds
+
+let check_fires rule steps =
+  let ds = lint steps in
+  Alcotest.(check bool)
+    (rule ^ " fires")
+    true
+    (List.mem rule (rules ds))
+
+let check_clean ?(rule = "") steps =
+  let ds = lint steps in
+  match rule with
+  | "" ->
+      Alcotest.(check (list string)) "no diagnostics" [] (rules ds)
+  | rule ->
+      Alcotest.(check bool)
+        (rule ^ " does not fire")
+        false
+        (List.mem rule (rules ds))
+
+(* -- well-formedness rules ----------------------------------------------- *)
+
+let test_add_present () =
+  check_fires "add-present" [ Transform.Add (Scheme.table "t", q "Void") ];
+  check_fires "add-present"
+    [ Transform.Extend (Scheme.column "t" "c", Ast.Void, Ast.Any) ];
+  check_clean [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ]
+
+let test_delete_absent () =
+  check_fires "delete-absent" [ Transform.Delete (Scheme.table "ghost", q "<<t>>") ];
+  check_fires "delete-absent"
+    [ Transform.Contract (Scheme.table "ghost", Ast.Void, Ast.Any) ];
+  check_clean
+    [
+      Transform.Add (Scheme.table "u", q "<<t>>");
+      Transform.Delete (Scheme.table "t", q "<<u>>");
+    ]
+
+let test_rename_absent () =
+  check_fires "rename-absent"
+    [ Transform.Rename (Scheme.table "ghost", Scheme.table "x") ];
+  check_clean [ Transform.Rename (Scheme.table "t", Scheme.table "t0") ]
+
+let test_rename_collision () =
+  check_fires "rename-collision"
+    [
+      Transform.Add (Scheme.table "u", q "<<t>>");
+      Transform.Rename (Scheme.table "t", Scheme.table "u");
+    ];
+  (* renaming an object to itself is a collision with itself *)
+  check_fires "rename-collision"
+    [ Transform.Rename (Scheme.table "t", Scheme.table "t") ];
+  check_clean
+    ~rule:"rename-collision"
+    [ Transform.Rename (Scheme.table "t", Scheme.table "t0") ]
+
+let test_rename_kind () =
+  check_fires "rename-kind"
+    [ Transform.Rename (Scheme.table "t", Scheme.column "t" "c2") ];
+  check_clean
+    [ Transform.Rename (Scheme.column "t" "c", Scheme.column "t" "d") ]
+
+let test_dangling_id () =
+  check_fires "dangling-id"
+    [ Transform.Id (Scheme.table "ghost", Scheme.table "t") ];
+  (* the right endpoint must exist in the final schema *)
+  check_fires "dangling-id"
+    [ Transform.Id (Scheme.table "t", Scheme.table "ghost") ];
+  check_clean [ Transform.Id (Scheme.table "t", Scheme.table "t") ]
+
+let test_invalid_scheme () =
+  let bogus = Scheme.make ~language:"nosuch" ~construct:"thing" [ "x" ] in
+  check_fires "invalid-scheme" [ Transform.Add (bogus, q "Void") ];
+  check_clean ~rule:"invalid-scheme"
+    [ Transform.Add (Scheme.table "u", q "<<t>>") ]
+
+(* -- embedded query rules ------------------------------------------------ *)
+
+let test_query_unbound () =
+  check_fires "query-unbound"
+    [ Transform.Add (Scheme.table "u", q "[k | k <- <<ghost>>]") ];
+  (* a delete's restore query is stated over the post-schema: referencing
+     the deleted object itself is unbound *)
+  check_fires "query-unbound" [ Transform.Delete (Scheme.table "t", q "<<t>>") ];
+  check_clean [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ]
+
+let test_query_ill_typed () =
+  (* <<t>> holds strings: comparing an element with an int cannot type *)
+  check_fires "query-ill-typed"
+    [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>; k > 3]") ];
+  check_clean
+    [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>; k = 'x']") ]
+
+let test_query_extent_mismatch () =
+  let ds =
+    lint
+      [
+        Transform.Add (Scheme.table "u", q "<<t>>");
+        Transform.Delete (Scheme.table "t", q "[{k, 1} | k <- <<u>>]");
+      ]
+  in
+  Alcotest.(check bool) "mismatch warns" true
+    (List.mem "query-extent-mismatch" (rules ~severity:D.Warning ds));
+  check_clean
+    [
+      Transform.Add (Scheme.table "u", q "<<t>>");
+      Transform.Delete (Scheme.table "t", q "[k | k <- <<u>>]");
+    ]
+
+(* -- pathway-algebra rules ----------------------------------------------- *)
+
+let test_dead_step_pair () =
+  check_fires "dead-step-pair"
+    [
+      Transform.Add (Scheme.table "u", q "<<t>>");
+      Transform.Delete (Scheme.table "u", q "<<t>>");
+    ];
+  (* an intervening reader keeps the pair alive *)
+  check_clean ~rule:"dead-step-pair"
+    [
+      Transform.Add (Scheme.table "u", q "<<t>>");
+      Transform.Add (Scheme.table "v", q "[k | k <- <<u>>]");
+      Transform.Delete (Scheme.table "u", q "<<v>>");
+    ]
+
+let test_rename_chain () =
+  check_fires "rename-chain"
+    [
+      Transform.Rename (Scheme.table "t", Scheme.table "a");
+      Transform.Rename (Scheme.table "a", Scheme.table "b");
+    ];
+  check_clean ~rule:"rename-chain"
+    [
+      Transform.Rename (Scheme.table "t", Scheme.table "a");
+      Transform.Add (Scheme.table "u", q "[k | k <- <<a>>]");
+      Transform.Rename (Scheme.table "a", Scheme.table "b");
+    ]
+
+let test_non_reversible () =
+  let ds = lint [ Transform.Delete (Scheme.column "t" "c", Ast.Void) ] in
+  Alcotest.(check bool) "lossy delete warns" true
+    (List.mem "non-reversible" (rules ~severity:D.Warning ds));
+  (* contract Range Void Any is the explicit, idiomatic lossy step *)
+  check_clean ~rule:"non-reversible"
+    [ Transform.Contract (Scheme.column "t" "c", Ast.Void, Ast.Any) ]
+
+let test_reverse_involution_and_empty () =
+  (* reverse (reverse p) = p holds for every pathway the API can build,
+     so the rule has no constructible rejecting case; assert it stays
+     silent on a representative pathway *)
+  check_clean ~rule:"reverse-involution"
+    [
+      Transform.Add (Scheme.table "u", q "<<t>>");
+      Transform.Rename (Scheme.table "t", Scheme.table "t0");
+    ];
+  let ds = lint [] in
+  Alcotest.(check bool) "empty pathway is info" true
+    (List.mem "empty-pathway" (rules ~severity:D.Info ds));
+  check_clean ~rule:"empty-pathway" [ Transform.Id (Scheme.table "t", Scheme.table "t") ]
+
+(* -- network rules ------------------------------------------------------- *)
+
+let repo_with a_name =
+  let repo = Repository.create () in
+  ok (Repository.add_schema repo (Schema.rename a_name (base_schema ())));
+  repo
+
+let test_duplicate_pathway () =
+  let repo = repo_with "s" in
+  let p = pathway [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ] in
+  ok (Repository.add_pathway repo p);
+  ok (Repository.add_pathway repo p);
+  let ds = Analysis.lint_repository repo in
+  Alcotest.(check bool) "duplicate warns" true
+    (List.mem "duplicate-pathway" (rules ~severity:D.Warning ds));
+  (* registering the automatic reverse is also redundant *)
+  let repo2 = repo_with "s" in
+  ok (Repository.add_pathway repo2 p);
+  ok (Repository.add_pathway repo2 (Transform.reverse p));
+  let ds2 = Analysis.lint_repository repo2 in
+  Alcotest.(check bool) "reverse duplicate warns" true
+    (List.mem "duplicate-pathway" (rules ~severity:D.Warning ds2))
+
+let test_conflicting_pathway () =
+  let repo = repo_with "s" in
+  ok
+    (Repository.add_pathway repo
+       (pathway [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ]));
+  ok
+    (Repository.add_pathway repo
+       (pathway [ Transform.Add (Scheme.table "u", q "distinct(<<t>>)") ]));
+  let ds = Analysis.lint_repository repo in
+  Alcotest.(check bool) "conflict warns" true
+    (List.mem "conflicting-pathway" (rules ~severity:D.Warning ds));
+  let clean = repo_with "s" in
+  ok
+    (Repository.add_pathway clean
+       (pathway [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ]));
+  Alcotest.(check (list string)) "single pathway is clean" []
+    (rules (Analysis.lint_repository clean))
+
+let test_unreachable_schema () =
+  let repo = repo_with "s" in
+  ok
+    (Repository.add_pathway repo
+       (pathway [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ]));
+  (* an island: registered but connected to nothing *)
+  ok (Repository.add_schema repo (Schema.rename "island" (base_schema ())));
+  let ds = Analysis.lint_repository repo in
+  Alcotest.(check bool) "island is an error" true
+    (List.mem "unreachable-schema" (rules ~severity:D.Error ds));
+  Alcotest.(check bool) "lint has errors" true (D.has_errors ds);
+  (* connecting the island clears the error *)
+  ok
+    (Repository.add_pathway repo
+       {
+         Transform.from_schema = "island";
+         to_schema = "g";
+         steps = [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ];
+       });
+  Alcotest.(check bool) "connected network has no errors" false
+    (D.has_errors (Analysis.lint_repository repo))
+
+let test_root_override () =
+  let repo = repo_with "s" in
+  ok
+    (Repository.add_pathway repo
+       (pathway [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ]));
+  Alcotest.(check bool) "explicit root works" false
+    (D.has_errors (Analysis.lint_repository ~root:"s" repo));
+  Alcotest.(check bool) "unknown root is an error" true
+    (D.has_errors (Analysis.lint_repository ~root:"nope" repo))
+
+(* -- the validation gate ------------------------------------------------- *)
+
+let test_gate () =
+  (* an id whose right endpoint never materialises passes apply_prim (it
+     only checks the left endpoint) but not the linter *)
+  let bad = pathway [ Transform.Id (Scheme.table "t", Scheme.table "ghost") ] in
+  let repo = repo_with "s" in
+  ok (Repository.add_pathway repo bad);
+  let gated = repo_with "s" in
+  Analysis.install_gate gated;
+  (match Repository.add_pathway gated bad with
+  | Ok () -> Alcotest.fail "gate should reject the dangling id"
+  | Error e ->
+      Alcotest.(check bool) "message names the rule" true
+        (Automed_base.Strutil.contains_sub ~sub:"dangling-id" e));
+  (* the gate passes clean pathways, and can be removed again *)
+  ok
+    (Repository.add_pathway gated
+       (pathway [ Transform.Add (Scheme.table "u", q "[k | k <- <<t>>]") ]));
+  Analysis.remove_gate gated;
+  ok
+    (Repository.add_pathway gated
+       { bad with Transform.to_schema = "g2" })
+
+(* -- diagnostics --------------------------------------------------------- *)
+
+let test_diagnostic_rendering () =
+  let ds = lint [ Transform.Add (Scheme.table "t", q "Void") ] in
+  match ds with
+  | [ d ] ->
+      let text = Fmt.str "%a" D.pp d in
+      Alcotest.(check bool) "text names rule" true
+        (Automed_base.Strutil.contains_sub ~sub:"error[add-present]" text);
+      Alcotest.(check bool) "text names step" true
+        (Automed_base.Strutil.contains_sub ~sub:"step 1" text);
+      let tsv = D.to_tsv d in
+      Alcotest.(check (list string)) "tsv fields" [ "error"; "add-present" ]
+        (match String.split_on_char '\t' tsv with
+        | sev :: rule :: _ -> [ sev; rule ]
+        | _ -> []);
+      Alcotest.(check string) "summary" "1 error, 0 warnings, 0 info"
+        (Fmt.str "%a" D.pp_summary (D.count ds))
+  | ds ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one diagnostic, got %d" (List.length ds))
+
+let test_runtime_agreement () =
+  (* satellite: apply_prim failures carry the same verb/scheme/step
+     vocabulary as the linter *)
+  let p = pathway [ Transform.Add (Scheme.table "t", q "Void") ] in
+  match Transform.apply (base_schema ()) p with
+  | Ok _ -> Alcotest.fail "apply should fail"
+  | Error e ->
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (Printf.sprintf "mentions %S" sub) true
+            (Automed_base.Strutil.contains_sub ~sub e))
+        [ "step 1"; "add <<t>>"; "s -> g" ]
+
+(* -- soundness property -------------------------------------------------- *)
+
+let schema_rules =
+  [ "add-present"; "delete-absent"; "rename-absent"; "rename-collision";
+    "rename-kind"; "dangling-id"; "invalid-scheme" ]
+
+let gen_prim =
+  QCheck.Gen.(
+    oneof
+      [
+        return (Transform.Add (Scheme.table "u", Ast.SchemeRef (Scheme.table "t")));
+        return (Transform.Add (Scheme.table "t", Ast.Void));
+        return (Transform.Delete (Scheme.table "u", Ast.Void));
+        return (Transform.Delete (Scheme.table "t", Ast.Void));
+        return (Transform.Extend (Scheme.table "w", Ast.Void, Ast.Any));
+        return (Transform.Contract (Scheme.table "w", Ast.Void, Ast.Any));
+        return (Transform.Contract (Scheme.column "t" "c", Ast.Void, Ast.Any));
+        return (Transform.Rename (Scheme.table "t", Scheme.table "b"));
+        return (Transform.Rename (Scheme.table "b", Scheme.table "t"));
+        return (Transform.Rename (Scheme.table "u", Scheme.column "u" "c"));
+        return (Transform.Id (Scheme.table "t", Scheme.table "t"));
+        return (Transform.Id (Scheme.table "ghost", Scheme.table "ghost"));
+      ])
+
+let qcheck_linter_soundness =
+  QCheck.Test.make ~name:"linter-clean pathways are accepted by apply" ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 12) gen_prim))
+    (fun steps ->
+      let p = pathway steps in
+      let ds = Analysis.lint_pathway (base_schema ()) p in
+      let schema_errors =
+        List.filter
+          (fun (d : D.t) ->
+            d.D.severity = D.Error && List.mem d.D.rule schema_rules)
+          ds
+      in
+      match Transform.apply (base_schema ()) p with
+      | Ok _ -> true
+      | Error _ -> schema_errors <> [])
+
+let qcheck_clean_reverse =
+  QCheck.Test.make
+    ~name:"error-free pathways have error-free reverses" ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 12) gen_prim))
+    (fun steps ->
+      let p = pathway steps in
+      let s0 = base_schema () in
+      let ds = Analysis.lint_pathway s0 p in
+      if D.has_errors ds then true
+      else
+        let final =
+          match Transform.apply s0 p with
+          | Ok s -> s
+          | Error e -> Alcotest.fail e
+        in
+        not (D.has_errors (Analysis.lint_pathway final (Transform.reverse p))))
+
+let suite =
+  [
+    Alcotest.test_case "add-present" `Quick test_add_present;
+    Alcotest.test_case "delete-absent" `Quick test_delete_absent;
+    Alcotest.test_case "rename-absent" `Quick test_rename_absent;
+    Alcotest.test_case "rename-collision" `Quick test_rename_collision;
+    Alcotest.test_case "rename-kind" `Quick test_rename_kind;
+    Alcotest.test_case "dangling-id" `Quick test_dangling_id;
+    Alcotest.test_case "invalid-scheme" `Quick test_invalid_scheme;
+    Alcotest.test_case "query-unbound" `Quick test_query_unbound;
+    Alcotest.test_case "query-ill-typed" `Quick test_query_ill_typed;
+    Alcotest.test_case "query-extent-mismatch" `Quick test_query_extent_mismatch;
+    Alcotest.test_case "dead-step-pair" `Quick test_dead_step_pair;
+    Alcotest.test_case "rename-chain" `Quick test_rename_chain;
+    Alcotest.test_case "non-reversible" `Quick test_non_reversible;
+    Alcotest.test_case "involution and empty" `Quick test_reverse_involution_and_empty;
+    Alcotest.test_case "duplicate-pathway" `Quick test_duplicate_pathway;
+    Alcotest.test_case "conflicting-pathway" `Quick test_conflicting_pathway;
+    Alcotest.test_case "unreachable-schema" `Quick test_unreachable_schema;
+    Alcotest.test_case "root override" `Quick test_root_override;
+    Alcotest.test_case "validation gate" `Quick test_gate;
+    Alcotest.test_case "diagnostic rendering" `Quick test_diagnostic_rendering;
+    Alcotest.test_case "runtime agreement" `Quick test_runtime_agreement;
+    QCheck_alcotest.to_alcotest qcheck_linter_soundness;
+    QCheck_alcotest.to_alcotest qcheck_clean_reverse;
+  ]

@@ -22,6 +22,7 @@ let () =
       ("matching", Test_matching.suite);
       ("integration", Test_integration.suite);
       ("ispider", Test_ispider.suite);
+      ("analysis", Test_analysis.suite);
       ("user-cost", Test_user_cost.suite);
       ("properties", Test_properties.suite);
       ("bibliome", Test_bibliome.suite);
