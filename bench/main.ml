@@ -31,6 +31,8 @@ module Sources = Automed_ispider.Sources
 module Queries = Automed_ispider.Queries
 module Intersection_run = Automed_ispider.Intersection_run
 module Classical_run = Automed_ispider.Classical_run
+module Telemetry = Automed_telemetry.Telemetry
+module Microjson = Automed_telemetry.Microjson
 
 let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 let ok = function Ok v -> v | Error e -> die "error: %s" e
@@ -41,6 +43,36 @@ let ok_p = function
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* -- telemetry snapshots -------------------------------------------------- *)
+
+(* Each experiment runs under its own memory sink; the aggregated metric
+   snapshot of every experiment is written to BENCH_telemetry.json at the
+   end of the run (shape documented in EXPERIMENTS.md).  The Bechamel
+   micro-benchmarks deliberately run WITHOUT a sink so that the measured
+   numbers only pay the single no-sink branch per probe. *)
+
+let snapshots : (string * Telemetry.Metrics.t) list ref = ref []
+
+let with_telemetry name f =
+  let mem = Telemetry.Memory.create () in
+  let r = Telemetry.with_sink (Telemetry.Memory.sink mem) f in
+  snapshots := (name, Telemetry.Metrics.of_memory mem) :: !snapshots;
+  r
+
+let write_snapshots path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{";
+      List.iteri
+        (fun i (name, m) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc "\n  %s: %s" (Microjson.escape name)
+            (Telemetry.Metrics.to_json m))
+        (List.rev !snapshots);
+      output_string oc "\n}\n")
 
 (* one shared dataset and both integrations *)
 let dataset = Sources.generate ()
@@ -72,15 +104,21 @@ let experiment_table1 () =
   Printf.printf "global schema: %s\n\n" (Workflow.global_name wf);
   List.iter
     (fun (q : Queries.query) ->
+      (* per-query wall clock via the telemetry clock; the observation
+         also lands in the E-T1 snapshot of BENCH_telemetry.json *)
+      let t0 = Telemetry.wall_clock () in
       match Workflow.run_query wf q.Queries.global_text with
       | Error e ->
           die "query %d: %s" q.Queries.number (Fmt.str "%a" Processor.pp_error e)
       | Ok (Value.Bag got) ->
+          let ms = (Telemetry.wall_clock () -. t0) *. 1000.0 in
+          Telemetry.observe "bench.query_ms" ms;
           let expected = q.Queries.ground_truth dataset in
           Printf.printf "Q%d  %s\n" q.Queries.number q.Queries.title;
           Printf.printf "    IQL: %s\n" q.Queries.global_text;
           Printf.printf "    answers: %d (%s)\n" (Value.Bag.cardinal got)
             (sample_answers got 3);
+          Printf.printf "    wall clock: %.2f ms\n" ms;
           Printf.printf "    ground truth: %d -> %s\n\n"
             (Value.Bag.cardinal expected)
             (if Value.Bag.equal got expected then "MATCH" else "MISMATCH");
@@ -497,12 +535,12 @@ let bench_federated_scaling () =
           (Repository.add_schema repo
              (ok (Schema.of_objects (Printf.sprintf "s%d" i) objs)))
       done;
-      let t0 = Unix.gettimeofday () in
+      let t0 = Telemetry.wall_clock () in
       ignore
         (ok
            (Federated.create repo ~name:"F"
               ~members:(List.init n (Printf.sprintf "s%d"))));
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Telemetry.wall_clock () -. t0 in
       Printf.printf "  %3d sources x 25 objects: %8.2f ms\n" n (dt *. 1000.0))
     [ 2; 4; 8; 16; 32 ]
 
@@ -526,18 +564,18 @@ let bench_scale_sweep () =
       in
       let repo = Repository.create () in
       ok (Sources.wrap_all repo ds);
-      let t0 = Unix.gettimeofday () in
+      let t0 = Telemetry.wall_clock () in
       let run = ok (Intersection_run.execute repo) in
-      let t_integrate = Unix.gettimeofday () -. t0 in
+      let t_integrate = Telemetry.wall_clock () -. t0 in
       let proc = Processor.create repo in
       let global = Workflow.global_name run.Intersection_run.workflow in
       let q4 = Parser.parse_exn (Queries.find 4).Automed_ispider.Queries.global_text in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Telemetry.wall_clock () in
       ignore (ok_p (Processor.run proc ~schema:global q4));
-      let t_cold = Unix.gettimeofday () -. t0 in
-      let t0 = Unix.gettimeofday () in
+      let t_cold = Telemetry.wall_clock () -. t0 in
+      let t0 = Telemetry.wall_clock () in
       ignore (ok_p (Processor.run proc ~schema:global q4));
-      let t_warm = Unix.gettimeofday () -. t0 in
+      let t_warm = Telemetry.wall_clock () -. t0 in
       Printf.printf "  %8d %10d %10.1f ms %12.1f ms %12.2f ms\n" scale rows
         (t_integrate *. 1000.0) (t_cold *. 1000.0) (t_warm *. 1000.0))
     [ 10; 30; 100; 300 ]
@@ -546,10 +584,10 @@ let bench_integration_end_to_end () =
   (* E-P6: end-to-end integration runtime, intersection vs classical *)
   section "E-P6  End-to-end integration runtime (wall clock)";
   let time label f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Telemetry.wall_clock () in
     f ();
     Printf.printf "  %-44s %8.2f ms\n" label
-      ((Unix.gettimeofday () -. t0) *. 1000.0)
+      ((Telemetry.wall_clock () -. t0) *. 1000.0)
   in
   time "intersection methodology (6 iterations)" (fun () ->
       let repo = Repository.create () in
@@ -561,13 +599,15 @@ let bench_integration_end_to_end () =
       ignore (ok (Classical_run.execute repo)))
 
 let () =
-  experiment_table1 ();
-  experiment_counts ();
-  experiment_payg ();
-  experiment_figures ();
-  experiment_user_cost ();
-  run_bechamel ();
-  bench_federated_scaling ();
-  bench_integration_end_to_end ();
-  bench_scale_sweep ();
-  Printf.printf "\nall experiments completed.\n"
+  with_telemetry "E-T1" experiment_table1;
+  with_telemetry "E-CS1" experiment_counts;
+  with_telemetry "E-CS2" experiment_payg;
+  with_telemetry "E-F1..E-F4" experiment_figures;
+  with_telemetry "E-FW1" experiment_user_cost;
+  run_bechamel () (* no sink: keep the measured path probe-free *);
+  with_telemetry "E-P5" bench_federated_scaling;
+  with_telemetry "E-P6" bench_integration_end_to_end;
+  with_telemetry "E-P7" bench_scale_sweep;
+  write_snapshots "BENCH_telemetry.json";
+  Printf.printf "\nwrote BENCH_telemetry.json (per-experiment metric snapshots)\n";
+  Printf.printf "all experiments completed.\n"

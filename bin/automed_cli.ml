@@ -27,6 +27,9 @@ module Sources = Automed_ispider.Sources
 module Queries = Automed_ispider.Queries
 module Intersection_run = Automed_ispider.Intersection_run
 module Classical_run = Automed_ispider.Classical_run
+module Telemetry = Automed_telemetry.Telemetry
+module Chrome_trace = Automed_telemetry.Chrome_trace
+module Intersection = Automed_integration.Intersection
 
 open Cmdliner
 
@@ -346,9 +349,23 @@ let lint_cmd =
       value & flag
       & info [ "errors-only" ] ~doc:"Report only error-severity diagnostics.")
   in
-  let run integrated csv_specs root format_ errors_only =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Append a footer of diagnostic counts by severity, sourced \
+             from the telemetry counter API.")
+  in
+  let run integrated csv_specs root format_ errors_only stats =
     with_repo integrated csv_specs (fun repo ->
-        let diags = Analysis.lint_repository ?root repo in
+        let mem = Telemetry.Memory.create () in
+        let diags =
+          if stats then
+            Telemetry.with_sink (Telemetry.Memory.sink mem) (fun () ->
+                Analysis.lint_repository ?root repo)
+          else Analysis.lint_repository ?root repo
+        in
         let diags = if errors_only then Diagnostic.errors diags else diags in
         (match format_ with
         | `Text ->
@@ -360,6 +377,18 @@ let lint_cmd =
               (Fmt.str "%a" Diagnostic.pp_summary (Diagnostic.count diags))
         | `Tsv ->
             List.iter (fun d -> print_endline (Diagnostic.to_tsv d)) diags);
+        if stats then
+          List.iter
+            (fun sev ->
+              let name = "lint.diagnostics." ^ sev in
+              match format_ with
+              | `Tsv ->
+                  Printf.printf "stat\t%s\t%d\n" name
+                    (Telemetry.Memory.counter mem name)
+              | `Text ->
+                  Printf.printf "-- stat %s = %d\n" name
+                    (Telemetry.Memory.counter mem name))
+            [ "error"; "warning"; "info" ];
         if Diagnostic.has_errors diags then exit 1;
         `Ok ())
   in
@@ -370,7 +399,223 @@ let lint_cmd =
           without executing anything: well-formedness of each step, IQL \
           type checking of embedded queries, pathway-algebra hazards and \
           network reachability.  Exits 1 when errors are found.")
-    Term.(ret (const run $ integrated $ csv_specs $ root $ format_ $ errors_only))
+    Term.(
+      ret
+        (const run $ integrated $ csv_specs $ root $ format_ $ errors_only
+       $ stats))
+
+(* -- tracing ------------------------------------------------------------- *)
+
+(* The [trace] subcommand replays a named example scenario end to end with
+   a telemetry sink installed, so the full request path — source wrapping,
+   pathway registration, reformulation, pathway application, evaluation,
+   source fetches — lands in one Chrome-trace file. *)
+
+let ( let* ) = Result.bind
+
+let traced_query proc ~schema text =
+  Telemetry.with_span "query" ~attrs:(fun () -> [ ("iql", text) ]) @@ fun () ->
+  let* ast = Parser.parse text in
+  let* reformulated =
+    Result.map_error (Fmt.str "%a" Processor.pp_error)
+      (Processor.reformulate proc ~schema ast)
+  in
+  ignore (reformulated : Ast.expr);
+  let* _answer =
+    Result.map_error (Fmt.str "%a" Processor.pp_error)
+      (Processor.run proc ~schema ast)
+  in
+  Ok ()
+
+(* the two-source music dataspace of examples/quickstart.ml *)
+let quickstart_scenario () =
+  let mk_db name tname key cols rows =
+    let* table = Relational.create_table ~name:tname ~key cols in
+    let* table = Relational.insert_all table rows in
+    Relational.add_table (Relational.create_db name) table
+  in
+  let* store_db =
+    mk_db "store" "album" "id"
+      [ ("id", Relational.CStr); ("title", Relational.CStr);
+        ("price", Relational.CFloat) ]
+      [
+        [ Relational.str_cell "a1"; Relational.str_cell "Blue Train";
+          Relational.float_cell 9.99 ];
+        [ Relational.str_cell "a2"; Relational.str_cell "Kind of Blue";
+          Relational.float_cell 12.50 ];
+      ]
+  in
+  let* radio_db =
+    mk_db "radio" "record" "rid"
+      [ ("rid", Relational.CStr); ("name", Relational.CStr);
+        ("airplays", Relational.CInt) ]
+      [
+        [ Relational.str_cell "r7"; Relational.str_cell "Kind of Blue";
+          Relational.int_cell 41 ];
+        [ Relational.str_cell "r8"; Relational.str_cell "A Love Supreme";
+          Relational.int_cell 17 ];
+      ]
+  in
+  let repo = Repository.create () in
+  let* _ = Wrapper.wrap repo store_db in
+  let* _ = Wrapper.wrap repo radio_db in
+  let* wf = Workflow.start repo ~name:"music" ~sources:[ "store"; "radio" ] in
+  let side schema table title_col =
+    {
+      Intersection.schema;
+      mappings =
+        [
+          { Intersection.target = Scheme.table "URelease";
+            forward =
+              Parser.parse_exn
+                (Printf.sprintf "[{'%s', k} | k <- <<%s>>]" schema table);
+            restore = None };
+          { Intersection.target = Scheme.column "URelease" "title";
+            forward =
+              Parser.parse_exn
+                (Printf.sprintf "[{'%s', k, x} | {k,x} <- <<%s,%s>>]" schema
+                   table title_col);
+            restore = None };
+        ];
+    }
+  in
+  let spec =
+    {
+      Intersection.name = "i_release";
+      sides = [ side "store" "album" "title"; side "radio" "record" "name" ];
+    }
+  in
+  let* _it = Workflow.integrate wf spec in
+  let proc = Workflow.processor wf in
+  let schema = Workflow.global_name wf in
+  List.fold_left
+    (fun acc text ->
+      let* () = acc in
+      traced_query proc ~schema text)
+    (Ok ())
+    [
+      "count(<<URelease>>)";
+      "[t | {s, k, t} <- <<URelease,title>>; s = 'radio']";
+      "[t | {s1, k1, t} <- <<URelease,title>>; {s2, k2, t2} <- \
+       <<URelease,title>>; s1 = 'store'; s2 = 'radio'; t = t2]";
+      "[{k, p} | {k, p} <- <<store:album,price>>]";
+    ]
+
+(* the paper's iSpider case study: integration plus the 7 priority queries *)
+let ispider_scenario () =
+  let repo = Repository.create () in
+  let* () = Sources.wrap_all repo (Sources.generate ()) in
+  let* run = Intersection_run.execute repo in
+  let wf = run.Intersection_run.workflow in
+  let proc = Workflow.processor wf in
+  let schema = Workflow.global_name wf in
+  List.fold_left
+    (fun acc (q : Queries.query) ->
+      let* () = acc in
+      traced_query proc ~schema q.Queries.global_text)
+    (Ok ()) Queries.all
+
+let scenarios =
+  [
+    ("quickstart", quickstart_scenario);
+    ("ispider_integration", ispider_scenario);
+  ]
+
+let scenario_of_name name =
+  let base = Filename.remove_extension (Filename.basename name) in
+  match List.assoc_opt base scenarios with
+  | Some s -> Some s
+  | None -> if base = "ispider" then Some ispider_scenario else None
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let trace_cmd =
+  let example =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXAMPLE"
+          ~doc:
+            "Example scenario to trace: $(b,examples/quickstart) or \
+             $(b,examples/ispider_integration) (the $(b,examples/) prefix \
+             and $(b,.ml) suffix are optional).")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the Chrome-trace JSON (open in \
+             chrome://tracing or https://ui.perfetto.dev).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some (enum [ ("text", `Text); ("tsv", `Tsv) ])) None
+      & info [ "metrics" ] ~docv:"FORMAT"
+          ~doc:
+            "Also print a counter/histogram summary in $(b,text) or \
+             $(b,tsv) form.")
+  in
+  let run example out metrics =
+    match scenario_of_name example with
+    | None ->
+        fail "unknown example %s (known: %s)" example
+          (String.concat ", " (List.map fst scenarios))
+    | Some scenario -> (
+        let mem = Telemetry.Memory.create () in
+        match Telemetry.with_sink (Telemetry.Memory.sink mem) scenario with
+        | Error e -> fail "%s" e
+        | Ok () -> (
+            let json = Chrome_trace.render ~process_name:example mem in
+            match Chrome_trace.validate json with
+            | Error e -> fail "internal error: emitted trace is invalid: %s" e
+            | Ok () ->
+                write_file out json;
+                Printf.printf "wrote %s: %d spans, %d counters\n" out
+                  (List.length (Telemetry.Memory.spans mem))
+                  (List.length (Telemetry.Memory.counters mem));
+                (let snapshot = Telemetry.Metrics.of_memory mem in
+                 match metrics with
+                 | Some `Text -> print_string (Telemetry.Metrics.to_text snapshot)
+                 | Some `Tsv -> print_string (Telemetry.Metrics.to_tsv snapshot)
+                 | None -> ());
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay an example scenario with telemetry enabled and export \
+          the spans as Chrome-trace JSON.")
+    Term.(ret (const run $ example $ out $ metrics))
+
+let trace_validate_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file to validate.")
+  in
+  let run file =
+    match read_file file with
+    | exception Sys_error e -> fail "%s" e
+    | contents -> (
+        match Chrome_trace.validate contents with
+        | Ok () ->
+            Printf.printf "%s: valid Chrome-trace JSON\n" file;
+            `Ok ()
+        | Error e -> fail "%s: %s" file e)
+  in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:
+         "Check that a file parses as JSON and has the Chrome trace-event \
+          shape (used by the CI runtest rule).")
+    Term.(ret (const run $ file))
 
 let case_study_cmd =
   let run () =
@@ -425,6 +670,6 @@ let main =
   Cmd.group info
     [ schemas_cmd; show_cmd; query_cmd; reformulate_cmd; match_cmd;
       pathways_cmd; lint_cmd; export_cmd; extent_cmd; materialize_cmd;
-      case_study_cmd ]
+      trace_cmd; trace_validate_cmd; case_study_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,12 +1,21 @@
 module Schema = Automed_model.Schema
 module Transform = Automed_transform.Transform
 module Repository = Automed_repository.Repository
+module Telemetry = Automed_telemetry.Telemetry
 module D = Diagnostic
 
 let lint_pathway = Pathway_lint.lint
 
 let lint_repository ?root repo =
-  List.stable_sort D.compare (Network_lint.lint ?root repo)
+  Telemetry.with_span "analysis.lint_repository" @@ fun () ->
+  let diags = List.stable_sort D.compare (Network_lint.lint ?root repo) in
+  (if Telemetry.active () then begin
+     let e, w, i = D.count diags in
+     Telemetry.count ~by:e "lint.diagnostics.error";
+     Telemetry.count ~by:w "lint.diagnostics.warning";
+     Telemetry.count ~by:i "lint.diagnostics.info"
+   end);
+  diags
 
 let gate_validator src p =
   match D.errors (Pathway_lint.lint src p) with

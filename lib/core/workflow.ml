@@ -82,7 +82,7 @@ let run t q = Processor.run t.proc ~schema:(global_name t) q
 
 let run_query t text =
   match Parser.parse text with
-  | Error e -> Error { Processor.message = e }
+  | Error e -> Error (Processor.error ~schema:(global_name t) e)
   | Ok q -> run t q
 
 let answerable t q = Processor.answerable t.proc ~schema:(global_name t) q

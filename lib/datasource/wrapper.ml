@@ -2,6 +2,8 @@ module Scheme = Automed_base.Scheme
 module Schema = Automed_model.Schema
 module Types = Automed_iql.Types
 module Repository = Automed_repository.Repository
+module Telemetry = Automed_telemetry.Telemetry
+module Value = Automed_iql.Value
 
 let ( let* ) = Result.bind
 
@@ -37,30 +39,46 @@ let relational_schema db =
 
 let store_extents repo db =
   let name = Relational.db_name db in
+  let tally bag =
+    if Telemetry.active () then
+      Telemetry.count ~by:(Value.Bag.cardinal bag) "wrapper.rows_materialized";
+    bag
+  in
   let store_table acc table =
     let* () = acc in
     let tname = Relational.table_name table in
-    let* () =
-      Repository.set_extent repo ~schema:name (Scheme.table tname)
-        (Relational.key_extent table)
-    in
-    List.fold_left
-      (fun acc (col, _) ->
-        let* () = acc in
-        if col = Relational.key_column table then Ok ()
-        else
-          let* extent = Relational.column_extent table col in
-          Repository.set_extent repo ~schema:name (Scheme.column tname col)
-            extent)
-      (Ok ()) (Relational.columns table)
+    Telemetry.with_span "wrapper.extent"
+      ~attrs:(fun () -> [ ("source", name); ("table", tname) ])
+      (fun () ->
+        let key_bag = tally (Relational.key_extent table) in
+        let* () =
+          Repository.set_extent repo ~schema:name (Scheme.table tname) key_bag
+        in
+        let* () =
+          List.fold_left
+            (fun acc (col, _) ->
+              let* () = acc in
+              if col = Relational.key_column table then Ok ()
+              else
+                let* extent = Relational.column_extent table col in
+                Repository.set_extent repo ~schema:name
+                  (Scheme.column tname col) (tally extent))
+            (Ok ()) (Relational.columns table)
+        in
+        if Telemetry.active () then
+          Telemetry.annotate "rows" (string_of_int (Value.Bag.cardinal key_bag));
+        Ok ())
   in
   List.fold_left store_table (Ok ()) (Relational.tables db)
 
 let wrap repo db =
-  let* schema = relational_schema db in
-  let* () = Repository.add_schema repo schema in
-  let* () = store_extents repo db in
-  Ok schema
+  Telemetry.with_span "wrapper.wrap"
+    ~attrs:(fun () -> [ ("source", Relational.db_name db) ])
+    (fun () ->
+      let* schema = relational_schema db in
+      let* () = Repository.add_schema repo schema in
+      let* () = store_extents repo db in
+      Ok schema)
 
 let refresh_extents repo db =
   match Repository.schema repo (Relational.db_name db) with

@@ -88,6 +88,18 @@ let rec fold_schemes acc = function
 
 let schemes e = fold_schemes Scheme.Set.empty e
 
+let rec size = function
+  | Const _ | Var _ | SchemeRef _ | Void | Any -> 1
+  | Tuple es | EBag es | App (_, es) ->
+      List.fold_left (fun acc e -> acc + size e) 1 es
+  | Binop (_, a, b) | Range (a, b) | Let (_, a, b) -> 1 + size a + size b
+  | Unop (_, e) -> 1 + size e
+  | If (c, t, e) -> 1 + size c + size t + size e
+  | Comp (h, qs) ->
+      List.fold_left
+        (fun acc -> function Gen (_, e) | Filter e -> acc + size e)
+        (1 + size h) qs
+
 let rec pat_vars = function
   | PVar x -> [ x ]
   | PWild | PConst _ -> []

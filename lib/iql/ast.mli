@@ -46,6 +46,10 @@ val equal : expr -> expr -> bool
 val schemes : expr -> Scheme.Set.t
 (** All schema objects whose extents the expression references. *)
 
+val size : expr -> int
+(** Number of AST nodes — the complexity measure reported by telemetry
+    probes and query-processor errors. *)
+
 val vars : expr -> string list
 (** Free variables, each listed once, in first-occurrence order. *)
 

@@ -1,4 +1,5 @@
 module Scheme = Automed_base.Scheme
+module Telemetry = Automed_telemetry.Telemetry
 module SM = Map.Make (String)
 
 type env = {
@@ -86,6 +87,7 @@ let builtins =
     "mod" ]
 
 let rec eval_expr env (e : Ast.expr) : Value.t =
+  Telemetry.count "iql.eval.nodes";
   match e with
   | Const v -> v
   | Void -> Value.Bag Value.Bag.empty
@@ -287,11 +289,22 @@ and eval_app _env f (args : Value.t list) : Value.t =
   | f -> err "unknown function %s" f
 
 let eval env e =
+  Telemetry.with_span "iql.eval" @@ fun () ->
   match
     in_context (Fmt.str "evaluating %s" (Ast.to_string e)) (fun () ->
         eval_expr env e)
   with
-  | v -> Ok v
+  | v ->
+      (if Telemetry.active () then begin
+         Telemetry.annotate "expr_size" (string_of_int (Ast.size e));
+         match v with
+         | Value.Bag b ->
+             let n = Value.Bag.cardinal b in
+             Telemetry.observe "iql.eval.bag_size" (float_of_int n);
+             Telemetry.annotate "bag_size" (string_of_int n)
+         | _ -> ()
+       end);
+      Ok v
   | exception Error e -> Error e
 
 let eval_exn env e =

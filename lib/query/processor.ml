@@ -6,14 +6,42 @@ module Eval = Automed_iql.Eval
 module Parser = Automed_iql.Parser
 module Transform = Automed_transform.Transform
 module Repository = Automed_repository.Repository
+module Telemetry = Automed_telemetry.Telemetry
 
-type error = { message : string }
+type error = {
+  message : string;
+  schema : string option;
+  expr_size : int option;
+}
 
-let pp_error ppf e = Fmt.string ppf e.message
+let error ?schema ?expr_size message = { message; schema; expr_size }
+
+let pp_error ppf e =
+  Fmt.string ppf e.message;
+  match (e.schema, e.expr_size) with
+  | None, None -> ()
+  | schema, size ->
+      Fmt.pf ppf " [";
+      (match schema with Some s -> Fmt.pf ppf "schema %s" s | None -> ());
+      (match (schema, size) with
+      | Some _, Some _ -> Fmt.pf ppf ", "
+      | _ -> ());
+      (match size with
+      | Some n -> Fmt.pf ppf "reformulated size %d" n
+      | None -> ());
+      Fmt.pf ppf "]"
 
 exception Err of error
 
-let err fmt = Format.kasprintf (fun message -> raise (Err { message })) fmt
+let err fmt = Format.kasprintf (fun message -> raise (Err (error message))) fmt
+
+(* fill in request context an [err] raised deep in the derivation lacks *)
+let add_context ?schema ?expr_size e =
+  {
+    e with
+    schema = (match e.schema with None -> schema | some -> some);
+    expr_size = (match e.expr_size with None -> expr_size | some -> some);
+  }
 
 module EK = struct
   type t = string * Scheme.t
@@ -40,6 +68,16 @@ let invalidate t =
 (* Derive, for each object of [p.to_schema], its defining expression over
    the objects of [p.from_schema], by symbolically replaying the pathway. *)
 let defs_of_pathway repo (p : Transform.pathway) : Ast.expr Scheme.Map.t =
+  Telemetry.with_span "pathway.apply"
+    ~attrs:(fun () ->
+      [
+        ("pathway", p.from_schema ^ " -> " ^ p.to_schema);
+        ("steps", string_of_int (List.length p.steps));
+      ])
+  @@ fun () ->
+  Telemetry.count "processor.pathway_applications";
+  if Telemetry.active () then
+    Telemetry.count ~by:(List.length p.steps) "processor.pathway_steps_replayed";
   let src =
     match Repository.schema repo p.from_schema with
     | Some s -> s
@@ -90,8 +128,11 @@ let defs_of_pathway repo (p : Transform.pathway) : Ast.expr Scheme.Map.t =
 
 let rec extent_exn t ~schema o =
   match EH.find_opt t.cache (schema, o) with
-  | Some bag -> bag
+  | Some bag ->
+      Telemetry.count "processor.extent.cache_hits";
+      bag
   | None ->
+      Telemetry.count "processor.extent.cache_misses";
       if List.mem schema t.visiting then
         err "cycle in pathway network at schema %s" schema;
       let sch =
@@ -104,16 +145,34 @@ let rec extent_exn t ~schema o =
       t.visiting <- schema :: t.visiting;
       let finish () = t.visiting <- List.tl t.visiting in
       let bag =
-        match compute_extent t ~schema o with
-        | bag -> finish (); bag
-        | exception e -> finish (); raise e
+        Telemetry.with_span "processor.extent"
+          ~attrs:(fun () ->
+            [ ("schema", schema); ("object", Scheme.to_string o) ])
+          (fun () ->
+            match compute_extent t ~schema o with
+            | bag -> finish (); bag
+            | exception e -> finish (); raise e)
       in
       EH.replace t.cache (schema, o) bag;
       bag
 
 and compute_extent t ~schema o =
   let stored =
-    match Repository.stored_extent t.repo ~schema o with
+    match
+      Telemetry.with_span "source.fetch"
+        ~attrs:(fun () ->
+          [ ("schema", schema); ("object", Scheme.to_string o) ])
+        (fun () ->
+          let r = Repository.stored_extent t.repo ~schema o in
+          (if Telemetry.active () then
+             match r with
+             | Some b ->
+                 let rows = Value.Bag.cardinal b in
+                 Telemetry.annotate "rows" (string_of_int rows);
+                 Telemetry.count ~by:rows "processor.rows_fetched"
+             | None -> Telemetry.annotate "stored" "false");
+          r)
+    with
     | Some b -> [ b ]
     | None -> []
   in
@@ -142,7 +201,7 @@ and eval_over t ~schema e =
 let extent_of t ~schema o =
   match extent_exn t ~schema o with
   | bag -> Ok bag
-  | exception Err e -> Error e
+  | exception Err e -> Error (add_context ~schema e)
 
 let check_refs t ~schema q =
   let sch =
@@ -157,19 +216,29 @@ let check_refs t ~schema q =
     (Ast.schemes q)
 
 let run ?(optimize = true) t ~schema q =
+  Telemetry.with_span "processor.run" ~attrs:(fun () -> [ ("schema", schema) ])
+  @@ fun () ->
+  Telemetry.count "processor.runs";
+  (* the expression actually evaluated, for error context and probes *)
+  let evaluated = ref q in
   match
     check_refs t ~schema q;
     let q = if optimize then Automed_iql.Optimize.optimize q else q in
+    evaluated := q;
     let env = Eval.env ~schemes:(fun s -> Some (extent_exn t ~schema s)) () in
     Eval.eval env q
   with
   | Ok v -> Ok v
-  | Error e -> Error { message = Fmt.str "%a" Eval.pp_error e }
-  | exception Err e -> Error e
+  | Error e ->
+      Error
+        (error ~schema ~expr_size:(Ast.size !evaluated)
+           (Fmt.str "%a" Eval.pp_error e))
+  | exception Err e ->
+      Error (add_context ~schema ~expr_size:(Ast.size !evaluated) e)
 
 let run_string t ~schema text =
   match Parser.parse text with
-  | Error e -> Error { message = e }
+  | Error e -> Error (error ~schema e)
   | Ok q -> run t ~schema q
 
 (* -- reformulation ----------------------------------------------------- *)
@@ -206,12 +275,21 @@ and unfold_scheme t ~schema o =
   | e :: rest -> List.fold_left (fun acc e -> Ast.Binop (Union, acc, e)) e rest
 
 let reformulate t ~schema q =
+  Telemetry.with_span "processor.reformulate"
+    ~attrs:(fun () -> [ ("schema", schema) ])
+  @@ fun () ->
+  Telemetry.count "processor.reformulations";
   match
     check_refs t ~schema q;
     unfold_expr t ~schema q
   with
-  | q' -> Ok q'
-  | exception Err e -> Error e
+  | q' ->
+      (if Telemetry.active () then
+         let n = Ast.size q' in
+         Telemetry.annotate "reformulated_size" (string_of_int n);
+         Telemetry.observe "processor.reformulated_size" (float_of_int n));
+      Ok q'
+  | exception Err e -> Error (add_context ~schema e)
 
 let source_env t =
   Eval.env
@@ -230,6 +308,10 @@ let answerable t ~schema q =
    the query.  find_path composes stored pathways and their reverses, so
    this works between any two connected schemas. *)
 let translate t ~from_schema ~to_schema q =
+  Telemetry.with_span "processor.translate"
+    ~attrs:(fun () -> [ ("from", from_schema); ("to", to_schema) ])
+  @@ fun () ->
+  Telemetry.count "processor.translations";
   match
     check_refs t ~schema:from_schema q;
     match Repository.find_path t.repo ~src:to_schema ~dst:from_schema with
@@ -244,4 +326,4 @@ let translate t ~from_schema ~to_schema q =
           q
   with
   | q' -> Ok q'
-  | exception Err e -> Error e
+  | exception Err e -> Error (add_context ~schema:from_schema e)

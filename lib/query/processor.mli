@@ -33,9 +33,24 @@ val repository : t -> Repository.t
 val invalidate : t -> unit
 (** Drops the extent cache (call after data or pathway changes). *)
 
-type error = { message : string }
+type error = {
+  message : string;
+  schema : string option;
+      (** the schema the failing request was posed against *)
+  expr_size : int option;
+      (** AST size of the expression being evaluated when the error was
+          raised (post-optimisation / reformulation) — a proxy for how
+          far the query had been unfolded *)
+}
+
+val error : ?schema:string -> ?expr_size:int -> string -> error
+(** Builds an error value; the optional context fields default to
+    absent.  Exposed for code that adapts string errors into processor
+    errors (e.g. the integration workflow). *)
 
 val pp_error : error Fmt.t
+(** Prints the message followed by the available context, e.g.
+    [no extent for ... \[schema ispider_v6, reformulated size 42\]]. *)
 
 val extent_of : t -> schema:string -> Scheme.t -> (Value.Bag.t, error) result
 (** The derived extent of one schema object: bag union of the stored

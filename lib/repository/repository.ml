@@ -2,6 +2,7 @@ module Scheme = Automed_base.Scheme
 module Schema = Automed_model.Schema
 module Transform = Automed_transform.Transform
 module Value = Automed_iql.Value
+module Telemetry = Automed_telemetry.Telemetry
 module SM = Map.Make (String)
 
 type extent_key = string * Scheme.t
@@ -88,6 +89,7 @@ let add_pathway t (p : Transform.pathway) =
                 p.to_schema
       in
       t.pathways <- p :: t.pathways;
+      Telemetry.count "repository.pathways_registered";
       Ok ()
 
 let derive_schema t p =
@@ -107,6 +109,9 @@ let pathways_into t name =
     (List.filter (fun (p : Transform.pathway) -> p.to_schema = name) t.pathways)
 
 let find_path t ~src ~dst =
+  Telemetry.with_span "repository.find_path"
+    ~attrs:(fun () -> [ ("src", src); ("dst", dst) ])
+  @@ fun () ->
   if not (mem_schema t src) then err "no schema %s" src
   else if not (mem_schema t dst) then err "no schema %s" dst
   else if src = dst then
@@ -121,6 +126,7 @@ let find_path t ~src ~dst =
     let result = ref None in
     while !result = None && not (Queue.is_empty queue) do
       let here, acc = Queue.pop queue in
+      Telemetry.count "repository.find_path.nodes_expanded";
       let step (p : Transform.pathway) =
         if !result = None && not (Hashtbl.mem visited p.to_schema) then begin
           let acc = p :: acc in
@@ -141,11 +147,23 @@ let find_path t ~src ~dst =
     | None -> err "no pathway from %s to %s" src dst
     | Some [] -> assert false
     | Some (first :: rest) ->
-        List.fold_left
-          (fun acc p ->
-            let* acc = acc in
-            Transform.compose acc p)
-          (Ok first) rest
+        let composed =
+          List.fold_left
+            (fun acc p ->
+              let* acc = acc in
+              Transform.compose acc p)
+            (Ok first) rest
+        in
+        (if Telemetry.active () then
+           match composed with
+           | Ok (p : Transform.pathway) ->
+               let len = List.length p.steps in
+               Telemetry.observe "repository.find_path.path_length"
+                 (float_of_int len);
+               Telemetry.annotate "path_length" (string_of_int len);
+               Telemetry.annotate "hops" (string_of_int (1 + List.length rest))
+           | Error _ -> ());
+        composed
   end
 
 let set_extent t ~schema:name obj bag =

@@ -1,0 +1,94 @@
+module J = Microjson
+
+let us base t = (t -. base) *. 1e6
+
+let render ?(process_name = "automed") mem =
+  let spans = Telemetry.Memory.spans mem in
+  let base = match spans with [] -> 0.0 | s :: _ -> s.Telemetry.Memory.start in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":%s}}"
+       (J.escape process_name));
+  List.iter
+    (fun (s : Telemetry.Memory.span) ->
+      let args =
+        ("span_id", string_of_int s.id)
+        :: (match s.parent with
+           | Some p -> [ ("parent_id", string_of_int p) ]
+           | None -> [])
+        @ s.attrs
+      in
+      let fields =
+        List.map (fun (k, v) -> Printf.sprintf "%s:%s" (J.escape k) (J.escape v)) args
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           ",{\"name\":%s,\"cat\":\"automed\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":{%s}}"
+           (J.escape s.name)
+           (J.number (us base s.start))
+           (J.number (s.dur *. 1e6))
+           (String.concat "," fields)))
+    spans;
+  let end_ts =
+    List.fold_left
+      (fun acc (s : Telemetry.Memory.span) ->
+        Float.max acc (us base s.start +. (s.dur *. 1e6)))
+      0.0 spans
+  in
+  List.iter
+    (fun (name, total) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",{\"name\":%s,\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"tid\":1,\"args\":{\"value\":%d}}"
+           (J.escape name) (J.number end_ts) total))
+    (Telemetry.Memory.counters mem);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let validate text =
+  let ( let* ) = Result.bind in
+  let* doc = J.parse text in
+  let* events =
+    match J.member "traceEvents" doc with
+    | Some (J.Arr evs) -> Ok evs
+    | Some _ -> Error "traceEvents is not an array"
+    | None -> Error "missing traceEvents field"
+  in
+  let check i ev =
+    let ctx fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "event %d: %s" i m)) fmt in
+    match ev with
+    | J.Obj _ -> (
+        match J.member "ph" ev with
+        | Some (J.Str ph) -> (
+            let* () =
+              match J.member "ts" ev with
+              | Some (J.Num _) -> Ok ()
+              | _ when ph = "M" -> Ok () (* metadata events need no ts *)
+              | _ -> ctx "missing numeric ts"
+            in
+            let* () =
+              if ph = "M" then Ok ()
+              else
+                match J.member "name" ev with
+                | Some (J.Str _) -> Ok ()
+                | _ -> ctx "missing string name"
+            in
+            match ph with
+            | "X" -> (
+                match J.member "dur" ev with
+                | Some (J.Num d) when d >= 0.0 -> Ok ()
+                | Some (J.Num _) -> ctx "negative dur"
+                | _ -> ctx "X event without numeric dur")
+            | _ -> Ok ())
+        | _ -> ctx "missing string ph")
+    | _ -> ctx "not an object"
+  in
+  let rec all i = function
+    | [] -> Ok ()
+    | ev :: rest ->
+        let* () = check i ev in
+        all (i + 1) rest
+  in
+  all 0 events

@@ -1,0 +1,17 @@
+(** Chrome trace-event exporter: renders a {!Telemetry.Memory} sink's
+    completed spans and counter totals to the JSON Object Format
+    understood by [chrome://tracing] and {{:https://ui.perfetto.dev}
+    Perfetto} (one ["X"] complete event per span, one ["C"] counter
+    event per counter, timestamps in microseconds relative to the first
+    span). *)
+
+val render : ?process_name:string -> Telemetry.Memory.t -> string
+(** The trace as a complete JSON document.  [process_name] (default
+    ["automed"]) becomes the [process_name] metadata event. *)
+
+val validate : string -> (unit, string) result
+(** Checks that a string is well-formed JSON with the Chrome trace shape:
+    a top-level object whose ["traceEvents"] field is an array of event
+    objects, each carrying a string ["ph"] and a numeric ["ts"], with a
+    numeric ["dur"] on ["X"] events and a string ["name"] on all
+    non-metadata events. *)

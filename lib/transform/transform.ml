@@ -2,6 +2,7 @@ module Scheme = Automed_base.Scheme
 module Schema = Automed_model.Schema
 module Ast = Automed_iql.Ast
 module Types = Automed_iql.Types
+module Telemetry = Automed_telemetry.Telemetry
 
 type query = Ast.expr
 
@@ -67,7 +68,17 @@ let infer_extent_ty schema q =
   | Ok (Types.TBag _ as t) when not (contains_var t) -> Some t
   | Ok _ | Error _ -> None
 
+(* static strings: a no-sink probe stays a single branch, no allocation *)
+let prim_counter = function
+  | Add _ -> "transform.prim.add"
+  | Delete _ -> "transform.prim.delete"
+  | Extend _ -> "transform.prim.extend"
+  | Contract _ -> "transform.prim.contract"
+  | Rename _ -> "transform.prim.rename"
+  | Id _ -> "transform.prim.id"
+
 let apply_prim schema prim =
+  Telemetry.count (prim_counter prim);
   let result =
     match prim with
     | Add (s, q) ->
@@ -107,8 +118,15 @@ let fold_steps schema p f =
   Ok final
 
 let apply schema p =
-  let* s = fold_steps schema p apply_prim in
-  Ok (Schema.rename p.to_schema s)
+  Telemetry.with_span "transform.apply"
+    ~attrs:(fun () ->
+      [
+        ("pathway", p.from_schema ^ " -> " ^ p.to_schema);
+        ("steps", string_of_int (List.length p.steps));
+      ])
+    (fun () ->
+      let* s = fold_steps schema p apply_prim in
+      Ok (Schema.rename p.to_schema s))
 
 (* A query attached to a step may only mention objects present in the
    schema it is stated over: the pre-schema for add/extend, the

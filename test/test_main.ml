@@ -23,6 +23,7 @@ let () =
       ("integration", Test_integration.suite);
       ("ispider", Test_ispider.suite);
       ("analysis", Test_analysis.suite);
+      ("telemetry", Test_telemetry.suite);
       ("user-cost", Test_user_cost.suite);
       ("properties", Test_properties.suite);
       ("bibliome", Test_bibliome.suite);

@@ -1,0 +1,296 @@
+(* The telemetry library: span nesting and ordering, counter
+   aggregation, memory-sink snapshot determinism, Chrome-trace JSON
+   well-formedness, and no-sink/with-sink result equivalence for an
+   instrumented Processor.run. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Parser = Automed_iql.Parser
+module Value = Automed_iql.Value
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Telemetry = Automed_telemetry.Telemetry
+module Chrome_trace = Automed_telemetry.Chrome_trace
+module Microjson = Automed_telemetry.Microjson
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let ok_p = function Ok v -> v | Error e -> Alcotest.failf "%a" Processor.pp_error e
+
+(* a deterministic clock: every reading advances by one second *)
+let fake_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    let v = !t in
+    t := v +. 1.0;
+    v
+
+let with_fake_clock f =
+  Telemetry.set_clock (fake_clock ());
+  Fun.protect ~finally:(fun () -> Telemetry.set_clock Telemetry.wall_clock) f
+
+let record f =
+  with_fake_clock @@ fun () ->
+  let mem = Telemetry.Memory.create () in
+  Telemetry.with_sink (Telemetry.Memory.sink mem) f;
+  mem
+
+(* -- spans ---------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let mem =
+    record (fun () ->
+        Telemetry.with_span "outer" (fun () ->
+            Telemetry.with_span "inner_a" (fun () -> ());
+            Telemetry.with_span "inner_b" (fun () ->
+                Telemetry.with_span "leaf" (fun () -> ()))))
+  in
+  let spans = Telemetry.Memory.spans mem in
+  Alcotest.(check (list string))
+    "start order" [ "outer"; "inner_a"; "inner_b"; "leaf" ]
+    (List.map (fun s -> s.Telemetry.Memory.name) spans);
+  let find name =
+    List.find (fun s -> s.Telemetry.Memory.name = name) spans
+  in
+  let outer = find "outer" in
+  Alcotest.(check (option int)) "outer is a root" None outer.Telemetry.Memory.parent;
+  Alcotest.(check (option int))
+    "inner_a nests under outer" (Some outer.Telemetry.Memory.id)
+    (find "inner_a").Telemetry.Memory.parent;
+  Alcotest.(check (option int))
+    "inner_b nests under outer" (Some outer.Telemetry.Memory.id)
+    (find "inner_b").Telemetry.Memory.parent;
+  Alcotest.(check (option int))
+    "leaf nests under inner_b" (Some (find "inner_b").Telemetry.Memory.id)
+    (find "leaf").Telemetry.Memory.parent
+
+let test_span_exception_safe () =
+  let mem =
+    record (fun () ->
+        try
+          Telemetry.with_span "outer" (fun () ->
+              Telemetry.with_span "boom" (fun () -> failwith "boom"))
+        with Failure _ -> ())
+  in
+  (* both spans were closed despite the exception, and a later span is
+     again a root: the stack was unwound correctly *)
+  Alcotest.(check int) "both closed" 2 (List.length (Telemetry.Memory.spans mem));
+  let mem2 =
+    record (fun () ->
+        (try Telemetry.with_span "boom" (fun () -> failwith "x")
+         with Failure _ -> ());
+        Telemetry.with_span "after" (fun () -> ()))
+  in
+  let after =
+    List.find
+      (fun s -> s.Telemetry.Memory.name = "after")
+      (Telemetry.Memory.spans mem2)
+  in
+  Alcotest.(check (option int)) "after is a root" None after.Telemetry.Memory.parent
+
+let test_span_attrs_and_annotations () =
+  let mem =
+    record (fun () ->
+        Telemetry.with_span "s"
+          ~attrs:(fun () -> [ ("k", "v") ])
+          (fun () -> Telemetry.annotate "rows" "42"))
+  in
+  let s = List.hd (Telemetry.Memory.spans mem) in
+  Alcotest.(check (list (pair string string)))
+    "begin attrs then annotations" [ ("k", "v"); ("rows", "42") ]
+    s.Telemetry.Memory.attrs
+
+let test_no_sink_probes_are_noops () =
+  (* without a sink every probe must be safe and side-effect free *)
+  Alcotest.(check bool) "inactive" false (Telemetry.active ());
+  let v =
+    Telemetry.with_span "free"
+      ~attrs:(fun () -> Alcotest.fail "attrs forced without a sink")
+      (fun () ->
+        Telemetry.count "c";
+        Telemetry.observe "h" 1.0;
+        Telemetry.annotate "a" "b";
+        17)
+  in
+  Alcotest.(check int) "value returned" 17 v
+
+(* -- counters and histograms ---------------------------------------------- *)
+
+let test_counter_aggregation () =
+  let mem =
+    record (fun () ->
+        Telemetry.count "a";
+        Telemetry.count ~by:4 "a";
+        Telemetry.count "b";
+        Telemetry.count ~by:0 "zero")
+  in
+  Alcotest.(check (list (pair string int)))
+    "totals sorted by name"
+    [ ("a", 5); ("b", 1); ("zero", 0) ]
+    (Telemetry.Memory.counters mem);
+  Alcotest.(check int) "single counter" 5 (Telemetry.Memory.counter mem "a");
+  Alcotest.(check int) "missing counter" 0 (Telemetry.Memory.counter mem "nope")
+
+let test_histogram_aggregation () =
+  let mem =
+    record (fun () ->
+        List.iter (Telemetry.observe "h") [ 3.0; 1.0; 2.0 ])
+  in
+  match Telemetry.Memory.histograms mem with
+  | [ ("h", { Telemetry.Memory.n; sum; min; max }) ] ->
+      Alcotest.(check int) "n" 3 n;
+      Alcotest.(check (float 1e-9)) "sum" 6.0 sum;
+      Alcotest.(check (float 1e-9)) "min" 1.0 min;
+      Alcotest.(check (float 1e-9)) "max" 3.0 max
+  | hs -> Alcotest.failf "unexpected histograms (%d)" (List.length hs)
+
+(* -- snapshot determinism ------------------------------------------------- *)
+
+let scenario () =
+  Telemetry.with_span "root" (fun () ->
+      Telemetry.count ~by:2 "beta";
+      Telemetry.count "alpha";
+      Telemetry.with_span "child" (fun () -> Telemetry.observe "width" 7.5);
+      Telemetry.with_span "child" (fun () -> Telemetry.observe "width" 2.5))
+
+let test_snapshot_deterministic () =
+  let render mem =
+    let m = Telemetry.Metrics.of_memory mem in
+    (Telemetry.Metrics.to_text m, Telemetry.Metrics.to_tsv m,
+     Telemetry.Metrics.to_json m)
+  in
+  let t1, v1, j1 = render (record scenario) in
+  let t2, v2, j2 = render (record scenario) in
+  Alcotest.(check string) "text stable" t1 t2;
+  Alcotest.(check string) "tsv stable" v1 v2;
+  Alcotest.(check string) "json stable" j1 j2;
+  (match Microjson.parse j1 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "to_json output unparsable: %s" e);
+  (* reset really clears the sink state *)
+  let mem = record scenario in
+  Telemetry.Memory.reset mem;
+  Alcotest.(check int) "no spans after reset" 0
+    (List.length (Telemetry.Memory.spans mem));
+  Alcotest.(check (list (pair string int)))
+    "no counters after reset" [] (Telemetry.Memory.counters mem)
+
+(* -- Chrome trace export --------------------------------------------------- *)
+
+let test_chrome_trace_well_formed () =
+  let mem = record scenario in
+  let json = Chrome_trace.render ~process_name:"test" mem in
+  (match Chrome_trace.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid trace: %s" e);
+  match Microjson.parse json with
+  | Error e -> Alcotest.failf "trace not JSON: %s" e
+  | Ok doc ->
+      let events =
+        match Microjson.member "traceEvents" doc with
+        | Some (Microjson.Arr es) -> es
+        | _ -> Alcotest.fail "traceEvents missing"
+      in
+      let ph e =
+        match Microjson.member "ph" e with
+        | Some (Microjson.Str s) -> s
+        | _ -> Alcotest.fail "event without ph"
+      in
+      (* 1 metadata + 3 spans + 2 counters *)
+      Alcotest.(check int) "span events" 3
+        (List.length (List.filter (fun e -> ph e = "X") events));
+      Alcotest.(check int) "counter events" 2
+        (List.length (List.filter (fun e -> ph e = "C") events));
+      Alcotest.(check int) "metadata events" 1
+        (List.length (List.filter (fun e -> ph e = "M") events))
+
+let test_chrome_trace_validate_rejects () =
+  let reject name s =
+    match Chrome_trace.validate s with
+    | Ok () -> Alcotest.failf "%s accepted" name
+    | Error _ -> ()
+  in
+  reject "not JSON" "{";
+  reject "no traceEvents" {|{"foo": []}|};
+  reject "traceEvents not an array" {|{"traceEvents": 3}|};
+  reject "event without ph" {|{"traceEvents": [{"name": "x"}]}|};
+  reject "X event with string dur"
+    {|{"traceEvents": [{"ph": "X", "name": "x", "ts": 0, "dur": "z"}]}|}
+
+(* -- Jsonl sink ------------------------------------------------------------ *)
+
+let test_jsonl_sink () =
+  let lines = Buffer.create 256 in
+  (with_fake_clock @@ fun () ->
+   Telemetry.with_sink (Telemetry.Jsonl.sink (Buffer.add_string lines))
+     scenario);
+  let rendered = Buffer.contents lines in
+  let rows =
+    String.split_on_char '\n' rendered |> List.filter (fun l -> l <> "")
+  in
+  (* begin/end per span (3 spans) + 2 counts + 2 observations *)
+  Alcotest.(check int) "one line per event" 10 (List.length rows);
+  List.iter
+    (fun line ->
+      match Microjson.parse line with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "bad JSONL line %S: %s" line e)
+    rows
+
+(* -- instrumented Processor.run: sink must not change results -------------- *)
+
+let query_repo () =
+  let q = Parser.parse_exn in
+  let repo = Repository.create () in
+  ok
+    (Repository.add_schema repo
+       (ok (Schema.of_objects "src" [ (Scheme.table "t", None) ])));
+  ok
+    (Repository.set_extent repo ~schema:"src" (Scheme.table "t")
+       (Value.Bag.of_list [ Value.Str "a"; Value.Str "b" ]));
+  ok
+    (Repository.add_pathway repo
+       {
+         Transform.from_schema = "src";
+         to_schema = "derived";
+         steps =
+           [ Transform.Add (Scheme.table "tagged", q "[{'S', k} | k <- <<t>>]") ];
+       });
+  repo
+
+let test_sink_equivalence () =
+  let text = "[k | {s, k} <- <<tagged>>; s = 'S']" in
+  let run () =
+    (* a fresh processor per run: no shared extent cache *)
+    let proc = Processor.create (query_repo ()) in
+    ok_p (Processor.run_string proc ~schema:"derived" text)
+  in
+  let bare = run () in
+  let mem = Telemetry.Memory.create () in
+  let sunk = Telemetry.with_sink (Telemetry.Memory.sink mem) run in
+  Alcotest.(check bool) "same answer with and without a sink" true
+    (Value.equal bare sunk);
+  Alcotest.(check bool) "probes actually fired" true
+    (Telemetry.Memory.counter mem "processor.runs" > 0
+    && Telemetry.Memory.find_spans mem "processor.run" <> []);
+  Alcotest.(check bool) "sink gone afterwards" false (Telemetry.active ())
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
+    Alcotest.test_case "span attrs and annotations" `Quick
+      test_span_attrs_and_annotations;
+    Alcotest.test_case "probes are no-ops without a sink" `Quick
+      test_no_sink_probes_are_noops;
+    Alcotest.test_case "counter aggregation" `Quick test_counter_aggregation;
+    Alcotest.test_case "histogram aggregation" `Quick test_histogram_aggregation;
+    Alcotest.test_case "snapshot determinism" `Quick test_snapshot_deterministic;
+    Alcotest.test_case "chrome trace well-formed" `Quick
+      test_chrome_trace_well_formed;
+    Alcotest.test_case "chrome trace validation rejects" `Quick
+      test_chrome_trace_validate_rejects;
+    Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
+    Alcotest.test_case "with-sink run equals no-sink run" `Quick
+      test_sink_equivalence;
+  ]
