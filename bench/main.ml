@@ -33,6 +33,7 @@ module Intersection_run = Automed_ispider.Intersection_run
 module Classical_run = Automed_ispider.Classical_run
 module Telemetry = Automed_telemetry.Telemetry
 module Microjson = Automed_telemetry.Microjson
+module Resilience = Automed_resilience.Resilience
 
 let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 let ok = function Ok v -> v | Error e -> die "error: %s" e
@@ -393,6 +394,175 @@ let experiment_user_cost () =
     (float_of_int cc.User_cost.transformations
     /. float_of_int ic.User_cost.transformations)
 
+(* -- E-R1: the seven queries under injected faults ------------------------ *)
+
+(* The priority queries at a seeded 20% fault rate on one source
+   (pedro), in three configurations:
+
+   - no policy: fail-fast, no retries, no breaker — the seed behaviour;
+   - retry policy: the default policy (2 retries, exponential backoff);
+   - degraded mode: fail-fast but through [run_query_degraded], so an
+     exhausted source is skipped and reported instead of failing the
+     query.
+
+   Latency added by the kernel is virtual (backoff sleeps on the
+   simulated clock), so the numbers are deterministic; the snapshot
+   lands in BENCH_resilience.json. *)
+
+let resilience_fault_rate = 0.2
+let resilience_seed = 3L (* the test suite's seed: faults demonstrably fire *)
+
+type resilience_outcome = {
+  label : string;
+  per_query : (int * [ `Ok | `Degraded of int (* skips *) | `Failed ]) list;
+  virtual_ms : float;  (** simulated backoff/latency spent by the kernel *)
+  wall_ms : float;
+  pedro : Resilience.stats;
+}
+
+let resilience_config ~label ~policy ~degrade =
+  let repo = Repository.create () in
+  let res = Resilience.create ~seed:resilience_seed ~policy () in
+  ok (Sources.wrap_all ~resilience:res repo dataset);
+  let run = ok (Intersection_run.execute ~resilience:res repo) in
+  let wf = run.Intersection_run.workflow in
+  Resilience.inject res ~source:"pedro"
+    (Resilience.Fault.rate resilience_fault_rate);
+  let base_virtual = Resilience.now_ms res in
+  let base_stats = Resilience.stats res "pedro" in
+  let t0 = Telemetry.wall_clock () in
+  let per_query =
+    List.map
+      (fun (q : Queries.query) ->
+        (* a cold cache per query: every query re-attempts the faulty
+           source instead of riding an earlier query's fetches *)
+        Processor.invalidate (Workflow.processor wf);
+        let outcome =
+          if degrade then
+            match Workflow.run_query_degraded wf q.Queries.global_text with
+            | Ok (_, c) when c.Processor.complete -> `Ok
+            | Ok (_, c) -> `Degraded (List.length c.Processor.sources_skipped)
+            | Error _ -> `Failed
+          else
+            match Workflow.run_query wf q.Queries.global_text with
+            | Ok _ -> `Ok
+            | Error _ -> `Failed
+        in
+        (q.Queries.number, outcome))
+      Queries.all
+  in
+  let wall_ms = (Telemetry.wall_clock () -. t0) *. 1000.0 in
+  let s = Resilience.stats res "pedro" in
+  {
+    label;
+    per_query;
+    virtual_ms = Resilience.now_ms res -. base_virtual;
+    wall_ms;
+    pedro =
+      {
+        s with
+        Resilience.attempts = s.Resilience.attempts - base_stats.Resilience.attempts;
+        successes = s.Resilience.successes - base_stats.Resilience.successes;
+      };
+  }
+
+let fail_fast_policy =
+  {
+    Resilience.Policy.none with
+    Resilience.Policy.breaker_threshold = 0;
+  }
+
+let resilience_outcomes () =
+  [
+    resilience_config ~label:"no policy (fail fast)" ~policy:fail_fast_policy
+      ~degrade:false;
+    resilience_config ~label:"retry policy (default)"
+      ~policy:Resilience.Policy.default ~degrade:false;
+    resilience_config ~label:"degraded mode (fail fast)"
+      ~policy:fail_fast_policy ~degrade:true;
+  ]
+
+let experiment_resilience outcomes =
+  section
+    (Printf.sprintf
+       "E-R1  Fault tolerance: 7 queries, %.0f%% injected fault rate on pedro"
+       (100.0 *. resilience_fault_rate));
+  List.iter
+    (fun o ->
+      let ok_n =
+        List.length (List.filter (fun (_, r) -> r = `Ok) o.per_query)
+      in
+      let degraded_n =
+        List.length
+          (List.filter
+             (fun (_, r) -> match r with `Degraded _ -> true | _ -> false)
+             o.per_query)
+      in
+      let failed_n = List.length o.per_query - ok_n - degraded_n in
+      Printf.printf "%s\n" o.label;
+      Printf.printf
+        "  answered: %d/7 (%d complete, %d degraded), failed: %d\n" (ok_n + degraded_n)
+        ok_n degraded_n failed_n;
+      Printf.printf "  per query: %s\n"
+        (String.concat " "
+           (List.map
+              (fun (n, r) ->
+                Printf.sprintf "Q%d=%s" n
+                  (match r with
+                  | `Ok -> "ok"
+                  | `Degraded k -> Printf.sprintf "degraded(%d skipped)" k
+                  | `Failed -> "FAILED"))
+              o.per_query));
+      Printf.printf
+        "  pedro fetches: %d attempts, %d retries, %d injected faults\n"
+        o.pedro.Resilience.attempts o.pedro.Resilience.retries
+        o.pedro.Resilience.faults_injected;
+      Printf.printf "  added latency: %.0f ms virtual, %.2f ms wall\n\n"
+        o.virtual_ms o.wall_ms)
+    outcomes
+
+let write_resilience_snapshot path outcomes =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let outcome_json o =
+        let per_query =
+          String.concat ", "
+            (List.map
+               (fun (n, r) ->
+                 Printf.sprintf "{\"query\": %d, \"outcome\": %s}" n
+                   (match r with
+                   | `Ok -> "\"ok\""
+                   | `Degraded k ->
+                       Printf.sprintf "{\"degraded\": {\"skipped\": %d}}" k
+                   | `Failed -> "\"failed\""))
+               o.per_query)
+        in
+        Printf.sprintf
+          "{\n\
+          \    \"label\": %s,\n\
+          \    \"queries\": [%s],\n\
+          \    \"virtual_ms\": %.1f,\n\
+          \    \"wall_ms\": %.3f,\n\
+          \    \"pedro\": {\"attempts\": %d, \"retries\": %d, \"failures\": \
+           %d, \"faults_injected\": %d}\n\
+          \  }"
+          (Microjson.escape o.label) per_query o.virtual_ms o.wall_ms
+          o.pedro.Resilience.attempts o.pedro.Resilience.retries
+          o.pedro.Resilience.failures o.pedro.Resilience.faults_injected
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"E-R1\",\n\
+        \  \"fault_rate\": %.2f,\n\
+        \  \"seed\": %Ld,\n\
+        \  \"faulty_source\": \"pedro\",\n\
+        \  \"configurations\": [%s]\n\
+         }\n"
+        resilience_fault_rate resilience_seed
+        (String.concat ", " (List.map outcome_json outcomes)))
+
 (* -- E-P*: Bechamel micro-benchmarks -------------------------------------- *)
 
 let bench_query =
@@ -604,6 +774,10 @@ let () =
   with_telemetry "E-CS2" experiment_payg;
   with_telemetry "E-F1..E-F4" experiment_figures;
   with_telemetry "E-FW1" experiment_user_cost;
+  let resilience = with_telemetry "E-R1" resilience_outcomes in
+  experiment_resilience resilience;
+  write_resilience_snapshot "BENCH_resilience.json" resilience;
+  Printf.printf "wrote BENCH_resilience.json (E-R1 snapshot)\n";
   run_bechamel () (* no sink: keep the measured path probe-free *);
   with_telemetry "E-P5" bench_federated_scaling;
   with_telemetry "E-P6" bench_integration_end_to_end;

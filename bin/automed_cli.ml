@@ -30,6 +30,7 @@ module Classical_run = Automed_ispider.Classical_run
 module Telemetry = Automed_telemetry.Telemetry
 module Chrome_trace = Automed_telemetry.Chrome_trace
 module Intersection = Automed_integration.Intersection
+module Resilience = Automed_resilience.Resilience
 
 open Cmdliner
 
@@ -43,7 +44,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_csv_source repo spec =
+let load_csv_source ?resilience repo spec =
   match String.index_opt spec '=' with
   | None -> Error (Printf.sprintf "--csv expects NAME=DIR, got %S" spec)
   | Some i ->
@@ -71,22 +72,22 @@ let load_csv_source repo spec =
             (Ok (Relational.create_db name))
             files
         in
-        let* _ = Wrapper.wrap repo db in
+        let* _ = Wrapper.wrap ?resilience repo db in
         Ok ()
 
-let build_repo ~integrated ~csv_specs =
+let build_repo ~integrated ~csv_specs ~resilience =
   let repo = Repository.create () in
   let ( let* ) = Result.bind in
-  let* () = Sources.wrap_all repo (Sources.generate ()) in
+  let* () = Sources.wrap_all ?resilience repo (Sources.generate ()) in
   let* () =
     List.fold_left
       (fun acc spec ->
         let* () = acc in
-        load_csv_source repo spec)
+        load_csv_source ?resilience repo spec)
       (Ok ()) csv_specs
   in
   if integrated then
-    let* _run = Intersection_run.execute repo in
+    let* _run = Intersection_run.execute ?resilience repo in
     Ok repo
   else Ok repo
 
@@ -103,16 +104,38 @@ let csv_specs =
     & info [ "csv" ] ~docv:"NAME=DIR"
         ~doc:"Load an additional relational source from a directory of CSV files.")
 
-let with_repo integrated csv_specs f =
-  match build_repo ~integrated ~csv_specs with
+let no_resilience =
+  Arg.(
+    value & flag
+    & info [ "no-resilience" ]
+        ~doc:
+          "Build the repository without the fault-handling layer: source \
+           fetches are not retried and $(b,lint) warns about every \
+           unprotected source.")
+
+let fault_seed =
+  Arg.(
+    value & opt int64 0x5EEDL
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the deterministic fault injector and backoff jitter; the \
+           same seed always produces the same failures.")
+
+(* [f] receives the repository and, unless --no-resilience, the registry
+   every wrapped source was registered in *)
+let with_repo ?(fault_seed = 0x5EEDL) integrated csv_specs no_resilience f =
+  let resilience =
+    if no_resilience then None else Some (Resilience.create ~seed:fault_seed ())
+  in
+  match build_repo ~integrated ~csv_specs ~resilience with
   | Error e -> `Error (false, e)
-  | Ok repo -> f repo
+  | Ok repo -> f repo resilience
 
 (* -- commands ------------------------------------------------------------ *)
 
 let schemas_cmd =
-  let run integrated csv_specs =
-    with_repo integrated csv_specs (fun repo ->
+  let run integrated csv_specs no_resilience =
+    with_repo integrated csv_specs no_resilience (fun repo _res ->
         List.iter
           (fun s ->
             Printf.printf "%-28s %4d objects%s\n" (Schema.name s)
@@ -124,7 +147,7 @@ let schemas_cmd =
         `Ok ())
   in
   Cmd.v (Cmd.info "schemas" ~doc:"List all schemas in the repository.")
-    Term.(ret (const run $ integrated $ csv_specs))
+    Term.(ret (const run $ integrated $ csv_specs $ no_resilience))
 
 let schema_arg =
   Arg.(
@@ -133,8 +156,8 @@ let schema_arg =
     & info [] ~docv:"SCHEMA" ~doc:"Schema name.")
 
 let show_cmd =
-  let run integrated csv_specs name =
-    with_repo integrated csv_specs (fun repo ->
+  let run integrated csv_specs no_resilience name =
+    with_repo integrated csv_specs no_resilience (fun repo _res ->
         match Repository.schema repo name with
         | None -> fail "no schema %s" name
         | Some s ->
@@ -142,7 +165,36 @@ let show_cmd =
             `Ok ())
   in
   Cmd.v (Cmd.info "show" ~doc:"Show a schema's objects and extent types.")
-    Term.(ret (const run $ integrated $ csv_specs $ schema_arg))
+    Term.(ret (const run $ integrated $ csv_specs $ no_resilience $ schema_arg))
+
+(* NAME=RATE fault profile specs, e.g. --fault pedro=0.2 *)
+let parse_fault_spec spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Printf.sprintf "--fault expects NAME=RATE, got %S" spec)
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      let rate = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match float_of_string_opt rate with
+      | Some r when r >= 0.0 && r <= 1.0 -> Ok (name, r)
+      | _ -> Error (Printf.sprintf "--fault rate must be in [0,1], got %S" rate))
+
+let apply_faults resilience specs =
+  List.fold_left
+    (fun acc spec ->
+      Result.bind acc (fun () ->
+          Result.map
+            (fun (name, r) ->
+              Resilience.inject resilience ~source:name (Resilience.Fault.rate r))
+            (parse_fault_spec spec)))
+    (Ok ()) specs
+
+let print_bag b =
+  List.iter
+    (fun (v, n) ->
+      if n = 1 then Printf.printf "%s\n" (Value.to_string v)
+      else Printf.printf "%s  (x%d)\n" (Value.to_string v) n)
+    b;
+  Printf.printf "-- %d answers\n" (Value.Bag.cardinal b)
 
 let query_cmd =
   let iql =
@@ -151,26 +203,71 @@ let query_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"IQL" ~doc:"IQL query text.")
   in
-  let run integrated csv_specs name text =
-    with_repo integrated csv_specs (fun repo ->
-        let proc = Processor.create repo in
-        match Processor.run_string proc ~schema:name text with
-        | Ok (Value.Bag b) ->
-            List.iter
-              (fun (v, n) ->
-                if n = 1 then Printf.printf "%s\n" (Value.to_string v)
-                else Printf.printf "%s  (x%d)\n" (Value.to_string v) n)
-              b;
-            Printf.printf "-- %d answers\n" (Value.Bag.cardinal b);
-            `Ok ()
-        | Ok v ->
-            Printf.printf "%s\n" (Value.to_string v);
-            `Ok ()
-        | Error e -> fail "%s" (Fmt.str "%a" Processor.pp_error e))
+  let degrade =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:
+            "Degrade gracefully: a source that exhausts its resilience \
+             policy is skipped (contributing its certain-answer lower \
+             bound, i.e. nothing) and reported in a completeness footer \
+             instead of failing the query.")
+  in
+  let faults =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault" ] ~docv:"NAME=RATE"
+          ~doc:
+            "Inject deterministic faults: every extent fetch from source \
+             $(i,NAME) fails with probability $(i,RATE) (repeatable; see \
+             $(b,--fault-seed)).")
+  in
+  let run integrated csv_specs no_resilience fault_seed name text faults degrade
+      =
+    with_repo ~fault_seed integrated csv_specs no_resilience (fun repo res ->
+        let ( let* ) = Result.bind in
+        match
+          let* () =
+            match (res, faults) with
+            | _, [] -> Ok ()
+            | Some r, _ -> apply_faults r faults
+            | None, _ :: _ -> Error "--fault requires the resilience layer"
+          in
+          Ok (Processor.create ?resilience:res repo)
+        with
+        | Error e -> fail "%s" e
+        | Ok proc when degrade -> (
+            match Parser.parse text with
+            | Error e -> fail "%s" e
+            | Ok ast -> (
+                match Processor.run_degraded proc ~schema:name ast with
+                | Ok (Value.Bag b, c) ->
+                    print_bag b;
+                    Printf.printf "-- completeness: %s\n"
+                      (Fmt.str "%a" Processor.pp_completeness c);
+                    `Ok ()
+                | Ok (v, c) ->
+                    Printf.printf "%s\n" (Value.to_string v);
+                    Printf.printf "-- completeness: %s\n"
+                      (Fmt.str "%a" Processor.pp_completeness c);
+                    `Ok ()
+                | Error e -> fail "%s" (Fmt.str "%a" Processor.pp_error e)))
+        | Ok proc -> (
+            match Processor.run_string proc ~schema:name text with
+            | Ok (Value.Bag b) ->
+                print_bag b;
+                `Ok ()
+            | Ok v ->
+                Printf.printf "%s\n" (Value.to_string v);
+                `Ok ()
+            | Error e -> fail "%s" (Fmt.str "%a" Processor.pp_error e)))
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run an IQL query against a schema.")
-    Term.(ret (const run $ integrated $ csv_specs $ schema_arg $ iql))
+    Term.(
+      ret
+        (const run $ integrated $ csv_specs $ no_resilience $ fault_seed
+       $ schema_arg $ iql $ faults $ degrade))
 
 let reformulate_cmd =
   let iql =
@@ -179,9 +276,9 @@ let reformulate_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"IQL" ~doc:"IQL query text.")
   in
-  let run integrated csv_specs name text =
-    with_repo integrated csv_specs (fun repo ->
-        let proc = Processor.create repo in
+  let run integrated csv_specs no_resilience name text =
+    with_repo integrated csv_specs no_resilience (fun repo res ->
+        let proc = Processor.create ?resilience:res repo in
         match Parser.parse text with
         | Error e -> fail "%s" e
         | Ok ast -> (
@@ -194,7 +291,8 @@ let reformulate_cmd =
   Cmd.v
     (Cmd.info "reformulate"
        ~doc:"Unfold a query over a schema onto the data source schemas.")
-    Term.(ret (const run $ integrated $ csv_specs $ schema_arg $ iql))
+    Term.(
+      ret (const run $ integrated $ csv_specs $ no_resilience $ schema_arg $ iql))
 
 let match_cmd =
   let left =
@@ -210,8 +308,8 @@ let match_cmd =
       value & opt float 0.35
       & info [ "threshold" ] ~doc:"Minimum combined score to report.")
   in
-  let run integrated csv_specs left right threshold =
-    with_repo integrated csv_specs (fun repo ->
+  let run integrated csv_specs no_resilience left right threshold =
+    with_repo integrated csv_specs no_resilience (fun repo _res ->
         match Matcher.suggest ~threshold repo ~left ~right with
         | Error e -> fail "%s" e
         | Ok suggestions ->
@@ -224,11 +322,14 @@ let match_cmd =
   Cmd.v
     (Cmd.info "match"
        ~doc:"Suggest semantic correspondences between two schemas.")
-    Term.(ret (const run $ integrated $ csv_specs $ left $ right $ threshold))
+    Term.(
+      ret
+        (const run $ integrated $ csv_specs $ no_resilience $ left $ right
+       $ threshold))
 
 let pathways_cmd =
-  let run integrated csv_specs =
-    with_repo integrated csv_specs (fun repo ->
+  let run integrated csv_specs no_resilience =
+    with_repo integrated csv_specs no_resilience (fun repo _res ->
         List.iter
           (fun (p : Automed_transform.Transform.pathway) ->
             Printf.printf "%-28s -> %-28s %3d steps (%d non-trivial)\n"
@@ -241,7 +342,7 @@ let pathways_cmd =
   in
   Cmd.v
     (Cmd.info "pathways" ~doc:"List all pathways in the repository.")
-    Term.(ret (const run $ integrated $ csv_specs))
+    Term.(ret (const run $ integrated $ csv_specs $ no_resilience))
 
 let export_cmd =
   let with_extents =
@@ -249,8 +350,8 @@ let export_cmd =
       value & flag
       & info [ "extents" ] ~doc:"Also serialise the materialised extents.")
   in
-  let run integrated csv_specs with_extents =
-    with_repo integrated csv_specs (fun repo ->
+  let run integrated csv_specs no_resilience with_extents =
+    with_repo integrated csv_specs no_resilience (fun repo _res ->
         print_string
           (Automed_repository.Serialize.save ~extents:with_extents repo);
         `Ok ())
@@ -260,7 +361,8 @@ let export_cmd =
        ~doc:
          "Serialise the repository (schemas, pathways, optionally extents) \
           to stdout.")
-    Term.(ret (const run $ integrated $ csv_specs $ with_extents))
+    Term.(
+      ret (const run $ integrated $ csv_specs $ no_resilience $ with_extents))
 
 let extent_cmd =
   (* the paper's Extent Tool: "allows the extent of any schema object to
@@ -271,12 +373,12 @@ let extent_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"OBJECT" ~doc:"Schema object, e.g. <<protein>>.")
   in
-  let run integrated csv_specs name obj_text =
-    with_repo integrated csv_specs (fun repo ->
+  let run integrated csv_specs no_resilience name obj_text =
+    with_repo integrated csv_specs no_resilience (fun repo res ->
         match Scheme.of_string obj_text with
         | Error e -> fail "%s" e
         | Ok scheme -> (
-            let proc = Processor.create repo in
+            let proc = Processor.create ?resilience:res repo in
             match Processor.extent_of proc ~schema:name scheme with
             | Error e -> fail "%s" (Fmt.str "%a" Processor.pp_error e)
             | Ok bag ->
@@ -293,12 +395,13 @@ let extent_cmd =
   Cmd.v
     (Cmd.info "extent"
        ~doc:"Display the derived extent of a schema object (the Extent Tool).")
-    Term.(ret (const run $ integrated $ csv_specs $ schema_arg $ obj))
+    Term.(
+      ret (const run $ integrated $ csv_specs $ no_resilience $ schema_arg $ obj))
 
 let materialize_cmd =
-  let run integrated csv_specs name =
-    with_repo integrated csv_specs (fun repo ->
-        let proc = Processor.create repo in
+  let run integrated csv_specs no_resilience name =
+    with_repo integrated csv_specs no_resilience (fun repo res ->
+        let proc = Processor.create ?resilience:res repo in
         match Automed_datasource.Materialize.db_of_schema proc ~schema:name with
         | Error e -> fail "%s" e
         | Ok db ->
@@ -323,7 +426,7 @@ let materialize_cmd =
        ~doc:
          "Derive every relational table of a schema and print it as CSV \
           (integration as ETL).")
-    Term.(ret (const run $ integrated $ csv_specs $ schema_arg))
+    Term.(ret (const run $ integrated $ csv_specs $ no_resilience $ schema_arg))
 
 let lint_cmd =
   let root =
@@ -357,14 +460,15 @@ let lint_cmd =
             "Append a footer of diagnostic counts by severity, sourced \
              from the telemetry counter API.")
   in
-  let run integrated csv_specs root format_ errors_only stats =
-    with_repo integrated csv_specs (fun repo ->
+  let run integrated csv_specs no_resilience root format_ errors_only stats =
+    with_repo integrated csv_specs no_resilience (fun repo res ->
+        let covered = Option.map Resilience.sources res in
         let mem = Telemetry.Memory.create () in
         let diags =
           if stats then
             Telemetry.with_sink (Telemetry.Memory.sink mem) (fun () ->
-                Analysis.lint_repository ?root repo)
-          else Analysis.lint_repository ?root repo
+                Analysis.lint_repository ?root ?covered repo)
+          else Analysis.lint_repository ?root ?covered repo
         in
         let diags = if errors_only then Diagnostic.errors diags else diags in
         (match format_ with
@@ -401,8 +505,8 @@ let lint_cmd =
           network reachability.  Exits 1 when errors are found.")
     Term.(
       ret
-        (const run $ integrated $ csv_specs $ root $ format_ $ errors_only
-       $ stats))
+        (const run $ integrated $ csv_specs $ no_resilience $ root $ format_
+       $ errors_only $ stats))
 
 (* -- tracing ------------------------------------------------------------- *)
 

@@ -1,7 +1,12 @@
 (* Quickstart: integrate two small relational sources with an
    intersection schema and query the result.
 
-   Run with:  dune exec examples/quickstart.exe *)
+   Run with:  dune exec examples/quickstart.exe
+
+   Set QUICKSTART_FAULTS=NAME=RATE (e.g. radio=1) to replay the same
+   scenario with a deterministic fault injector on one source: queries
+   then run in degraded mode and print a completeness footer instead of
+   failing — the CI runtest alias exercises this path. *)
 
 module Scheme = Automed_base.Scheme
 module Value = Automed_iql.Value
@@ -11,8 +16,25 @@ module Wrapper = Automed_datasource.Wrapper
 module Repository = Automed_repository.Repository
 module Intersection = Automed_integration.Intersection
 module Workflow = Automed_integration.Workflow
+module Processor = Automed_query.Processor
+module Resilience = Automed_resilience.Resilience
 
 let ok = function Ok v -> v | Error e -> failwith e
+
+(* QUICKSTART_FAULTS=NAME=RATE: the source to break and how often *)
+let fault_spec =
+  match Sys.getenv_opt "QUICKSTART_FAULTS" with
+  | None -> None
+  | Some s -> (
+      match String.index_opt s '=' with
+      | Some i ->
+          let name = String.sub s 0 i in
+          let rate = float_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+          Some (name, rate)
+      | None -> failwith "QUICKSTART_FAULTS expects NAME=RATE")
+
+let resilience =
+  Option.map (fun _ -> Resilience.create ~seed:0x5EEDL ()) fault_spec
 
 (* 1. Two data sources that overlap semantically: a store's "album"
    catalogue and a radio station's "record" playlist. *)
@@ -59,13 +81,15 @@ let () =
   (* 2. Wrap both sources: this extracts their schemas into the
      repository and materialises their extents. *)
   let repo = Repository.create () in
-  let _ = ok (Wrapper.wrap repo store_db) in
-  let _ = ok (Wrapper.wrap repo radio_db) in
+  let _ = ok (Wrapper.wrap ?resilience repo store_db) in
+  let _ = ok (Wrapper.wrap ?resilience repo radio_db) in
 
   (* 3. Start the incremental workflow.  The initial global schema is a
      federated schema: all objects of both sources, prefixed with their
      provenance - queryable before any integration work. *)
-  let wf = ok (Workflow.start repo ~name:"music" ~sources:[ "store"; "radio" ]) in
+  let wf =
+    ok (Workflow.start ?resilience repo ~name:"music" ~sources:[ "store"; "radio" ])
+  in
   Printf.printf "initial global schema: %s\n" (Workflow.global_name wf);
   let count = ok (Result.map_error (Fmt.str "%a" Automed_query.Processor.pp_error)
                     (Workflow.run_query wf "count(<<store:album>>)")) in
@@ -117,11 +141,31 @@ let () =
   Printf.printf "new global schema: %s\n\n" (Workflow.global_name wf);
 
   (* 5. Query the integrated concept.  Extents are the bag union of both
-     sides; provenance tags tell contributions apart. *)
+     sides; provenance tags tell contributions apart.  Under an injected
+     fault profile the queries run in degraded mode: a failing source is
+     skipped (contributing its certain-answer lower bound of nothing)
+     and named in a completeness footer, instead of failing the query. *)
+  (match (resilience, fault_spec) with
+  | Some res, Some (source, rate) ->
+      Resilience.inject res ~source (Resilience.Fault.rate rate);
+      Printf.printf "injected fault profile: %s fails %.0f%% of fetches\n\n"
+        source (100.0 *. rate)
+  | _ -> ());
+  let degraded_footers = ref 0 in
   let run text =
-    match Workflow.run_query wf text with
-    | Ok v -> Printf.printf "%s\n  = %s\n" text (Value.to_string v)
-    | Error e -> failwith (Fmt.str "%a" Automed_query.Processor.pp_error e)
+    match resilience with
+    | None -> (
+        match Workflow.run_query wf text with
+        | Ok v -> Printf.printf "%s\n  = %s\n" text (Value.to_string v)
+        | Error e -> failwith (Fmt.str "%a" Automed_query.Processor.pp_error e))
+    | Some _ -> (
+        match Workflow.run_query_degraded wf text with
+        | Ok (v, c) ->
+            Printf.printf "%s\n  = %s\n" text (Value.to_string v);
+            Printf.printf "  -- completeness: %s\n"
+              (Fmt.str "%a" Processor.pp_completeness c);
+            if not c.Processor.complete then incr degraded_footers
+        | Error e -> failwith (Fmt.str "%a" Automed_query.Processor.pp_error e))
   in
   run "count(<<URelease>>)";
   run "[t | {s, k, t} <- <<URelease,title>>; s = 'radio']";
@@ -132,8 +176,21 @@ let () =
   (* un-integrated content remains available through its prefixed name *)
   run "[{k, p} | {k, p} <- <<store:album,price>>]";
 
+  (match (resilience, fault_spec) with
+  | Some res, Some (source, rate) ->
+      Printf.printf "\nfaults injected on %s: %d (queries degraded: %d)\n"
+        source (Resilience.stats res source).Resilience.faults_injected
+        !degraded_footers;
+      (* with a certain fault (rate 1) every query must have been answered
+         from the surviving sources, i.e. every footer reported a skip *)
+      if rate >= 1.0 && !degraded_footers = 0 then (
+        prerr_endline "expected degraded answers under a certain fault";
+        exit 1)
+  | _ -> ());
+
   (* 6. Static analysis: the pathway network we just built lints clean. *)
-  let diags = Automed_analysis.Analysis.lint_repository repo in
+  let covered = Option.map Resilience.sources resilience in
+  let diags = Automed_analysis.Analysis.lint_repository ?covered repo in
   List.iter
     (fun d -> print_endline (Fmt.str "%a" Automed_analysis.Diagnostic.pp d))
     diags;

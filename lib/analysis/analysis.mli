@@ -18,9 +18,12 @@ val lint_pathway :
 (** {!Pathway_lint.lint}: every diagnostic for one pathway checked
     against a starting schema. *)
 
-val lint_repository : ?root:string -> Repository.t -> Diagnostic.t list
+val lint_repository :
+  ?root:string -> ?covered:string list -> Repository.t -> Diagnostic.t list
 (** {!Network_lint.lint}: every registered pathway plus the network
-    checks, sorted errors-first. *)
+    checks, sorted errors-first.  [covered] names the sources protected
+    by a resilience policy and enables the [unprotected-source]
+    warning. *)
 
 val install_gate : Repository.t -> unit
 (** Opt-in validation gate: after this call,

@@ -133,8 +133,31 @@ let reachability_diags ?root repo =
                    n root))
           (Repository.schemas repo)
 
-let lint ?root repo =
+(* Every schema with materialised extents is a data source whose fetches
+   can fail at query time; without a resilience policy one flaky source
+   fails global queries outright.  Only checked when the caller says
+   which sources its resilience registry covers. *)
+let resilience_diags ?covered repo =
+  match covered with
+  | None -> []
+  | Some covered ->
+      List.filter_map
+        (fun s ->
+          let n = Schema.name s in
+          if Repository.has_stored_extents repo n && not (List.mem n covered)
+          then
+            Some
+              (D.make D.Warning ~rule:"unprotected-source"
+                 "source schema %s has materialised extents but no \
+                  resilience policy: a fetch failure fails queries outright \
+                  instead of degrading them"
+                 n)
+          else None)
+        (Repository.schemas repo)
+
+let lint ?root ?covered repo =
   let pathways = Repository.pathways repo in
   List.concat_map (fun p -> endpoint_diags repo p @ pathway_diags repo p) pathways
   @ pair_diags pathways
   @ reachability_diags ?root repo
+  @ resilience_diags ?covered repo

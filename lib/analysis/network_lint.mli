@@ -20,7 +20,11 @@
        the root schema through the (bidirectional) pathway network, so no
        query over it can ever be reformulated onto the rest of the
        dataspace.  Only checked when the repository has at least one
-       pathway.}} *)
+       pathway.}
+    {- [unprotected-source] (warning): a schema with materialised extents
+       that is not covered by the caller's resilience registry, so a
+       fetch failure fails queries outright instead of degrading them.
+       Only checked when [covered] is passed.}} *)
 
 module Repository = Automed_repository.Repository
 
@@ -29,7 +33,9 @@ val default_root : Repository.t -> string option
     workflow-built repositories this is the current global schema
     version. *)
 
-val lint : ?root:string -> Repository.t -> Diagnostic.t list
+val lint :
+  ?root:string -> ?covered:string list -> Repository.t -> Diagnostic.t list
 (** Network checks plus {!Pathway_lint.lint} over every registered
     pathway.  [root] is the schema reachability is measured from,
-    defaulting to {!default_root}. *)
+    defaulting to {!default_root}.  [covered] names the sources protected
+    by a resilience policy and enables the [unprotected-source] check. *)

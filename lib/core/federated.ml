@@ -3,6 +3,8 @@ module Schema = Automed_model.Schema
 module Transform = Automed_transform.Transform
 module Repository = Automed_repository.Repository
 module Ast = Automed_iql.Ast
+module Resilience = Automed_resilience.Resilience
+module Telemetry = Automed_telemetry.Telemetry
 
 let ( let* ) = Result.bind
 
@@ -73,3 +75,37 @@ let create repo ~name ~members =
   match Repository.schema repo name with
   | Some f -> Ok f
   | None -> Error "internal: federated schema not registered"
+
+(* Degraded fan-out: members whose metadata fetch exhausts the resilience
+   policy (or that are simply unregistered) are skipped instead of
+   failing the federation, as long as at least one member survives.  The
+   skipped members can be folded in later with a fresh federation once
+   they recover — the dataspace stays queryable meanwhile. *)
+let create_degraded ?resilience repo ~name ~members =
+  let* () = if members = [] then Error "no members" else Ok () in
+  let* () = check_distinct members in
+  let probe m =
+    let fetch () = Repository.schema repo m in
+    match resilience with
+    | Some r when Resilience.covers r m -> (
+        match Resilience.call r ~source:m fetch with
+        | Ok s -> Ok s
+        | Error f -> Error (Fmt.str "%a" Resilience.pp_failure f))
+    | _ -> Ok (fetch ())
+  in
+  let available, skipped =
+    List.fold_left
+      (fun (avail, skipped) m ->
+        match probe m with
+        | Ok (Some _) -> (m :: avail, skipped)
+        | Ok None -> (avail, (m, "schema is not registered") :: skipped)
+        | Error reason -> (avail, (m, reason) :: skipped))
+      ([], []) members
+  in
+  let available = List.rev available and skipped = List.rev skipped in
+  match available with
+  | [] -> Error "no member is available"
+  | _ ->
+      List.iter (fun _ -> Telemetry.count "source.skipped") skipped;
+      let* f = create repo ~name ~members:available in
+      Ok (f, skipped)

@@ -20,5 +20,17 @@ val create :
 (** Members must be registered and pairwise distinct; the federated name
     must be fresh. *)
 
+val create_degraded :
+  ?resilience:Automed_resilience.Resilience.t ->
+  Repository.t ->
+  name:string ->
+  members:string list ->
+  (Schema.t * (string * string) list, string) result
+(** Like {!create}, but a member that is unregistered — or whose probe
+    exhausts the resilience policy (e.g. its circuit breaker is open) —
+    is skipped instead of failing the construction, provided at least one
+    member survives.  Returns the federation over the surviving members
+    and the skipped members with reasons. *)
+
 val member_prefix : member:string -> Automed_base.Scheme.t -> Automed_base.Scheme.t
 (** How member objects are renamed into the federation ([Scheme.prefix]).  *)

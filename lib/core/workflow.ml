@@ -25,7 +25,7 @@ let ( let* ) = Result.bind
 
 let version_name base i = Printf.sprintf "%s_v%d" base i
 
-let start repo ~name ~sources =
+let start ?resilience repo ~name ~sources =
   let* () =
     if sources = [] then Error "workflow needs at least one source" else Ok ()
   in
@@ -36,7 +36,7 @@ let start repo ~name ~sources =
   Ok
     {
       repo;
-      proc = Processor.create repo;
+      proc = Processor.create ?resilience repo;
       base_name = name;
       srcs = sources;
       iters = [];
@@ -84,6 +84,13 @@ let run_query t text =
   match Parser.parse text with
   | Error e -> Error (Processor.error ~schema:(global_name t) e)
   | Ok q -> run t q
+
+let run_degraded t q = Processor.run_degraded t.proc ~schema:(global_name t) q
+
+let run_query_degraded t text =
+  match Parser.parse text with
+  | Error e -> Error (Processor.error ~schema:(global_name t) e)
+  | Ok q -> run_degraded t q
 
 let answerable t q = Processor.answerable t.proc ~schema:(global_name t) q
 

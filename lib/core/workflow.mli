@@ -33,9 +33,15 @@ type iteration = {
 type t
 
 val start :
-  Repository.t -> name:string -> sources:string list -> (t, string) result
+  ?resilience:Automed_resilience.Resilience.t ->
+  Repository.t ->
+  name:string ->
+  sources:string list ->
+  (t, string) result
 (** Steps 1-2: registers the initial federated/global schema
-    ["<name>_v0"] over the (already wrapped) source schemas. *)
+    ["<name>_v0"] over the (already wrapped) source schemas.
+    [resilience] is handed to the workflow's query processor, so every
+    source fetch of {!run_query} runs under its policy. *)
 
 val repository : t -> Repository.t
 val processor : t -> Processor.t
@@ -68,6 +74,16 @@ val run_query : t -> string -> (Value.t, Processor.error) result
 (** Step 6: parse and evaluate IQL text over the current global schema. *)
 
 val run : t -> Ast.expr -> (Value.t, Processor.error) result
+
+val run_degraded :
+  t -> Ast.expr -> (Value.t * Processor.completeness, Processor.error) result
+(** {!Processor.run_degraded} over the current global schema: sources
+    that exhaust their resilience policy degrade the answer (and are
+    reported) instead of failing it. *)
+
+val run_query_degraded :
+  t -> string -> (Value.t * Processor.completeness, Processor.error) result
+
 val answerable : t -> Ast.expr -> bool
 
 val manual_steps : t -> int

@@ -4,6 +4,7 @@ module Types = Automed_iql.Types
 module Repository = Automed_repository.Repository
 module Telemetry = Automed_telemetry.Telemetry
 module Value = Automed_iql.Value
+module Resilience = Automed_resilience.Resilience
 
 let ( let* ) = Result.bind
 
@@ -37,51 +38,88 @@ let relational_schema db =
     (Ok (Schema.create (Relational.db_name db)))
     (Relational.tables db)
 
-let store_extents repo db =
+type table_error = { table : string; error : string }
+
+let pp_table_error ppf te = Fmt.pf ppf "table %s: %s" te.table te.error
+
+let store_extents_partial ?resilience repo db =
   let name = Relational.db_name db in
+  (match resilience with Some r -> Resilience.register r name | None -> ());
   let tally bag =
     if Telemetry.active () then
       Telemetry.count ~by:(Value.Bag.cardinal bag) "wrapper.rows_materialized";
     bag
   in
-  let store_table acc table =
-    let* () = acc in
+  let store_table table =
     let tname = Relational.table_name table in
     Telemetry.with_span "wrapper.extent"
       ~attrs:(fun () -> [ ("source", name); ("table", tname) ])
       (fun () ->
-        let key_bag = tally (Relational.key_extent table) in
-        let* () =
-          Repository.set_extent repo ~schema:name (Scheme.table tname) key_bag
+        let compute () =
+          let key_bag = tally (Relational.key_extent table) in
+          let* () =
+            Repository.set_extent repo ~schema:name (Scheme.table tname) key_bag
+          in
+          let* () =
+            List.fold_left
+              (fun acc (col, _) ->
+                let* () = acc in
+                if col = Relational.key_column table then Ok ()
+                else
+                  let* extent = Relational.column_extent table col in
+                  Repository.set_extent repo ~schema:name
+                    (Scheme.column tname col) (tally extent))
+              (Ok ()) (Relational.columns table)
+          in
+          if Telemetry.active () then
+            Telemetry.annotate "rows"
+              (string_of_int (Value.Bag.cardinal key_bag));
+          Ok ()
         in
-        let* () =
-          List.fold_left
-            (fun acc (col, _) ->
-              let* () = acc in
-              if col = Relational.key_column table then Ok ()
-              else
-                let* extent = Relational.column_extent table col in
-                Repository.set_extent repo ~schema:name
-                  (Scheme.column tname col) (tally extent))
-            (Ok ()) (Relational.columns table)
-        in
-        if Telemetry.active () then
-          Telemetry.annotate "rows" (string_of_int (Value.Bag.cardinal key_bag));
-        Ok ())
+        match resilience with
+        | None -> compute ()
+        | Some r -> (
+            match
+              Resilience.call r ~source:name (fun () ->
+                  match compute () with Ok () -> () | Error e -> failwith e)
+            with
+            | Ok () -> Ok ()
+            | Error f -> Error (Fmt.str "%a" Resilience.pp_failure f)))
   in
-  List.fold_left store_table (Ok ()) (Relational.tables db)
+  (* every table is attempted: one failing table degrades that table
+     only, and the caller gets the full error list *)
+  let stored, failed =
+    List.fold_left
+      (fun (stored, failed) table ->
+        let tname = Relational.table_name table in
+        match store_table table with
+        | Ok () -> (tname :: stored, failed)
+        | Error error -> (stored, { table = tname; error } :: failed))
+      ([], []) (Relational.tables db)
+  in
+  (List.rev stored, List.rev failed)
 
-let wrap repo db =
+let store_extents ?resilience repo db =
+  match store_extents_partial ?resilience repo db with
+  | _, [] -> Ok ()
+  | _, failed ->
+      Error
+        (Printf.sprintf "source %s: %d of its tables failed: %s"
+           (Relational.db_name db) (List.length failed)
+           (String.concat "; "
+              (List.map (Fmt.str "%a" pp_table_error) failed)))
+
+let wrap ?resilience repo db =
   Telemetry.with_span "wrapper.wrap"
     ~attrs:(fun () -> [ ("source", Relational.db_name db) ])
     (fun () ->
       let* schema = relational_schema db in
       let* () = Repository.add_schema repo schema in
-      let* () = store_extents repo db in
+      let* () = store_extents ?resilience repo db in
       Ok schema)
 
-let refresh_extents repo db =
+let refresh_extents ?resilience repo db =
   match Repository.schema repo (Relational.db_name db) with
   | None ->
       Error (Printf.sprintf "schema %s is not registered" (Relational.db_name db))
-  | Some _ -> store_extents repo db
+  | Some _ -> store_extents ?resilience repo db

@@ -8,14 +8,48 @@
 
 module Schema = Automed_model.Schema
 module Repository = Automed_repository.Repository
+module Resilience = Automed_resilience.Resilience
 
 val relational_schema : Relational.db -> (Schema.t, string) result
 (** Schema extraction only: one [table] object per table, one [column]
     object per column, with extent types derived from the column types. *)
 
-val wrap : Repository.t -> Relational.db -> (Schema.t, string) result
+val wrap :
+  ?resilience:Resilience.t ->
+  Repository.t ->
+  Relational.db ->
+  (Schema.t, string) result
 (** Extracts the schema, registers it under the database's name, and
-    stores every object's extent. *)
+    stores every object's extent.  With [resilience], the source is
+    registered in the registry and every per-table extraction runs under
+    its policy (retries, timeout, breaker); the error message of a failed
+    wrap lists {e every} failing table, not just the first. *)
 
-val refresh_extents : Repository.t -> Relational.db -> (unit, string) result
+type table_error = { table : string; error : string }
+
+val pp_table_error : table_error Fmt.t
+
+val store_extents_partial :
+  ?resilience:Resilience.t ->
+  Repository.t ->
+  Relational.db ->
+  string list * table_error list
+(** Materialises what it can, one table at a time: a failing table is
+    recorded and skipped, the remaining tables are still attempted, so
+    degradation granularity is per-table.  Returns the tables stored and
+    the accumulated per-table errors. *)
+
+val store_extents :
+  ?resilience:Resilience.t ->
+  Repository.t ->
+  Relational.db ->
+  (unit, string) result
+(** {!store_extents_partial}, failing when any table failed; the error
+    lists every failing table. *)
+
+val refresh_extents :
+  ?resilience:Resilience.t ->
+  Repository.t ->
+  Relational.db ->
+  (unit, string) result
 (** Re-materialises extents after the database content changed. *)

@@ -20,10 +20,14 @@ type run = {
   total_manual : int;  (** 26 *)
 }
 
-val execute : Repository.t -> (run, string) result
+val execute :
+  ?resilience:Automed_resilience.Resilience.t ->
+  Repository.t ->
+  (run, string) result
 (** Expects the three source schemas to be wrapped already (see
     {!Sources.wrap_all}).  Builds the initial federated schema and runs
-    all iterations. *)
+    all iterations.  [resilience] is handed to the workflow's query
+    processor. *)
 
 val intersection_names : string list
 (** The intersection/extension schema names created, in order. *)

@@ -516,8 +516,8 @@ let generate ?(seed = 42L) ?(scale = 30) () =
 
 let ( let* ) = Result.bind
 
-let wrap_all repo ds =
-  let* _ = Wrapper.wrap repo ds.pedro in
-  let* _ = Wrapper.wrap repo ds.gpmdb in
-  let* _ = Wrapper.wrap repo ds.pepseeker in
+let wrap_all ?resilience repo ds =
+  let* _ = Wrapper.wrap ?resilience repo ds.pedro in
+  let* _ = Wrapper.wrap ?resilience repo ds.gpmdb in
+  let* _ = Wrapper.wrap ?resilience repo ds.pepseeker in
   Ok ()

@@ -54,10 +54,12 @@ val generate : ?seed:int64 -> ?scale:int -> unit -> dataset
     always produce identical databases. *)
 
 val wrap_all :
+  ?resilience:Automed_resilience.Resilience.t ->
   Automed_repository.Repository.t -> dataset ->
   (unit, string) result
 (** Registers the three source schemas ([pedro], [gpmdb], [pepseeker])
-    and materialises their extents. *)
+    and materialises their extents.  With [resilience], the sources are
+    registered in the registry and wrapped under its policy. *)
 
 val pedro_name : string
 val gpmdb_name : string

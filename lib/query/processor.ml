@@ -7,6 +7,8 @@ module Parser = Automed_iql.Parser
 module Transform = Automed_transform.Transform
 module Repository = Automed_repository.Repository
 module Telemetry = Automed_telemetry.Telemetry
+module Resilience = Automed_resilience.Resilience
+module SS = Set.Make (String)
 
 type error = {
   message : string;
@@ -52,18 +54,78 @@ end
 
 module EH = Hashtbl.Make (EK)
 
+(* Provenance frames track, for the extent computation in progress, which
+   sources contributed data and whether any source was skipped by the
+   degraded mode (a "tainted" result).  Tainted bags are never cached, so
+   a failed-then-recovered source cannot poison the extent cache with a
+   partial answer. *)
+type frame = { mutable srcs : SS.t; mutable tainted : bool }
+
 type t = {
   repo : Repository.t;
-  cache : Value.Bag.t EH.t;
+  resilience : Resilience.t option;
+  cache : (Value.Bag.t * SS.t) EH.t;
+      (* cached bag plus the sources whose data it incorporates *)
   mutable visiting : string list; (* schemas on the derivation stack *)
+  mutable degraded : bool; (* soften source failures into skips *)
+  mutable frames : frame list; (* innermost first *)
+  mutable run_skipped : (string * string) list; (* source, reason; newest first *)
 }
 
-let create repo = { repo; cache = EH.create 64; visiting = [] }
+let create ?resilience repo =
+  {
+    repo;
+    resilience;
+    cache = EH.create 64;
+    visiting = [];
+    degraded = false;
+    frames = [];
+    run_skipped = [];
+  }
+
 let repository t = t.repo
+let resilience t = t.resilience
 
 let invalidate t =
   EH.reset t.cache;
-  t.visiting <- []
+  t.visiting <- [];
+  t.frames <- []
+
+let invalidate_source t source =
+  let doomed =
+    EH.fold
+      (fun ((schema, _) as key) (_, srcs) acc ->
+        if schema = source || SS.mem source srcs then key :: acc else acc)
+      t.cache []
+  in
+  List.iter (EH.remove t.cache) doomed
+
+(* -- provenance frames --------------------------------------------------- *)
+
+let push_frame t =
+  let f = { srcs = SS.empty; tainted = false } in
+  t.frames <- f :: t.frames;
+  f
+
+let pop_frame t f =
+  (match t.frames with
+  | g :: rest when g == f -> t.frames <- rest
+  | _ -> ());
+  match t.frames with
+  | parent :: _ ->
+      parent.srcs <- SS.union parent.srcs f.srcs;
+      if f.tainted then parent.tainted <- true
+  | [] -> ()
+
+let note_sources t ss =
+  match t.frames with
+  | [] -> ()
+  | f :: _ -> f.srcs <- SS.union f.srcs ss
+
+let note_skip t source reason =
+  (match t.frames with [] -> () | f :: _ -> f.tainted <- true);
+  if not (List.mem_assoc source t.run_skipped) then
+    t.run_skipped <- (source, reason) :: t.run_skipped
 
 (* Derive, for each object of [p.to_schema], its defining expression over
    the objects of [p.from_schema], by symbolically replaying the pathway. *)
@@ -128,8 +190,9 @@ let defs_of_pathway repo (p : Transform.pathway) : Ast.expr Scheme.Map.t =
 
 let rec extent_exn t ~schema o =
   match EH.find_opt t.cache (schema, o) with
-  | Some bag ->
+  | Some (bag, srcs) ->
       Telemetry.count "processor.extent.cache_hits";
+      note_sources t srcs;
       bag
   | None ->
       Telemetry.count "processor.extent.cache_misses";
@@ -143,7 +206,11 @@ let rec extent_exn t ~schema o =
       if not (Schema.mem o sch) then
         err "schema %s has no object %s" schema (Scheme.to_string o);
       t.visiting <- schema :: t.visiting;
-      let finish () = t.visiting <- List.tl t.visiting in
+      let frame = push_frame t in
+      let finish () =
+        t.visiting <- List.tl t.visiting;
+        pop_frame t frame
+      in
       let bag =
         Telemetry.with_span "processor.extent"
           ~attrs:(fun () ->
@@ -153,8 +220,41 @@ let rec extent_exn t ~schema o =
             | bag -> finish (); bag
             | exception e -> finish (); raise e)
       in
-      EH.replace t.cache (schema, o) bag;
+      (* a bag computed while a source was skipped is partial: serving it
+         from the cache after the source recovers would be a staleness
+         bug, so only complete bags are cached *)
+      if not frame.tainted then EH.replace t.cache (schema, o) (bag, frame.srcs);
       bag
+
+(* The raw source fetch, routed through the resilience kernel when the
+   schema is a registered source.  In degraded mode an exhausted fetch
+   becomes a recorded skip (contributing nothing); otherwise it is a
+   query error. *)
+and fetch_stored t ~schema o =
+  let fetch () = Repository.stored_extent t.repo ~schema o in
+  match t.resilience with
+  | Some r when Resilience.covers r schema -> (
+      match Resilience.call r ~source:schema fetch with
+      | Ok res ->
+          (match res with
+          | Some _ -> note_sources t (SS.singleton schema)
+          | None -> ());
+          res
+      | Error f ->
+          let reason = Fmt.str "%a" Resilience.pp_failure f in
+          if t.degraded then begin
+            Telemetry.count "source.skipped";
+            if Telemetry.active () then Telemetry.annotate "skipped" schema;
+            note_skip t schema reason;
+            None
+          end
+          else err "%s" reason)
+  | _ ->
+      let res = fetch () in
+      (match res with
+      | Some _ -> note_sources t (SS.singleton schema)
+      | None -> ());
+      res
 
 and compute_extent t ~schema o =
   let stored =
@@ -163,7 +263,7 @@ and compute_extent t ~schema o =
         ~attrs:(fun () ->
           [ ("schema", schema); ("object", Scheme.to_string o) ])
         (fun () ->
-          let r = Repository.stored_extent t.repo ~schema o in
+          let r = fetch_stored t ~schema o in
           (if Telemetry.active () then
              match r with
              | Some b ->
@@ -215,10 +315,7 @@ let check_refs t ~schema q =
         err "schema %s has no object %s" schema (Scheme.to_string s))
     (Ast.schemes q)
 
-let run ?(optimize = true) t ~schema q =
-  Telemetry.with_span "processor.run" ~attrs:(fun () -> [ ("schema", schema) ])
-  @@ fun () ->
-  Telemetry.count "processor.runs";
+let run_internal ~optimize t ~schema q =
   (* the expression actually evaluated, for error context and probes *)
   let evaluated = ref q in
   match
@@ -235,6 +332,87 @@ let run ?(optimize = true) t ~schema q =
            (Fmt.str "%a" Eval.pp_error e))
   | exception Err e ->
       Error (add_context ~schema ~expr_size:(Ast.size !evaluated) e)
+
+let run ?(optimize = true) t ~schema q =
+  Telemetry.with_span "processor.run" ~attrs:(fun () -> [ ("schema", schema) ])
+  @@ fun () ->
+  Telemetry.count "processor.runs";
+  run_internal ~optimize t ~schema q
+
+(* -- graceful degradation ------------------------------------------------ *)
+
+type completeness = {
+  complete : bool;
+  sources_ok : string list;
+  sources_skipped : (string * string) list;
+  retries : int;
+  breaker_opens : int;
+  short_circuits : int;
+}
+
+let pp_completeness ppf c =
+  Fmt.pf ppf "%s (%d source%s answered, %d skipped)"
+    (if c.complete then "COMPLETE" else "DEGRADED")
+    (List.length c.sources_ok)
+    (if List.length c.sources_ok = 1 then "" else "s")
+    (List.length c.sources_skipped);
+  (match c.sources_ok with
+  | [] -> ()
+  | ok -> Fmt.pf ppf "@\n  ok: %s" (String.concat ", " ok));
+  List.iter
+    (fun (s, reason) -> Fmt.pf ppf "@\n  skipped: %s (%s)" s reason)
+    c.sources_skipped;
+  if c.retries > 0 || c.breaker_opens > 0 || c.short_circuits > 0 then
+    Fmt.pf ppf "@\n  retries: %d, breaker opens: %d, short circuits: %d"
+      c.retries c.breaker_opens c.short_circuits
+
+let run_degraded ?(optimize = true) t ~schema q =
+  Telemetry.with_span "processor.run"
+    ~attrs:(fun () -> [ ("schema", schema); ("degraded", "true") ])
+  @@ fun () ->
+  Telemetry.count "processor.runs";
+  Telemetry.count "processor.degraded_runs";
+  let before =
+    match t.resilience with
+    | Some r -> Resilience.totals r
+    | None -> Resilience.zero_stats
+  in
+  let saved_degraded = t.degraded and saved_skipped = t.run_skipped in
+  t.degraded <- true;
+  t.run_skipped <- [];
+  let root = push_frame t in
+  let finish () =
+    pop_frame t root;
+    let skipped = List.rev t.run_skipped in
+    t.degraded <- saved_degraded;
+    t.run_skipped <- saved_skipped;
+    let after =
+      match t.resilience with
+      | Some r -> Resilience.totals r
+      | None -> Resilience.zero_stats
+    in
+    {
+      complete = skipped = [];
+      sources_ok = SS.elements root.srcs;
+      sources_skipped = skipped;
+      retries = after.Resilience.retries - before.Resilience.retries;
+      breaker_opens =
+        after.Resilience.breaker_opens - before.Resilience.breaker_opens;
+      short_circuits =
+        after.Resilience.short_circuits - before.Resilience.short_circuits;
+    }
+  in
+  match run_internal ~optimize t ~schema q with
+  | Ok v ->
+      let c = finish () in
+      if not c.complete then Telemetry.count "processor.degraded_answers";
+      Ok (v, c)
+  | Error e ->
+      ignore (finish ());
+      Error e
+  | exception e ->
+      ignore (finish ());
+      raise e
 
 let run_string t ~schema text =
   match Parser.parse text with

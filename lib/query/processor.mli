@@ -23,15 +23,29 @@ module Scheme = Automed_base.Scheme
 module Ast = Automed_iql.Ast
 module Value = Automed_iql.Value
 module Repository = Automed_repository.Repository
+module Resilience = Automed_resilience.Resilience
 
 type t
 (** A processor wraps a repository with an extent cache. *)
 
-val create : Repository.t -> t
+val create : ?resilience:Resilience.t -> Repository.t -> t
+(** With [resilience], every stored-extent fetch of a source registered
+    in that registry goes through {!Resilience.call} (retries, timeout,
+    circuit breaker).  A fetch that exhausts its policy fails the query
+    in {!run} and becomes a recorded skip in {!run_degraded}. *)
+
 val repository : t -> Repository.t
+val resilience : t -> Resilience.t option
 
 val invalidate : t -> unit
 (** Drops the extent cache (call after data or pathway changes). *)
+
+val invalidate_source : t -> string -> unit
+(** Drops every cache entry that incorporates data from the given source
+    schema (directly or through derivation), so a recovered or refreshed
+    source is re-fetched on the next query.  Partial bags computed while
+    a source was skipped are never cached in the first place, so this is
+    only needed after the source's {e data} changed. *)
 
 type error = {
   message : string;
@@ -62,6 +76,41 @@ val run : ?optimize:bool -> t -> schema:string -> Ast.expr -> (Value.t, error) r
     schema.  [optimize] (default [true]) reschedules comprehension
     qualifiers (filter push-down, selectivity-greedy generator order)
     before evaluation; pass [false] to evaluate the query verbatim. *)
+
+type completeness = {
+  complete : bool;  (** no source was skipped *)
+  sources_ok : string list;
+      (** sources whose data is incorporated in the answer (fetched
+          during this run or served from complete cached extents),
+          sorted *)
+  sources_skipped : (string * string) list;
+      (** sources that exhausted their resilience policy, with the
+          reason; such sources contribute nothing to the answer *)
+  retries : int;  (** resilience retries spent during this run *)
+  breaker_opens : int;  (** breaker trips during this run *)
+  short_circuits : int;  (** fetches rejected by an open breaker *)
+}
+(** The completeness report of a degraded run: which sources answered,
+    which were skipped and why, and what the resilience layer spent
+    getting there. *)
+
+val pp_completeness : completeness Fmt.t
+(** Multi-line human-readable rendering, e.g.
+    [DEGRADED (2 sources answered, 1 skipped)]. *)
+
+val run_degraded :
+  ?optimize:bool ->
+  t ->
+  schema:string ->
+  Ast.expr ->
+  (Value.t * completeness, error) result
+(** Like {!run}, but a source fetch that exhausts its resilience policy
+    degrades the answer instead of failing it: the source contributes
+    nothing (its certain-answer lower bound) and is reported in the
+    {!completeness} record.  Results computed with a skip are never
+    cached, so a later run re-attempts the source.  Without a resilience
+    registry (or with no faults) this returns exactly {!run}'s value with
+    [complete = true]. *)
 
 val run_string : t -> schema:string -> string -> (Value.t, error) result
 (** Parses and runs. *)

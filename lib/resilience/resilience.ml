@@ -1,0 +1,364 @@
+module Prng = Automed_base.Prng
+module Telemetry = Automed_telemetry.Telemetry
+
+module Policy = struct
+  type t = {
+    retries : int;
+    backoff_base_ms : float;
+    backoff_factor : float;
+    backoff_jitter : float;
+    timeout_ms : float option;
+    breaker_threshold : int;
+    breaker_cooldown_ms : float;
+  }
+
+  let default =
+    {
+      retries = 2;
+      backoff_base_ms = 50.0;
+      backoff_factor = 2.0;
+      backoff_jitter = 0.2;
+      timeout_ms = None;
+      breaker_threshold = 5;
+      breaker_cooldown_ms = 1000.0;
+    }
+
+  let none =
+    {
+      retries = 0;
+      backoff_base_ms = 0.0;
+      backoff_factor = 1.0;
+      backoff_jitter = 0.0;
+      timeout_ms = None;
+      breaker_threshold = 0;
+      breaker_cooldown_ms = 0.0;
+    }
+
+  let pp ppf p =
+    Fmt.pf ppf
+      "retries=%d backoff=%.0fms*%.1f jitter=%.0f%% timeout=%s breaker=%s" p.retries
+      p.backoff_base_ms p.backoff_factor
+      (100.0 *. p.backoff_jitter)
+      (match p.timeout_ms with
+      | None -> "none"
+      | Some t -> Printf.sprintf "%.0fms" t)
+      (if p.breaker_threshold = 0 then "off"
+       else
+         Printf.sprintf "%d failures/%.0fms cooldown" p.breaker_threshold
+           p.breaker_cooldown_ms)
+end
+
+module Fault = struct
+  type profile = {
+    error_rate : float;
+    latency_ms : float;
+    latency_jitter_ms : float;
+    flap_period : int;
+    flap_down : int;
+  }
+
+  let none =
+    {
+      error_rate = 0.0;
+      latency_ms = 0.0;
+      latency_jitter_ms = 0.0;
+      flap_period = 0;
+      flap_down = 0;
+    }
+
+  let rate p = { none with error_rate = p }
+  let flaky ~down ~period = { none with flap_period = period; flap_down = down }
+
+  let is_none p =
+    p.error_rate = 0.0 && p.latency_ms = 0.0 && p.latency_jitter_ms = 0.0
+    && p.flap_period = 0
+end
+
+type breaker_state = Closed | Open | Half_open
+
+let pp_breaker_state ppf = function
+  | Closed -> Fmt.string ppf "closed"
+  | Open -> Fmt.string ppf "open"
+  | Half_open -> Fmt.string ppf "half-open"
+
+type stats = {
+  attempts : int;
+  successes : int;
+  retries : int;
+  failures : int;
+  timeouts : int;
+  faults_injected : int;
+  breaker_opens : int;
+  short_circuits : int;
+}
+
+let zero_stats =
+  {
+    attempts = 0;
+    successes = 0;
+    retries = 0;
+    failures = 0;
+    timeouts = 0;
+    faults_injected = 0;
+    breaker_opens = 0;
+    short_circuits = 0;
+  }
+
+let add_stats a b =
+  {
+    attempts = a.attempts + b.attempts;
+    successes = a.successes + b.successes;
+    retries = a.retries + b.retries;
+    failures = a.failures + b.failures;
+    timeouts = a.timeouts + b.timeouts;
+    faults_injected = a.faults_injected + b.faults_injected;
+    breaker_opens = a.breaker_opens + b.breaker_opens;
+    short_circuits = a.short_circuits + b.short_circuits;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "attempts=%d ok=%d retries=%d failed=%d timeouts=%d injected=%d \
+     breaker_opens=%d short_circuits=%d"
+    s.attempts s.successes s.retries s.failures s.timeouts s.faults_injected
+    s.breaker_opens s.short_circuits
+
+type failure = {
+  source : string;
+  attempts : int;
+  last_error : string;
+  circuit_open : bool;
+}
+
+let pp_failure ppf f =
+  if f.circuit_open && f.attempts = 0 then
+    Fmt.pf ppf "source %s: circuit breaker open" f.source
+  else
+    Fmt.pf ppf "source %s: gave up after %d attempt%s: %s%s" f.source f.attempts
+      (if f.attempts = 1 then "" else "s")
+      f.last_error
+      (if f.circuit_open then " (circuit breaker opened)" else "")
+
+type source_state = {
+  name : string;
+  prng : Prng.t;
+  mutable profile : Fault.profile;
+  mutable state : breaker_state;
+  mutable consecutive_failures : int;
+  mutable open_until : float;  (* virtual ms; meaningful while Open *)
+  mutable injector_calls : int;  (* drives the flap schedule *)
+  mutable stats : stats;
+}
+
+module SM = Map.Make (String)
+
+type t = {
+  mutable policy : Policy.t;
+  seed : int64;
+  mutable clock_ms : float;
+  mutable srcs : source_state SM.t;
+}
+
+let create ?(seed = 0x5EEDL) ?(policy = Policy.default) () =
+  { policy; seed; clock_ms = 0.0; srcs = SM.empty }
+
+let policy t = t.policy
+let set_policy t p = t.policy <- p
+
+(* each source draws from its own stream so that the interleaving of
+   calls across sources cannot perturb any one source's fault sequence *)
+let source_seed t name = Int64.add t.seed (Int64.of_int (Hashtbl.hash name))
+
+let state_of t name =
+  match SM.find_opt name t.srcs with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          name;
+          prng = Prng.create (source_seed t name);
+          profile = Fault.none;
+          state = Closed;
+          consecutive_failures = 0;
+          open_until = 0.0;
+          injector_calls = 0;
+          stats = zero_stats;
+        }
+      in
+      t.srcs <- SM.add name s t.srcs;
+      s
+
+let register t name = ignore (state_of t name)
+let covers t name = SM.mem name t.srcs
+let sources t = SM.bindings t.srcs |> List.map fst
+let inject t ~source profile = (state_of t source).profile <- profile
+let now_ms t = t.clock_ms
+let advance t ms = if ms > 0.0 then t.clock_ms <- t.clock_ms +. ms
+
+let stats t name =
+  match SM.find_opt name t.srcs with Some s -> s.stats | None -> zero_stats
+
+let totals t =
+  SM.fold (fun _ s acc -> add_stats acc s.stats) t.srcs zero_stats
+
+let breaker_state t name =
+  match SM.find_opt name t.srcs with Some s -> s.state | None -> Closed
+
+let reset_breaker t name =
+  match SM.find_opt name t.srcs with
+  | None -> ()
+  | Some s ->
+      s.state <- Closed;
+      s.consecutive_failures <- 0
+
+let report t =
+  SM.bindings t.srcs |> List.map (fun (n, s) -> (n, s.state, s.stats))
+
+(* -- one attempt through the injector ----------------------------------- *)
+
+let attempt t s f =
+  s.stats <- { s.stats with attempts = s.stats.attempts + 1 };
+  let p = s.profile in
+  if Fault.is_none p && t.policy.timeout_ms = None then
+    (* fast path: no injector, no clock bookkeeping *)
+    match f () with
+    | v -> Ok v
+    | exception Failure msg -> Error msg
+    | exception e -> Error (Printexc.to_string e)
+  else begin
+    s.injector_calls <- s.injector_calls + 1;
+    let latency =
+      p.latency_ms
+      +.
+      if p.latency_jitter_ms > 0.0 then Prng.float s.prng p.latency_jitter_ms
+      else 0.0
+    in
+    let timed_out =
+      match t.policy.timeout_ms with
+      | Some budget when latency > budget ->
+          advance t budget;
+          true
+      | _ ->
+          advance t latency;
+          false
+    in
+    if timed_out then begin
+      s.stats <- { s.stats with timeouts = s.stats.timeouts + 1 };
+      Telemetry.count "resilience.timeout";
+      Error
+        (Printf.sprintf "timeout: %.0fms latency exceeds %.0fms budget" latency
+           (Option.get t.policy.timeout_ms))
+    end
+    else
+      let flap_fail =
+        p.flap_period > 0 && (s.injector_calls - 1) mod p.flap_period < p.flap_down
+      in
+      let rate_fail =
+        p.error_rate > 0.0 && Prng.float s.prng 1.0 < p.error_rate
+      in
+      if flap_fail || rate_fail then begin
+        s.stats <- { s.stats with faults_injected = s.stats.faults_injected + 1 };
+        Telemetry.count "resilience.fault_injected";
+        Error
+          (if flap_fail then "injected fault (source flapping)"
+           else "injected fault")
+      end
+      else
+        match f () with
+        | v -> Ok v
+        | exception Failure msg -> Error msg
+        | exception e -> Error (Printexc.to_string e)
+  end
+
+(* -- breaker bookkeeping ------------------------------------------------- *)
+
+let trip t s =
+  s.state <- Open;
+  s.open_until <- t.clock_ms +. t.policy.breaker_cooldown_ms;
+  s.stats <- { s.stats with breaker_opens = s.stats.breaker_opens + 1 };
+  Telemetry.count "resilience.breaker_open"
+
+let note_success s =
+  s.consecutive_failures <- 0;
+  if s.state = Half_open then s.state <- Closed;
+  s.stats <- { s.stats with successes = s.stats.successes + 1 }
+
+(* returns true when the failure opened (or re-opened) the breaker *)
+let note_failure t s =
+  s.consecutive_failures <- s.consecutive_failures + 1;
+  if s.state = Half_open then begin
+    trip t s;
+    true
+  end
+  else if
+    t.policy.breaker_threshold > 0
+    && s.state = Closed
+    && s.consecutive_failures >= t.policy.breaker_threshold
+  then begin
+    trip t s;
+    true
+  end
+  else false
+
+let backoff t s ~retry_index =
+  let base =
+    t.policy.backoff_base_ms *. (t.policy.backoff_factor ** float_of_int retry_index)
+  in
+  let jitter =
+    if t.policy.backoff_jitter > 0.0 then
+      Prng.float s.prng (base *. t.policy.backoff_jitter)
+    else 0.0
+  in
+  advance t (base +. jitter)
+
+let call t ~source f =
+  let s = state_of t source in
+  (* breaker gate: open -> reject until the cooldown elapses, then let a
+     single half-open probe (no retries) through *)
+  let gate =
+    match s.state with
+    | Open when t.clock_ms < s.open_until -> `Reject
+    | Open ->
+        s.state <- Half_open;
+        `Probe
+    | Half_open -> `Probe
+    | Closed -> `Pass
+  in
+  match gate with
+  | `Reject ->
+      s.stats <- { s.stats with short_circuits = s.stats.short_circuits + 1 };
+      Telemetry.count "resilience.short_circuit";
+      Error
+        {
+          source;
+          attempts = 0;
+          last_error = "circuit breaker open";
+          circuit_open = true;
+        }
+  | `Probe | `Pass ->
+      let max_attempts = match gate with `Probe -> 1 | _ -> 1 + t.policy.retries in
+      let rec loop attempt_no =
+        match attempt t s f with
+        | Ok v ->
+            note_success s;
+            Ok v
+        | Error msg ->
+            let opened = note_failure t s in
+            if attempt_no < max_attempts && not opened then begin
+              s.stats <- { s.stats with retries = s.stats.retries + 1 };
+              Telemetry.count "resilience.retry";
+              backoff t s ~retry_index:(attempt_no - 1);
+              loop (attempt_no + 1)
+            end
+            else begin
+              s.stats <- { s.stats with failures = s.stats.failures + 1 };
+              Error
+                {
+                  source;
+                  attempts = attempt_no;
+                  last_error = msg;
+                  circuit_open = opened;
+                }
+            end
+      in
+      loop 1

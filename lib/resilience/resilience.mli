@@ -1,0 +1,163 @@
+(** Fault-tolerant source access.
+
+    A dataspace must stay queryable at every iteration of integration —
+    including when a data source is flaky.  This module is the reusable
+    fault-handling kernel threaded through every extent fetch: a
+    deterministic {e fault injector} (so that failure-handling code paths
+    are exercised reproducibly), a retry {e policy} (bounded retries,
+    exponential backoff with seeded jitter, a per-call timeout budget),
+    and a per-source {e circuit breaker} (closed/open/half-open) that
+    stops hammering a source that stays down.
+
+    Everything is deterministic: randomness comes from a SplitMix64
+    generator seeded at registry creation (each source derives its own
+    stream, so call interleaving across sources does not perturb the
+    sequences), and time is a {e virtual clock} that only advances when
+    the kernel simulates latency or backoff sleeps — test suites and
+    benchmarks never really sleep, and the same seed always produces the
+    same failures, the same retries and the same breaker transitions.
+
+    Telemetry: the kernel emits the counters [resilience.retry],
+    [resilience.breaker_open], [resilience.timeout],
+    [resilience.fault_injected] and [resilience.short_circuit] through
+    {!Automed_telemetry.Telemetry} (single-branch cost when no sink is
+    installed). *)
+
+(** Retry/timeout/breaker knobs.  One policy applies to the whole
+    registry (the unit of configuration is the dataspace, not the
+    source; per-source variation comes from fault profiles). *)
+module Policy : sig
+  type t = {
+    retries : int;  (** extra attempts after the first (0 = fail fast) *)
+    backoff_base_ms : float;  (** virtual sleep before the first retry *)
+    backoff_factor : float;  (** multiplier per further retry *)
+    backoff_jitter : float;
+        (** fraction of the backoff drawn uniformly (seeded) and added,
+            in [\[0, 1\]]; decorrelates retry storms *)
+    timeout_ms : float option;
+        (** per-attempt budget: an attempt whose simulated latency
+            exceeds it counts as a timeout failure *)
+    breaker_threshold : int;
+        (** consecutive failures that trip the breaker (0 = no breaker) *)
+    breaker_cooldown_ms : float;
+        (** how long an open breaker rejects calls before letting one
+            half-open probe through *)
+  }
+
+  val default : t
+  (** 2 retries, 50ms base backoff doubling with 20% jitter, no timeout,
+      breaker trips after 5 consecutive failures and cools down 1s. *)
+
+  val none : t
+  (** No retries, no timeout, no breaker: with this policy (and no fault
+      profile) {!call} behaves exactly like calling the function
+      directly. *)
+
+  val pp : t Fmt.t
+end
+
+(** Deterministic fault profiles, attached per source with {!inject}. *)
+module Fault : sig
+  type profile = {
+    error_rate : float;  (** probability an attempt fails, in [\[0,1\]] *)
+    latency_ms : float;  (** simulated latency added to every attempt *)
+    latency_jitter_ms : float;  (** extra uniform latency, seeded *)
+    flap_period : int;
+        (** when positive, the source flaps: of every [flap_period]
+            consecutive attempts, the first [flap_down] fail *)
+    flap_down : int;
+  }
+
+  val none : profile
+  (** No injected faults, no simulated latency. *)
+
+  val rate : float -> profile
+  (** [rate p] fails each attempt with probability [p], nothing else. *)
+
+  val flaky : down:int -> period:int -> profile
+  (** Deterministic flapping: first [down] of every [period] attempts
+      fail. *)
+
+  val is_none : profile -> bool
+end
+
+type breaker_state = Closed | Open | Half_open
+
+val pp_breaker_state : breaker_state Fmt.t
+
+(** Per-source telemetry counters, all cumulative since registration. *)
+type stats = {
+  attempts : int;  (** individual attempts, including retries *)
+  successes : int;  (** calls that returned a value *)
+  retries : int;  (** attempts beyond the first of each call *)
+  failures : int;  (** calls that exhausted their attempts *)
+  timeouts : int;  (** attempts lost to the per-call timeout budget *)
+  faults_injected : int;  (** attempts failed by the injector *)
+  breaker_opens : int;  (** closed/half-open -> open transitions *)
+  short_circuits : int;  (** calls rejected while the breaker was open *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+val pp_stats : stats Fmt.t
+
+(** Why a {!call} returned no value. *)
+type failure = {
+  source : string;
+  attempts : int;  (** attempts actually made (0 when short-circuited) *)
+  last_error : string;
+  circuit_open : bool;  (** rejected or abandoned because the breaker opened *)
+}
+
+val pp_failure : failure Fmt.t
+
+type t
+(** A registry: one policy, one virtual clock, and per-source breaker +
+    injector + stats state. *)
+
+val create : ?seed:int64 -> ?policy:Policy.t -> unit -> t
+(** [seed] defaults to [0x5EEDL]; [policy] to {!Policy.default}. *)
+
+val policy : t -> Policy.t
+val set_policy : t -> Policy.t -> unit
+
+val register : t -> string -> unit
+(** Declares a source as covered by the registry (idempotent).  Wrappers
+    register every source they materialise; {!call} registers its source
+    implicitly. *)
+
+val covers : t -> string -> bool
+val sources : t -> string list
+(** Registered sources, sorted. *)
+
+val inject : t -> source:string -> Fault.profile -> unit
+(** Attaches (or, with {!Fault.none}, removes) a fault profile. *)
+
+val now_ms : t -> float
+(** The virtual clock. *)
+
+val advance : t -> float -> unit
+(** Moves the virtual clock forward (e.g. to let a breaker cool down in
+    a test). *)
+
+val call : t -> source:string -> (unit -> 'a) -> ('a, failure) result
+(** Runs a fetch under the registry's policy: breaker gate, then up to
+    [1 + retries] attempts, each through the source's fault injector,
+    with backoff between attempts.  Exceptions raised by the fetch are
+    treated as attempt failures ([Failure msg] contributes [msg]
+    verbatim).  With {!Policy.none} and no fault
+    profile this is exactly [Ok (f ())] for non-raising [f]. *)
+
+val stats : t -> string -> stats
+(** Zero for unknown sources. *)
+
+val totals : t -> stats
+(** Sum over all registered sources. *)
+
+val breaker_state : t -> string -> breaker_state
+val reset_breaker : t -> string -> unit
+(** Closes the breaker and clears the consecutive-failure count (e.g.
+    after an operator fixed the source). *)
+
+val report : t -> (string * breaker_state * stats) list
+(** One row per registered source, sorted by name. *)

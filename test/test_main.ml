@@ -24,6 +24,7 @@ let () =
       ("ispider", Test_ispider.suite);
       ("analysis", Test_analysis.suite);
       ("telemetry", Test_telemetry.suite);
+      ("resilience", Test_resilience.suite);
       ("user-cost", Test_user_cost.suite);
       ("properties", Test_properties.suite);
       ("bibliome", Test_bibliome.suite);

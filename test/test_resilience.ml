@@ -1,0 +1,508 @@
+(* The fault-handling kernel (lib/resilience) and its integration with
+   the query processor: deterministic retries, timeouts, circuit
+   breakers, degraded runs with completeness reports, cache hygiene
+   under failure, and the no-fault equivalence guarantee. *)
+
+module Scheme = Automed_base.Scheme
+module Value = Automed_iql.Value
+module Relational = Automed_datasource.Relational
+module Wrapper = Automed_datasource.Wrapper
+module Repository = Automed_repository.Repository
+module Processor = Automed_query.Processor
+module Workflow = Automed_integration.Workflow
+module Federated = Automed_integration.Federated
+module Sources = Automed_ispider.Sources
+module Queries = Automed_ispider.Queries
+module Intersection_run = Automed_ispider.Intersection_run
+module Analysis = Automed_analysis.Analysis
+module Diagnostic = Automed_analysis.Diagnostic
+module Resilience = Automed_resilience.Resilience
+module Policy = Resilience.Policy
+module Fault = Resilience.Fault
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let ok_p = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%a" Processor.pp_error e
+
+let ok_f = function
+  | Ok v -> v
+  | Error f -> Alcotest.failf "%a" Resilience.pp_failure f
+
+(* a policy that fails fast and never opens the breaker: the sharpest
+   degradation granularity, used where the test wants every injected
+   fault to surface as a skip *)
+let fail_fast =
+  {
+    Policy.retries = 0;
+    backoff_base_ms = 0.;
+    backoff_factor = 1.;
+    backoff_jitter = 0.;
+    timeout_ms = None;
+    breaker_threshold = 0;
+    breaker_cooldown_ms = 0.;
+  }
+
+(* -- kernel: retries, timeouts, breaker ---------------------------------- *)
+
+let test_passthrough () =
+  let r = Resilience.create ~policy:Policy.none () in
+  Alcotest.(check int) "value" 42 (ok_f (Resilience.call r ~source:"s" (fun () -> 42)));
+  let s = Resilience.stats r "s" in
+  Alcotest.(check int) "attempts" 1 s.Resilience.attempts;
+  Alcotest.(check int) "successes" 1 s.Resilience.successes;
+  Alcotest.(check (float 0.)) "no virtual time" 0. (Resilience.now_ms r)
+
+let test_exception_unwrapped () =
+  let r = Resilience.create ~policy:Policy.none () in
+  match Resilience.call r ~source:"s" (fun () -> failwith "boom") with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error f ->
+      Alcotest.(check string) "message verbatim" "boom" f.Resilience.last_error;
+      Alcotest.(check int) "one attempt" 1 f.Resilience.attempts;
+      Alcotest.(check bool) "breaker not involved" false f.Resilience.circuit_open
+
+let test_retry_then_succeed () =
+  let r =
+    Resilience.create
+      ~policy:{ Policy.default with retries = 2; backoff_jitter = 0. }
+      ()
+  in
+  (* first attempt of every 10 fails: the call needs exactly one retry *)
+  Resilience.inject r ~source:"s" (Fault.flaky ~down:1 ~period:10);
+  Alcotest.(check int) "recovers" 7 (ok_f (Resilience.call r ~source:"s" (fun () -> 7)));
+  let s = Resilience.stats r "s" in
+  Alcotest.(check int) "attempts" 2 s.Resilience.attempts;
+  Alcotest.(check int) "retries" 1 s.Resilience.retries;
+  Alcotest.(check int) "faults injected" 1 s.Resilience.faults_injected;
+  Alcotest.(check int) "no failed call" 0 s.Resilience.failures;
+  (* the retry slept the virtual backoff, not the wall clock *)
+  Alcotest.(check (float 0.)) "backoff on virtual clock" 50. (Resilience.now_ms r)
+
+let test_retry_exhaustion () =
+  let r = Resilience.create ~policy:{ Policy.default with retries = 2 } () in
+  (* attempts 1-3 fail, 4-6 succeed: the first call exhausts its three
+     attempts inside the down window *)
+  Resilience.inject r ~source:"s" (Fault.flaky ~down:3 ~period:6);
+  (match Resilience.call r ~source:"s" (fun () -> ()) with
+  | Ok () -> Alcotest.fail "expected exhaustion"
+  | Error f -> Alcotest.(check int) "all attempts spent" 3 f.Resilience.attempts);
+  let s = Resilience.stats r "s" in
+  Alcotest.(check int) "one failed call" 1 s.Resilience.failures;
+  (* the flap window has passed: the same call now succeeds first try *)
+  ok_f (Resilience.call r ~source:"s" (fun () -> ()));
+  Alcotest.(check int) "then recovers" 1 (Resilience.stats r "s").Resilience.successes
+
+let test_timeout_exhaustion () =
+  let r =
+    Resilience.create
+      ~policy:{ Policy.default with retries = 1; timeout_ms = Some 10. }
+      ()
+  in
+  Resilience.inject r ~source:"s"
+    { Fault.none with Fault.latency_ms = 50. };
+  (match Resilience.call r ~source:"s" (fun () -> ()) with
+  | Ok () -> Alcotest.fail "expected timeout"
+  | Error f ->
+      Alcotest.(check bool) "timeout named" true
+        (let msg = f.Resilience.last_error in
+         String.length msg >= 7 && String.sub msg 0 7 = "timeout"));
+  let s = Resilience.stats r "s" in
+  Alcotest.(check int) "both attempts timed out" 2 s.Resilience.timeouts
+
+let test_breaker_cycle () =
+  let r =
+    Resilience.create
+      ~policy:
+        {
+          fail_fast with
+          Policy.breaker_threshold = 2;
+          breaker_cooldown_ms = 1000.;
+        }
+      ()
+  in
+  (* permanently down until the profile is cleared *)
+  Resilience.inject r ~source:"s" (Fault.flaky ~down:max_int ~period:max_int);
+  let fail_once () =
+    match Resilience.call r ~source:"s" (fun () -> ()) with
+    | Ok () -> Alcotest.fail "expected failure"
+    | Error f -> f
+  in
+  ignore (fail_once ());
+  Alcotest.(check bool) "still closed after 1 failure" true
+    (Resilience.breaker_state r "s" = Resilience.Closed);
+  ignore (fail_once ());
+  Alcotest.(check bool) "open after threshold" true
+    (Resilience.breaker_state r "s" = Resilience.Open);
+  (* while open and cooling down: short-circuited, zero attempts *)
+  let f = fail_once () in
+  Alcotest.(check bool) "short-circuited" true f.Resilience.circuit_open;
+  Alcotest.(check int) "no attempt made" 0 f.Resilience.attempts;
+  Alcotest.(check int) "counted" 1 (Resilience.stats r "s").Resilience.short_circuits;
+  (* cooldown elapses on the virtual clock; the source recovers *)
+  Resilience.advance r 1001.;
+  Resilience.inject r ~source:"s" Fault.none;
+  Alcotest.(check int) "half-open probe succeeds" 9
+    (ok_f (Resilience.call r ~source:"s" (fun () -> 9)));
+  Alcotest.(check bool) "closed again" true
+    (Resilience.breaker_state r "s" = Resilience.Closed);
+  Alcotest.(check int) "one open recorded" 1
+    (Resilience.stats r "s").Resilience.breaker_opens
+
+let test_half_open_failure_reopens () =
+  let r =
+    Resilience.create
+      ~policy:
+        {
+          fail_fast with
+          Policy.breaker_threshold = 1;
+          breaker_cooldown_ms = 100.;
+        }
+      ()
+  in
+  Resilience.inject r ~source:"s" (Fault.flaky ~down:max_int ~period:max_int);
+  ignore (Resilience.call r ~source:"s" (fun () -> ()));
+  Alcotest.(check bool) "open" true (Resilience.breaker_state r "s" = Resilience.Open);
+  Resilience.advance r 101.;
+  (* the probe fails: straight back to open, no retry storm *)
+  (match Resilience.call r ~source:"s" (fun () -> ()) with
+  | Ok () -> Alcotest.fail "probe should fail"
+  | Error f -> Alcotest.(check int) "single probe attempt" 1 f.Resilience.attempts);
+  Alcotest.(check bool) "reopened" true
+    (Resilience.breaker_state r "s" = Resilience.Open);
+  Alcotest.(check int) "two opens" 2
+    (Resilience.stats r "s").Resilience.breaker_opens
+
+let test_determinism () =
+  let run_sequence () =
+    let r = Resilience.create ~seed:11L ~policy:fail_fast () in
+    Resilience.inject r ~source:"a" (Fault.rate 0.3);
+    Resilience.inject r ~source:"b"
+      { (Fault.rate 0.1) with Fault.latency_ms = 2.; latency_jitter_ms = 3. };
+    let outcomes =
+      List.init 50 (fun i ->
+          let source = if i mod 2 = 0 then "a" else "b" in
+          Result.is_ok (Resilience.call r ~source (fun () -> i)))
+    in
+    (outcomes, Resilience.now_ms r, Resilience.totals r)
+  in
+  let o1, t1, s1 = run_sequence () in
+  let o2, t2, s2 = run_sequence () in
+  Alcotest.(check (list bool)) "same outcomes" o1 o2;
+  Alcotest.(check (float 0.)) "same virtual time" t1 t2;
+  Alcotest.(check bool) "same stats" true (s1 = s2);
+  Alcotest.(check bool) "faults actually fired" true
+    (s1.Resilience.faults_injected > 0)
+
+(* per-source PRNG streams: interleaving calls to another source does
+   not perturb a source's fault sequence *)
+let test_stream_independence () =
+  let sequence_of interleave =
+    let r = Resilience.create ~seed:5L ~policy:fail_fast () in
+    Resilience.inject r ~source:"a" (Fault.rate 0.4);
+    List.init 30 (fun i ->
+        if interleave then
+          ignore (Resilience.call r ~source:"other" (fun () -> i));
+        Result.is_ok (Resilience.call r ~source:"a" (fun () -> i)))
+  in
+  Alcotest.(check (list bool)) "same a-sequence" (sequence_of false)
+    (sequence_of true)
+
+(* -- a small two-table source for processor-level tests ------------------- *)
+
+let small_db name =
+  let album =
+    ok
+      (Relational.create_table ~name:"album" ~key:"id"
+         [ ("id", Relational.CStr); ("title", Relational.CStr) ])
+  in
+  let album =
+    ok
+      (Relational.insert_all album
+         [
+           [ Relational.str_cell "a1"; Relational.str_cell "Blue Train" ];
+           [ Relational.str_cell "a2"; Relational.str_cell "Kind of Blue" ];
+         ])
+  in
+  let gig =
+    ok
+      (Relational.create_table ~name:"gig" ~key:"gid"
+         [ ("gid", Relational.CStr); ("venue", Relational.CStr) ])
+  in
+  let gig =
+    ok
+      (Relational.insert_all gig
+         [ [ Relational.str_cell "g1"; Relational.str_cell "Vanguard" ] ])
+  in
+  ok
+    (Relational.add_table
+       (ok (Relational.add_table (Relational.create_db name) album))
+       gig)
+
+let test_degraded_skip_not_cached () =
+  (* the satellite bug: a failed fetch must not poison the extent cache
+     with a partial bag *)
+  let repo = Repository.create () in
+  let _ = ok (Wrapper.wrap repo (small_db "store")) in
+  let res = Resilience.create ~policy:fail_fast () in
+  Resilience.register res "store";
+  let proc = Processor.create ~resilience:res repo in
+  let count = Automed_iql.Parser.parse_exn "count(<<album>>)" in
+  (* source down: the degraded answer is the empty lower bound *)
+  Resilience.inject res ~source:"store" (Fault.rate 1.0);
+  let v, c = ok_p (Processor.run_degraded proc ~schema:"store" count) in
+  Alcotest.(check string) "degraded count" "0" (Value.to_string v);
+  Alcotest.(check bool) "reported incomplete" false c.Processor.complete;
+  Alcotest.(check (list string)) "skip names the source" [ "store" ]
+    (List.map fst c.Processor.sources_skipped);
+  (* source recovers: the partial bag must NOT have been cached *)
+  Resilience.inject res ~source:"store" Fault.none;
+  let v, c = ok_p (Processor.run_degraded proc ~schema:"store" count) in
+  Alcotest.(check string) "recovered count" "2" (Value.to_string v);
+  Alcotest.(check bool) "now complete" true c.Processor.complete;
+  Alcotest.(check (list string)) "source answered" [ "store" ]
+    c.Processor.sources_ok;
+  (* and the strict path agrees *)
+  Alcotest.(check string) "strict agrees" "2"
+    (Value.to_string (ok_p (Processor.run proc ~schema:"store" count)))
+
+let test_invalidate_source () =
+  let repo = Repository.create () in
+  let _ = ok (Wrapper.wrap repo (small_db "store")) in
+  let proc = Processor.create repo in
+  let count = Automed_iql.Parser.parse_exn "count(<<album>>)" in
+  Alcotest.(check string) "initial" "2"
+    (Value.to_string (ok_p (Processor.run proc ~schema:"store" count)));
+  (* the source data changes behind the processor's back *)
+  ok
+    (Repository.set_extent repo ~schema:"store" (Scheme.table "album")
+       (Value.Bag.of_list [ Value.Str "a1" ]));
+  Alcotest.(check string) "cache still serves the old bag" "2"
+    (Value.to_string (ok_p (Processor.run proc ~schema:"store" count)));
+  Processor.invalidate_source proc "store";
+  Alcotest.(check string) "re-fetched after invalidation" "1"
+    (Value.to_string (ok_p (Processor.run proc ~schema:"store" count)))
+
+let test_store_extents_accumulates_errors () =
+  (* per-table degradation: every failing table is reported, not just
+     the first *)
+  let repo = Repository.create () in
+  let db = small_db "store" in
+  let _ = ok (Wrapper.wrap repo db) in
+  let res = Resilience.create ~policy:fail_fast () in
+  (* both tables fail *)
+  Resilience.inject res ~source:"store" (Fault.rate 1.0);
+  (match Wrapper.store_extents ~resilience:res repo db with
+  | Ok () -> Alcotest.fail "expected failure"
+  | Error e ->
+      let contains sub =
+        let n = String.length e and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub e i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "counts both tables" true
+        (contains "2 of its tables failed");
+      Alcotest.(check bool) "names album" true (contains "table album");
+      Alcotest.(check bool) "names gig" true (contains "table gig"));
+  (* one table recovers: exactly the other is reported *)
+  Resilience.inject res ~source:"store" (Fault.flaky ~down:1 ~period:2);
+  let stored, failed = Wrapper.store_extents_partial ~resilience:res repo db in
+  Alcotest.(check (list string)) "gig stored" [ "gig" ] stored;
+  Alcotest.(check (list string)) "album failed" [ "album" ]
+    (List.map (fun te -> te.Wrapper.table) failed)
+
+let test_federated_degraded () =
+  let repo = Repository.create () in
+  let _ = ok (Wrapper.wrap repo (small_db "store")) in
+  let _ = ok (Wrapper.wrap repo (small_db "radio")) in
+  let res = Resilience.create ~policy:fail_fast () in
+  Resilience.register res "store";
+  Resilience.register res "radio";
+  Resilience.inject res ~source:"radio" (Fault.rate 1.0);
+  let schema, skipped =
+    ok (Federated.create_degraded ~resilience:res repo ~name:"fed"
+          ~members:[ "store"; "radio" ])
+  in
+  Alcotest.(check (list string)) "radio skipped" [ "radio" ]
+    (List.map fst skipped);
+  (* the federation only carries the surviving member's objects *)
+  Alcotest.(check bool) "store objects present" true
+    (Automed_model.Schema.mem
+       (Scheme.prefix "store" (Scheme.table "album"))
+       schema);
+  Alcotest.(check bool) "radio objects absent" false
+    (Automed_model.Schema.mem
+       (Scheme.prefix "radio" (Scheme.table "album"))
+       schema);
+  (* every member down: construction still fails *)
+  Resilience.inject res ~source:"store" (Fault.rate 1.0);
+  Alcotest.(check bool) "no member left" true
+    (Result.is_error
+       (Federated.create_degraded ~resilience:res repo ~name:"fed2"
+          ~members:[ "store"; "radio" ]))
+
+let test_lint_unprotected_source () =
+  let repo = Repository.create () in
+  let _ = ok (Wrapper.wrap repo (small_db "store")) in
+  let unprotected d = d.Diagnostic.rule = "unprotected-source" in
+  Alcotest.(check bool) "warned when uncovered" true
+    (List.exists unprotected (Analysis.lint_repository ~covered:[] repo));
+  Alcotest.(check bool) "silent when covered" false
+    (List.exists unprotected
+       (Analysis.lint_repository ~covered:[ "store" ] repo));
+  Alcotest.(check bool) "disabled without a registry" false
+    (List.exists unprotected (Analysis.lint_repository repo))
+
+(* -- the iSpider case study under faults ---------------------------------- *)
+
+let dataset = lazy (Sources.generate ())
+
+(* plain (seed) environment and a resilience-wrapped environment over the
+   same dataset; faults are only injected inside the tests that need
+   them, and always cleared afterwards *)
+let plain_env =
+  lazy
+    (let ds = Lazy.force dataset in
+     let repo = Repository.create () in
+     ok (Sources.wrap_all repo ds);
+     let run = ok (Intersection_run.execute repo) in
+     (ds, run))
+
+let resilient_env =
+  lazy
+    (let ds = Lazy.force dataset in
+     let repo = Repository.create () in
+     (* seed 3 chosen so that the 20%-rate phase of the degradation test
+        below actually draws failures within its seven queries (the
+        injector is uniform; a seed whose pedro stream opens with a run
+        of high draws would make the acceptance check vacuous) *)
+     let res = Resilience.create ~seed:3L ~policy:fail_fast () in
+     ok (Sources.wrap_all ~resilience:res repo ds);
+     let run = ok (Intersection_run.execute ~resilience:res repo) in
+     (ds, res, run))
+
+let test_no_fault_equivalence () =
+  (* acceptance criterion: with fault rate 0 the resilience-wrapped path
+     returns bit-identical results to the seed path *)
+  let _, plain_run = Lazy.force plain_env in
+  let _, res, run = Lazy.force resilient_env in
+  Alcotest.(check bool) "all three sources covered" true
+    (List.sort compare (Resilience.sources res)
+    = [ "gpmdb"; "pedro"; "pepseeker" ]);
+  List.iter
+    (fun (q : Queries.query) ->
+      let seed_answer =
+        ok_p (Workflow.run_query plain_run.Intersection_run.workflow
+                q.Queries.global_text)
+      in
+      let wrapped_answer =
+        ok_p (Workflow.run_query run.Intersection_run.workflow
+                q.Queries.global_text)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "query %d identical" q.Queries.number)
+        true
+        (Value.equal seed_answer wrapped_answer);
+      (* and the degraded entry point reports completeness *)
+      let v, c =
+        ok_p (Workflow.run_query_degraded run.Intersection_run.workflow
+                q.Queries.global_text)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "query %d degraded-run identical" q.Queries.number)
+        true
+        (Value.equal seed_answer v);
+      Alcotest.(check bool)
+        (Printf.sprintf "query %d complete" q.Queries.number)
+        true c.Processor.complete;
+      Alcotest.(check (list (pair string string)))
+        (Printf.sprintf "query %d no skips" q.Queries.number)
+        [] c.Processor.sources_skipped)
+    Queries.all
+
+let test_seven_queries_degrade_and_recover () =
+  (* acceptance criterion: under a seeded 20% fault rate on one source,
+     all 7 priority queries still complete, in degraded mode, and the
+     completeness report names the skipped source *)
+  let ds, res, run = Lazy.force resilient_env in
+  let wf = run.Intersection_run.workflow in
+  Resilience.inject res ~source:"pedro" (Fault.rate 0.2);
+  let reports =
+    List.map
+      (fun (q : Queries.query) ->
+        (* each query re-attempts every source rather than serving the
+           previous query's cache *)
+        Processor.invalidate (Workflow.processor wf);
+        let _, c = ok_p (Workflow.run_query_degraded wf q.Queries.global_text) in
+        (q.Queries.number, c))
+      Queries.all
+  in
+  Alcotest.(check int) "all seven answered" 7 (List.length reports);
+  let skipped_sources =
+    List.concat_map
+      (fun (_, c) -> List.map fst c.Processor.sources_skipped)
+      reports
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "only the faulty source is ever skipped"
+    [ "pedro" ] skipped_sources;
+  Alcotest.(check bool) "at least one query ran degraded" true
+    (List.exists (fun (_, c) -> not c.Processor.complete) reports);
+  (* the healthy sources keep answering across the workload (individual
+     queries may touch pedro only, e.g. query 2's description filter) *)
+  let all_ok =
+    List.concat_map (fun (_, c) -> c.Processor.sources_ok) reports
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "gpmdb answered somewhere" true
+    (List.mem "gpmdb" all_ok);
+  Alcotest.(check bool) "pepseeker answered somewhere" true
+    (List.mem "pepseeker" all_ok);
+  (* recovery: clear the faults, drop nothing by hand — skipped fetches
+     were never cached, so the answers return to the ground truth *)
+  Resilience.inject res ~source:"pedro" Fault.none;
+  List.iter
+    (fun (q : Queries.query) ->
+      let v, c = ok_p (Workflow.run_query_degraded wf q.Queries.global_text) in
+      Alcotest.(check bool)
+        (Printf.sprintf "query %d complete after recovery" q.Queries.number)
+        true c.Processor.complete;
+      match v with
+      | Value.Bag got ->
+          Alcotest.(check bool)
+            (Printf.sprintf "query %d back to ground truth" q.Queries.number)
+            true
+            (Value.Bag.equal got (q.Queries.ground_truth ds))
+      | v ->
+          Alcotest.failf "query %d: non-bag %s" q.Queries.number
+            (Value.to_string v))
+    Queries.all
+
+let suite =
+  [
+    Alcotest.test_case "passthrough policy is the identity" `Quick test_passthrough;
+    Alcotest.test_case "Failure message verbatim" `Quick test_exception_unwrapped;
+    Alcotest.test_case "retry then succeed" `Quick test_retry_then_succeed;
+    Alcotest.test_case "retry exhaustion" `Quick test_retry_exhaustion;
+    Alcotest.test_case "timeout exhaustion" `Quick test_timeout_exhaustion;
+    Alcotest.test_case "breaker open/half-open/close" `Quick test_breaker_cycle;
+    Alcotest.test_case "half-open failure reopens" `Quick
+      test_half_open_failure_reopens;
+    Alcotest.test_case "same seed, same faults" `Quick test_determinism;
+    Alcotest.test_case "per-source streams independent" `Quick
+      test_stream_independence;
+    Alcotest.test_case "failed fetch never cached" `Quick
+      test_degraded_skip_not_cached;
+    Alcotest.test_case "invalidate_source re-fetches" `Quick test_invalidate_source;
+    Alcotest.test_case "store_extents accumulates table errors" `Quick
+      test_store_extents_accumulates_errors;
+    Alcotest.test_case "federated construction degrades" `Quick
+      test_federated_degraded;
+    Alcotest.test_case "lint: unprotected-source" `Quick
+      test_lint_unprotected_source;
+    Alcotest.test_case "fault rate 0 = seed path (7 queries)" `Quick
+      test_no_fault_equivalence;
+    Alcotest.test_case "7 queries under 20% faults degrade + recover" `Quick
+      test_seven_queries_degrade_and_recover;
+  ]
