@@ -34,6 +34,9 @@ module Classical_run = Automed_ispider.Classical_run
 module Telemetry = Automed_telemetry.Telemetry
 module Microjson = Automed_telemetry.Microjson
 module Resilience = Automed_resilience.Resilience
+module Durable = Automed_durable.Durable
+module Journal = Automed_durable.Journal
+module Vfs = Automed_durable.Vfs
 
 let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 let ok = function Ok v -> v | Error e -> die "error: %s" e
@@ -563,6 +566,174 @@ let write_resilience_snapshot path outcomes =
         resilience_fault_rate resilience_seed
         (String.concat ", " (List.map outcome_json outcomes)))
 
+(* -- E-D1: durability ------------------------------------------------------ *)
+
+(* Journal append throughput and recovery replay time, measured on the
+   real op stream of the 7-query iSpider integration: the whole run is
+   executed with a durable handle attached to an in-memory store, the
+   resulting journal's payloads are re-appended in a tight loop for the
+   throughput number, and recovery is timed at growing journal prefixes
+   (no checkpoint, so every record replays).  After full recovery the
+   seven priority queries run against the recovered repository and are
+   checked against ground truth. *)
+
+type recover_point = {
+  rp_records : int;
+  rp_bytes : int;
+  rp_ms : float;
+}
+
+type durability_outcome = {
+  journaled_ops : int;
+  journal_bytes : int;
+  integrate_ms : float;  (** full integration with journaling on *)
+  baseline_integrate_ms : float;  (** same run, no durable handle *)
+  append_ops_per_sec : float;
+  append_mb_per_sec : float;
+  recover_points : recover_point list;
+  queries_ok : int;
+  queries_total : int;
+}
+
+let durability_outcome () =
+  let integrate vfs =
+    let repo = Repository.create () in
+    let _d = Option.map (fun v -> ok (Durable.attach v repo)) vfs in
+    let t0 = Telemetry.wall_clock () in
+    ok (Sources.wrap_all repo dataset);
+    ignore (ok (Intersection_run.execute repo));
+    let ms = (Telemetry.wall_clock () -. t0) *. 1000.0 in
+    (repo, ms)
+  in
+  let _, baseline_integrate_ms = integrate None in
+  let vfs = Vfs.memory () in
+  let _, integrate_ms = integrate (Some vfs) in
+  let scan = ok (Journal.read vfs ~file:Durable.journal_file) in
+  let journaled_ops = List.length scan.Journal.records in
+  let journal_bytes = scan.Journal.total_bytes in
+  (* raw append throughput: the run's own payloads against a fresh store *)
+  let payloads = List.map snd scan.Journal.records in
+  let rounds = 5 in
+  let t0 = Telemetry.wall_clock () in
+  for _ = 1 to rounds do
+    let sink = Vfs.memory () in
+    List.iter
+      (fun p -> ok (Journal.append sink ~file:Durable.journal_file p))
+      payloads
+  done;
+  let append_s = Telemetry.wall_clock () -. t0 in
+  let total_ops = rounds * journaled_ops in
+  let append_ops_per_sec = float_of_int total_ops /. append_s in
+  let append_mb_per_sec =
+    float_of_int (rounds * journal_bytes) /. append_s /. 1048576.0
+  in
+  (* recovery replay time vs journal length *)
+  let journal = ok (Vfs.(vfs.read) Durable.journal_file) in
+  let prefix_store keep_records =
+    let offsets =
+      List.filteri (fun i _ -> i = keep_records) scan.Journal.records
+    in
+    let cut =
+      match offsets with
+      | [ (off, _) ] -> off
+      | _ -> String.length journal
+    in
+    let store = Vfs.memory () in
+    ok (Vfs.(store.write) Durable.journal_file (String.sub journal 0 cut));
+    (store, cut)
+  in
+  let recover_points =
+    List.map
+      (fun frac ->
+        let keep = journaled_ops * frac / 8 in
+        let store, bytes = prefix_store keep in
+        let t0 = Telemetry.wall_clock () in
+        let d, report = ok (Durable.recover store) in
+        let ms = (Telemetry.wall_clock () -. t0) *. 1000.0 in
+        ignore (Durable.repository d);
+        assert (report.Durable.replayed = keep);
+        { rp_records = keep; rp_bytes = bytes; rp_ms = ms })
+      [ 1; 2; 4; 8 ]
+  in
+  (* full recovery answers the seven priority queries correctly *)
+  let store, _ = prefix_store journaled_ops in
+  let d, _report = ok (Durable.recover store) in
+  let recovered = Durable.repository d in
+  let proc = Processor.create recovered in
+  let global = Workflow.global_name intersection_run.Intersection_run.workflow in
+  let queries_ok =
+    List.length
+      (List.filter
+         (fun (q : Queries.query) ->
+           match Processor.run_string proc ~schema:global q.Queries.global_text with
+           | Ok (Value.Bag got) ->
+               Value.Bag.equal got (q.Queries.ground_truth dataset)
+           | Ok _ | Error _ -> false)
+         Queries.all)
+  in
+  {
+    journaled_ops;
+    journal_bytes;
+    integrate_ms;
+    baseline_integrate_ms;
+    append_ops_per_sec;
+    append_mb_per_sec;
+    recover_points;
+    queries_ok;
+    queries_total = List.length Queries.all;
+  }
+
+let experiment_durability o =
+  section "E-D1  Durability: journal append throughput and recovery replay";
+  Printf.printf
+    "  integration journaled %d ops (%d bytes); wall clock %.1f ms vs %.1f \
+     ms without journaling\n"
+    o.journaled_ops o.journal_bytes o.integrate_ms o.baseline_integrate_ms;
+  Printf.printf "  raw append throughput: %.0f ops/s, %.1f MiB/s\n"
+    o.append_ops_per_sec o.append_mb_per_sec;
+  Printf.printf "  recovery replay time vs journal length:\n";
+  List.iter
+    (fun p ->
+      Printf.printf "  %6d records %10d bytes %10.2f ms\n" p.rp_records
+        p.rp_bytes p.rp_ms)
+    o.recover_points;
+  Printf.printf
+    "  7-query check after full recovery: %d/%d match ground truth\n"
+    o.queries_ok o.queries_total;
+  if o.queries_ok <> o.queries_total then
+    die "recovered repository does not answer the case-study queries"
+
+let write_durability_snapshot path o =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let points =
+        String.concat ", "
+          (List.map
+             (fun p ->
+               Printf.sprintf
+                 "{\"records\": %d, \"journal_bytes\": %d, \"recover_ms\": \
+                  %.3f}"
+                 p.rp_records p.rp_bytes p.rp_ms)
+             o.recover_points)
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"E-D1\",\n\
+        \  \"journaled_ops\": %d,\n\
+        \  \"journal_bytes\": %d,\n\
+        \  \"integrate_ms\": %.1f,\n\
+        \  \"baseline_integrate_ms\": %.1f,\n\
+        \  \"append_ops_per_sec\": %.0f,\n\
+        \  \"append_mb_per_sec\": %.2f,\n\
+        \  \"recovery\": [%s],\n\
+        \  \"queries_after_recovery\": {\"ok\": %d, \"total\": %d}\n\
+         }\n"
+        o.journaled_ops o.journal_bytes o.integrate_ms o.baseline_integrate_ms
+        o.append_ops_per_sec o.append_mb_per_sec points o.queries_ok
+        o.queries_total)
+
 (* -- E-P*: Bechamel micro-benchmarks -------------------------------------- *)
 
 let bench_query =
@@ -778,6 +949,10 @@ let () =
   experiment_resilience resilience;
   write_resilience_snapshot "BENCH_resilience.json" resilience;
   Printf.printf "wrote BENCH_resilience.json (E-R1 snapshot)\n";
+  let durability = with_telemetry "E-D1" durability_outcome in
+  experiment_durability durability;
+  write_durability_snapshot "BENCH_durability.json" durability;
+  Printf.printf "wrote BENCH_durability.json (E-D1 snapshot)\n";
   run_bechamel () (* no sink: keep the measured path probe-free *);
   with_telemetry "E-P5" bench_federated_scaling;
   with_telemetry "E-P6" bench_integration_end_to_end;

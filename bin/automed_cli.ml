@@ -31,6 +31,9 @@ module Telemetry = Automed_telemetry.Telemetry
 module Chrome_trace = Automed_telemetry.Chrome_trace
 module Intersection = Automed_integration.Intersection
 module Resilience = Automed_resilience.Resilience
+module Durable = Automed_durable.Durable
+module Journal = Automed_durable.Journal
+module Vfs = Automed_durable.Vfs
 
 open Cmdliner
 
@@ -463,12 +466,13 @@ let lint_cmd =
   let run integrated csv_specs no_resilience root format_ errors_only stats =
     with_repo integrated csv_specs no_resilience (fun repo res ->
         let covered = Option.map Resilience.sources res in
+        let journaled = Some (Repository.observed repo) in
         let mem = Telemetry.Memory.create () in
         let diags =
           if stats then
             Telemetry.with_sink (Telemetry.Memory.sink mem) (fun () ->
-                Analysis.lint_repository ?root ?covered repo)
-          else Analysis.lint_repository ?root ?covered repo
+                Analysis.lint_repository ?root ?covered ?journaled repo)
+          else Analysis.lint_repository ?root ?covered ?journaled repo
         in
         let diags = if errors_only then Diagnostic.errors diags else diags in
         (match format_ with
@@ -768,12 +772,130 @@ let case_study_cmd =
        ~doc:"Replay the paper's Section 3 case study end to end.")
     Term.(ret (const run $ const ()))
 
+(* -- durable store ------------------------------------------------------- *)
+
+(* The [repo] subcommands operate on an on-disk durable store: a
+   checkpoint plus write-ahead journal managed by [Automed_durable]. *)
+
+let store_dir =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory of the durable store ($(b,checkpoint.str) + \
+           $(b,journal.wal)); created if missing.")
+
+let repo_snapshot_cmd =
+  let run integrated csv_specs no_resilience dir =
+    with_repo integrated csv_specs no_resilience (fun repo _res ->
+        let vfs = Vfs.os dir in
+        match
+          let* d = Durable.attach vfs repo in
+          let* () = Durable.snapshot d in
+          Ok d
+        with
+        | Error e -> fail "%s" e
+        | Ok _ ->
+            Printf.printf "wrote %s/%s (%d schemas, %d pathways)\n" dir
+              Durable.checkpoint_file
+              (List.length (Repository.schemas repo))
+              (List.length (Repository.pathways repo));
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Build the repository and write an atomic checksummed checkpoint \
+          of it (schemas, pathways, extents) into the store directory, \
+          emptying the journal.")
+    Term.(
+      ret (const run $ integrated $ csv_specs $ no_resilience $ store_dir))
+
+let repo_recover_cmd =
+  let run dir =
+    match Durable.recover (Vfs.os dir) with
+    | Error e -> fail "%s" e
+    | Ok (d, report) ->
+        print_endline (Fmt.str "%a" Durable.pp_report report);
+        Printf.printf "%s\n"
+          (Fmt.str "%a" Repository.pp_summary (Durable.repository d));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild the repository from the store's checkpoint plus journal, \
+          truncating any torn or corrupt journal tail (reported as a \
+          warning).  A corrupt checkpoint is an error, never a silently \
+          wrong repository.")
+    Term.(ret (const run $ store_dir))
+
+let repo_scrub_cmd =
+  let run dir =
+    match Durable.scrub (Vfs.os dir) with
+    | Error e -> fail "%s" e
+    | Ok s ->
+        print_endline (Fmt.str "%a" Durable.pp_scrub s);
+        let checkpoint_ok =
+          s.Durable.checkpoint_status = "absent"
+          || String.length s.Durable.checkpoint_status >= 2
+             && String.sub s.Durable.checkpoint_status 0 2 = "ok"
+        in
+        let clean =
+          checkpoint_ok
+          && (match s.Durable.journal_tail with
+             | Journal.Clean -> true
+             | Journal.Torn _ | Journal.Corrupt _ -> false)
+          && s.Durable.bad_payloads = []
+        in
+        if clean then `Ok () else exit 1
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Verify the store without modifying it: checkpoint checksum, \
+          journal record checksums and payload parsability.  Exits 1 when \
+          anything is torn, corrupt or unparseable.")
+    Term.(ret (const run $ store_dir))
+
+let repo_log_cmd =
+  let run dir =
+    let vfs = Vfs.os dir in
+    match Journal.read vfs ~file:Durable.journal_file with
+    | Error e -> fail "%s" e
+    | Ok scan ->
+        List.iteri
+          (fun i (off, payload) ->
+            Printf.printf "%4d  @%-8d %s\n" i off (Durable.describe_op payload))
+          scan.Journal.records;
+        Printf.printf "-- %d records, %d bytes, tail %s\n"
+          (List.length scan.Journal.records)
+          scan.Journal.total_bytes
+          (Fmt.str "%a" Journal.pp_tail scan.Journal.tail);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "log"
+       ~doc:
+         "List the journal's records (one committed repository mutation \
+          each) in replay order.")
+    Term.(ret (const run $ store_dir))
+
+let repo_cmd =
+  Cmd.group
+    (Cmd.info "repo"
+       ~doc:
+         "Operate on a durable on-disk repository store: write-ahead \
+          journal plus checksummed checkpoints.")
+    [ repo_snapshot_cmd; repo_recover_cmd; repo_scrub_cmd; repo_log_cmd ]
+
 let main =
   let doc = "AutoMed-style dataspace integration with intersection schemas" in
   let info = Cmd.info "automed-cli" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ schemas_cmd; show_cmd; query_cmd; reformulate_cmd; match_cmd;
       pathways_cmd; lint_cmd; export_cmd; extent_cmd; materialize_cmd;
-      trace_cmd; trace_validate_cmd; case_study_cmd ]
+      trace_cmd; trace_validate_cmd; case_study_cmd; repo_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -6,10 +6,11 @@ module D = Diagnostic
 
 let lint_pathway = Pathway_lint.lint
 
-let lint_repository ?root ?covered repo =
+let lint_repository ?root ?covered ?journaled repo =
   Telemetry.with_span "analysis.lint_repository" @@ fun () ->
   let diags =
-    List.stable_sort D.compare (Network_lint.lint ?root ?covered repo)
+    List.stable_sort D.compare
+      (Network_lint.lint ?root ?covered ?journaled repo)
   in
   (if Telemetry.active () then begin
      let e, w, i = D.count diags in

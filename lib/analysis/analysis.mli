@@ -19,11 +19,16 @@ val lint_pathway :
     against a starting schema. *)
 
 val lint_repository :
-  ?root:string -> ?covered:string list -> Repository.t -> Diagnostic.t list
+  ?root:string ->
+  ?covered:string list ->
+  ?journaled:bool ->
+  Repository.t ->
+  Diagnostic.t list
 (** {!Network_lint.lint}: every registered pathway plus the network
     checks, sorted errors-first.  [covered] names the sources protected
-    by a resilience policy and enables the [unprotected-source]
-    warning. *)
+    by a resilience policy and enables the [unprotected-source] warning;
+    [journaled] states whether a durable journal is attached and enables
+    the [unjournaled-repository] warning. *)
 
 val install_gate : Repository.t -> unit
 (** Opt-in validation gate: after this call,

@@ -155,9 +155,42 @@ let resilience_diags ?covered repo =
           else None)
         (Repository.schemas repo)
 
-let lint ?root ?covered repo =
+(* A workflow-built repository (recognisable by versioned global
+   schemas) accumulates integration state worth keeping; running it with
+   no write-ahead journal attached means a crash loses every iteration.
+   Only checked when the caller says whether a durable handle exists. *)
+let durability_diags ?journaled repo =
+  let is_versioned n =
+    match String.rindex_opt n '_' with
+    | None -> false
+    | Some i ->
+        i + 1 < String.length n
+        && n.[i + 1] = 'v'
+        && i + 2 < String.length n
+        && String.for_all
+             (fun c -> c >= '0' && c <= '9')
+             (String.sub n (i + 2) (String.length n - i - 2))
+  in
+  match journaled with
+  | None | Some true -> []
+  | Some false ->
+      if
+        List.exists
+          (fun s -> is_versioned (Schema.name s))
+          (Repository.schemas repo)
+      then
+        [
+          D.make D.Warning ~rule:"unjournaled-repository"
+            "repository holds workflow-built global schema versions but no \
+             durable journal is attached: a crash silently loses the \
+             integration history";
+        ]
+      else []
+
+let lint ?root ?covered ?journaled repo =
   let pathways = Repository.pathways repo in
   List.concat_map (fun p -> endpoint_diags repo p @ pathway_diags repo p) pathways
   @ pair_diags pathways
   @ reachability_diags ?root repo
   @ resilience_diags ?covered repo
+  @ durability_diags ?journaled repo

@@ -24,7 +24,12 @@
     {- [unprotected-source] (warning): a schema with materialised extents
        that is not covered by the caller's resilience registry, so a
        fetch failure fails queries outright instead of degrading them.
-       Only checked when [covered] is passed.}} *)
+       Only checked when [covered] is passed.}
+    {- [unjournaled-repository] (warning): the repository holds
+       workflow-built global schema versions (names ending [_v<digits>])
+       but no durable journal is attached, so a crash silently loses the
+       integration history.  Only checked when [journaled] is passed as
+       [Some false].}} *)
 
 module Repository = Automed_repository.Repository
 
@@ -34,8 +39,14 @@ val default_root : Repository.t -> string option
     version. *)
 
 val lint :
-  ?root:string -> ?covered:string list -> Repository.t -> Diagnostic.t list
+  ?root:string ->
+  ?covered:string list ->
+  ?journaled:bool ->
+  Repository.t ->
+  Diagnostic.t list
 (** Network checks plus {!Pathway_lint.lint} over every registered
     pathway.  [root] is the schema reachability is measured from,
     defaulting to {!default_root}.  [covered] names the sources protected
-    by a resilience policy and enables the [unprotected-source] check. *)
+    by a resilience policy and enables the [unprotected-source] check.
+    [journaled] states whether a durable journal is attached (see
+    [Automed_durable]) and enables the [unjournaled-repository] check. *)

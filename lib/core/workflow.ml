@@ -18,6 +18,7 @@ type t = {
   proc : Processor.t;
   base_name : string;
   srcs : string list;
+  durable : Automed_durable.Durable.t option;
   mutable iters : iteration list; (* newest first *)
 }
 
@@ -25,22 +26,40 @@ let ( let* ) = Result.bind
 
 let version_name base i = Printf.sprintf "%s_v%d" base i
 
-let start ?resilience repo ~name ~sources =
+(* Journal appends land per mutation via the repository observer; after
+   each workflow milestone we also flush the journal so a completed
+   iteration survives a crash immediately after it. *)
+let flush_journal t =
+  match t.durable with
+  | None -> Ok ()
+  | Some d -> Automed_durable.Durable.sync d
+
+let start ?resilience ?durable repo ~name ~sources =
   let* () =
     if sources = [] then Error "workflow needs at least one source" else Ok ()
+  in
+  let* () =
+    match durable with
+    | Some d when Automed_durable.Durable.repository d != repo ->
+        Error "durable handle is attached to a different repository"
+    | _ -> Ok ()
   in
   let* _g =
     Global.create repo ~name:(version_name name 0) ~intersections:[]
       ~extensionals:sources
   in
-  Ok
+  let t =
     {
       repo;
       proc = Processor.create ?resilience repo;
       base_name = name;
       srcs = sources;
+      durable;
       iters = [];
     }
+  in
+  let* () = flush_journal t in
+  Ok t
 
 let repository t = t.repo
 let processor t = t.proc
@@ -68,6 +87,7 @@ let record ?(description = "") t outcome ~drop_redundant =
   let it = { index; description; outcome; global_name = global } in
   t.iters <- it :: t.iters;
   Processor.invalidate t.proc;
+  let* () = flush_journal t in
   Ok it
 
 let integrate ?(drop_redundant = true) ?description t spec =

@@ -34,6 +34,7 @@ type t
 
 val start :
   ?resilience:Automed_resilience.Resilience.t ->
+  ?durable:Automed_durable.Durable.t ->
   Repository.t ->
   name:string ->
   sources:string list ->
@@ -41,7 +42,12 @@ val start :
 (** Steps 1-2: registers the initial federated/global schema
     ["<name>_v0"] over the (already wrapped) source schemas.
     [resilience] is handed to the workflow's query processor, so every
-    source fetch of {!run_query} runs under its policy. *)
+    source fetch of {!run_query} runs under its policy.  [durable] must
+    be a handle attached (see {!Automed_durable.Durable.attach}) to this
+    same repository; each mutation already journals through the
+    repository observer, and the workflow additionally fsyncs the
+    journal after [start] and after every completed iteration, so a
+    crash between iterations loses nothing. *)
 
 val repository : t -> Repository.t
 val processor : t -> Processor.t

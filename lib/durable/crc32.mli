@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    Every journal record and every checkpoint body is checksummed with
+    this so that torn writes and bit flips are detected at recovery time
+    instead of being loaded as garbage. *)
+
+val digest : ?crc:int32 -> string -> int32
+(** [digest s] is the CRC-32 of [s].  [crc] continues a running digest
+    (so [digest ~crc:(digest a) b = digest (a ^ b)]). *)
+
+val to_hex : int32 -> string
+(** Eight lowercase hex digits. *)

@@ -1,0 +1,116 @@
+let ( let* ) = Result.bind
+
+let header_bytes = 8
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
+  Buffer.add_char buf (Char.chr (Int32.to_int v land 0xff))
+
+let get_u32 s off =
+  let b i = Int32.of_int (Char.code s.[off + i]) in
+  Int32.logor
+    (Int32.shift_left (b 0) 24)
+    (Int32.logor
+       (Int32.shift_left (b 1) 16)
+       (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+
+let frame payload =
+  let buf = Buffer.create (String.length payload + header_bytes) in
+  put_u32 buf (Int32.of_int (String.length payload));
+  put_u32 buf (Crc32.digest payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+type tail =
+  | Clean
+  | Torn of { offset : int; reason : string }
+  | Corrupt of { offset : int; reason : string }
+
+type scan = {
+  records : (int * string) list;
+  valid_bytes : int;
+  total_bytes : int;
+  tail : tail;
+}
+
+let pp_tail ppf = function
+  | Clean -> Fmt.string ppf "clean"
+  | Torn { offset; reason } -> Fmt.pf ppf "torn record at byte %d (%s)" offset reason
+  | Corrupt { offset; reason } ->
+      Fmt.pf ppf "corrupt record at byte %d (%s)" offset reason
+
+let scan contents =
+  let n = String.length contents in
+  let rec go acc off =
+    if off = n then { records = List.rev acc; valid_bytes = off; total_bytes = n; tail = Clean }
+    else if n - off < header_bytes then
+      {
+        records = List.rev acc;
+        valid_bytes = off;
+        total_bytes = n;
+        tail =
+          Torn
+            { offset = off;
+              reason = Printf.sprintf "%d trailing bytes, header needs %d" (n - off) header_bytes };
+      }
+    else
+      let len = Int32.to_int (get_u32 contents off) in
+      let crc = get_u32 contents (off + 4) in
+      if len < 0 || len > Sys.max_string_length then
+        {
+          records = List.rev acc;
+          valid_bytes = off;
+          total_bytes = n;
+          tail =
+            Corrupt
+              { offset = off;
+                reason = Printf.sprintf "implausible payload length %d" len };
+        }
+      else if n - off - header_bytes < len then
+        {
+          records = List.rev acc;
+          valid_bytes = off;
+          total_bytes = n;
+          tail =
+            Torn
+              { offset = off;
+                reason =
+                  Printf.sprintf "payload declares %d bytes, only %d present"
+                    len (n - off - header_bytes) };
+        }
+      else
+        let payload = String.sub contents (off + header_bytes) len in
+        let actual = Crc32.digest payload in
+        if actual <> crc then
+          {
+            records = List.rev acc;
+            valid_bytes = off;
+            total_bytes = n;
+            tail =
+              Corrupt
+                { offset = off;
+                  reason =
+                    Printf.sprintf "checksum mismatch: header %s, payload %s"
+                      (Crc32.to_hex crc) (Crc32.to_hex actual) };
+          }
+        else go ((off, payload) :: acc) (off + header_bytes + len)
+  in
+  go [] 0
+
+let append (vfs : Vfs.t) ~file payload = vfs.append file (frame payload)
+
+let read (vfs : Vfs.t) ~file =
+  if not (vfs.exists file) then
+    Ok { records = []; valid_bytes = 0; total_bytes = 0; tail = Clean }
+  else
+    let* contents = vfs.read file in
+    Ok (scan contents)
+
+let truncate (vfs : Vfs.t) ~file ~keep =
+  let* contents = vfs.read file in
+  if keep >= String.length contents then Ok ()
+  else
+    let* () = vfs.write file (String.sub contents 0 keep) in
+    vfs.sync file

@@ -1,0 +1,44 @@
+(** Length-prefixed, checksummed record framing for the write-ahead
+    journal.
+
+    Each record is [4-byte big-endian payload length | 4-byte big-endian
+    CRC-32 of the payload | payload].  A {!scan} walks the file from the
+    start and stops at the first record that is incomplete (torn — the
+    file ends inside a header or payload) or fails its checksum
+    (corrupt); everything before the stop point is trusted, everything
+    from it on is not. *)
+
+val header_bytes : int
+(** 8: the framing overhead per record. *)
+
+val frame : string -> string
+(** The full on-disk encoding of one payload. *)
+
+type tail =
+  | Clean  (** the file ends exactly on a record boundary *)
+  | Torn of { offset : int; reason : string }
+      (** the file ends inside a record (crash mid-append) *)
+  | Corrupt of { offset : int; reason : string }
+      (** a record's checksum does not match its payload (bit rot) *)
+
+type scan = {
+  records : (int * string) list;  (** (byte offset, payload), in order *)
+  valid_bytes : int;  (** prefix length covered by intact records *)
+  total_bytes : int;
+  tail : tail;
+}
+
+val scan : string -> scan
+(** Pure scan of a journal's contents. *)
+
+val append : Vfs.t -> file:string -> string -> (unit, string) result
+(** Appends one framed record. *)
+
+val read : Vfs.t -> file:string -> (scan, string) result
+(** Reads and scans; a missing file is an empty clean journal. *)
+
+val truncate : Vfs.t -> file:string -> keep:int -> (unit, string) result
+(** Rewrites the journal keeping only the first [keep] bytes (recovery
+    uses this to drop a torn/corrupt tail). *)
+
+val pp_tail : tail Fmt.t

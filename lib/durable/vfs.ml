@@ -1,0 +1,212 @@
+module Disk = Automed_resilience.Resilience.Disk
+
+exception Crash of string
+
+type t = {
+  label : string;
+  read : string -> (string, string) result;
+  write : string -> string -> (unit, string) result;
+  append : string -> string -> (unit, string) result;
+  rename : old_name:string -> new_name:string -> (unit, string) result;
+  exists : string -> bool;
+  remove : string -> (unit, string) result;
+  sync : string -> (unit, string) result;
+}
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* -- in-memory ----------------------------------------------------------- *)
+
+let memory () =
+  let files : (string, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let buffer name =
+    match Hashtbl.find_opt files name with
+    | Some b -> b
+    | None ->
+        let b = Buffer.create 256 in
+        Hashtbl.replace files name b;
+        b
+  in
+  {
+    label = "memory";
+    read =
+      (fun name ->
+        match Hashtbl.find_opt files name with
+        | Some b -> Ok (Buffer.contents b)
+        | None -> err "%s: no such file" name);
+    write =
+      (fun name data ->
+        let b = buffer name in
+        Buffer.clear b;
+        Buffer.add_string b data;
+        Ok ());
+    append =
+      (fun name data ->
+        Buffer.add_string (buffer name) data;
+        Ok ());
+    rename =
+      (fun ~old_name ~new_name ->
+        match Hashtbl.find_opt files old_name with
+        | None -> err "%s: no such file" old_name
+        | Some b ->
+            Hashtbl.remove files old_name;
+            Hashtbl.replace files new_name b;
+            Ok ());
+    exists = Hashtbl.mem files;
+    remove =
+      (fun name ->
+        Hashtbl.remove files name;
+        Ok ());
+    sync = (fun _ -> Ok ());
+  }
+
+(* -- real files ---------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let os root =
+  let path name = Filename.concat root name in
+  let guard name f =
+    try f ()
+    with
+    | Sys_error e -> Error e
+    | Unix.Unix_error (e, fn, _) ->
+        err "%s: %s: %s" name fn (Unix.error_message e)
+  in
+  let ensure_root () = mkdir_p root in
+  {
+    label = root;
+    read =
+      (fun name ->
+        guard name @@ fun () ->
+        let ic = open_in_bin (path name) in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Ok (really_input_string ic (in_channel_length ic))));
+    write =
+      (fun name data ->
+        guard name @@ fun () ->
+        ensure_root ();
+        let oc = open_out_bin (path name) in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc data;
+            Ok ()));
+    append =
+      (fun name data ->
+        guard name @@ fun () ->
+        ensure_root ();
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ]
+            0o644 (path name)
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc data;
+            Ok ()));
+    rename =
+      (fun ~old_name ~new_name ->
+        guard old_name @@ fun () ->
+        Sys.rename (path old_name) (path new_name);
+        (* fsync the directory so the commit itself is durable *)
+        (try
+           let fd = Unix.openfile root [ Unix.O_RDONLY ] 0 in
+           Fun.protect
+             ~finally:(fun () -> try Unix.close fd with _ -> ())
+             (fun () -> Unix.fsync fd)
+         with Unix.Unix_error _ -> ());
+        Ok ());
+    exists = (fun name -> Sys.file_exists (path name));
+    remove =
+      (fun name ->
+        guard name @@ fun () ->
+        if Sys.file_exists (path name) then Sys.remove (path name);
+        Ok ());
+    sync =
+      (fun name ->
+        guard name @@ fun () ->
+        let fd = Unix.openfile (path name) [ Unix.O_RDWR ] 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with _ -> ())
+          (fun () ->
+            Unix.fsync fd;
+            Ok ()));
+  }
+
+(* -- disk-fault injection ------------------------------------------------ *)
+
+let with_faults disk inner =
+  let inject_write name data k =
+    match Disk.torn_write disk ~len:(String.length data) with
+    | Some keep ->
+        let prefix = String.sub data 0 keep in
+        let prefix =
+          match Disk.flip_bits disk prefix with Some d -> d | None -> prefix
+        in
+        (match k prefix with _ -> ());
+        raise
+          (Crash
+             (Printf.sprintf "torn write: %d of %d bytes of %s reached disk"
+                keep (String.length data) name))
+    | None -> (
+        match Disk.flip_bits disk data with
+        | Some corrupted -> k corrupted
+        | None -> k data)
+  in
+  {
+    inner with
+    label = inner.label ^ "+faults";
+    read =
+      (fun name ->
+        match inner.read name with
+        | Error _ as e -> e
+        | Ok data -> (
+            match Disk.short_read disk data with
+            | Some short -> Ok short
+            | None -> Ok data));
+    write = (fun name data -> inject_write name data (inner.write name));
+    append = (fun name data -> inject_write name data (inner.append name));
+    rename =
+      (fun ~old_name ~new_name ->
+        if Disk.rename_fails disk then
+          err "%s -> %s: injected rename failure" old_name new_name
+        else inner.rename ~old_name ~new_name);
+  }
+
+(* -- kill-point harness -------------------------------------------------- *)
+
+let crashable inner =
+  let budget = ref None in
+  let arm b = budget := b in
+  let spend name data k =
+    match !budget with
+    | None -> k data
+    | Some remaining ->
+        let n = String.length data in
+        if n <= remaining then begin
+          budget := Some (remaining - n);
+          k data
+        end
+        else begin
+          budget := Some 0;
+          (match k (String.sub data 0 remaining) with _ -> ());
+          raise
+            (Crash
+               (Printf.sprintf
+                  "write budget exhausted: %d of %d bytes of %s reached disk"
+                  remaining n name))
+        end
+  in
+  ( {
+      inner with
+      label = inner.label ^ "+killpoints";
+      write = (fun name data -> spend name data (inner.write name));
+      append = (fun name data -> spend name data (inner.append name));
+    },
+    arm )

@@ -1,0 +1,52 @@
+(** Virtual file abstraction under the durable repository.
+
+    The journal and checkpoint machinery only ever touch storage through
+    this record of operations, so the same code runs against real files
+    ({!os}), an in-memory store ({!memory}, used by tests and benches),
+    a deterministic disk-fault injector ({!with_faults}) and a
+    kill-point harness ({!crashable}) — crash scenarios replay exactly.
+
+    File names are flat (no directories); the {!os} implementation maps
+    them into its root directory. *)
+
+exception Crash of string
+(** Raised by the kill-point harness ({!crashable}) and by injected torn
+    writes to simulate the process dying mid-operation: the bytes
+    written so far stay in the file, the rest never happen. *)
+
+type t = {
+  label : string;  (** for error messages: ["memory"], the os root, ... *)
+  read : string -> (string, string) result;  (** whole-file read *)
+  write : string -> string -> (unit, string) result;
+      (** create or replace with exactly these bytes *)
+  append : string -> string -> (unit, string) result;
+      (** create if missing, extend otherwise *)
+  rename : old_name:string -> new_name:string -> (unit, string) result;
+      (** atomic replace of [new_name] *)
+  exists : string -> bool;
+  remove : string -> (unit, string) result;
+  sync : string -> (unit, string) result;
+      (** fsync ({!os}); no-op in memory *)
+}
+
+val memory : unit -> t
+(** Fresh in-memory store. *)
+
+val os : string -> t
+(** Files inside the given directory (created, with parents, on first
+    use).  [sync] fsyncs the file; [rename] also fsyncs the directory so
+    the commit itself is durable. *)
+
+val with_faults : Automed_resilience.Resilience.Disk.t -> t -> t
+(** Routes every operation through the seeded disk-fault injector: torn
+    writes keep only a prefix and raise {!Crash}, bit flips corrupt
+    written data silently, short reads drop a read's tail silently, and
+    [fail_rename] makes renames return [Error]. *)
+
+val crashable : t -> t * (int option -> unit)
+(** [crashable inner] is a kill-point harness: the second component arms
+    a write budget.  With [Some n] armed, the next writes/appends consume
+    the budget; the write that would exceed it stores only the prefix
+    that fits and raises {!Crash} (as does everything after it).  [None]
+    disarms.  Reads are unaffected, so recovery can run on the same
+    handle after a simulated death. *)

@@ -96,11 +96,39 @@ let tokenize_exn src =
     else
       match c with
       | '\'' ->
+          let buf = Buffer.create 16 in
           let j = ref (p + 1) in
-          while !j < n && src.[!j] <> '\'' do incr j done;
-          if !j >= n then raise (Lex_error (p, "unterminated string literal"));
-          emit p (STRING (String.sub src (p + 1) (!j - p - 1)));
-          i := !j + 1
+          let closed = ref false in
+          while not !closed do
+            if !j >= n then
+              raise (Lex_error (p, "unterminated string literal"))
+            else
+              match src.[!j] with
+              | '\'' ->
+                  closed := true;
+                  incr j
+              | '\\' ->
+                  if !j + 1 >= n then
+                    raise (Lex_error (p, "unterminated string literal"));
+                  (match src.[!j + 1] with
+                  | '\'' -> Buffer.add_char buf '\''
+                  | '\\' -> Buffer.add_char buf '\\'
+                  | 'n' -> Buffer.add_char buf '\n'
+                  | 'r' -> Buffer.add_char buf '\r'
+                  | 't' -> Buffer.add_char buf '\t'
+                  | c ->
+                      raise
+                        (Lex_error
+                           ( !j,
+                             Printf.sprintf
+                               "unknown escape \\%c in string literal" c )));
+                  j := !j + 2
+              | c ->
+                  Buffer.add_char buf c;
+                  incr j
+          done;
+          emit p (STRING (Buffer.contents buf));
+          i := !j
       | '[' -> emit p LBRACKET; incr i
       | ']' -> emit p RBRACKET; incr i
       | '{' -> emit p LBRACE; incr i
@@ -192,7 +220,7 @@ let pp_token ppf = function
   | IDENT s -> Fmt.pf ppf "ident:%s" s
   | INT i -> Fmt.int ppf i
   | FLOAT f -> Fmt.float ppf f
-  | STRING s -> Fmt.pf ppf "'%s'" s
+  | STRING s -> Fmt.pf ppf "'%s'" (Value.escape_string s)
   | SCHEME s -> Scheme.pp ppf s
   | UNDERSCORE -> Fmt.string ppf "_"
   | EOF -> Fmt.string ppf "<eof>"

@@ -33,12 +33,33 @@ let rec compare a b =
 
 let equal a b = compare a b = 0
 
+(* Inner text of a string literal: escapes are rendered so that the
+   lexer reads the exact string back (strings without quotes, backslashes
+   or control characters render as themselves). *)
+let escape_string s =
+  let plain c = c <> '\'' && c <> '\\' && c <> '\n' && c <> '\r' && c <> '\t' in
+  if String.for_all plain s then s
+  else begin
+    let buf = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\'' -> Buffer.add_string buf "\\'"
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
 let rec pp ppf = function
   | Unit -> Fmt.string ppf "()"
   | Bool b -> Fmt.bool ppf b
   | Int i -> Fmt.int ppf i
   | Float f -> Fmt.pf ppf "%g" f
-  | Str s -> Fmt.pf ppf "'%s'" s
+  | Str s -> Fmt.pf ppf "'%s'" (escape_string s)
   | Tuple vs -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") pp) vs
   | Bag b ->
       let item ppf (v, n) =

@@ -27,6 +27,12 @@ val equal : t -> t -> bool
 val pp : t Fmt.t
 val to_string : t -> string
 
+val escape_string : string -> string
+(** The inner text of an IQL string literal for the given string:
+    quotes, backslashes and control characters are [\ ]-escaped so that
+    the lexer reads the exact string back.  Strings that need no
+    escaping render as themselves. *)
+
 val is_canonical : t -> bool
 (** Checks the bag invariant recursively (used by property tests). *)
 

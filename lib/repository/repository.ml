@@ -18,18 +18,35 @@ module EM = Map.Make (EK)
 
 type validator = Schema.t -> Transform.pathway -> (unit, string) result
 
+type op =
+  | Op_add_schema of Schema.t
+  | Op_add_pathway of Transform.pathway
+  | Op_set_extent of string * Scheme.t * Value.Bag.t
+  | Op_remove_schema of string
+  | Op_rename_schema of string * string
+
 type t = {
   mutable schemas : Schema.t SM.t;
   mutable pathways : Transform.pathway list; (* reverse insertion order *)
   mutable extents : Value.Bag.t EM.t;
   mutable validator : validator option;
+  mutable observer : (op -> unit) option;
 }
 
 let create () =
-  { schemas = SM.empty; pathways = []; extents = EM.empty; validator = None }
+  {
+    schemas = SM.empty;
+    pathways = [];
+    extents = EM.empty;
+    validator = None;
+    observer = None;
+  }
 
 let set_validator t v = t.validator <- v
 let validator t = t.validator
+let set_observer t f = t.observer <- f
+let observed t = Option.is_some t.observer
+let notify t op = match t.observer with Some f -> f op | None -> ()
 
 let err fmt = Format.kasprintf (fun s -> Error s) fmt
 let ( let* ) = Result.bind
@@ -39,6 +56,7 @@ let add_schema t s =
   if SM.mem name t.schemas then err "repository already has schema %s" name
   else begin
     t.schemas <- SM.add name s t.schemas;
+    notify t (Op_add_schema s);
     Ok ()
   end
 
@@ -63,8 +81,33 @@ let remove_schema t name =
   else begin
     t.schemas <- SM.remove name t.schemas;
     t.extents <- EM.filter (fun (s, _) _ -> s <> name) t.extents;
+    notify t (Op_remove_schema name);
     Ok ()
   end
+
+let rename_schema t name new_name =
+  match SM.find_opt name t.schemas with
+  | None -> err "no schema %s" name
+  | Some _ when name = new_name -> Ok ()
+  | Some s ->
+      if SM.mem new_name t.schemas then
+        err "repository already has schema %s" new_name
+      else if
+        List.exists
+          (fun (p : Transform.pathway) ->
+            p.from_schema = name || p.to_schema = name)
+          t.pathways
+      then err "schema %s is still referenced by a pathway" name
+      else begin
+        t.schemas <- SM.add new_name (Schema.rename new_name s) (SM.remove name t.schemas);
+        t.extents <-
+          EM.fold
+            (fun (s', o) bag acc ->
+              EM.add ((if s' = name then new_name else s'), o) bag acc)
+            t.extents EM.empty;
+        notify t (Op_rename_schema (name, new_name));
+        Ok ()
+      end
 
 let add_pathway t (p : Transform.pathway) =
   match schema t p.from_schema with
@@ -90,6 +133,7 @@ let add_pathway t (p : Transform.pathway) =
       in
       t.pathways <- p :: t.pathways;
       Telemetry.count "repository.pathways_registered";
+      notify t (Op_add_pathway p);
       Ok ()
 
 let derive_schema t p =
@@ -174,6 +218,7 @@ let set_extent t ~schema:name obj bag =
         err "schema %s has no object %s" name (Scheme.to_string obj)
       else begin
         t.extents <- EM.add (name, obj) bag t.extents;
+        notify t (Op_set_extent (name, obj, bag));
         Ok ()
       end
 

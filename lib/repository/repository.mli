@@ -28,6 +28,29 @@ val set_validator : t -> validator option -> unit
 
 val validator : t -> validator option
 
+type op =
+  | Op_add_schema of Schema.t
+  | Op_add_pathway of Transform.pathway
+  | Op_set_extent of string * Scheme.t * Value.Bag.t
+  | Op_remove_schema of string
+  | Op_rename_schema of string * string
+      (** A committed repository mutation, in the vocabulary of the
+          public API.  [Op_add_pathway] implies the derived target schema
+          (replaying {!add_pathway} re-derives it), so the op stream is a
+          complete redo log of the repository state. *)
+
+val set_observer : t -> (op -> unit) option -> unit
+(** Installs (or removes) the mutation observer.  It runs immediately
+    after each successful mutation, before the mutating call returns —
+    the write-ahead journal of [Automed_durable.Durable] attaches here.
+    An observer that raises aborts the caller (the mutation itself has
+    already been applied in memory). *)
+
+val observed : t -> bool
+(** True while a mutation observer (e.g. a durable journal) is
+    attached.  The static analyser's [unjournaled-repository] rule keys
+    off this. *)
+
 val add_schema : t -> Schema.t -> (unit, string) result
 (** Fails if a schema with the same name is registered. *)
 
@@ -39,6 +62,11 @@ val schemas : t -> Schema.t list
 
 val remove_schema : t -> string -> (unit, string) result
 (** Fails while pathways still reference the schema. *)
+
+val rename_schema : t -> string -> string -> (unit, string) result
+(** [rename_schema t old new] renames a schema (and the keys of its
+    stored extents).  Fails if [old] is unknown, [new] is taken, or a
+    pathway still references [old]. *)
 
 val add_pathway : t -> Transform.pathway -> (unit, string) result
 (** The source schema must be registered and the pathway must be

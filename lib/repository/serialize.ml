@@ -11,12 +11,32 @@ let err fmt = Format.kasprintf (fun s -> Error s) fmt
 
 (* -- rendering ----------------------------------------------------------- *)
 
-let quote name = "\"" ^ name ^ "\""
+let quote name =
+  let buf = Buffer.create (String.length name + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    name;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
 
 (* Values rendered for exact round-tripping: floats get 17 significant
-   digits (Value.pp's %g display format would lose precision). *)
+   digits (Value.pp's %g display format would lose precision), and
+   integral floats keep an explicit ".0" so they re-parse as floats
+   rather than collapsing into ints. *)
 let rec render_value = function
-  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Float f ->
+      let s = Printf.sprintf "%.17g" f in
+      let integral =
+        String.for_all (fun c -> c = '-' || (c >= '0' && c <= '9')) s
+      in
+      if integral then s ^ ".0" else s
   | Value.Tuple vs ->
       "{" ^ String.concat "," (List.map render_value vs) ^ "}"
   | v -> Value.to_string v
@@ -91,11 +111,52 @@ let save ?(extents = false) repo =
 
 (* -- parsing ------------------------------------------------------------- *)
 
-let unquote s =
-  let s = String.trim s in
+(* parses a leading quoted (escape-aware) name, returning it together
+   with the unconsumed remainder of the line *)
+let scan_quoted s =
   let n = String.length s in
-  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then Ok (String.sub s 1 (n - 2))
-  else err "expected a quoted name, got %S" s
+  let i = ref 0 in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+  if !i >= n || s.[!i] <> '"' then err "expected a quoted name, got %S" s
+  else begin
+    let buf = Buffer.create 16 in
+    let j = ref (!i + 1) in
+    let closed = ref false in
+    let error = ref None in
+    while (not !closed) && !error = None do
+      if !j >= n then error := Some (Printf.sprintf "unterminated quoted name in %S" s)
+      else
+        match s.[!j] with
+        | '"' ->
+            closed := true;
+            incr j
+        | '\\' ->
+            if !j + 1 >= n then
+              error := Some (Printf.sprintf "unterminated quoted name in %S" s)
+            else begin
+              (match s.[!j + 1] with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | c ->
+                  error :=
+                    Some (Printf.sprintf "unknown escape \\%c in quoted name" c));
+              j := !j + 2
+            end
+        | c ->
+            Buffer.add_char buf c;
+            incr j
+    done;
+    match !error with
+    | Some e -> Error e
+    | None -> Ok (Buffer.contents buf, String.sub s !j (n - !j))
+  end
+
+let unquote s =
+  let* name, rest = scan_quoted s in
+  if String.trim rest = "" then Ok name
+  else err "trailing input after quoted name: %S" rest
 
 let split_on_first sep line =
   let ls = String.length sep in
@@ -225,27 +286,25 @@ let load text =
               let* s' = Schema.add_object ?extent_ty scheme s in
               st.current_schema <- Some s';
               Ok ())
-      | None, Some ("pathway", rest) -> (
+      | None, Some ("pathway", rest) ->
           let* () = flush_schema st in
-          match split_on_first " -> " rest with
-          | None -> err "line %d: malformed pathway header" line_no
-          | Some (from_text, to_text) ->
-              let* from_s = unquote from_text in
-              let* to_s = unquote to_text in
-              st.current_pathway <- Some (from_s, to_s, []);
-              Ok ())
+          let* from_s, rest = scan_quoted rest in
+          let rest = String.trim rest in
+          if not (String.length rest >= 2 && String.sub rest 0 2 = "->") then
+            err "line %d: malformed pathway header" line_no
+          else
+            let* to_s = unquote (String.sub rest 2 (String.length rest - 2)) in
+            st.current_pathway <- Some (from_s, to_s, []);
+            Ok ()
       | None, Some ("extent", rest) -> (
           let* () = flush_schema st in
           match split_on_first " := " rest with
           | None -> err "line %d: malformed extent line" line_no
-          | Some (head, payload) -> (
-              match split_on_first " " (String.trim head) with
-              | None -> err "line %d: malformed extent head" line_no
-              | Some (name_text, scheme_text) ->
-                  let* name = unquote name_text in
-                  let* scheme = Scheme.of_string scheme_text in
-                  let* bag = parse_extent_payload payload in
-                  Repository.set_extent st.repo ~schema:name scheme bag))
+          | Some (head, payload) ->
+              let* name, scheme_text = scan_quoted head in
+              let* scheme = Scheme.of_string scheme_text in
+              let* bag = parse_extent_payload payload in
+              Repository.set_extent st.repo ~schema:name scheme bag)
       | None, _ -> err "line %d: unrecognised line %S" line_no line
   in
   let* () =
@@ -260,3 +319,98 @@ let load text =
   match st.current_pathway with
   | Some _ -> err "unterminated pathway block"
   | None -> Ok st.repo
+
+(* -- single-operation codec (write-ahead journal payloads) --------------- *)
+
+let save_op (op : Repository.op) =
+  let buf = Buffer.create 256 in
+  (match op with
+  | Repository.Op_add_schema s -> render_schema buf s
+  | Repository.Op_add_pathway p -> render_pathway buf p
+  | Repository.Op_set_extent (name, o, bag) ->
+      Buffer.add_string buf
+        (Printf.sprintf "extent %s %s := %s\n" (quote name) (Scheme.to_string o)
+           (render_value_expr bag))
+  | Repository.Op_remove_schema name ->
+      Buffer.add_string buf (Printf.sprintf "remove %s\n" (quote name))
+  | Repository.Op_rename_schema (a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "rename %s -> %s\n" (quote a) (quote b)));
+  Buffer.contents buf
+
+let parse_schema_block name lines =
+  List.fold_left
+    (fun acc line ->
+      let* s = acc in
+      match split_on_first " " (String.trim line) with
+      | Some ("object", rest) ->
+          let* scheme, extent_ty = parse_object_line rest in
+          Schema.add_object ?extent_ty scheme s
+      | _ -> err "unexpected line in schema block: %S" line)
+    (Ok (Schema.create name)) lines
+
+let expect_arrow ctx rest k =
+  let rest = String.trim rest in
+  if String.length rest >= 2 && String.sub rest 0 2 = "->" then
+    k (String.sub rest 2 (String.length rest - 2))
+  else err "malformed %s record" ctx
+
+let parse_pathway_block hdr lines =
+  let* from_s, rest = scan_quoted hdr in
+  expect_arrow "pathway" rest @@ fun to_text ->
+  let* to_s = unquote to_text in
+  let rec steps acc = function
+    | [] -> err "unterminated pathway block in journal record"
+    | [ last ] when String.trim last = "end" -> Ok (List.rev acc)
+    | line :: rest -> (
+        match split_on_first " " (String.trim line) with
+        | Some ("step", s) ->
+            let* step = parse_step s in
+            steps (step :: acc) rest
+        | _ -> err "unexpected line in pathway block: %S" line)
+  in
+  let* steps = steps [] lines in
+  Ok { Transform.from_schema = from_s; to_schema = to_s; steps }
+
+let load_op text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> err "empty journal record"
+  | first :: rest -> (
+      match split_on_first " " (String.trim first) with
+      | Some ("schema", name_text) ->
+          let* name = unquote name_text in
+          let* s = parse_schema_block name rest in
+          Ok (Repository.Op_add_schema s)
+      | Some ("pathway", hdr) ->
+          let* p = parse_pathway_block hdr rest in
+          Ok (Repository.Op_add_pathway p)
+      | Some ("extent", rest_line) when rest = [] -> (
+          match split_on_first " := " rest_line with
+          | None -> err "malformed extent record"
+          | Some (head, payload) ->
+              let* name, scheme_text = scan_quoted head in
+              let* scheme = Scheme.of_string scheme_text in
+              let* bag = parse_extent_payload payload in
+              Ok (Repository.Op_set_extent (name, scheme, bag)))
+      | Some ("remove", rest_line) when rest = [] ->
+          let* name = unquote rest_line in
+          Ok (Repository.Op_remove_schema name)
+      | Some ("rename", rest_line) when rest = [] ->
+          let* a, r = scan_quoted rest_line in
+          expect_arrow "rename" r @@ fun b_text ->
+          let* b = unquote b_text in
+          Ok (Repository.Op_rename_schema (a, b))
+      | _ -> err "unrecognised journal record %S" first)
+
+let apply_op repo (op : Repository.op) =
+  match op with
+  | Repository.Op_add_schema s -> Repository.add_schema repo s
+  | Repository.Op_add_pathway p -> Repository.add_pathway repo p
+  | Repository.Op_set_extent (name, o, bag) ->
+      Repository.set_extent repo ~schema:name o bag
+  | Repository.Op_remove_schema name -> Repository.remove_schema repo name
+  | Repository.Op_rename_schema (a, b) -> Repository.rename_schema repo a b

@@ -17,9 +17,10 @@
     extent "pedro" <<protein>> := ['PED-P0'; 'PED-P1']
     v}
 
-    Restrictions: schema names must not contain double quotes or
-    newlines, and string values in serialised extents must not contain
-    single quotes (IQL string literals have no escape syntax). *)
+    Schema names and string values round-trip exactly: quotes,
+    backslashes and newlines in names are [\ ]-escaped inside the double
+    quotes, and string values use IQL string-literal escapes
+    ({!Automed_iql.Value.escape_string}). *)
 
 val save : ?extents:bool -> Repository.t -> string
 (** Renders the repository.  [extents] (default [false]) also writes the
@@ -28,3 +29,18 @@ val save : ?extents:bool -> Repository.t -> string
 val load : string -> (Repository.t, string) result
 (** Rebuilds a repository from {!save}'s output.  Pathways are re-checked
     (well-formedness, target agreement) on the way in. *)
+
+(** {2 Single-operation codec}
+
+    One committed repository mutation rendered as a self-contained text
+    fragment in the same concrete syntax as {!save}.  This is the payload
+    format of the write-ahead journal ([Automed_durable.Journal]): the
+    journal frames each fragment with a length prefix and checksum, and
+    recovery replays fragments through {!apply_op}. *)
+
+val save_op : Repository.op -> string
+val load_op : string -> (Repository.op, string) result
+
+val apply_op : Repository.t -> Repository.op -> (unit, string) result
+(** Replays one operation through the public repository API (so pathway
+    replay re-derives target schemas exactly as the original call did). *)

@@ -74,6 +74,96 @@ module Fault = struct
     && p.flap_period = 0
 end
 
+module Disk = struct
+  type profile = {
+    torn_write_at : int option;
+    bit_flip_rate : float;
+    short_read_rate : float;
+    fail_rename : bool;
+  }
+
+  let none =
+    {
+      torn_write_at = None;
+      bit_flip_rate = 0.0;
+      short_read_rate = 0.0;
+      fail_rename = false;
+    }
+
+  type stats = {
+    mutable writes_torn : int;
+    mutable bits_flipped : int;
+    mutable reads_shortened : int;
+    mutable renames_failed : int;
+  }
+
+  type t = { prng : Prng.t; mutable profile : profile; stats : stats }
+
+  let create ?(seed = 0x5EEDL) profile =
+    {
+      prng = Prng.create seed;
+      profile;
+      stats =
+        {
+          writes_torn = 0;
+          bits_flipped = 0;
+          reads_shortened = 0;
+          renames_failed = 0;
+        };
+    }
+
+  let profile t = t.profile
+  let set_profile t p = t.profile <- p
+  let stats t = t.stats
+
+  (* one-shot: the torn write models a single crash mid-append, so the
+     trigger disarms after firing *)
+  let torn_write t ~len =
+    match t.profile.torn_write_at with
+    | Some n when n < len ->
+        t.profile <- { t.profile with torn_write_at = None };
+        t.stats.writes_torn <- t.stats.writes_torn + 1;
+        Telemetry.count "resilience.disk.torn_write";
+        Some n
+    | _ -> None
+
+  let flip_bits t data =
+    if
+      t.profile.bit_flip_rate > 0.0
+      && String.length data > 0
+      && Prng.float t.prng 1.0 < t.profile.bit_flip_rate
+    then begin
+      let i = Prng.int t.prng (String.length data) in
+      let b = Prng.int t.prng 8 in
+      let bytes = Bytes.of_string data in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl b)));
+      t.stats.bits_flipped <- t.stats.bits_flipped + 1;
+      Telemetry.count "resilience.disk.bit_flip";
+      Some (Bytes.to_string bytes)
+    end
+    else None
+
+  let short_read t data =
+    if
+      t.profile.short_read_rate > 0.0
+      && String.length data > 0
+      && Prng.float t.prng 1.0 < t.profile.short_read_rate
+    then begin
+      t.stats.reads_shortened <- t.stats.reads_shortened + 1;
+      Telemetry.count "resilience.disk.short_read";
+      Some (String.sub data 0 (Prng.int t.prng (String.length data)))
+    end
+    else None
+
+  let rename_fails t =
+    if t.profile.fail_rename then begin
+      t.stats.renames_failed <- t.stats.renames_failed + 1;
+      Telemetry.count "resilience.disk.failed_rename";
+      true
+    end
+    else false
+end
+
 type breaker_state = Closed | Open | Half_open
 
 let pp_breaker_state ppf = function

@@ -81,6 +81,53 @@ module Fault : sig
   val is_none : profile -> bool
 end
 
+(** Deterministic {e disk}-fault injector, the storage-side counterpart
+    of {!Fault}: where {!Fault} perturbs source fetches, [Disk] perturbs
+    the virtual file system under the durable repository
+    ([Automed_durable.Vfs.with_faults]).  Every decision draws from a
+    seeded SplitMix64 stream, so crash scenarios replay exactly. *)
+module Disk : sig
+  type profile = {
+    torn_write_at : int option;
+        (** tear the next write that is longer than this many bytes:
+            only the prefix reaches the file (models a crash mid-append;
+            one-shot — the trigger disarms after firing) *)
+    bit_flip_rate : float;
+        (** probability a write has one uniformly-drawn bit flipped
+            (models silent media corruption) *)
+    short_read_rate : float;
+        (** probability a read returns only a prefix *)
+    fail_rename : bool;  (** every rename fails (atomic-commit fault) *)
+  }
+
+  val none : profile
+
+  type stats = {
+    mutable writes_torn : int;
+    mutable bits_flipped : int;
+    mutable reads_shortened : int;
+    mutable renames_failed : int;
+  }
+
+  type t
+
+  val create : ?seed:int64 -> profile -> t
+  val profile : t -> profile
+  val set_profile : t -> profile -> unit
+  val stats : t -> stats
+
+  val torn_write : t -> len:int -> int option
+  (** Bytes of the write to keep, when the tear fires. *)
+
+  val flip_bits : t -> string -> string option
+  (** The corrupted copy of the data, when the flip fires. *)
+
+  val short_read : t -> string -> string option
+  (** The shortened copy of the data, when the short read fires. *)
+
+  val rename_fails : t -> bool
+end
+
 type breaker_state = Closed | Open | Half_open
 
 val pp_breaker_state : breaker_state Fmt.t

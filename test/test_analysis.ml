@@ -382,6 +382,41 @@ let qcheck_clean_reverse =
         in
         not (D.has_errors (Analysis.lint_pathway final (Transform.reverse p))))
 
+let test_unjournaled_repository () =
+  let repo = Repository.create () in
+  ok (Repository.add_schema repo (base_schema ()));
+  (* no workflow-built versions: nothing to warn about *)
+  Alcotest.(check bool) "plain repo quiet" false
+    (List.mem "unjournaled-repository"
+       (rules (Analysis.lint_repository ~journaled:false repo)));
+  (* a versioned global schema marks workflow state worth journaling *)
+  ok
+    (Repository.add_schema repo (Schema.rename "demo_v1" (base_schema ())));
+  Alcotest.(check bool) "unjournaled workflow repo warns" true
+    (List.mem "unjournaled-repository"
+       (rules ~severity:D.Warning
+          (Analysis.lint_repository ~journaled:false repo)));
+  (* a journaled repository, or a caller with no durability opinion,
+     stays quiet *)
+  Alcotest.(check bool) "journaled repo quiet" false
+    (List.mem "unjournaled-repository"
+       (rules (Analysis.lint_repository ~journaled:true repo)));
+  Alcotest.(check bool) "no opinion, no warning" false
+    (List.mem "unjournaled-repository"
+       (rules (Analysis.lint_repository repo)));
+  (* the real signal: Repository.observed flips once a durable handle
+     attaches *)
+  let d =
+    ok (Automed_durable.Durable.attach (Automed_durable.Vfs.memory ()) repo)
+  in
+  Alcotest.(check bool) "observed repo counts as journaled" false
+    (List.mem "unjournaled-repository"
+       (rules
+          (Analysis.lint_repository
+             ~journaled:(Repository.observed repo)
+             repo)));
+  Automed_durable.Durable.detach d
+
 let suite =
   [
     Alcotest.test_case "add-present" `Quick test_add_present;
@@ -401,6 +436,8 @@ let suite =
     Alcotest.test_case "duplicate-pathway" `Quick test_duplicate_pathway;
     Alcotest.test_case "conflicting-pathway" `Quick test_conflicting_pathway;
     Alcotest.test_case "unreachable-schema" `Quick test_unreachable_schema;
+    Alcotest.test_case "unjournaled-repository" `Quick
+      test_unjournaled_repository;
     Alcotest.test_case "root override" `Quick test_root_override;
     Alcotest.test_case "validation gate" `Quick test_gate;
     Alcotest.test_case "diagnostic rendering" `Quick test_diagnostic_rendering;

@@ -1,0 +1,521 @@
+(* Crash safety of the durable repository: journal framing, checkpoint
+   atomicity, fault-injected recovery and the kill-point matrix (a
+   simulated crash at every journal record boundary, and inside records,
+   must recover to exactly the state the completed ops describe). *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Parser = Automed_iql.Parser
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Serialize = Automed_repository.Serialize
+module Processor = Automed_query.Processor
+module Intersection = Automed_integration.Intersection
+module Workflow = Automed_integration.Workflow
+module Sources = Automed_ispider.Sources
+module Queries = Automed_ispider.Queries
+module Intersection_run = Automed_ispider.Intersection_run
+module Resilience = Automed_resilience.Resilience
+module Crc32 = Automed_durable.Crc32
+module Vfs = Automed_durable.Vfs
+module Journal = Automed_durable.Journal
+module Durable = Automed_durable.Durable
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let err = function Ok _ -> Alcotest.fail "expected error" | Error e -> e
+let save repo = Serialize.save ~extents:true repo
+
+(* -- CRC32 ---------------------------------------------------------------- *)
+
+let test_crc_known_answer () =
+  (* the IEEE 802.3 check value *)
+  Alcotest.(check string) "123456789" "cbf43926"
+    (Crc32.to_hex (Crc32.digest "123456789"));
+  Alcotest.(check string) "empty" "00000000" (Crc32.to_hex (Crc32.digest ""));
+  (* incremental = one-shot *)
+  let half = Crc32.digest "12345" in
+  Alcotest.(check string) "incremental" "cbf43926"
+    (Crc32.to_hex (Crc32.digest ~crc:half "6789"))
+
+(* -- journal framing ------------------------------------------------------ *)
+
+let test_journal_roundtrip () =
+  let vfs = Vfs.memory () in
+  let payloads = [ "alpha"; ""; "third record\nwith newline"; "\x00\xff" ] in
+  List.iter (fun p -> ok (Journal.append vfs ~file:"j" p)) payloads;
+  let scan = ok (Journal.read vfs ~file:"j") in
+  Alcotest.(check (list string)) "payloads" payloads
+    (List.map snd scan.Journal.records);
+  (match scan.Journal.tail with
+  | Journal.Clean -> ()
+  | t -> Alcotest.failf "expected clean tail, got %a" Journal.pp_tail t);
+  Alcotest.(check int) "valid covers all" scan.Journal.total_bytes
+    scan.Journal.valid_bytes
+
+let test_journal_missing_file () =
+  let scan = ok (Journal.read (Vfs.memory ()) ~file:"absent") in
+  Alcotest.(check int) "no records" 0 (List.length scan.Journal.records)
+
+let test_journal_torn_and_corrupt () =
+  let a = Journal.frame "first" and b = Journal.frame "second" in
+  (* torn: the file ends inside the second record *)
+  let torn = a ^ String.sub b 0 (String.length b - 3) in
+  let scan = Journal.scan torn in
+  Alcotest.(check (list string)) "prefix survives" [ "first" ]
+    (List.map snd scan.Journal.records);
+  (match scan.Journal.tail with
+  | Journal.Torn { offset; _ } ->
+      Alcotest.(check int) "torn at boundary" (String.length a) offset
+  | t -> Alcotest.failf "expected torn, got %a" Journal.pp_tail t);
+  Alcotest.(check int) "valid_bytes stops at boundary" (String.length a)
+    scan.Journal.valid_bytes;
+  (* corrupt: one flipped bit in the second payload *)
+  let both = Bytes.of_string (a ^ b) in
+  let i = String.length a + Journal.header_bytes in
+  Bytes.set both i (Char.chr (Char.code (Bytes.get both i) lxor 0x10));
+  let scan = Journal.scan (Bytes.to_string both) in
+  Alcotest.(check (list string)) "prefix survives corruption" [ "first" ]
+    (List.map snd scan.Journal.records);
+  match scan.Journal.tail with
+  | Journal.Corrupt _ -> ()
+  | t -> Alcotest.failf "expected corrupt, got %a" Journal.pp_tail t
+
+(* -- a scripted mixed-op scenario ----------------------------------------- *)
+
+(* Each closure performs exactly one journaled mutation, covering all
+   five op constructors (including hostile names and string values that
+   exercise the serialisation escapes). *)
+let scripted_ops repo =
+  let add name objs =
+    ok (Repository.add_schema repo (ok (Schema.of_objects name objs)))
+  in
+  [
+    (fun () ->
+      add "src" [ (Scheme.table "t", None); (Scheme.column "t" "c", None) ]);
+    (fun () ->
+      ok
+        (Repository.set_extent repo ~schema:"src" (Scheme.table "t")
+           (Value.Bag.of_list
+              [ Value.Str "it's\na\t'quoted' \\ value"; Value.Str "plain" ])));
+    (fun () ->
+      ok
+        (Repository.set_extent repo ~schema:"src" (Scheme.column "t" "c")
+           (Value.Bag.of_list
+              [ Value.tuple2 (Value.Str "a") (Value.Int 1);
+                Value.tuple2 (Value.Str "b") (Value.Int 2) ])));
+    (fun () ->
+      ok
+        (Repository.add_pathway repo
+           {
+             Transform.from_schema = "src";
+             to_schema = "derived";
+             steps =
+               [
+                 Transform.Add
+                   (Scheme.table "tagged",
+                    Parser.parse_exn "[{'S', k} | k <- <<t>>]");
+               ];
+           }));
+    (fun () -> add "we\"ird\\nam\ne" [ (Scheme.table "wt", None) ]);
+    (fun () ->
+      ok
+        (Repository.set_extent repo ~schema:"we\"ird\\nam\ne"
+           (Scheme.table "wt")
+           (Value.Bag.of_list [ Value.Str "w1" ])));
+    (fun () -> add "lone" [ (Scheme.table "lt", None) ]);
+    (fun () -> ok (Repository.rename_schema repo "we\"ird\\nam\ne" "tamed"));
+    (fun () -> ok (Repository.remove_schema repo "lone"));
+    (fun () ->
+      ok
+        (Repository.set_extent repo ~schema:"tamed" (Scheme.table "wt")
+           (Value.Bag.of_list [ Value.Str "w1"; Value.Str "w2" ])));
+  ]
+
+(* Runs the script with a durable handle on a fresh memory store.
+   Returns the vfs, the journal contents, the scan, and the serialised
+   repository state after each prefix of ops (states.(k) = state once
+   the first k ops committed). *)
+let scripted_run () =
+  let vfs = Vfs.memory () in
+  let repo = Repository.create () in
+  let d = ok (Durable.attach vfs repo) in
+  let states = ref [ save repo ] in
+  List.iter
+    (fun op ->
+      op ();
+      states := save repo :: !states)
+    (scripted_ops repo);
+  let journal = ok (Vfs.(vfs.read) Durable.journal_file) in
+  let scan = Journal.scan journal in
+  Alcotest.(check int) "one record per op" (List.length (scripted_ops (Repository.create ())))
+    (Durable.appended d);
+  (vfs, journal, scan, Array.of_list (List.rev !states))
+
+let recover_journal_bytes bytes =
+  let store = Vfs.memory () in
+  ok (Vfs.(store.write) Durable.journal_file bytes);
+  ok (Durable.recover store)
+
+(* -- the kill-point matrix ------------------------------------------------ *)
+
+let test_killpoint_matrix () =
+  let _vfs, journal, scan, states = scripted_run () in
+  let boundaries =
+    List.map fst scan.Journal.records @ [ String.length journal ]
+  in
+  (* a crash at every record boundary: recovery must rebuild exactly the
+     state after the ops whose records are complete, bit-identically *)
+  List.iteri
+    (fun k cut ->
+      let d, report = recover_journal_bytes (String.sub journal 0 cut) in
+      Alcotest.(check int)
+        (Printf.sprintf "boundary %d replays %d" k k)
+        k report.Durable.replayed;
+      Alcotest.(check int)
+        (Printf.sprintf "boundary %d drops nothing" k)
+        0 report.Durable.truncated_bytes;
+      Alcotest.(check string)
+        (Printf.sprintf "boundary %d state bit-identical" k)
+        states.(k)
+        (save (Durable.repository d)))
+    boundaries;
+  (* a crash inside every record: recovery truncates the torn tail and
+     lands on the preceding boundary's state *)
+  List.iteri
+    (fun k (off, payload) ->
+      List.iter
+        (fun cut ->
+          let d, report = recover_journal_bytes (String.sub journal 0 cut) in
+          Alcotest.(check int)
+            (Printf.sprintf "mid-record %d replays %d" k k)
+            k report.Durable.replayed;
+          Alcotest.(check bool)
+            (Printf.sprintf "mid-record %d warns" k)
+            true
+            (report.Durable.truncated_bytes > 0
+            && report.Durable.warnings <> []);
+          Alcotest.(check string)
+            (Printf.sprintf "mid-record %d state bit-identical" k)
+            states.(k)
+            (save (Durable.repository d)))
+        [
+          off + 3; (* inside the length/crc header *)
+          off + Journal.header_bytes + (String.length payload / 2);
+        ])
+    scan.Journal.records
+
+(* -- a live crash through the kill-point harness -------------------------- *)
+
+let test_live_crash_recovery () =
+  let _vfs, journal, scan, states = scripted_run () in
+  (* rerun the script on a crashable store, arming the write budget to
+     die 3 bytes into each record in turn *)
+  List.iteri
+    (fun k (off, _) ->
+      let inner = Vfs.memory () in
+      let vfs, arm = Vfs.crashable inner in
+      let repo = Repository.create () in
+      let _d = ok (Durable.attach vfs repo) in
+      arm (Some (off + 3));
+      (try List.iter (fun op -> op ()) (scripted_ops repo)
+       with Vfs.Crash _ -> ());
+      arm None;
+      (* a new handle recovers from what physically reached "disk" *)
+      Repository.set_observer repo None;
+      let d, report = ok (Durable.recover inner) in
+      Alcotest.(check int)
+        (Printf.sprintf "crash in record %d replays %d" k k)
+        k report.Durable.replayed;
+      Alcotest.(check string)
+        (Printf.sprintf "crash in record %d state" k)
+        states.(k)
+        (save (Durable.repository d)))
+    scan.Journal.records;
+  ignore journal
+
+(* -- bit flips and scrub -------------------------------------------------- *)
+
+let test_bit_flip_detected () =
+  let _vfs, journal, scan, states = scripted_run () in
+  let n = List.length scan.Journal.records in
+  (* flip one payload bit in the middle record: recovery must keep the
+     prefix, truncate from the flipped record on, and warn - never load
+     a silently wrong repository *)
+  let k = n / 2 in
+  let off, payload = List.nth scan.Journal.records k in
+  let corrupted = Bytes.of_string journal in
+  let i = off + Journal.header_bytes + (String.length payload / 3) in
+  Bytes.set corrupted i (Char.chr (Char.code (Bytes.get corrupted i) lxor 0x40));
+  let d, report = recover_journal_bytes (Bytes.to_string corrupted) in
+  Alcotest.(check int) "prefix replayed" k report.Durable.replayed;
+  Alcotest.(check bool) "warned" true (report.Durable.warnings <> []);
+  Alcotest.(check bool) "truncated" true (report.Durable.truncated_bytes > 0);
+  Alcotest.(check string) "prefix state" states.(k)
+    (save (Durable.repository d));
+  (* scrub sees the same corruption without touching the store *)
+  let store = Vfs.memory () in
+  ok (Vfs.(store.write) Durable.journal_file (Bytes.to_string corrupted));
+  let s = ok (Durable.scrub store) in
+  (match s.Durable.journal_tail with
+  | Journal.Corrupt _ -> ()
+  | t -> Alcotest.failf "scrub should report corrupt, got %a" Journal.pp_tail t);
+  Alcotest.(check int) "scrub leaves bytes alone"
+    (String.length journal)
+    (String.length (ok (Vfs.(store.read) Durable.journal_file)))
+
+let test_recovery_truncates_then_clean () =
+  let _vfs, journal, scan, _states = scripted_run () in
+  let off, payload = List.nth scan.Journal.records 2 in
+  let cut = off + Journal.header_bytes + (String.length payload / 2) in
+  let store = Vfs.memory () in
+  ok (Vfs.(store.write) Durable.journal_file (String.sub journal 0 cut));
+  let d, report = ok (Durable.recover store) in
+  Alcotest.(check bool) "first recovery warns" true
+    (report.Durable.warnings <> []);
+  Durable.detach d;
+  (* the torn tail is gone from disk: a second recovery is clean *)
+  let _d, report = ok (Durable.recover store) in
+  Alcotest.(check (list string)) "second recovery clean" []
+    report.Durable.warnings;
+  Alcotest.(check int) "journal truncated to boundary" off
+    (String.length (ok (Vfs.(store.read) Durable.journal_file)))
+
+(* -- checkpoints ---------------------------------------------------------- *)
+
+let scripted_store_with_checkpoint () =
+  let vfs = Vfs.memory () in
+  let repo = Repository.create () in
+  let d = ok (Durable.attach vfs repo) in
+  let ops = scripted_ops repo in
+  List.iteri (fun i op -> if i < 5 then op ()) ops;
+  ok (Durable.snapshot d);
+  List.iteri (fun i op -> if i >= 5 then op ()) ops;
+  (vfs, repo, d)
+
+let test_snapshot_then_more_ops () =
+  let vfs, repo, d = scripted_store_with_checkpoint () in
+  Alcotest.(check int) "journal holds only post-snapshot ops" 5
+    (Durable.appended d);
+  Durable.detach d;
+  let d', report = ok (Durable.recover vfs) in
+  Alcotest.(check bool) "checkpoint used" true report.Durable.checkpoint_loaded;
+  Alcotest.(check int) "journal replayed on top" 5 report.Durable.replayed;
+  Alcotest.(check string) "state bit-identical" (save repo)
+    (save (Durable.repository d'))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_corrupt_checkpoint_is_hard_error () =
+  let vfs, _repo, d = scripted_store_with_checkpoint () in
+  Durable.detach d;
+  let contents = ok (Vfs.(vfs.read) Durable.checkpoint_file) in
+  let corrupted = Bytes.of_string contents in
+  let i = String.length contents / 2 in
+  Bytes.set corrupted i (Char.chr (Char.code (Bytes.get corrupted i) lxor 0x01));
+  ok (Vfs.(vfs.write) Durable.checkpoint_file (Bytes.to_string corrupted));
+  let e = err (Durable.recover vfs) in
+  Alcotest.(check bool) "error mentions the checkpoint" true
+    (contains ~sub:"checkpoint" e)
+
+let test_failed_rename_keeps_old_checkpoint () =
+  let disk =
+    Resilience.Disk.create
+      { Resilience.Disk.none with Resilience.Disk.fail_rename = true }
+  in
+  let inner = Vfs.memory () in
+  let repo = Repository.create () in
+  let d = ok (Durable.attach inner repo) in
+  List.iteri (fun i op -> if i < 5 then op ()) (scripted_ops repo);
+  ok (Durable.snapshot d);
+  let good_checkpoint = ok (Vfs.(inner.read) Durable.checkpoint_file) in
+  List.iteri (fun i op -> if i >= 5 then op ()) (scripted_ops repo);
+  let journal_before = ok (Vfs.(inner.read) Durable.journal_file) in
+  (* route the next snapshot through the failing-rename injector: the
+     commit must fail without damaging the previous checkpoint or the
+     journal *)
+  Durable.detach d;
+  let faulty = Vfs.with_faults disk inner in
+  let d2 = ok (Durable.attach faulty repo) in
+  ignore (err (Durable.snapshot d2));
+  Alcotest.(check string) "old checkpoint intact" good_checkpoint
+    (ok (Vfs.(inner.read) Durable.checkpoint_file));
+  Alcotest.(check string) "journal intact" journal_before
+    (ok (Vfs.(inner.read) Durable.journal_file));
+  (* recovery from the unrenamed store still reaches the current state *)
+  Durable.detach d2;
+  let d3, _ = ok (Durable.recover inner) in
+  Alcotest.(check string) "recoverable state unchanged" (save repo)
+    (save (Durable.repository d3))
+
+(* -- attach semantics ----------------------------------------------------- *)
+
+let test_attach_nonempty_snapshots () =
+  (* attaching to a repository that already has content must checkpoint
+     it immediately: the store is self-contained from the first attach *)
+  let repo = Repository.create () in
+  List.iter (fun op -> op ()) (scripted_ops repo);
+  let vfs = Vfs.memory () in
+  let d = ok (Durable.attach vfs repo) in
+  Alcotest.(check bool) "checkpoint written" true
+    (Vfs.(vfs.exists) Durable.checkpoint_file);
+  Durable.detach d;
+  let d', report = ok (Durable.recover vfs) in
+  Alcotest.(check bool) "loaded from checkpoint" true
+    report.Durable.checkpoint_loaded;
+  Alcotest.(check string) "state preserved" (save repo)
+    (save (Durable.repository d'))
+
+let test_attach_twice_rejected () =
+  let repo = Repository.create () in
+  let _d = ok (Durable.attach (Vfs.memory ()) repo) in
+  ignore (err (Durable.attach (Vfs.memory ()) repo))
+
+(* -- workflow integration ------------------------------------------------- *)
+
+let two_sources repo =
+  let add name objs =
+    ok (Repository.add_schema repo (ok (Schema.of_objects name objs)))
+  in
+  add "lib1" [ (Scheme.table "book", None) ];
+  add "lib2" [ (Scheme.table "volume", None) ];
+  let set s o vs =
+    ok
+      (Repository.set_extent repo ~schema:s o
+         (Value.Bag.of_list (List.map (fun x -> Value.Str x) vs)))
+  in
+  set "lib1" (Scheme.table "book") [ "b1"; "b2" ];
+  set "lib2" (Scheme.table "volume") [ "v1"; "v2"; "v3" ]
+
+let ubook_spec =
+  let q = Parser.parse_exn in
+  let side schema table tag =
+    {
+      Intersection.schema;
+      mappings =
+        [
+          { Intersection.target = Scheme.table "UBook";
+            forward = q (Printf.sprintf "[{'%s', k} | k <- <<%s>>]" tag table);
+            restore = None };
+        ];
+    }
+  in
+  {
+    Intersection.name = "i_book";
+    sides = [ side "lib1" "book" "L1"; side "lib2" "volume" "L2" ];
+  }
+
+let test_workflow_journals_and_recovers () =
+  let vfs = Vfs.memory () in
+  let repo = Repository.create () in
+  two_sources repo;
+  let d = ok (Durable.attach vfs repo) in
+  let wf = ok (Workflow.start ~durable:d repo ~name:"demo" ~sources:[ "lib1"; "lib2" ]) in
+  let _it = ok (Workflow.integrate wf ubook_spec) in
+  (* kill the process: all that survives is the store *)
+  Durable.detach d;
+  let d', report = ok (Durable.recover vfs) in
+  Alcotest.(check bool) "something replayed or checkpointed" true
+    (report.Durable.replayed > 0 || report.Durable.checkpoint_loaded);
+  Alcotest.(check string) "workflow state survives" (save repo)
+    (save (Durable.repository d'));
+  let proc = Processor.create (Durable.repository d') in
+  match Processor.run_string proc ~schema:"demo_v1" "count(<<UBook>>)" with
+  | Ok v -> Alcotest.(check string) "queries run after recovery" "5" (Value.to_string v)
+  | Error e -> Alcotest.failf "%a" Processor.pp_error e
+
+let test_workflow_rejects_foreign_durable () =
+  let repo = Repository.create () in
+  two_sources repo;
+  let other = Repository.create () in
+  let d = ok (Durable.attach (Vfs.memory ()) other) in
+  ignore
+    (err (Workflow.start ~durable:d repo ~name:"demo" ~sources:[ "lib1" ]))
+
+(* -- the full iSpider run ------------------------------------------------- *)
+
+let test_ispider_recovery_end_to_end () =
+  (* the 7-query case study (scale 10 for speed): journal the whole
+     integration, recover from the journal alone, and answer all seven
+     priority queries identically to the uncrashed repository *)
+  let ds = Sources.generate ~scale:10 () in
+  let vfs = Vfs.memory () in
+  let repo = Repository.create () in
+  let _d = ok (Durable.attach vfs repo) in
+  ok (Sources.wrap_all repo ds);
+  let run = ok (Intersection_run.execute repo) in
+  let global = Workflow.global_name run.Intersection_run.workflow in
+  let journal = ok (Vfs.(vfs.read) Durable.journal_file) in
+  let d', report = recover_journal_bytes journal in
+  Alcotest.(check int) "every op replayed"
+    (List.length (Journal.scan journal).Journal.records)
+    report.Durable.replayed;
+  Alcotest.(check string) "bit-identical store" (save repo)
+    (save (Durable.repository d'));
+  let proc = Processor.create repo in
+  let proc' = Processor.create (Durable.repository d') in
+  List.iter
+    (fun (q : Queries.query) ->
+      match
+        ( Processor.run_string proc ~schema:global q.Queries.global_text,
+          Processor.run_string proc' ~schema:global q.Queries.global_text )
+      with
+      | Ok a, Ok b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "query %d identical" q.Queries.number)
+            true (Value.equal a b)
+      | _ -> Alcotest.failf "query %d failed" q.Queries.number)
+    Queries.all
+
+(* -- telemetry ------------------------------------------------------------ *)
+
+let test_telemetry_counters () =
+  let module Telemetry = Automed_telemetry.Telemetry in
+  let mem = Telemetry.Memory.create () in
+  Telemetry.with_sink (Telemetry.Memory.sink mem) (fun () ->
+      let _vfs, journal, scan, _states = scripted_run () in
+      let n = List.length scan.Journal.records in
+      Alcotest.(check int) "durable.append counts every record" n
+        (Telemetry.Memory.counter mem "durable.append");
+      let off, payload = List.nth scan.Journal.records (n - 1) in
+      let cut = off + Journal.header_bytes + (String.length payload / 2) in
+      let _ = recover_journal_bytes (String.sub journal 0 cut) in
+      Alcotest.(check int) "durable.replay counts the prefix" (n - 1)
+        (Telemetry.Memory.counter mem "durable.replay");
+      Alcotest.(check bool) "scrub_bad_record fired" true
+        (Telemetry.Memory.counter mem "durable.scrub_bad_record" > 0))
+
+let suite =
+  [
+    Alcotest.test_case "crc32 known answers" `Quick test_crc_known_answer;
+    Alcotest.test_case "journal round-trip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal missing file" `Quick test_journal_missing_file;
+    Alcotest.test_case "journal torn and corrupt tails" `Quick
+      test_journal_torn_and_corrupt;
+    Alcotest.test_case "kill-point matrix" `Quick test_killpoint_matrix;
+    Alcotest.test_case "live crash via write budget" `Quick
+      test_live_crash_recovery;
+    Alcotest.test_case "bit flip detected, never silent" `Quick
+      test_bit_flip_detected;
+    Alcotest.test_case "recovery truncates torn tail" `Quick
+      test_recovery_truncates_then_clean;
+    Alcotest.test_case "snapshot then more ops" `Quick
+      test_snapshot_then_more_ops;
+    Alcotest.test_case "corrupt checkpoint is a hard error" `Quick
+      test_corrupt_checkpoint_is_hard_error;
+    Alcotest.test_case "failed rename keeps old checkpoint" `Quick
+      test_failed_rename_keeps_old_checkpoint;
+    Alcotest.test_case "attach snapshots non-empty repository" `Quick
+      test_attach_nonempty_snapshots;
+    Alcotest.test_case "attach twice rejected" `Quick test_attach_twice_rejected;
+    Alcotest.test_case "workflow journals and recovers" `Quick
+      test_workflow_journals_and_recovers;
+    Alcotest.test_case "workflow rejects foreign durable" `Quick
+      test_workflow_rejects_foreign_durable;
+    Alcotest.test_case "iSpider journal recovery end to end" `Slow
+      test_ispider_recovery_end_to_end;
+    Alcotest.test_case "telemetry counters" `Quick test_telemetry_counters;
+  ]

@@ -25,6 +25,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("telemetry", Test_telemetry.suite);
       ("resilience", Test_resilience.suite);
+      ("durable", Test_durable.suite);
       ("user-cost", Test_user_cost.suite);
       ("properties", Test_properties.suite);
       ("bibliome", Test_bibliome.suite);

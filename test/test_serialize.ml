@@ -153,11 +153,159 @@ let test_ispider_roundtrip () =
       | _ -> Alcotest.failf "query %d failed after reload" q.Queries.number)
     Queries.all
 
+(* -- hostile names and values -------------------------------------------- *)
+
+(* Schema names containing quotes, backslashes and newlines, and string
+   values containing single quotes and escapes, must survive the
+   round-trip byte for byte. *)
+let hostile_names =
+  [ "plain"; "with \"quotes\""; "back\\slash"; "new\nline"; "cr\rlf"; "it's" ]
+
+let hostile_values =
+  [ "plain"; "it's"; "two''quotes"; "back\\slash"; "multi\nline"; "tab\there";
+    "cr\rreturn"; "tricky\\'mix" ]
+
+let test_hostile_roundtrip () =
+  List.iteri
+    (fun i name ->
+      let repo = Repository.create () in
+      ok
+        (Repository.add_schema repo
+           (ok (Schema.of_objects name [ (Scheme.table "t", None) ])));
+      ok
+        (Repository.set_extent repo ~schema:name (Scheme.table "t")
+           (Value.Bag.of_list (List.map (fun v -> Value.Str v) hostile_values)));
+      let repo' = ok (Serialize.load (Serialize.save ~extents:true repo)) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "name %d survives" i)
+        [ name ]
+        (List.map Schema.name (Repository.schemas repo'));
+      match Repository.stored_extent repo' ~schema:name (Scheme.table "t") with
+      | None -> Alcotest.fail "extent lost"
+      | Some b ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "values of %d survive" i)
+            (List.sort String.compare hostile_values)
+            (List.filter_map
+               (function Value.Str s -> Some s | _ -> None)
+               (Value.Bag.to_list b)))
+    hostile_names
+
+(* -- randomised properties ------------------------------------------------ *)
+
+(* save -> load -> save is a fixpoint, and load never raises, whatever
+   bytes it is fed. *)
+
+let gen_name =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" cs)
+      (list_size (int_range 1 8)
+         (oneofl
+            [ "a"; "b"; "z9"; "_"; "\""; "\\"; "\n"; "'"; " "; "-" ])))
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Value.Str s) gen_name;
+        map (fun i -> Value.Int i) (int_range (-50) 50);
+        map (fun b -> Value.Bool b) bool;
+        map (fun f -> Value.Float f) (map float_of_int (int_range 0 100));
+      ])
+
+let gen_repo_text =
+  QCheck.Gen.(
+    let* names = list_size (int_range 1 3) gen_name in
+    let names = List.sort_uniq String.compare names in
+    let* extents =
+      flatten_l
+        (List.map
+           (fun n ->
+             let* vs = list_size (int_range 0 5) gen_value in
+             return (n, vs))
+           names)
+    in
+    return
+      (let repo = Repository.create () in
+       List.iter
+         (fun (n, vs) ->
+           match
+             Result.bind (Schema.of_objects n [ (Scheme.table "t", None) ])
+               (Repository.add_schema repo)
+           with
+           | Error _ -> ()
+           | Ok () ->
+               ignore
+                 (Repository.set_extent repo ~schema:n (Scheme.table "t")
+                    (Value.Bag.of_list vs)))
+         extents;
+       Serialize.save ~extents:true repo))
+
+let prop_fixpoint =
+  QCheck.Test.make ~count:100 ~name:"save/load/save fixpoint"
+    (QCheck.make ~print:(fun t -> t) gen_repo_text)
+    (fun text ->
+      match Serialize.load text with
+      | Error e -> QCheck.Test.fail_reportf "load rejected its own save: %s" e
+      | Ok repo' -> String.equal text (Serialize.save ~extents:true repo'))
+
+let gen_garbage =
+  QCheck.Gen.(
+    oneof
+      [
+        string_size ~gen:printable (int_range 0 200);
+        string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200);
+        (* mutated valid saves: truncations and single-byte flips *)
+        (let* text = gen_repo_text in
+         let* mode = int_range 0 2 in
+         match mode with
+         | 0 ->
+             let* k = int_range 0 (String.length text) in
+             return (String.sub text 0 k)
+         | 1 when String.length text > 0 ->
+             let* i = int_range 0 (String.length text - 1) in
+             let* c = map Char.chr (int_range 0 255) in
+             let b = Bytes.of_string text in
+             Bytes.set b i c;
+             return (Bytes.to_string b)
+         | _ -> return text);
+      ])
+
+let prop_load_total =
+  QCheck.Test.make ~count:300 ~name:"load never raises"
+    (QCheck.make ~print:String.escaped gen_garbage)
+    (fun text ->
+      match Serialize.load text with Ok _ | Error _ -> true)
+
+let prop_op_codec =
+  (* a single-op fragment also round-trips: save_op -> load_op -> save_op *)
+  QCheck.Test.make ~count:100 ~name:"op codec round-trip"
+    (QCheck.make ~print:(fun t -> t) gen_repo_text)
+    (fun text ->
+      match Serialize.load text with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok repo ->
+          List.for_all
+            (fun s ->
+              let op = Repository.Op_add_schema s in
+              match Serialize.load_op (Serialize.save_op op) with
+              | Ok (Repository.Op_add_schema s') ->
+                  String.equal
+                    (Serialize.save_op (Repository.Op_add_schema s'))
+                    (Serialize.save_op op)
+              | _ -> false)
+            (Repository.schemas repo))
+
 let suite =
   [
     Alcotest.test_case "structure round-trip" `Quick test_roundtrip_structure;
     Alcotest.test_case "query answers round-trip" `Quick test_roundtrip_queries;
     Alcotest.test_case "extents optional" `Quick test_save_without_extents;
     Alcotest.test_case "load rejects malformed input" `Quick test_load_errors;
+    Alcotest.test_case "hostile names and values round-trip" `Quick
+      test_hostile_roundtrip;
     Alcotest.test_case "iSpider dataspace round-trip" `Slow test_ispider_roundtrip;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_fixpoint; prop_load_total; prop_op_codec ]
