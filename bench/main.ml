@@ -939,6 +939,134 @@ let bench_integration_end_to_end () =
       ok (Sources.wrap_all repo dataset);
       ignore (ok (Classical_run.execute repo)))
 
+(* -- E-S1: static pathway simplification ---------------------------------- *)
+
+(* Replayed-step counts and wall clock for the seven case-study queries,
+   naive (every stored pathway replayed verbatim) vs simplified
+   (certified rewrites + source-reachability pruning).  The answers must
+   be bit-identical: simplification is proof-checked, so it may only
+   change how much work the processor does, never what it answers.  The
+   simplified configuration's wall clock includes the one-off analysis
+   cost (rewriting + equivalence certification happen lazily at the
+   first query), so the comparison is end-to-end honest. *)
+
+type simplification_outcome = {
+  sc_label : string;
+  sc_simplify : bool;
+  sc_steps_replayed : int;
+  sc_pathways_pruned : int;
+  sc_steps_removed : int;
+  sc_rewrites_certified : int;
+  sc_wall_ms : float;
+  sc_answers : (int * Value.Bag.t) list;  (** query number -> answer *)
+}
+
+let simplification_config ~simplify label =
+  let mem = Telemetry.Memory.create () in
+  Telemetry.with_sink (Telemetry.Memory.sink mem) @@ fun () ->
+  let repo = Repository.create () in
+  ok (Sources.wrap_all repo dataset);
+  let run = ok (Intersection_run.execute ~simplify repo) in
+  let wf = run.Intersection_run.workflow in
+  let t0 = Telemetry.wall_clock () in
+  let answers =
+    List.map
+      (fun (q : Queries.query) ->
+        match Workflow.run_query wf q.Queries.global_text with
+        | Ok (Value.Bag b) -> (q.Queries.number, b)
+        | Ok v ->
+            die "E-S1 query %d returned %s" q.Queries.number (Value.to_string v)
+        | Error e ->
+            die "E-S1 query %d: %s" q.Queries.number
+              (Fmt.str "%a" Processor.pp_error e))
+      Queries.all
+  in
+  let wall_ms = (Telemetry.wall_clock () -. t0) *. 1000.0 in
+  let c = Telemetry.Memory.counter mem in
+  {
+    sc_label = label;
+    sc_simplify = simplify;
+    sc_steps_replayed = c "processor.pathway_steps_replayed";
+    sc_pathways_pruned = c "processor.pathways_pruned";
+    sc_steps_removed = c "processor.pathway_steps_simplified_away";
+    sc_rewrites_certified = c "analysis.rewrites_certified";
+    sc_wall_ms = wall_ms;
+    sc_answers = answers;
+  }
+
+let simplification_outcomes () =
+  let naive = simplification_config ~simplify:false "naive replay" in
+  let simplified =
+    simplification_config ~simplify:true
+      "certified simplification + reachability pruning"
+  in
+  List.iter2
+    (fun (n1, b1) (n2, b2) ->
+      if n1 <> n2 || not (Value.Bag.equal b1 b2) then
+        die "E-S1: query %d answers differ between naive and simplified" n1)
+    naive.sc_answers simplified.sc_answers;
+  List.iter
+    (fun (q : Queries.query) ->
+      let expected = q.Queries.ground_truth dataset in
+      let got = List.assoc q.Queries.number simplified.sc_answers in
+      if not (Value.Bag.equal got expected) then
+        die "E-S1: query %d does not match ground truth" q.Queries.number)
+    Queries.all;
+  [ naive; simplified ]
+
+let experiment_simplification outcomes =
+  section
+    "E-S1  Static simplification: replayed pathway steps, naive vs simplified";
+  List.iter
+    (fun o ->
+      Printf.printf "%s\n" o.sc_label;
+      Printf.printf "  pathway steps replayed: %d\n" o.sc_steps_replayed;
+      if o.sc_simplify then (
+        Printf.printf "  pathways pruned (provably empty contribution): %d\n"
+          o.sc_pathways_pruned;
+        Printf.printf
+          "  steps removed by certified rewrites: %d (%d rewrites certified)\n"
+          o.sc_steps_removed o.sc_rewrites_certified);
+      Printf.printf "  wall clock (7 queries): %.2f ms\n\n" o.sc_wall_ms)
+    outcomes;
+  Printf.printf "answers bit-identical across configurations and ground truth\n"
+
+let write_simplification_snapshot path outcomes =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let config_json o =
+        Printf.sprintf
+          "{\n\
+          \    \"label\": %s,\n\
+          \    \"simplify\": %b,\n\
+          \    \"pathway_steps_replayed\": %d,\n\
+          \    \"pathways_pruned\": %d,\n\
+          \    \"steps_removed_by_rewrites\": %d,\n\
+          \    \"rewrites_certified\": %d,\n\
+          \    \"wall_ms\": %.3f,\n\
+          \    \"answers\": [%s]\n\
+          \  }"
+          (Microjson.escape o.sc_label) o.sc_simplify o.sc_steps_replayed
+          o.sc_pathways_pruned o.sc_steps_removed o.sc_rewrites_certified
+          o.sc_wall_ms
+          (String.concat ", "
+             (List.map
+                (fun (n, b) ->
+                  Printf.sprintf "{\"query\": %d, \"cardinality\": %d}" n
+                    (Value.Bag.cardinal b))
+                o.sc_answers))
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"E-S1\",\n\
+        \  \"queries\": 7,\n\
+        \  \"answers_bit_identical\": true,\n\
+        \  \"configurations\": [%s]\n\
+         }\n"
+        (String.concat ", " (List.map config_json outcomes)))
+
 let () =
   with_telemetry "E-T1" experiment_table1;
   with_telemetry "E-CS1" experiment_counts;
@@ -953,6 +1081,10 @@ let () =
   experiment_durability durability;
   write_durability_snapshot "BENCH_durability.json" durability;
   Printf.printf "wrote BENCH_durability.json (E-D1 snapshot)\n";
+  let simplification = with_telemetry "E-S1" simplification_outcomes in
+  experiment_simplification simplification;
+  write_simplification_snapshot "BENCH_analysis.json" simplification;
+  Printf.printf "wrote BENCH_analysis.json (E-S1 snapshot)\n";
   run_bechamel () (* no sink: keep the measured path probe-free *);
   with_telemetry "E-P5" bench_federated_scaling;
   with_telemetry "E-P6" bench_integration_end_to_end;

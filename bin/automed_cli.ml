@@ -23,6 +23,9 @@ module Matcher = Automed_matching.Matcher
 module Workflow = Automed_integration.Workflow
 module Analysis = Automed_analysis.Analysis
 module Diagnostic = Automed_analysis.Diagnostic
+module Rewrite = Automed_analysis.Rewrite
+module Reachability = Automed_analysis.Reachability
+module Transform = Automed_transform.Transform
 module Sources = Automed_ispider.Sources
 module Queries = Automed_ispider.Queries
 module Intersection_run = Automed_ispider.Intersection_run
@@ -115,6 +118,16 @@ let no_resilience =
           "Build the repository without the fault-handling layer: source \
            fetches are not retried and $(b,lint) warns about every \
            unprotected source.")
+
+let no_simplify =
+  Arg.(
+    value & flag
+    & info [ "no-simplify" ]
+        ~doc:
+          "Disable certified pathway simplification and source-reachability \
+           pruning in the query processor: every stored pathway is replayed \
+           verbatim.  Answers are identical either way; this is the escape \
+           hatch (and the baseline for benchmarks).")
 
 let fault_seed =
   Arg.(
@@ -225,8 +238,8 @@ let query_cmd =
              $(i,NAME) fails with probability $(i,RATE) (repeatable; see \
              $(b,--fault-seed)).")
   in
-  let run integrated csv_specs no_resilience fault_seed name text faults degrade
-      =
+  let run integrated csv_specs no_resilience no_simplify fault_seed name text
+      faults degrade =
     with_repo ~fault_seed integrated csv_specs no_resilience (fun repo res ->
         let ( let* ) = Result.bind in
         match
@@ -236,7 +249,7 @@ let query_cmd =
             | Some r, _ -> apply_faults r faults
             | None, _ :: _ -> Error "--fault requires the resilience layer"
           in
-          Ok (Processor.create ?resilience:res repo)
+          Ok (Processor.create ?resilience:res ~simplify:(not no_simplify) repo)
         with
         | Error e -> fail "%s" e
         | Ok proc when degrade -> (
@@ -269,8 +282,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run an IQL query against a schema.")
     Term.(
       ret
-        (const run $ integrated $ csv_specs $ no_resilience $ fault_seed
-       $ schema_arg $ iql $ faults $ degrade))
+        (const run $ integrated $ csv_specs $ no_resilience $ no_simplify
+       $ fault_seed $ schema_arg $ iql $ faults $ degrade))
 
 let reformulate_cmd =
   let iql =
@@ -279,9 +292,11 @@ let reformulate_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"IQL" ~doc:"IQL query text.")
   in
-  let run integrated csv_specs no_resilience name text =
+  let run integrated csv_specs no_resilience no_simplify name text =
     with_repo integrated csv_specs no_resilience (fun repo res ->
-        let proc = Processor.create ?resilience:res repo in
+        let proc =
+          Processor.create ?resilience:res ~simplify:(not no_simplify) repo
+        in
         match Parser.parse text with
         | Error e -> fail "%s" e
         | Ok ast -> (
@@ -295,7 +310,9 @@ let reformulate_cmd =
     (Cmd.info "reformulate"
        ~doc:"Unfold a query over a schema onto the data source schemas.")
     Term.(
-      ret (const run $ integrated $ csv_specs $ no_resilience $ schema_arg $ iql))
+      ret
+        (const run $ integrated $ csv_specs $ no_resilience $ no_simplify
+       $ schema_arg $ iql))
 
 let match_cmd =
   let left =
@@ -376,12 +393,14 @@ let extent_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"OBJECT" ~doc:"Schema object, e.g. <<protein>>.")
   in
-  let run integrated csv_specs no_resilience name obj_text =
+  let run integrated csv_specs no_resilience no_simplify name obj_text =
     with_repo integrated csv_specs no_resilience (fun repo res ->
         match Scheme.of_string obj_text with
         | Error e -> fail "%s" e
         | Ok scheme -> (
-            let proc = Processor.create ?resilience:res repo in
+            let proc =
+              Processor.create ?resilience:res ~simplify:(not no_simplify) repo
+            in
             match Processor.extent_of proc ~schema:name scheme with
             | Error e -> fail "%s" (Fmt.str "%a" Processor.pp_error e)
             | Ok bag ->
@@ -399,12 +418,16 @@ let extent_cmd =
     (Cmd.info "extent"
        ~doc:"Display the derived extent of a schema object (the Extent Tool).")
     Term.(
-      ret (const run $ integrated $ csv_specs $ no_resilience $ schema_arg $ obj))
+      ret
+        (const run $ integrated $ csv_specs $ no_resilience $ no_simplify
+       $ schema_arg $ obj))
 
 let materialize_cmd =
-  let run integrated csv_specs no_resilience name =
+  let run integrated csv_specs no_resilience no_simplify name =
     with_repo integrated csv_specs no_resilience (fun repo res ->
-        let proc = Processor.create ?resilience:res repo in
+        let proc =
+          Processor.create ?resilience:res ~simplify:(not no_simplify) repo
+        in
         match Automed_datasource.Materialize.db_of_schema proc ~schema:name with
         | Error e -> fail "%s" e
         | Ok db ->
@@ -429,7 +452,10 @@ let materialize_cmd =
        ~doc:
          "Derive every relational table of a schema and print it as CSV \
           (integration as ETL).")
-    Term.(ret (const run $ integrated $ csv_specs $ no_resilience $ schema_arg))
+    Term.(
+      ret
+        (const run $ integrated $ csv_specs $ no_resilience $ no_simplify
+       $ schema_arg))
 
 let lint_cmd =
   let root =
@@ -463,8 +489,59 @@ let lint_cmd =
             "Append a footer of diagnostic counts by severity, sourced \
              from the telemetry counter API.")
   in
-  let run integrated csv_specs no_resilience root format_ errors_only stats =
+  let warnings_as_errors =
+    Arg.(
+      value & flag
+      & info [ "warnings-as-errors" ]
+          ~doc:
+            "Exit 1 when any warning-severity diagnostic remains (after \
+             $(b,--allow) filtering), not just errors.  For CI gates.")
+  in
+  let allow =
+    Arg.(
+      value & opt_all string []
+      & info [ "allow" ] ~docv:"RULE"
+          ~doc:
+            "Suppress every diagnostic emitted by lint rule $(i,RULE) \
+             (repeatable).  Suppressed diagnostics are neither printed \
+             nor counted towards the exit status.")
+  in
+  let fix =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:
+            "Before linting, rewrite every stored pathway to its \
+             certified simplified form (the lint autofixer).  Each fix \
+             goes through the repository API, so an attached journal \
+             records the replacement like any other mutation.  Rewrites \
+             the equivalence checker cannot certify are refused and \
+             reported.")
+  in
+  let run integrated csv_specs no_resilience root format_ errors_only stats
+      warnings_as_errors allow fix =
     with_repo integrated csv_specs no_resilience (fun repo res ->
+        (if fix then
+           let fixes = Analysis.fix_repository repo in
+           List.iter
+             (fun (f : Analysis.fix) ->
+               match f.applied with
+               | Ok () ->
+                   Printf.printf "fixed %s: %d -> %d steps (%s)\n" f.pathway
+                     f.steps_before f.steps_after
+                     (String.concat ", "
+                        (List.sort_uniq String.compare
+                           (List.map
+                              (fun (a : Rewrite.application) -> a.rule)
+                              f.applications)))
+               | Error e ->
+                   Printf.printf "refused %s: %s\n" f.pathway e)
+             fixes;
+           Printf.printf "-- %d pathways rewritten\n"
+             (List.length
+                (List.filter
+                   (fun (f : Analysis.fix) -> Result.is_ok f.applied)
+                   fixes)));
         let covered = Option.map Resilience.sources res in
         let journaled = Some (Repository.observed repo) in
         let mem = Telemetry.Memory.create () in
@@ -473,6 +550,13 @@ let lint_cmd =
             Telemetry.with_sink (Telemetry.Memory.sink mem) (fun () ->
                 Analysis.lint_repository ?root ?covered ?journaled repo)
           else Analysis.lint_repository ?root ?covered ?journaled repo
+        in
+        let diags =
+          if allow = [] then diags
+          else
+            List.filter
+              (fun d -> not (List.mem d.Diagnostic.rule allow))
+              diags
         in
         let diags = if errors_only then Diagnostic.errors diags else diags in
         (match format_ with
@@ -497,7 +581,10 @@ let lint_cmd =
                   Printf.printf "-- stat %s = %d\n" name
                     (Telemetry.Memory.counter mem name))
             [ "error"; "warning"; "info" ];
-        if Diagnostic.has_errors diags then exit 1;
+        if
+          Diagnostic.has_errors diags
+          || (warnings_as_errors && Diagnostic.warnings diags <> [])
+        then exit 1;
         `Ok ())
   in
   Cmd.v
@@ -506,11 +593,141 @@ let lint_cmd =
          "Statically analyse every pathway and the repository network \
           without executing anything: well-formedness of each step, IQL \
           type checking of embedded queries, pathway-algebra hazards and \
-          network reachability.  Exits 1 when errors are found.")
+          network reachability.  Exits 1 when errors are found (or, with \
+          $(b,--warnings-as-errors), warnings).  $(b,--fix) first rewrites \
+          every stored pathway to its certified simplified form.")
     Term.(
       ret
         (const run $ integrated $ csv_specs $ no_resilience $ root $ format_
-       $ errors_only $ stats))
+       $ errors_only $ stats $ warnings_as_errors $ allow $ fix))
+
+let analyze_cmd =
+  (* per-pathway report of the proof-checked simplification pipeline:
+     which rewrite rules fire where, what the equivalence checker
+     certified, and which stored-extent sources are reachable from the
+     root. *)
+  let root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~docv:"SCHEMA"
+          ~doc:
+            "Schema the reachability report is measured from.  Defaults \
+             to the target of the most recently registered pathway.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ]
+          ~doc:
+            "Print every individual rewrite-rule application (the full \
+             audit trail) instead of per-rule counts.")
+  in
+  let print_applications verbose apps =
+    if verbose then
+      List.iter
+        (fun a -> Printf.printf "  %s\n" (Fmt.str "%a" Rewrite.pp_application a))
+        apps
+    else
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun (a : Rewrite.application) ->
+          Hashtbl.replace tally a.rule
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tally a.rule)))
+        apps;
+      List.iter
+        (fun (rule, _) ->
+          match Hashtbl.find_opt tally rule with
+          | None -> ()
+          | Some n -> Printf.printf "  %s: %d application(s)\n" rule n)
+        Rewrite.rules
+  in
+  let run integrated csv_specs no_resilience root verbose =
+    with_repo integrated csv_specs no_resilience (fun repo _res ->
+        let pathways = Repository.pathways repo in
+        let simplified = ref 0 and removed = ref 0 and refused = ref 0 in
+        List.iter
+          (fun (p : Transform.pathway) ->
+            let label =
+              Printf.sprintf "%s -> %s" p.Transform.from_schema
+                p.Transform.to_schema
+            in
+            let steps = List.length p.Transform.steps in
+            match Repository.schema repo p.Transform.from_schema with
+            | None ->
+                Printf.printf
+                  "pathway %s (%d steps): source schema not registered\n"
+                  label steps
+            | Some src -> (
+                match Analysis.simplify_certified src p with
+                | `Unchanged ->
+                    Printf.printf "pathway %s (%d steps): no rewrite applies\n"
+                      label steps
+                | `Simplified (o, cert) ->
+                    let after =
+                      List.length o.Rewrite.pathway.Transform.steps
+                    in
+                    incr simplified;
+                    removed := !removed + steps - after;
+                    Printf.printf "pathway %s (%d -> %d steps)\n" label steps
+                      after;
+                    print_applications verbose o.Rewrite.applications;
+                    Printf.printf
+                      "  certified: %d objects agree symbolically, %d \
+                       differential trial(s)%s\n"
+                      cert.Automed_analysis.Equiv.objects
+                      cert.Automed_analysis.Equiv.trials
+                      (if cert.Automed_analysis.Equiv.reverse_checked then
+                         ", reverse direction checked"
+                       else "")
+                | `Refused (o, reason) ->
+                    incr refused;
+                    Printf.printf
+                      "pathway %s (%d steps): rewrite REFUSED — %s\n" label
+                      steps reason;
+                    print_applications verbose o.Rewrite.applications))
+          pathways;
+        (let root =
+           match root with
+           | Some r -> Some r
+           | None -> (
+               match pathways with
+               | [] -> None
+               | p :: _ -> Some p.Transform.to_schema)
+         in
+         match root with
+         | None -> ()
+         | Some root ->
+             let unreachable = Reachability.unreachable_sources ~root repo in
+             Printf.printf "reachability (root %s):\n" root;
+             List.iter
+               (fun s ->
+                 let name = Schema.name s in
+                 if name <> root && Repository.has_stored_extents repo name
+                 then
+                   Printf.printf "  %-24s %s\n" name
+                     (if List.mem name unreachable then
+                        "unreachable (no live definition chain to root)"
+                      else "reachable"))
+               (Repository.schemas repo));
+        Printf.printf
+          "-- %d pathways analysed: %d simplified (%d steps removed), %d \
+           refused\n"
+          (List.length pathways) !simplified !removed !refused;
+        if !refused > 0 then exit 1;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static simplification pipeline over every stored \
+          pathway and report each rewrite-rule application with its \
+          equivalence certificate, plus a source-reachability report.  \
+          Nothing is modified (use $(b,lint --fix) to commit the \
+          rewrites).  Exits 1 if any rewrite is refused certification.")
+    Term.(
+      ret
+        (const run $ integrated $ csv_specs $ no_resilience $ root $ verbose))
 
 (* -- tracing ------------------------------------------------------------- *)
 
@@ -895,7 +1112,8 @@ let main =
   let info = Cmd.info "automed-cli" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ schemas_cmd; show_cmd; query_cmd; reformulate_cmd; match_cmd;
-      pathways_cmd; lint_cmd; export_cmd; extent_cmd; materialize_cmd;
-      trace_cmd; trace_validate_cmd; case_study_cmd; repo_cmd ]
+      pathways_cmd; lint_cmd; analyze_cmd; export_cmd; extent_cmd;
+      materialize_cmd; trace_cmd; trace_validate_cmd; case_study_cmd;
+      repo_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -31,3 +31,66 @@ let gate_validator src p =
 
 let install_gate repo = Repository.set_validator repo (Some gate_validator)
 let remove_gate repo = Repository.set_validator repo None
+
+(* -- proof-checked simplification ---------------------------------------- *)
+
+type simplification =
+  [ `Unchanged
+  | `Simplified of Rewrite.outcome * Equiv.certificate
+  | `Refused of Rewrite.outcome * string ]
+
+let simplify_certified ?seed ?trials src p : simplification =
+  let o = Rewrite.simplify src p in
+  if o.Rewrite.applications = [] then `Unchanged
+  else
+    match
+      Equiv.check ?seed ?trials src ~original:p ~candidate:o.Rewrite.pathway
+    with
+    | Ok cert ->
+        Telemetry.count "analysis.rewrites_certified";
+        `Simplified (o, cert)
+    | Error reason ->
+        Telemetry.count "analysis.rewrites_refused";
+        `Refused (o, reason)
+
+type fix = {
+  pathway : string;
+  steps_before : int;
+  steps_after : int;
+  applications : Rewrite.application list;
+  applied : (unit, string) result;
+}
+
+let fix_repository ?seed ?trials repo =
+  Telemetry.with_span "analysis.fix_repository" @@ fun () ->
+  List.filter_map
+    (fun (p : Transform.pathway) ->
+      let label = Printf.sprintf "%s -> %s" p.from_schema p.to_schema in
+      match Repository.schema repo p.from_schema with
+      | None -> None
+      | Some src -> (
+          match simplify_certified ?seed ?trials src p with
+          | `Unchanged -> None
+          | `Simplified (o, _cert) ->
+              let applied =
+                Repository.replace_pathway repo ~old:p o.Rewrite.pathway
+              in
+              if applied = Ok () then Telemetry.count "analysis.fixes_applied";
+              Some
+                {
+                  pathway = label;
+                  steps_before = List.length p.steps;
+                  steps_after = List.length o.Rewrite.pathway.Transform.steps;
+                  applications = o.Rewrite.applications;
+                  applied;
+                }
+          | `Refused (o, reason) ->
+              Some
+                {
+                  pathway = label;
+                  steps_before = List.length p.steps;
+                  steps_after = List.length o.Rewrite.pathway.Transform.steps;
+                  applications = o.Rewrite.applications;
+                  applied = Error ("rewrite not certified: " ^ reason);
+                }))
+    (Repository.pathways repo)

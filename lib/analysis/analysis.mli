@@ -37,3 +37,41 @@ val install_gate : Repository.t -> unit
     error message carries the rule ids and step locations. *)
 
 val remove_gate : Repository.t -> unit
+
+type simplification =
+  [ `Unchanged  (** no rewrite rule applied *)
+  | `Simplified of Rewrite.outcome * Equiv.certificate
+      (** simplified and certified equivalent *)
+  | `Refused of Rewrite.outcome * string
+      (** the rewrite engine produced a candidate the equivalence
+          checker could not certify; the candidate must not be used *) ]
+
+val simplify_certified :
+  ?seed:int64 ->
+  ?trials:int ->
+  Schema.t ->
+  Transform.pathway ->
+  simplification
+(** {!Rewrite.simplify} followed by {!Equiv.check}: the proof-checked
+    simplification pipeline the query processor and the lint autofixer
+    share.  A refusal is counted on the [analysis.rewrites_refused]
+    telemetry counter (certifications on [analysis.rewrites_certified]). *)
+
+type fix = {
+  pathway : string;  (** ["from -> to"] label *)
+  steps_before : int;
+  steps_after : int;
+  applications : Rewrite.application list;
+  applied : (unit, string) result;
+      (** [Ok ()] when the stored pathway was replaced through
+          {!Repository.replace_pathway} (journaled via the repository
+          observer); [Error] when certification or replacement failed *)
+}
+
+val fix_repository : ?seed:int64 -> ?trials:int -> Repository.t -> fix list
+(** Simplifies every stored pathway and replaces the ones that both
+    changed and certified, through the repository API — so an attached
+    write-ahead journal records each change as an
+    [Op_replace_pathway].  Returns one record per pathway that the
+    rewrite engine touched (certified or refused); untouched pathways
+    are omitted. *)

@@ -66,18 +66,37 @@ let pp ppf d =
   | None -> ());
   Fmt.pf ppf ": %s" d.message
 
+(* a diagnostic must stay exactly one TSV row even when a schema name or
+   message embeds a tab or newline *)
+let escape_field s =
+  let hostile = function '\t' | '\n' | '\r' | '\\' -> true | _ -> false in
+  if not (String.exists hostile s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (function
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
 let to_tsv d =
   String.concat "\t"
-    [
-      severity_to_string d.severity;
-      d.rule;
-      Option.value ~default:"-" d.location.pathway;
-      (match d.location.step with Some i -> string_of_int i | None -> "-");
-      (match d.location.scheme with
-      | Some s -> Scheme.to_string s
-      | None -> "-");
-      d.message;
-    ]
+    (List.map escape_field
+       [
+         severity_to_string d.severity;
+         d.rule;
+         Option.value ~default:"-" d.location.pathway;
+         (match d.location.step with Some i -> string_of_int i | None -> "-");
+         (match d.location.scheme with
+         | Some s -> Scheme.to_string s
+         | None -> "-");
+         d.message;
+       ])
 
 let pp_summary ppf (e, w, i) =
   Fmt.pf ppf "%d error%s, %d warning%s, %d info" e

@@ -56,7 +56,9 @@ val pp : t Fmt.t
 
 val to_tsv : t -> string
 (** Machine-readable rendering: severity, rule, pathway, step, scheme and
-    message separated by tabs ([-] for absent fields). *)
+    message separated by tabs ([-] for absent fields).  Tabs, newlines,
+    carriage returns and backslashes embedded in a field are escaped
+    ([\t], [\n], [\r], [\\]) so every diagnostic is exactly one row. *)
 
 val pp_summary : (int * int * int) Fmt.t
 (** Renders the triple returned by {!count}. *)

@@ -133,6 +133,24 @@ let reachability_diags ?root repo =
                    n root))
           (Repository.schemas repo)
 
+(* A source whose stored extents no live definition chain carries up to
+   the root schema is dead weight: replaying its pathways can never put
+   a row into an answer over the root. *)
+let source_reachability_diags ?root repo =
+  if Repository.pathways repo = [] then []
+  else
+    match (match root with Some r -> Some r | None -> default_root repo) with
+    | None -> []
+    | Some root ->
+        List.map
+          (fun s ->
+            D.make D.Warning ~rule:"unreachable-source"
+              "source schema %s has materialised extents but no live \
+               definition chain carries them to %s: its data can never \
+               appear in an answer over the root"
+              s root)
+          (Reachability.unreachable_sources ~root repo)
+
 (* Every schema with materialised extents is a data source whose fetches
    can fail at query time; without a resilience policy one flaky source
    fails global queries outright.  Only checked when the caller says
@@ -192,5 +210,6 @@ let lint ?root ?covered ?journaled repo =
   List.concat_map (fun p -> endpoint_diags repo p @ pathway_diags repo p) pathways
   @ pair_diags pathways
   @ reachability_diags ?root repo
+  @ source_reachability_diags ?root repo
   @ resilience_diags ?covered repo
   @ durability_diags ?journaled repo

@@ -1,0 +1,41 @@
+(** Source-reachability analysis over the pathway network.
+
+    A pathway defines most global-schema objects only as the trivial
+    lower bound [extend o Range Void Any] — such a definition can never
+    contribute a row, so replaying the pathway for that object is wasted
+    work, and a data source none of whose objects feed a {e live}
+    definition chain up to the root schema can never appear in an
+    answer.  This pass proves both facts statically:
+
+    - {!live_objects} is the per-pathway fast path the query processor's
+      fan-out pruning keys off (skipping a pathway whose definition of
+      the wanted object is provably empty preserves bit-identical
+      answers, because the empty bag is the identity of bag union);
+    - {!unreachable_sources} backs the [unreachable-source] lint rule
+      and `automed analyze`'s reachability report. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Ast = Automed_iql.Ast
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+
+val live_objects :
+  source:Schema.t -> Transform.pathway -> Scheme.Set.t option
+(** The target-schema objects whose derived definition through this
+    pathway is not provably empty.  [None] when the pathway cannot be
+    replayed symbolically (e.g. a rename of an unknown object): callers
+    must then assume every object is live. *)
+
+val object_sources :
+  Repository.t -> schema:string -> Scheme.t -> string list
+(** The names of the schemas whose {e stored} extents can contribute
+    rows to the given object, found by chasing live definitions down
+    the pathway network (sorted, duplicate-free).  An empty list proves
+    the object's extent is empty. *)
+
+val unreachable_sources : ?root:string -> Repository.t -> string list
+(** Schemas with stored extents that no object of the root schema can
+    reach through live definitions (sorted).  [root] defaults to the
+    target of the most recently registered pathway; an empty repository
+    or unknown root yields []. *)

@@ -109,3 +109,32 @@ let create_degraded ?resilience repo ~name ~members =
       List.iter (fun _ -> Telemetry.count "source.skipped") skipped;
       let* f = create repo ~name ~members:available in
       Ok (f, skipped)
+
+(* Fan-out pruning: a member whose pathway into the federation gives a
+   provably empty definition for every object the query references can
+   be skipped without changing the answer.  The per-query counterpart of
+   the processor's per-object pruning, useful for planning and
+   reporting. *)
+let relevant_members repo ~federation q =
+  if not (Repository.mem_schema repo federation) then
+    Error (Printf.sprintf "schema %s is not registered" federation)
+  else
+    let refs = Ast.schemes q in
+    let members =
+      List.filter_map
+        (fun (p : Transform.pathway) ->
+          let live =
+            match Repository.schema repo p.from_schema with
+            | None -> None
+            | Some src ->
+                Automed_analysis.Reachability.live_objects ~source:src p
+          in
+          match live with
+          | None -> Some p.from_schema (* unanalysable: assume relevant *)
+          | Some live ->
+              if Scheme.Set.exists (fun o -> Scheme.Set.mem o live) refs then
+                Some p.from_schema
+              else None)
+        (Repository.pathways_into repo federation)
+    in
+    Ok (List.sort_uniq String.compare members)

@@ -34,3 +34,16 @@ val create_degraded :
 
 val member_prefix : member:string -> Automed_base.Scheme.t -> Automed_base.Scheme.t
 (** How member objects are renamed into the federation ([Scheme.prefix]).  *)
+
+val relevant_members :
+  Repository.t ->
+  federation:string ->
+  Automed_iql.Ast.expr ->
+  (string list, string) result
+(** The members whose pathway into the federated schema can contribute
+    rows to at least one object the query references, per the
+    {!Automed_analysis.Reachability} live-set analysis (sorted,
+    duplicate-free).  Members outside the list are provably irrelevant
+    to this query: their definitions of every referenced object are
+    empty lower bounds.  A member whose pathway cannot be analysed is
+    conservatively kept. *)

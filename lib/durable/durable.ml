@@ -248,6 +248,12 @@ let describe_op payload =
           Printf.sprintf "add pathway %s -> %s"
             Automed_transform.Transform.(p.from_schema)
             Automed_transform.Transform.(p.to_schema)
+      | Repository.Op_replace_pathway (p_old, p_new) ->
+          Printf.sprintf "replace pathway %s -> %s (%d -> %d steps)"
+            Automed_transform.Transform.(p_old.from_schema)
+            Automed_transform.Transform.(p_old.to_schema)
+            (List.length Automed_transform.Transform.(p_old.steps))
+            (List.length Automed_transform.Transform.(p_new.steps))
       | Repository.Op_set_extent (schema, scheme, bag) ->
           Printf.sprintf "set extent %s %s (%d values)" schema
             (Fmt.str "%a" Automed_base.Scheme.pp scheme)

@@ -8,6 +8,9 @@ module Transform = Automed_transform.Transform
 module Repository = Automed_repository.Repository
 module Telemetry = Automed_telemetry.Telemetry
 module Resilience = Automed_resilience.Resilience
+module Analysis = Automed_analysis.Analysis
+module Reachability = Automed_analysis.Reachability
+module Rewrite = Automed_analysis.Rewrite
 module SS = Set.Make (String)
 
 type error = {
@@ -61,22 +64,35 @@ module EH = Hashtbl.Make (EK)
    partial answer. *)
 type frame = { mutable srcs : SS.t; mutable tainted : bool }
 
+(* Static analysis of one stored pathway, computed once and reused for
+   every replay: the certified simplification and the set of target
+   objects with a provably non-empty derivation. *)
+type pathway_info = {
+  simplified : Transform.pathway;
+      (* the original when simplification is off, refused, or a no-op *)
+  live : Scheme.Set.t option; (* None: unknown, never prune *)
+}
+
 type t = {
   repo : Repository.t;
   resilience : Resilience.t option;
+  simplify : bool;
   cache : (Value.Bag.t * SS.t) EH.t;
       (* cached bag plus the sources whose data it incorporates *)
+  pinfo : (Transform.pathway, pathway_info) Hashtbl.t;
   mutable visiting : string list; (* schemas on the derivation stack *)
   mutable degraded : bool; (* soften source failures into skips *)
   mutable frames : frame list; (* innermost first *)
   mutable run_skipped : (string * string) list; (* source, reason; newest first *)
 }
 
-let create ?resilience repo =
+let create ?resilience ?(simplify = true) repo =
   {
     repo;
     resilience;
+    simplify;
     cache = EH.create 64;
+    pinfo = Hashtbl.create 16;
     visiting = [];
     degraded = false;
     frames = [];
@@ -85,9 +101,11 @@ let create ?resilience repo =
 
 let repository t = t.repo
 let resilience t = t.resilience
+let simplify_enabled t = t.simplify
 
 let invalidate t =
   EH.reset t.cache;
+  Hashtbl.reset t.pinfo;
   t.visiting <- [];
   t.frames <- []
 
@@ -188,6 +206,41 @@ let defs_of_pathway repo (p : Transform.pathway) : Ast.expr Scheme.Map.t =
             | None -> err "id of unknown object %s" (Scheme.to_string a)))
     init p.steps
 
+(* The proof-checked fast path.  Each stored pathway is analysed once:
+   the rewrite engine's simplification is used only when the independent
+   equivalence checker certifies it (a refusal falls back to the
+   original and is counted), and the reachability pass yields the live
+   set that lets replays be skipped entirely for objects whose
+   derivation is provably empty — sound because the empty bag is the
+   identity of the bag union that combines contributions. *)
+let pathway_info t (p : Transform.pathway) =
+  match Hashtbl.find_opt t.pinfo p with
+  | Some info -> info
+  | None ->
+      let info =
+        if not t.simplify then { simplified = p; live = None }
+        else
+          match Repository.schema t.repo p.from_schema with
+          | None -> { simplified = p; live = None }
+          | Some src ->
+              let simplified =
+                match Analysis.simplify_certified src p with
+                | `Unchanged | `Refused _ -> p
+                | `Simplified (o, _cert) ->
+                    (if Telemetry.active () then
+                       let removed =
+                         List.length p.steps
+                         - List.length o.Rewrite.pathway.Transform.steps
+                       in
+                       Telemetry.count ~by:removed
+                         "processor.pathway_steps_simplified_away");
+                    o.Rewrite.pathway
+              in
+              { simplified; live = Reachability.live_objects ~source:src p }
+      in
+      Hashtbl.replace t.pinfo p info;
+      info
+
 let rec extent_exn t ~schema o =
   match EH.find_opt t.cache (schema, o) with
   | Some (bag, srcs) ->
@@ -279,10 +332,16 @@ and compute_extent t ~schema o =
   let from_pathways =
     List.filter_map
       (fun (p : Transform.pathway) ->
-        let defs = defs_of_pathway t.repo p in
-        match Scheme.Map.find_opt o defs with
-        | None -> None
-        | Some e -> Some (eval_over t ~schema:p.from_schema e))
+        let info = pathway_info t p in
+        match info.live with
+        | Some live when not (Scheme.Set.mem o live) ->
+            Telemetry.count "processor.pathways_pruned";
+            None
+        | _ -> (
+            let defs = defs_of_pathway t.repo info.simplified in
+            match Scheme.Map.find_opt o defs with
+            | None -> None
+            | Some e -> Some (eval_over t ~schema:p.from_schema e)))
       (Repository.pathways_into t.repo schema)
   in
   List.fold_left Value.Bag.union Value.Bag.empty (stored @ from_pathways)
@@ -438,10 +497,16 @@ and unfold_scheme t ~schema o =
     match
       List.filter_map
         (fun (p : Transform.pathway) ->
-          let defs = defs_of_pathway t.repo p in
-          match Scheme.Map.find_opt o defs with
-          | None -> None
-          | Some e -> Some (unfold_expr t ~schema:p.from_schema e))
+          let info = pathway_info t p in
+          match info.live with
+          | Some live when not (Scheme.Set.mem o live) ->
+              Telemetry.count "processor.pathways_pruned";
+              None
+          | _ -> (
+              let defs = defs_of_pathway t.repo info.simplified in
+              match Scheme.Map.find_opt o defs with
+              | None -> None
+              | Some e -> Some (unfold_expr t ~schema:p.from_schema e)))
         (Repository.pathways_into t.repo schema)
     with
     | contributions -> finish (); contributions
@@ -495,6 +560,10 @@ let translate t ~from_schema ~to_schema q =
     match Repository.find_path t.repo ~src:to_schema ~dst:from_schema with
     | Error e -> err "%s" e
     | Ok pathway ->
+        (* composed pathways concatenate steps across every hop, so the
+           rename chains and dead pairs the rewrite engine collapses
+           mostly arise here, at the composition seams *)
+        let pathway = (pathway_info t pathway).simplified in
         let defs = defs_of_pathway t.repo pathway in
         Ast.subst_schemes
           (fun o ->

@@ -28,14 +28,28 @@ module Resilience = Automed_resilience.Resilience
 type t
 (** A processor wraps a repository with an extent cache. *)
 
-val create : ?resilience:Resilience.t -> Repository.t -> t
+val create : ?resilience:Resilience.t -> ?simplify:bool -> Repository.t -> t
 (** With [resilience], every stored-extent fetch of a source registered
     in that registry goes through {!Resilience.call} (retries, timeout,
     circuit breaker).  A fetch that exhausts its policy fails the query
-    in {!run} and becomes a recorded skip in {!run_degraded}. *)
+    in {!run} and becomes a recorded skip in {!run_degraded}.
+
+    With [simplify] (the default), every pathway is statically analysed
+    once before its first replay: the
+    {!Automed_analysis.Rewrite} engine's simplification is applied when
+    — and only when — the independent {!Automed_analysis.Equiv} checker
+    certifies it equivalent, and the
+    {!Automed_analysis.Reachability} live-set lets the processor skip
+    replaying a pathway entirely for objects whose derivation through it
+    is provably empty.  Answers are bit-identical either way;
+    [simplify:false] is the naive replay (the CLI's [--no-simplify]). *)
 
 val repository : t -> Repository.t
 val resilience : t -> Resilience.t option
+
+val simplify_enabled : t -> bool
+(** Whether the static-analysis fast path (certified simplification and
+    reachability pruning) is on. *)
 
 val invalidate : t -> unit
 (** Drops the extent cache (call after data or pathway changes). *)

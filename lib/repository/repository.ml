@@ -21,6 +21,7 @@ type validator = Schema.t -> Transform.pathway -> (unit, string) result
 type op =
   | Op_add_schema of Schema.t
   | Op_add_pathway of Transform.pathway
+  | Op_replace_pathway of Transform.pathway * Transform.pathway
   | Op_set_extent of string * Scheme.t * Value.Bag.t
   | Op_remove_schema of string
   | Op_rename_schema of string * string
@@ -135,6 +136,50 @@ let add_pathway t (p : Transform.pathway) =
       Telemetry.count "repository.pathways_registered";
       notify t (Op_add_pathway p);
       Ok ()
+
+let replace_pathway t ~old:(p_old : Transform.pathway) (p_new : Transform.pathway) =
+  if
+    p_old.from_schema <> p_new.from_schema || p_old.to_schema <> p_new.to_schema
+  then
+    err "replacement pathway must keep the endpoints %s -> %s"
+      p_old.from_schema p_old.to_schema
+  else if not (List.exists (fun q -> q = p_old) t.pathways) then
+    err "no pathway %s -> %s with these steps is registered" p_old.from_schema
+      p_old.to_schema
+  else
+    match schema t p_new.from_schema with
+    | None -> err "pathway source schema %s is not registered" p_new.from_schema
+    | Some src ->
+        let* () = Transform.well_formed src p_new in
+        let* () =
+          match t.validator with None -> Ok () | Some f -> f src p_new
+        in
+        let* derived = Transform.apply src p_new in
+        let* () =
+          match schema t p_new.to_schema with
+          | None -> err "pathway target schema %s vanished" p_new.to_schema
+          | Some existing ->
+              if Schema.same_objects existing derived then Ok ()
+              else
+                err
+                  "replacement pathway into %s produces a schema that \
+                   disagrees with the registered one"
+                  p_new.to_schema
+        in
+        (* swap in place so network-search order is unchanged *)
+        let replaced = ref false in
+        t.pathways <-
+          List.map
+            (fun q ->
+              if (not !replaced) && q = p_old then begin
+                replaced := true;
+                p_new
+              end
+              else q)
+            t.pathways;
+        Telemetry.count "repository.pathways_replaced";
+        notify t (Op_replace_pathway (p_old, p_new));
+        Ok ()
 
 let derive_schema t p =
   let* () = add_pathway t p in

@@ -31,6 +31,8 @@ val validator : t -> validator option
 type op =
   | Op_add_schema of Schema.t
   | Op_add_pathway of Transform.pathway
+  | Op_replace_pathway of Transform.pathway * Transform.pathway
+      (** old pathway, new pathway (same endpoints, same position) *)
   | Op_set_extent of string * Scheme.t * Value.Bag.t
   | Op_remove_schema of string
   | Op_rename_schema of string * string
@@ -74,6 +76,16 @@ val add_pathway : t -> Transform.pathway -> (unit, string) result
     result of applying the pathway is registered under the target name;
     if it is registered, its object set must agree with the application
     result. *)
+
+val replace_pathway :
+  t -> old:Transform.pathway -> Transform.pathway -> (unit, string) result
+(** [replace_pathway t ~old p] swaps a stored pathway (matched
+    structurally) for a replacement with the same endpoints, keeping its
+    position in the network-search order.  The replacement runs the same
+    admission checks as {!add_pathway} (well-formedness, validation gate,
+    target-schema agreement) and notifies the observer with
+    [Op_replace_pathway], so a write-ahead journal records the change —
+    this is how the lint autofixer commits certified simplifications. *)
 
 val derive_schema : t -> Transform.pathway -> (Schema.t, string) result
 (** [add_pathway] followed by looking up the target. *)

@@ -327,6 +327,15 @@ let save_op (op : Repository.op) =
   (match op with
   | Repository.Op_add_schema s -> render_schema buf s
   | Repository.Op_add_pathway p -> render_pathway buf p
+  | Repository.Op_replace_pathway (p_old, p_new) ->
+      Buffer.add_string buf
+        (Printf.sprintf "replace pathway %s -> %s\n"
+           (quote p_old.Transform.from_schema)
+           (quote p_old.Transform.to_schema));
+      List.iter (render_step buf) p_old.Transform.steps;
+      Buffer.add_string buf "with\n";
+      List.iter (render_step buf) p_new.Transform.steps;
+      Buffer.add_string buf "end\n"
   | Repository.Op_set_extent (name, o, bag) ->
       Buffer.add_string buf
         (Printf.sprintf "extent %s %s := %s\n" (quote name) (Scheme.to_string o)
@@ -388,6 +397,47 @@ let load_op text =
       | Some ("pathway", hdr) ->
           let* p = parse_pathway_block hdr rest in
           Ok (Repository.Op_add_pathway p)
+      | Some ("replace", rest_line) -> (
+          match split_on_first " " (String.trim rest_line) with
+          | Some ("pathway", hdr) ->
+              let* from_s, r = scan_quoted hdr in
+              expect_arrow "replace" r @@ fun to_text ->
+              let* to_s = unquote to_text in
+              let rec split_at_with acc = function
+                | [] -> err "replace record has no 'with' separator"
+                | l :: tail when String.trim l = "with" -> Ok (List.rev acc, tail)
+                | l :: tail -> split_at_with (l :: acc) tail
+              in
+              let* old_lines, new_lines = split_at_with [] rest in
+              let parse_steps lines =
+                let* rev =
+                  List.fold_left
+                    (fun acc line ->
+                      let* acc = acc in
+                      match split_on_first " " (String.trim line) with
+                      | Some ("step", s) ->
+                          let* st = parse_step s in
+                          Ok (st :: acc)
+                      | _ -> err "unexpected line in replace block: %S" line)
+                    (Ok []) lines
+                in
+                Ok (List.rev rev)
+              in
+              let* new_lines =
+                match List.rev new_lines with
+                | last :: before when String.trim last = "end" ->
+                    Ok (List.rev before)
+                | _ -> err "unterminated replace record"
+              in
+              let* old_steps = parse_steps old_lines in
+              let* new_steps = parse_steps new_lines in
+              let pathway steps =
+                { Transform.from_schema = from_s; to_schema = to_s; steps }
+              in
+              Ok
+                (Repository.Op_replace_pathway
+                   (pathway old_steps, pathway new_steps))
+          | _ -> err "malformed replace record")
       | Some ("extent", rest_line) when rest = [] -> (
           match split_on_first " := " rest_line with
           | None -> err "malformed extent record"
@@ -410,6 +460,8 @@ let apply_op repo (op : Repository.op) =
   match op with
   | Repository.Op_add_schema s -> Repository.add_schema repo s
   | Repository.Op_add_pathway p -> Repository.add_pathway repo p
+  | Repository.Op_replace_pathway (p_old, p_new) ->
+      Repository.replace_pathway repo ~old:p_old p_new
   | Repository.Op_set_extent (name, o, bag) ->
       Repository.set_extent repo ~schema:name o bag
   | Repository.Op_remove_schema name -> Repository.remove_schema repo name

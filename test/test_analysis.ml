@@ -417,6 +417,43 @@ let test_unjournaled_repository () =
              repo)));
   Automed_durable.Durable.detach d
 
+let test_tsv_escaping () =
+  (* regression: a hostile schema name (embedded tab/newline) must not
+     break the one-diagnostic-per-row TSV contract *)
+  let hostile =
+    ok
+      (Schema.of_objects "evil\tsrc\nname"
+         [ (Scheme.table "t", Some (Types.TBag Types.TStr)) ])
+  in
+  let p =
+    {
+      Transform.from_schema = "evil\tsrc\nname";
+      to_schema = "g";
+      steps = [ Transform.Add (Scheme.table "t", q "Void") ];
+    }
+  in
+  let ds = Analysis.lint_pathway hostile p in
+  Alcotest.(check bool) "linter found the add-present error" true
+    (List.mem "add-present" (rules ds));
+  List.iter
+    (fun d ->
+      let row = D.to_tsv d in
+      Alcotest.(check bool) "no raw newline" false (String.contains row '\n');
+      Alcotest.(check bool) "no raw carriage return" false
+        (String.contains row '\r');
+      Alcotest.(check int) "exactly six fields" 6
+        (List.length (String.split_on_char '\t' row)))
+    ds;
+  (* the escapes themselves round-trip unambiguously *)
+  let d =
+    D.make ~pathway:"a\tb\\c\r" D.Warning ~rule:"demo" "line1\nline2\ttabbed"
+  in
+  let row = D.to_tsv d in
+  Alcotest.(check bool) "tab escaped" true
+    (Automed_base.Strutil.contains_sub ~sub:"line1\\nline2\\ttabbed" row);
+  Alcotest.(check bool) "backslash escaped" true
+    (Automed_base.Strutil.contains_sub ~sub:"a\\tb\\\\c\\r" row)
+
 let suite =
   [
     Alcotest.test_case "add-present" `Quick test_add_present;
@@ -441,6 +478,7 @@ let suite =
     Alcotest.test_case "root override" `Quick test_root_override;
     Alcotest.test_case "validation gate" `Quick test_gate;
     Alcotest.test_case "diagnostic rendering" `Quick test_diagnostic_rendering;
+    Alcotest.test_case "tsv escaping" `Quick test_tsv_escaping;
     Alcotest.test_case "runtime agreement" `Quick test_runtime_agreement;
     QCheck_alcotest.to_alcotest qcheck_linter_soundness;
     QCheck_alcotest.to_alcotest qcheck_clean_reverse;

@@ -339,6 +339,29 @@ let test_effort_comparison () =
   Alcotest.(check int) "factor > 3" 3
     (crun.Classical_run.total_manual / irun.Intersection_run.total_manual)
 
+(* The seven case-study queries must be bit-identical with the static
+   simplification/pruning pipeline on (the default, used by
+   [intersection_env]) and off: certified rewrites and reachability
+   pruning change how much work the processor does, never the answer. *)
+let test_simplify_bit_identical () =
+  let ds = Lazy.force dataset in
+  let naive_repo = Repository.create () in
+  ok (Sources.wrap_all naive_repo ds);
+  let naive = ok (Intersection_run.execute ~simplify:false naive_repo) in
+  let _, _, run = Lazy.force intersection_env in
+  List.iter
+    (fun (q : Queries.query) ->
+      let answer (r : Intersection_run.run) =
+        match Workflow.run_query r.Intersection_run.workflow q.Queries.global_text with
+        | Ok v -> v
+        | Error e -> Alcotest.fail (Fmt.str "%a" Processor.pp_error e)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "query %d bit-identical" q.Queries.number)
+        true
+        (Value.equal (answer naive) (answer run)))
+    Queries.all
+
 let suite =
   [
     Alcotest.test_case "generation deterministic" `Quick test_generation_deterministic;
@@ -368,4 +391,6 @@ let suite =
       test_classical_queries_match_ground_truth;
     Alcotest.test_case "all schemas HDM-valid" `Quick test_all_schemas_hdm_valid;
     Alcotest.test_case "26 vs 95 comparison" `Quick test_effort_comparison;
+    Alcotest.test_case "simplify on/off bit-identical" `Quick
+      test_simplify_bit_identical;
   ]

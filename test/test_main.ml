@@ -23,6 +23,7 @@ let () =
       ("integration", Test_integration.suite);
       ("ispider", Test_ispider.suite);
       ("analysis", Test_analysis.suite);
+      ("rewrite", Test_rewrite.suite);
       ("telemetry", Test_telemetry.suite);
       ("resilience", Test_resilience.suite);
       ("durable", Test_durable.suite);

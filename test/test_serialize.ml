@@ -297,6 +297,37 @@ let prop_op_codec =
               | _ -> false)
             (Repository.schemas repo))
 
+let test_replace_op_roundtrip () =
+  (* the autofixer's journal record survives the op codec *)
+  let p_old =
+    {
+      Transform.from_schema = "src";
+      to_schema = "derived";
+      steps =
+        [
+          Transform.Rename (Scheme.table "t", Scheme.table "b");
+          Transform.Rename (Scheme.table "b", Scheme.table "u");
+        ];
+    }
+  in
+  let p_new =
+    { p_old with Transform.steps = [ Transform.Rename (Scheme.table "t", Scheme.table "u") ] }
+  in
+  let op = Repository.Op_replace_pathway (p_old, p_new) in
+  (match Serialize.load_op (Serialize.save_op op) with
+  | Ok (Repository.Op_replace_pathway (o, n)) ->
+      Alcotest.(check bool) "old pathway preserved" true (o = p_old);
+      Alcotest.(check bool) "new pathway preserved" true (n = p_new)
+  | Ok _ -> Alcotest.fail "decoded to a different op"
+  | Error e -> Alcotest.fail e);
+  (* an empty replacement body (fully cancelled pathway) round-trips too *)
+  let op = Repository.Op_replace_pathway (p_old, { p_old with Transform.steps = [] }) in
+  match Serialize.load_op (Serialize.save_op op) with
+  | Ok (Repository.Op_replace_pathway (_, n)) ->
+      Alcotest.(check int) "empty steps" 0 (List.length n.Transform.steps)
+  | Ok _ -> Alcotest.fail "decoded to a different op"
+  | Error e -> Alcotest.fail e
+
 let suite =
   [
     Alcotest.test_case "structure round-trip" `Quick test_roundtrip_structure;
@@ -306,6 +337,8 @@ let suite =
     Alcotest.test_case "hostile names and values round-trip" `Quick
       test_hostile_roundtrip;
     Alcotest.test_case "iSpider dataspace round-trip" `Slow test_ispider_roundtrip;
+    Alcotest.test_case "replace-pathway op round-trip" `Quick
+      test_replace_op_roundtrip;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_fixpoint; prop_load_total; prop_op_codec ]
