@@ -569,18 +569,39 @@ let lint_cmd =
               (Fmt.str "%a" Diagnostic.pp_summary (Diagnostic.count diags))
         | `Tsv ->
             List.iter (fun d -> print_endline (Diagnostic.to_tsv d)) diags);
-        if stats then
-          List.iter
-            (fun sev ->
-              let name = "lint.diagnostics." ^ sev in
-              match format_ with
-              | `Tsv ->
-                  Printf.printf "stat\t%s\t%d\n" name
-                    (Telemetry.Memory.counter mem name)
-              | `Text ->
-                  Printf.printf "-- stat %s = %d\n" name
-                    (Telemetry.Memory.counter mem name))
-            [ "error"; "warning"; "info" ];
+        (if stats then begin
+           List.iter
+             (fun sev ->
+               let name = "lint.diagnostics." ^ sev in
+               match format_ with
+               | `Tsv ->
+                   Printf.printf "stat\t%s\t%d\n" name
+                     (Telemetry.Memory.counter mem name)
+               | `Text ->
+                   Printf.printf "-- stat %s = %d\n" name
+                     (Telemetry.Memory.counter mem name))
+             [ "error"; "warning"; "info" ];
+           (* any histograms observed while linting, with their
+              reservoir percentiles *)
+           let snapshot = Telemetry.Metrics.of_memory mem in
+           List.iter
+             (fun (name, (h : Telemetry.Memory.histo)) ->
+               match Telemetry.Metrics.quantiles_of snapshot name with
+               | None -> ()
+               | Some q -> (
+                   match format_ with
+                   | `Tsv ->
+                       Printf.printf
+                         "histo\t%s\t%d\t%g\t%g\t%g\n" name h.n
+                         q.Telemetry.Memory.q50 q.Telemetry.Memory.q95
+                         q.Telemetry.Memory.q99
+                   | `Text ->
+                       Printf.printf
+                         "-- histo %s: n=%d p50=%g p95=%g p99=%g\n" name h.n
+                         q.Telemetry.Memory.q50 q.Telemetry.Memory.q95
+                         q.Telemetry.Memory.q99))
+             snapshot.Telemetry.Metrics.histograms
+         end);
         if
           Diagnostic.has_errors diags
           || (warnings_as_errors && Diagnostic.warnings diags <> [])
@@ -942,6 +963,354 @@ let trace_validate_cmd =
           shape (used by the CI runtest rule).")
     Term.(ret (const run $ file))
 
+(* -- explain -------------------------------------------------------------- *)
+
+(* [automed explain] tells the full story of a query without (text mode:
+   before) trusting it: the reformulation tree per source with every
+   pruning decision and its reason, the certified-simplification state of
+   each pathway, cache state, breaker status, the per-stage timing
+   waterfall reconstructed from the telemetry spans of an actual
+   provenance-annotated run, and the lineage of every answer tuple. *)
+
+module Lineage = Automed_provenance.Lineage
+module Microjson = Automed_telemetry.Microjson
+
+let span_ms s = s.Telemetry.Memory.dur *. 1000.0
+
+let group_by_name spans =
+  let names =
+    List.fold_left
+      (fun acc (s : Telemetry.Memory.span) ->
+        if List.mem s.name acc then acc else s.name :: acc)
+      [] spans
+    |> List.rev
+  in
+  List.map
+    (fun n ->
+      (n, List.filter (fun (s : Telemetry.Memory.span) -> s.name = n) spans))
+    names
+
+(* Indented span tree.  Sibling groups larger than [collapse] spans of
+   the same name are aggregated into one line, so a run over many
+   extents stays readable. *)
+let print_waterfall spans =
+  let collapse = 5 in
+  let children = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Telemetry.Memory.span) ->
+      let key = match s.parent with None -> -1 | Some p -> p in
+      Hashtbl.replace children key
+        (s :: Option.value ~default:[] (Hashtbl.find_opt children key)))
+    spans;
+  let kids id =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt children id))
+  in
+  let interesting (k, _) =
+    match k with "schema" | "object" | "iql" | "skipped" -> true | _ -> false
+  in
+  let attr_str attrs =
+    match List.filter interesting attrs with
+    | [] -> ""
+    | kvs ->
+        "  ["
+        ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+        ^ "]"
+  in
+  let rec go indent (s : Telemetry.Memory.span) =
+    Printf.printf "%s%8.3fms  %s%s\n" indent (span_ms s) s.name
+      (attr_str s.attrs);
+    List.iter
+      (fun (name, group) ->
+        if List.length group <= collapse then
+          List.iter (go (indent ^ "  ")) group
+        else
+          let total = List.fold_left (fun a c -> a +. span_ms c) 0.0 group in
+          Printf.printf "%s  %8.3fms  %s (x%d, aggregated)\n" indent total
+            name (List.length group))
+      (group_by_name (kids s.id))
+  in
+  List.iter (go "") (kids (-1))
+
+let print_tuples limit (ann : Processor.annotated) =
+  let tuples = ann.Processor.tuples in
+  let shown = if limit > 0 then List.filteri (fun i _ -> i < limit) tuples
+              else tuples in
+  List.iter
+    (fun (tp : Processor.annotated_tuple) ->
+      Printf.printf "%s%s\n" (Value.to_string tp.value)
+        (if tp.count = 1 then "" else Printf.sprintf "  (x%d)" tp.count);
+      Printf.printf "    lineage: %s\n" (Fmt.str "%a" Lineage.pp tp.lineage);
+      Printf.printf "    mac: %s\n" tp.mac)
+    shown;
+  if List.length tuples > List.length shown then
+    Printf.printf "... (%d more tuples; raise --limit)\n"
+      (List.length tuples - List.length shown);
+  Printf.printf "-- %d distinct answer values\n" (List.length tuples)
+
+(* JSON rendering, self-validated before printing (the CI schema gate). *)
+let explain_json ~schema ~query (plan : Processor.explain)
+    (ann : Processor.annotated) completeness (mem : Telemetry.Memory.t) =
+  let b = Buffer.create 4096 in
+  let add = Buffer.add_string b in
+  let rec node_json (n : Processor.explain_node) =
+    add "{\"schema\":";
+    add (Microjson.escape n.Processor.en_schema);
+    add ",\"object\":";
+    add (Microjson.escape (Scheme.to_string n.Processor.en_object));
+    add ",\"stored\":";
+    add (if n.Processor.en_stored then "true" else "false");
+    add ",\"rows\":";
+    (match n.Processor.en_rows with
+    | Some r -> add (string_of_int r)
+    | None -> add "null");
+    add ",\"cached\":";
+    add
+      (match n.Processor.en_cached with
+      | Processor.Cache_hit -> "true"
+      | Processor.Cache_cold -> "false");
+    add ",\"pathways\":[";
+    List.iteri
+      (fun i (p : Processor.explain_pathway) ->
+        if i > 0 then add ",";
+        add "{\"from\":";
+        add (Microjson.escape p.Processor.ep_from);
+        add (Printf.sprintf ",\"steps\":%d,\"simplified_steps\":%d"
+               p.Processor.ep_steps p.Processor.ep_simplified_steps);
+        add ",\"surviving\":[";
+        add (String.concat ","
+               (List.map string_of_int p.Processor.ep_surviving));
+        add "],\"cert\":";
+        (match p.Processor.ep_cert with
+        | Some c -> add (Microjson.escape c)
+        | None -> add "null");
+        (match p.Processor.ep_decision with
+        | Processor.Applied children ->
+            add ",\"decision\":\"applied\",\"reason\":null,\"children\":[";
+            List.iteri
+              (fun i c ->
+                if i > 0 then add ",";
+                node_json c)
+              children;
+            add "]"
+        | Processor.Pruned reason ->
+            add ",\"decision\":\"pruned\",\"reason\":";
+            add (Microjson.escape reason);
+            add ",\"children\":[]"
+        | Processor.No_definition reason ->
+            add ",\"decision\":\"no-definition\",\"reason\":";
+            add (Microjson.escape reason);
+            add ",\"children\":[]");
+        add "}")
+      n.Processor.en_pathways;
+    add "]}"
+  in
+  add "{\"schema\":";
+  add (Microjson.escape schema);
+  add ",\"query\":";
+  add (Microjson.escape query);
+  add ",\"optimized\":";
+  add (Microjson.escape (Ast.to_string plan.Processor.ex_optimized));
+  add ",\"plan\":[";
+  List.iteri
+    (fun i n ->
+      if i > 0 then add ",";
+      node_json n)
+    plan.Processor.ex_roots;
+  add "],\"tuples\":[";
+  List.iteri
+    (fun i (tp : Processor.annotated_tuple) ->
+      if i > 0 then add ",";
+      add "{\"value\":";
+      add (Microjson.escape (Value.to_string tp.value));
+      add (Printf.sprintf ",\"count\":%d,\"lineage\":" tp.count);
+      add (Lineage.to_json tp.lineage);
+      add ",\"mac\":";
+      add (Microjson.escape tp.mac);
+      add "}")
+    ann.Processor.tuples;
+  add "],\"completeness\":";
+  (match completeness with
+  | None -> add "null"
+  | Some (c : Processor.completeness) ->
+      add
+        (Printf.sprintf "{\"complete\":%b,\"sources_ok\":[%s],\"skipped\":["
+           c.Processor.complete
+           (String.concat ","
+              (List.map Microjson.escape c.Processor.sources_ok)));
+      List.iteri
+        (fun i (s, reason) ->
+          if i > 0 then add ",";
+          add
+            (Printf.sprintf "{\"source\":%s,\"reason\":%s,\"impact\":%d}"
+               (Microjson.escape s) (Microjson.escape reason)
+               (Option.value ~default:0
+                  (List.assoc_opt s c.Processor.source_impact))))
+        c.Processor.sources_skipped;
+      add "]}");
+  add ",\"stages\":[";
+  let spans = Telemetry.Memory.spans mem in
+  let t0 =
+    List.fold_left
+      (fun a (s : Telemetry.Memory.span) -> Float.min a s.start)
+      infinity spans
+  in
+  List.iteri
+    (fun i (s : Telemetry.Memory.span) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"id\":%d,\"parent\":%s,\"name\":%s,\"start_ms\":%s,\"dur_ms\":%s}"
+           s.id
+           (match s.parent with Some p -> string_of_int p | None -> "null")
+           (Microjson.escape s.name)
+           (Microjson.number ((s.start -. t0) *. 1000.0))
+           (Microjson.number (span_ms s))))
+    spans;
+  add "],\"metrics\":";
+  add (Telemetry.Metrics.to_json (Telemetry.Metrics.of_memory mem));
+  add "}";
+  Buffer.contents b
+
+let explain_json_check doc =
+  match Microjson.parse doc with
+  | Error e -> Error (Printf.sprintf "emitted JSON does not parse: %s" e)
+  | Ok j ->
+      let missing =
+        List.filter
+          (fun k -> Microjson.member k j = None)
+          [ "schema"; "query"; "optimized"; "plan"; "tuples";
+            "completeness"; "stages"; "metrics" ]
+      in
+      if missing = [] then Ok ()
+      else
+        Error
+          (Printf.sprintf "emitted JSON lacks member(s): %s"
+             (String.concat ", " missing))
+
+let explain_cmd =
+  let iql =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"IQL" ~doc:"IQL query text.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the whole story as one JSON object (plan, per-tuple \
+             lineage, completeness, stages, metrics), self-validated \
+             against the schema before printing.")
+  in
+  let degrade =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:
+            "Run in degraded mode: skipped sources are reported with the \
+             number of answer tuples each could have affected (per-source \
+             lineage counts).")
+  in
+  let faults =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault" ] ~docv:"NAME=RATE"
+          ~doc:"Inject deterministic faults (see $(b,query --fault).)")
+  in
+  let limit =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N"
+          ~doc:
+            "Print the lineage of at most $(i,N) answer tuples in text \
+             mode (0 = all; JSON mode always includes every tuple).")
+  in
+  let run integrated csv_specs no_resilience no_simplify fault_seed name text
+      faults degrade json limit =
+    with_repo ~fault_seed integrated csv_specs no_resilience (fun repo res ->
+        match
+          let* () =
+            match (res, faults) with
+            | _, [] -> Ok ()
+            | Some r, _ -> apply_faults r faults
+            | None, _ :: _ -> Error "--fault requires the resilience layer"
+          in
+          let* ast = Parser.parse text in
+          let proc =
+            Processor.create ?resilience:res ~simplify:(not no_simplify) repo
+          in
+          let mem = Telemetry.Memory.create () in
+          let perr r = Result.map_error (Fmt.str "%a" Processor.pp_error) r in
+          let* plan, ann, completeness =
+            Telemetry.with_sink (Telemetry.Memory.sink mem) (fun () ->
+                let* plan =
+                  Telemetry.with_span "explain.plan" (fun () ->
+                      perr (Processor.explain_plan proc ~schema:name ast))
+                in
+                if degrade then
+                  let* ann, c =
+                    Telemetry.with_span "explain.run" (fun () ->
+                        perr
+                          (Processor.run_degraded_provenance proc ~schema:name
+                             ast))
+                  in
+                  Ok (plan, ann, Some c)
+                else
+                  let* ann =
+                    Telemetry.with_span "explain.run" (fun () ->
+                        perr (Processor.run_provenance proc ~schema:name ast))
+                  in
+                  Ok (plan, ann, None))
+          in
+          Ok (plan, ann, completeness, mem)
+        with
+        | Error e -> fail "%s" e
+        | Ok (plan, ann, completeness, mem) ->
+            if json then (
+              let doc =
+                explain_json ~schema:name ~query:text plan ann completeness mem
+              in
+              match explain_json_check doc with
+              | Error e -> fail "internal error: %s" e
+              | Ok () ->
+                  print_endline doc;
+                  `Ok ())
+            else (
+              Printf.printf "== plan ==\n%s\n"
+                (Fmt.str "%a" Processor.pp_explain plan);
+              Printf.printf "\n== answers ==\n";
+              print_tuples limit ann;
+              (match completeness with
+              | None -> ()
+              | Some c ->
+                  Printf.printf "\n== completeness ==\n%s\n"
+                    (Fmt.str "%a" Processor.pp_completeness c));
+              (match res with
+              | None -> ()
+              | Some r ->
+                  Printf.printf "\n== sources ==\n%s\n"
+                    (Fmt.str "%a" Resilience.pp_report (Resilience.report r)));
+              Printf.printf "\n== waterfall ==\n";
+              print_waterfall (Telemetry.Memory.spans mem);
+              Printf.printf "\n== metrics ==\n%s"
+                (Telemetry.Metrics.to_text (Telemetry.Metrics.of_memory mem));
+              `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Tell a query's full plan story: the per-source reformulation \
+          tree with every reachability-pruning decision and its reason, \
+          certified-simplification state, cache state, breaker status, a \
+          per-stage timing waterfall, and the lineage of every answer \
+          tuple (which source extents, pathway hops and trace spans it \
+          was derived from, with a tamper-evidence digest).")
+    Term.(
+      ret
+        (const run $ integrated $ csv_specs $ no_resilience $ no_simplify
+       $ fault_seed $ schema_arg $ iql $ faults $ degrade $ json $ limit))
+
 let case_study_cmd =
   let run () =
     let repo = Repository.create () in
@@ -1113,7 +1482,7 @@ let main =
   Cmd.group info
     [ schemas_cmd; show_cmd; query_cmd; reformulate_cmd; match_cmd;
       pathways_cmd; lint_cmd; analyze_cmd; export_cmd; extent_cmd;
-      materialize_cmd; trace_cmd; trace_validate_cmd; case_study_cmd;
-      repo_cmd ]
+      materialize_cmd; trace_cmd; trace_validate_cmd; explain_cmd;
+      case_study_cmd; repo_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -115,6 +115,49 @@ let create_degraded ?resilience repo ~name ~members =
    be skipped without changing the answer.  The per-query counterpart of
    the processor's per-object pruning, useful for planning and
    reporting. *)
+type member_verdict = Relevant of string | Irrelevant of string
+
+let pp_member_verdict ppf = function
+  | Relevant why -> Fmt.pf ppf "relevant (%s)" why
+  | Irrelevant why -> Fmt.pf ppf "irrelevant (%s)" why
+
+(* The explain-grade sibling of [relevant_members]: every member with
+   its verdict and the reason, for the CLI's plan story. *)
+let member_report repo ~federation q =
+  if not (Repository.mem_schema repo federation) then
+    Error (Printf.sprintf "schema %s is not registered" federation)
+  else
+    let refs = Ast.schemes q in
+    let report =
+      List.map
+        (fun (p : Transform.pathway) ->
+          let live =
+            match Repository.schema repo p.from_schema with
+            | None -> None
+            | Some src ->
+                Automed_analysis.Reachability.live_objects ~source:src p
+          in
+          let verdict =
+            match live with
+            | None ->
+                Relevant "pathway not analysable; conservatively kept"
+            | Some live -> (
+                match
+                  Scheme.Set.choose_opt (Scheme.Set.inter refs live)
+                with
+                | Some o ->
+                    Relevant
+                      (Printf.sprintf "can feed %s" (Scheme.to_string o))
+                | None ->
+                    Irrelevant
+                      "its definition of every referenced object is a \
+                       provably empty lower bound")
+          in
+          (p.from_schema, verdict))
+        (Repository.pathways_into repo federation)
+    in
+    Ok (List.sort_uniq compare report)
+
 let relevant_members repo ~federation q =
   if not (Repository.mem_schema repo federation) then
     Error (Printf.sprintf "schema %s is not registered" federation)

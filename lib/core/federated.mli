@@ -35,6 +35,22 @@ val create_degraded :
 val member_prefix : member:string -> Automed_base.Scheme.t -> Automed_base.Scheme.t
 (** How member objects are renamed into the federation ([Scheme.prefix]).  *)
 
+type member_verdict =
+  | Relevant of string  (** kept, with the reason *)
+  | Irrelevant of string  (** provably cannot contribute, with the reason *)
+
+val pp_member_verdict : member_verdict Fmt.t
+
+val member_report :
+  Repository.t ->
+  federation:string ->
+  Automed_iql.Ast.expr ->
+  ((string * member_verdict) list, string) result
+(** The per-member verdicts behind {!relevant_members}, with reasons:
+    which referenced object a relevant member can feed, or why an
+    irrelevant one provably cannot contribute.  Sorted by member name;
+    feeds the CLI's [automed explain] plan story. *)
+
 val relevant_members :
   Repository.t ->
   federation:string ->

@@ -112,6 +112,24 @@ let run_query_degraded t text =
   | Error e -> Error (Processor.error ~schema:(global_name t) e)
   | Ok q -> run_degraded t q
 
+let run_provenance ?key t q =
+  Processor.run_provenance ?key t.proc ~schema:(global_name t) q
+
+let run_query_provenance ?key t text =
+  match Parser.parse text with
+  | Error e -> Error (Processor.error ~schema:(global_name t) e)
+  | Ok q -> run_provenance ?key t q
+
+let run_degraded_provenance ?key t q =
+  Processor.run_degraded_provenance ?key t.proc ~schema:(global_name t) q
+
+let explain t q = Processor.explain_plan t.proc ~schema:(global_name t) q
+
+let explain_query t text =
+  match Parser.parse text with
+  | Error e -> Error (Processor.error ~schema:(global_name t) e)
+  | Ok q -> explain t q
+
 let answerable t q = Processor.answerable t.proc ~schema:(global_name t) q
 
 let manual_steps t =

@@ -86,6 +86,36 @@ let builtins =
     "abs"; "group"; "contains"; "startswith"; "upper"; "lower"; "strlen";
     "mod" ]
 
+(* value-level operator semantics, shared with the provenance-annotated
+   evaluator (Automed_provenance.Peval) so the two cannot diverge *)
+let apply_unop_exn op v =
+  match (op, v) with
+  | Ast.Neg, Value.Int i -> Value.Int (-i)
+  | Ast.Neg, Value.Float f -> Value.Float (-.f)
+  | Ast.Neg, v -> err "negation of non-number %s" (Value.to_string v)
+  | Ast.Not, v -> Value.Bool (not (as_bool "not" v))
+
+let apply_binop_exn op a b =
+  match (op : Ast.binop) with
+  | And -> Value.Bool (as_bool "and" a && as_bool "and" b)
+  | Or -> Value.Bool (as_bool "or" a || as_bool "or" b)
+  | (Add | Sub | Mul | Div) as op -> arith op a b
+  | (Eq | Neq | Lt | Le | Gt | Ge) as op ->
+      let c = Value.compare a b in
+      Value.Bool
+        (match op with
+        | Eq -> c = 0
+        | Neq -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | _ -> assert false)
+  | Union ->
+      Value.Bag (Value.Bag.union (as_bag "++" a) (as_bag "++" b))
+  | Monus ->
+      Value.Bag (Value.Bag.monus (as_bag "--" a) (as_bag "--" b))
+
 let rec eval_expr env (e : Ast.expr) : Value.t =
   Telemetry.count "iql.eval.nodes";
   match e with
@@ -107,39 +137,19 @@ let rec eval_expr env (e : Ast.expr) : Value.t =
       if as_bool "if condition" (eval_expr env c) then eval_expr env t
       else eval_expr env e
   | Let (x, e, body) -> eval_expr (bind x (eval_expr env e) env) body
-  | Unop (Neg, e) -> (
-      match eval_expr env e with
-      | Value.Int i -> Value.Int (-i)
-      | Value.Float f -> Value.Float (-.f)
-      | v -> err "negation of non-number %s" (Value.to_string v))
-  | Unop (Not, e) -> Value.Bool (not (as_bool "not" (eval_expr env e)))
+  | Unop (op, e) -> apply_unop_exn op (eval_expr env e)
   | Binop (And, a, b) ->
       Value.Bool
         (as_bool "and" (eval_expr env a) && as_bool "and" (eval_expr env b))
   | Binop (Or, a, b) ->
       Value.Bool
         (as_bool "or" (eval_expr env a) || as_bool "or" (eval_expr env b))
-  | Binop (((Add | Sub | Mul | Div) as op), a, b) ->
-      arith op (eval_expr env a) (eval_expr env b)
-  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
-      let c = Value.compare (eval_expr env a) (eval_expr env b) in
-      Value.Bool
-        (match op with
-        | Eq -> c = 0
-        | Neq -> c <> 0
-        | Lt -> c < 0
-        | Le -> c <= 0
-        | Gt -> c > 0
-        | Ge -> c >= 0
-        | _ -> assert false)
-  | Binop (Union, a, b) ->
-      let ba = as_bag "++" (eval_expr env a)
-      and bb = as_bag "++" (eval_expr env b) in
-      Value.Bag (Value.Bag.union ba bb)
-  | Binop (Monus, a, b) ->
-      let ba = as_bag "--" (eval_expr env a)
-      and bb = as_bag "--" (eval_expr env b) in
-      Value.Bag (Value.Bag.monus ba bb)
+  | Binop (op, a, b) ->
+      (* right-to-left, matching OCaml's application order in the
+         pre-refactor per-operator branches *)
+      let vb = eval_expr env b in
+      let va = eval_expr env a in
+      apply_binop_exn op va vb
   | Comp (head, quals) ->
       (* accumulate weighted results and canonicalise once at the end:
          O(n log n) instead of per-element sorted insertion *)
@@ -311,3 +321,13 @@ let eval_exn env e =
   match eval env e with
   | Ok v -> v
   | Error e -> failwith (Fmt.str "%a" pp_error e)
+
+(* -- value-level entry points for the annotated evaluator ----------------- *)
+
+let catching f = match f () with v -> Ok v | exception Error e -> Error e
+
+let apply_unop op v = catching (fun () -> apply_unop_exn op v)
+let apply_binop op a b = catching (fun () -> apply_binop_exn op a b)
+
+let apply_builtin f args =
+  catching (fun () -> eval_app (env ()) f args)

@@ -39,3 +39,18 @@ val builtins : string list
     [min]), collections ([distinct], [member], [flatten], [group]),
     strings ([contains], [startswith], [upper], [lower], [strlen]) and
     arithmetic ([abs], [mod]).  All pure. *)
+
+(** {1 Value-level operator semantics}
+
+    The exact semantics the evaluator applies once operands are values,
+    exposed so the provenance-annotated evaluator
+    ([Automed_provenance.Peval]) can delegate scalar computation here and
+    provably cannot diverge from {!eval}.  All three are strict: for
+    [And]/[Or] the annotated evaluator performs its own short-circuiting
+    before calling {!apply_binop}. *)
+
+val apply_unop : Ast.unop -> Value.t -> (Value.t, error) result
+val apply_binop : Ast.binop -> Value.t -> Value.t -> (Value.t, error) result
+
+val apply_builtin : string -> Value.t list -> (Value.t, error) result
+(** Applies one of {!builtins} to evaluated arguments. *)

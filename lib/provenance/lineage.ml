@@ -1,0 +1,168 @@
+module Scheme = Automed_base.Scheme
+module Value = Automed_iql.Value
+
+type atom = { source : string; extent : Scheme.t }
+
+type hop = {
+  pathway : string;
+  steps : int;
+  surviving : int list;
+  cert : string option;
+}
+
+module ASet = Set.Make (struct
+  type t = atom
+
+  let compare a b =
+    match String.compare a.source b.source with
+    | 0 -> Scheme.compare a.extent b.extent
+    | c -> c
+end)
+
+module HSet = Set.Make (struct
+  type t = hop
+
+  (* strings, ints and int lists: structural comparison is total *)
+  let compare = (Stdlib.compare : hop -> hop -> int)
+end)
+
+module SS = Set.Make (String)
+module IS = Set.Make (Int)
+
+type t = { la : ASet.t; lh : HSet.t; lsk : SS.t; lsp : IS.t }
+
+let empty = { la = ASet.empty; lh = HSet.empty; lsk = SS.empty; lsp = IS.empty }
+
+let is_empty t =
+  ASet.is_empty t.la && HSet.is_empty t.lh && SS.is_empty t.lsk
+  && IS.is_empty t.lsp
+
+let atom ?span ~source extent =
+  {
+    empty with
+    la = ASet.singleton { source; extent };
+    lsp = (match span with None -> IS.empty | Some id -> IS.singleton id);
+  }
+
+let skip source = { empty with lsk = SS.singleton source }
+
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else
+    {
+      la = ASet.union a.la b.la;
+      lh = HSet.union a.lh b.lh;
+      lsk = SS.union a.lsk b.lsk;
+      lsp = IS.union a.lsp b.lsp;
+    }
+
+let add_hop h t = { t with lh = HSet.add h t.lh }
+let add_span id t = { t with lsp = IS.add id t.lsp }
+let only_skips t = { empty with lsk = t.lsk }
+let atoms t = ASet.elements t.la
+let hops t = HSet.elements t.lh
+let skipped t = SS.elements t.lsk
+let spans t = IS.elements t.lsp
+
+let sources t =
+  SS.elements (ASet.fold (fun a acc -> SS.add a.source acc) t.la SS.empty)
+
+let cites_source s t = ASet.exists (fun a -> String.equal a.source s) t.la
+let cites_skip s t = SS.mem s t.lsk
+
+let equal a b =
+  ASet.equal a.la b.la && HSet.equal a.lh b.lh && SS.equal a.lsk b.lsk
+  && IS.equal a.lsp b.lsp
+
+let compare a b =
+  match ASet.compare a.la b.la with
+  | 0 -> (
+      match HSet.compare a.lh b.lh with
+      | 0 -> (
+          match SS.compare a.lsk b.lsk with
+          | 0 -> IS.compare a.lsp b.lsp
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp_atom ppf a = Fmt.pf ppf "%s:%s" a.source (Scheme.to_string a.extent)
+
+let pp_hop ppf h =
+  Fmt.pf ppf "%s[%d/%d%a]" h.pathway (List.length h.surviving) h.steps
+    Fmt.(option (fun ppf c -> Fmt.pf ppf "|%s" c))
+    h.cert
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp_atom) (atoms t);
+  (match hops t with
+  | [] -> ()
+  | hs -> Fmt.pf ppf " via %a" Fmt.(list ~sep:comma pp_hop) hs);
+  (match spans t with
+  | [] -> ()
+  | ids -> Fmt.pf ppf " spans %a" Fmt.(list ~sep:comma int) ids);
+  match skipped t with
+  | [] -> ()
+  | ss -> Fmt.pf ppf " (skipped: %a)" Fmt.(list ~sep:comma string) ss
+
+(* -- canonical JSON ------------------------------------------------------- *)
+
+module J = Automed_telemetry.Microjson
+
+let to_json t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"atoms\":[";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"source\":%s,\"extent\":%s}" (J.escape a.source)
+           (J.escape (Scheme.to_string a.extent))))
+    (atoms t);
+  Buffer.add_string b "],\"pathways\":[";
+  List.iteri
+    (fun i h ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"pathway\":%s,\"steps\":%d,\"surviving\":[%s],\"cert\":%s}"
+           (J.escape h.pathway) h.steps
+           (String.concat "," (List.map string_of_int h.surviving))
+           (match h.cert with Some c -> J.escape c | None -> "null")))
+    (hops t);
+  Buffer.add_string b "],\"spans\":[";
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int id))
+    (spans t);
+  Buffer.add_string b "],\"skipped\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (J.escape s))
+    (skipped t);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* -- keyed MAC ------------------------------------------------------------ *)
+
+let fnv64 init s =
+  let h = ref init in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+let sign ~key value t =
+  let h = fnv64 0xCBF29CE484222325L key in
+  let h = fnv64 h "\x00" in
+  let h = fnv64 h (Value.to_string value) in
+  let h = fnv64 h "\x00" in
+  let h = fnv64 h (to_json t) in
+  let h = fnv64 h "\x00" in
+  let h = fnv64 h key in
+  Printf.sprintf "%016Lx" h
+
+let verify ~key value t mac = String.equal (sign ~key value t) mac

@@ -1,0 +1,277 @@
+module Scheme = Automed_base.Scheme
+module Ast = Automed_iql.Ast
+module Value = Automed_iql.Value
+module Eval = Automed_iql.Eval
+module SM = Map.Make (String)
+
+module VM = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+type entry = { v : Value.t; n : int; lin : Lineage.t }
+
+type av = Scalar of Value.t * Lineage.t | ABag of entry list * Lineage.t
+
+type env = { schemes : Scheme.t -> av option; vars : av SM.t }
+
+let env ?(schemes = fun _ -> None) ?(vars = []) () =
+  { schemes; vars = SM.of_seq (List.to_seq vars) }
+
+let bind x v e = { e with vars = SM.add x v e.vars }
+
+type error = Automed_iql.Eval.error = {
+  message : string;
+  context : string list;
+}
+
+let pp_error = Eval.pp_error
+
+exception Error of error
+
+let err fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { message; context = [] }))
+    fmt
+
+let lift = function Ok v -> v | Error e -> raise (Error e)
+
+let value_of = function
+  | Scalar (v, _) -> v
+  | ABag (es, _) -> Value.Bag (List.map (fun e -> (e.v, e.n)) es)
+
+let lineage_of = function
+  | Scalar (_, l) -> l
+  | ABag (es, amb) ->
+      List.fold_left (fun acc e -> Lineage.union acc e.lin) amb es
+
+let abag es amb = ABag (es, amb)
+
+let av_of_value l (v : Value.t) =
+  match v with
+  | Value.Bag b -> ABag (List.map (fun (v, n) -> { v; n; lin = l }) b, l)
+  | v -> Scalar (v, l)
+
+let add_lineage l av =
+  if Lineage.is_empty l then av
+  else
+    match av with
+    | Scalar (v, l') -> Scalar (v, Lineage.union l l')
+    | ABag (es, amb) ->
+        ABag
+          ( List.map (fun e -> { e with lin = Lineage.union l e.lin }) es,
+            Lineage.union l amb )
+
+let canon (raw : entry list) : entry list =
+  let sorted = List.stable_sort (fun a b -> Value.compare a.v b.v) raw in
+  let rec go acc = function
+    | a :: b :: rest when Value.compare a.v b.v = 0 ->
+        go acc ({ v = a.v; n = a.n + b.n; lin = Lineage.union a.lin b.lin } :: rest)
+    | a :: rest -> go (if a.n > 0 then a :: acc else acc) rest
+    | [] -> List.rev acc
+  in
+  go [] sorted
+
+let merge_entries a b = canon (List.rev_append a b)
+
+let as_abag what = function
+  | ABag (es, amb) -> (es, amb)
+  | Scalar (v, _) ->
+      err "%s: expected a collection, got %s" what (Value.to_string v)
+
+let as_bool what = function
+  | Value.Bool b -> b
+  | v -> err "%s: expected a boolean, got %s" what (Value.to_string v)
+
+let joined_lineage avs =
+  List.fold_left (fun acc a -> Lineage.union acc (lineage_of a)) Lineage.empty avs
+
+let rec eval_expr env (e : Ast.expr) : av =
+  match e with
+  | Const v -> av_of_value Lineage.empty v
+  | Void -> ABag ([], Lineage.empty)
+  | Any -> err "cannot materialise Any (no upper bound information)"
+  | Var x -> (
+      match SM.find_opt x env.vars with
+      | Some v -> v
+      | None -> err "unbound variable %s" x)
+  | SchemeRef s -> (
+      match env.schemes s with
+      | Some av -> av
+      | None -> err "no extent for schema object %s" (Scheme.to_string s))
+  | Tuple es ->
+      let avs = List.map (eval_expr env) es in
+      Scalar (Value.Tuple (List.map value_of avs), joined_lineage avs)
+  | EBag es ->
+      let avs = List.map (eval_expr env) es in
+      ABag
+        ( canon
+            (List.map (fun a -> { v = value_of a; n = 1; lin = lineage_of a }) avs),
+          Lineage.empty )
+  | Range (l, _) -> eval_expr env l
+  | If (c, t, e) ->
+      let cav = eval_expr env c in
+      let branch =
+        if as_bool "if condition" (value_of cav) then t else e
+      in
+      add_lineage (lineage_of cav) (eval_expr env branch)
+  | Let (x, e, body) -> eval_expr (bind x (eval_expr env e) env) body
+  | Unop (op, e) ->
+      let a = eval_expr env e in
+      av_of_value (lineage_of a) (lift (Eval.apply_unop op (value_of a)))
+  | Binop (And, a, b) ->
+      let av = eval_expr env a in
+      if not (as_bool "and" (value_of av)) then
+        Scalar (Value.Bool false, lineage_of av)
+      else
+        let bv = eval_expr env b in
+        Scalar
+          ( Value.Bool (as_bool "and" (value_of bv)),
+            Lineage.union (lineage_of av) (lineage_of bv) )
+  | Binop (Or, a, b) ->
+      let av = eval_expr env a in
+      if as_bool "or" (value_of av) then Scalar (Value.Bool true, lineage_of av)
+      else
+        let bv = eval_expr env b in
+        Scalar
+          ( Value.Bool (as_bool "or" (value_of bv)),
+            Lineage.union (lineage_of av) (lineage_of bv) )
+  | Binop (Union, a, b) ->
+      let ea, la = as_abag "++" (eval_expr env a) in
+      let eb, lb = as_abag "++" (eval_expr env b) in
+      ABag (merge_entries ea eb, Lineage.union la lb)
+  | Binop (Monus, a, b) ->
+      let ea, la = as_abag "--" (eval_expr env a) in
+      let bav = eval_expr env b in
+      let eb, _ = as_abag "--" bav in
+      let by_value =
+        List.fold_left (fun m e -> VM.add e.v e m) VM.empty eb
+      in
+      let entries =
+        List.filter_map
+          (fun e ->
+            match VM.find_opt e.v by_value with
+            | None -> Some e
+            | Some x ->
+                let n = e.n - x.n in
+                if n > 0 then
+                  Some { e with n; lin = Lineage.union e.lin x.lin }
+                else None)
+          ea
+      in
+      (* the whole subtrahend shaped the answer: keep its lineage ambient *)
+      ABag (entries, Lineage.union la (lineage_of bav))
+  | Binop (op, a, b) ->
+      let av = eval_expr env a in
+      let bv = eval_expr env b in
+      av_of_value
+        (Lineage.union (lineage_of av) (lineage_of bv))
+        (lift (Eval.apply_binop op (value_of av) (value_of bv)))
+  | Comp (head, quals) ->
+      let acc = ref [] in
+      let ambient = ref Lineage.empty in
+      let rec go env mult lin = function
+        | [] ->
+            let hv = eval_expr env head in
+            acc :=
+              {
+                v = value_of hv;
+                n = mult;
+                lin = Lineage.union lin (lineage_of hv);
+              }
+              :: !acc
+        | Ast.Filter f :: rest ->
+            let fav = eval_expr env f in
+            if as_bool "filter" (value_of fav) then
+              go env mult (Lineage.union lin (lineage_of fav)) rest
+            else ambient := Lineage.union !ambient (lineage_of fav)
+        | Ast.Gen (p, src) :: rest ->
+            let entries, amb = as_abag "generator source" (eval_expr env src) in
+            ambient := Lineage.union !ambient amb;
+            let amb_skips = Lineage.only_skips amb in
+            List.iter
+              (fun (en : entry) ->
+                match Eval.match_pat p en.v with
+                | None -> ()
+                | Some bs ->
+                    let env =
+                      List.fold_left
+                        (fun e (x, v) -> bind x (av_of_value en.lin v) e)
+                        env bs
+                    in
+                    go env (mult * en.n)
+                      (Lineage.union lin (Lineage.union en.lin amb_skips))
+                      rest)
+              entries
+      in
+      go env 1 Lineage.empty quals;
+      ABag (canon !acc, !ambient)
+  | App (f, args) -> eval_app env f (List.map (eval_expr env) args)
+
+and eval_app _env f (args : av list) : av =
+  let one what =
+    match args with
+    | [ a ] -> a
+    | _ -> err "%s expects one argument, got %d" what (List.length args)
+  in
+  match f with
+  | "distinct" ->
+      let es, amb = as_abag "distinct" (one "distinct") in
+      ABag (List.map (fun e -> { e with n = 1 }) es, amb)
+  | "flatten" ->
+      let es, amb = as_abag "flatten" (one "flatten") in
+      let inner =
+        List.concat_map
+          (fun e ->
+            match e.v with
+            | Value.Bag b ->
+                List.map (fun (v, m) -> { v; n = m * e.n; lin = e.lin }) b
+            | v ->
+                err "flatten element: expected a collection, got %s"
+                  (Value.to_string v))
+          es
+      in
+      ABag (canon inner, amb)
+  | "group" ->
+      let es, amb = as_abag "group" (one "group") in
+      let groups =
+        List.fold_left
+          (fun acc e ->
+            match e.v with
+            | Value.Tuple [ k; x ] ->
+                let b, l =
+                  Option.value
+                    ~default:(Value.Bag.empty, Lineage.empty)
+                    (VM.find_opt k acc)
+                in
+                VM.add k
+                  (Value.Bag.add ~count:e.n x b, Lineage.union l e.lin)
+                  acc
+            | v ->
+                err "group expects {key, value} pairs, got %s"
+                  (Value.to_string v))
+          VM.empty es
+      in
+      ABag
+        ( canon
+            (VM.fold
+               (fun k (b, l) acc ->
+                 { v = Value.tuple2 k (Value.Bag b); n = 1; lin = l } :: acc)
+               groups []),
+          amb )
+  | f ->
+      (* scalar-returning builtins: the value comes from the reference
+         evaluator; the lineage joins everything the arguments read *)
+      av_of_value (joined_lineage args)
+        (lift (Eval.apply_builtin f (List.map value_of args)))
+
+let eval env e =
+  match eval_expr env e with
+  | av -> Ok av
+  | exception Error e -> Error e
+
+let eval_exn env e =
+  match eval env e with
+  | Ok v -> v
+  | Error e -> failwith (Fmt.str "%a" pp_error e)

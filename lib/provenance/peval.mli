@@ -1,0 +1,86 @@
+(** Provenance-annotated IQL evaluation.
+
+    A shadow interpreter over values paired with {!Lineage.t}
+    annotations.  It mirrors [Automed_iql.Eval]'s bag-monad semantics
+    exactly — scalar operators and builtins are {e delegated} to
+    {!Automed_iql.Eval.apply_unop}/[apply_binop]/[apply_builtin], so the
+    value component is the reference evaluator's answer by construction
+    — while additionally propagating, for every element of every bag,
+    the set of stored extents, pathway hops, telemetry spans and
+    degraded-mode skips it was derived from.
+
+    Lineage propagation rules (union-based why-provenance at extent
+    granularity):
+
+    - a generator binding inherits the matched element's lineage; the
+      tuple produced by a comprehension joins the lineages of every
+      generator element and every (satisfied) filter on its derivation
+      path, plus the head's own reads;
+    - aggregates ([count], [sum], …) join the lineage of everything in
+      the bag they consume — including the bag's {e ambient} lineage, so
+      an aggregate over an empty-but-cited extent still cites it;
+    - [a -- b] (monus) joins, per surviving element, the lineages of
+      both sides' occurrences and carries the whole right-hand lineage
+      in the result's ambient (the subtrahend was read and shaped the
+      answer);
+    - skip markers in a generator's ambient lineage are copied onto each
+      generated tuple: a skipped source "could have affected" every
+      tuple that flowed through a bag it should have fed.
+
+    Each bag value is an {!av} holding per-element lineages plus an
+    {e ambient} lineage for bag-level facts that survive even when the
+    bag is empty (cited-but-empty extents, hops, skips). *)
+
+module Scheme = Automed_base.Scheme
+module Ast = Automed_iql.Ast
+module Value = Automed_iql.Value
+
+type entry = { v : Value.t; n : int; lin : Lineage.t }
+(** One distinct bag element with its multiplicity and lineage.  Entry
+    lists are canonical: strictly ascending in [Value.compare], with
+    positive multiplicities (same invariant as [Value.Bag.t]). *)
+
+type av =
+  | Scalar of Value.t * Lineage.t
+  | ABag of entry list * Lineage.t  (** elements, ambient lineage *)
+
+val value_of : av -> Value.t
+(** Drops annotations; for an [ABag] this is the canonical [Value.Bag]. *)
+
+val lineage_of : av -> Lineage.t
+(** Everything the value was derived from: for a bag, the ambient
+    lineage joined with every element's. *)
+
+val abag : entry list -> Lineage.t -> av
+val av_of_value : Lineage.t -> Value.t -> av
+(** Wraps a raw value, spreading the lineage over bag elements. *)
+
+val canon : entry list -> entry list
+(** Canonicalises an arbitrary entry list: sorts, merges equal values
+    (adding multiplicities, joining lineages), drops non-positive
+    multiplicities. *)
+
+val merge_entries : entry list -> entry list -> entry list
+(** Additive bag union of two canonical entry lists. *)
+
+type env
+
+val env :
+  ?schemes:(Scheme.t -> av option) -> ?vars:(string * av) list -> unit -> env
+
+val bind : string -> av -> env -> env
+
+type error = Automed_iql.Eval.error = {
+  message : string;
+  context : string list;
+}
+
+val pp_error : error Fmt.t
+
+val eval : env -> Ast.expr -> (av, error) result
+(** [value_of] of the result equals what [Automed_iql.Eval.eval] returns
+    for the same expression under the value-projected environment (the
+    suite checks this by property). *)
+
+val eval_exn : env -> Ast.expr -> av
+(** @raise Failure with the rendered error. *)

@@ -11,6 +11,9 @@ module Resilience = Automed_resilience.Resilience
 module Analysis = Automed_analysis.Analysis
 module Reachability = Automed_analysis.Reachability
 module Rewrite = Automed_analysis.Rewrite
+module Equiv = Automed_analysis.Equiv
+module Lineage = Automed_provenance.Lineage
+module Peval = Automed_provenance.Peval
 module SS = Set.Make (String)
 
 type error = {
@@ -66,11 +69,17 @@ type frame = { mutable srcs : SS.t; mutable tainted : bool }
 
 (* Static analysis of one stored pathway, computed once and reused for
    every replay: the certified simplification and the set of target
-   objects with a provably non-empty derivation. *)
+   objects with a provably non-empty derivation.  The surviving-step
+   indices and certificate id feed lineage annotations, so an answer
+   tuple can say exactly which pathway steps its derivation crossed and
+   under which equivalence audit. *)
 type pathway_info = {
   simplified : Transform.pathway;
       (* the original when simplification is off, refused, or a no-op *)
   live : Scheme.Set.t option; (* None: unknown, never prune *)
+  surviving : int list;
+      (* 1-based indices of original steps kept verbatim by the rewrite *)
+  cert : string option; (* audit-certificate id of the applied rewrite *)
 }
 
 type t = {
@@ -79,6 +88,8 @@ type t = {
   simplify : bool;
   cache : (Value.Bag.t * SS.t) EH.t;
       (* cached bag plus the sources whose data it incorporates *)
+  pcache : (Peval.entry list * Lineage.t * SS.t) EH.t;
+      (* the annotated twin of [cache], for provenance runs *)
   pinfo : (Transform.pathway, pathway_info) Hashtbl.t;
   mutable visiting : string list; (* schemas on the derivation stack *)
   mutable degraded : bool; (* soften source failures into skips *)
@@ -92,6 +103,7 @@ let create ?resilience ?(simplify = true) repo =
     resilience;
     simplify;
     cache = EH.create 64;
+    pcache = EH.create 64;
     pinfo = Hashtbl.create 16;
     visiting = [];
     degraded = false;
@@ -105,6 +117,7 @@ let simplify_enabled t = t.simplify
 
 let invalidate t =
   EH.reset t.cache;
+  EH.reset t.pcache;
   Hashtbl.reset t.pinfo;
   t.visiting <- [];
   t.frames <- []
@@ -116,7 +129,14 @@ let invalidate_source t source =
         if schema = source || SS.mem source srcs then key :: acc else acc)
       t.cache []
   in
-  List.iter (EH.remove t.cache) doomed
+  List.iter (EH.remove t.cache) doomed;
+  let doomed_p =
+    EH.fold
+      (fun ((schema, _) as key) (_, _, srcs) acc ->
+        if schema = source || SS.mem source srcs then key :: acc else acc)
+      t.pcache []
+  in
+  List.iter (EH.remove t.pcache) doomed_p
 
 (* -- provenance frames --------------------------------------------------- *)
 
@@ -206,6 +226,37 @@ let defs_of_pathway repo (p : Transform.pathway) : Ast.expr Scheme.Map.t =
             | None -> err "id of unknown object %s" (Scheme.to_string a)))
     init p.steps
 
+let prim_equal (a : Transform.prim) (b : Transform.prim) =
+  match (a, b) with
+  | Add (o1, q1), Add (o2, q2) | Delete (o1, q1), Delete (o2, q2) ->
+      Scheme.equal o1 o2 && Ast.equal q1 q2
+  | Extend (o1, l1, u1), Extend (o2, l2, u2)
+  | Contract (o1, l1, u1), Contract (o2, l2, u2) ->
+      Scheme.equal o1 o2 && Ast.equal l1 l2 && Ast.equal u1 u2
+  | Rename (a1, b1), Rename (a2, b2) | Id (a1, b1), Id (a2, b2) ->
+      Scheme.equal a1 a2 && Scheme.equal b1 b2
+  | _ -> false
+
+(* Which original steps survive verbatim in the simplified pathway
+   (greedy in-order matching — sound because the rewrite rules only drop
+   or locally replace steps, never reorder them).  1-based, matching the
+   linter's step indices. *)
+let surviving_indices ~original ~simplified =
+  let rec go i orig simp acc =
+    match (orig, simp) with
+    | _, [] | [], _ -> List.rev acc
+    | o :: os, s :: ss ->
+        if prim_equal o s then go (i + 1) os ss (i :: acc)
+        else go (i + 1) os (s :: ss) acc
+  in
+  go 1 original simplified []
+
+let all_indices steps = List.mapi (fun i _ -> i + 1) steps
+
+let cert_id (c : Equiv.certificate) =
+  Printf.sprintf "eq-%do-%dt%s" c.Equiv.objects c.Equiv.trials
+    (if c.Equiv.reverse_checked then "-r" else "")
+
 (* The proof-checked fast path.  Each stored pathway is analysed once:
    the rewrite engine's simplification is used only when the independent
    equivalence checker certifies it (a refusal falls back to the
@@ -217,16 +268,21 @@ let pathway_info t (p : Transform.pathway) =
   match Hashtbl.find_opt t.pinfo p with
   | Some info -> info
   | None ->
+      let unchanged =
+        { simplified = p; live = None; surviving = all_indices p.steps;
+          cert = None }
+      in
       let info =
-        if not t.simplify then { simplified = p; live = None }
+        if not t.simplify then unchanged
         else
           match Repository.schema t.repo p.from_schema with
-          | None -> { simplified = p; live = None }
+          | None -> unchanged
           | Some src ->
-              let simplified =
+              let simplified, surviving, cert =
                 match Analysis.simplify_certified src p with
-                | `Unchanged | `Refused _ -> p
-                | `Simplified (o, _cert) ->
+                | `Unchanged | `Refused _ ->
+                    (p, all_indices p.steps, None)
+                | `Simplified (o, cert) ->
                     (if Telemetry.active () then
                        let removed =
                          List.length p.steps
@@ -234,9 +290,14 @@ let pathway_info t (p : Transform.pathway) =
                        in
                        Telemetry.count ~by:removed
                          "processor.pathway_steps_simplified_away");
-                    o.Rewrite.pathway
+                    ( o.Rewrite.pathway,
+                      surviving_indices ~original:p.steps
+                        ~simplified:o.Rewrite.pathway.Transform.steps,
+                      Some (cert_id cert) )
               in
-              { simplified; live = Reachability.live_objects ~source:src p }
+              { simplified;
+                live = Reachability.live_objects ~source:src p;
+                surviving; cert }
       in
       Hashtbl.replace t.pinfo p info;
       info
@@ -283,51 +344,50 @@ let rec extent_exn t ~schema o =
    schema is a registered source.  In degraded mode an exhausted fetch
    becomes a recorded skip (contributing nothing); otherwise it is a
    query error. *)
-and fetch_stored t ~schema o =
+and fetch_stored t ~schema o :
+    [ `Stored of Value.Bag.t | `Absent | `Skipped of string ] =
   let fetch () = Repository.stored_extent t.repo ~schema o in
+  let classify = function
+    | Some b ->
+        note_sources t (SS.singleton schema);
+        `Stored b
+    | None -> `Absent
+  in
   match t.resilience with
   | Some r when Resilience.covers r schema -> (
       match Resilience.call r ~source:schema fetch with
-      | Ok res ->
-          (match res with
-          | Some _ -> note_sources t (SS.singleton schema)
-          | None -> ());
-          res
+      | Ok res -> classify res
       | Error f ->
           let reason = Fmt.str "%a" Resilience.pp_failure f in
           if t.degraded then begin
             Telemetry.count "source.skipped";
             if Telemetry.active () then Telemetry.annotate "skipped" schema;
             note_skip t schema reason;
-            None
+            `Skipped reason
           end
           else err "%s" reason)
-  | _ ->
-      let res = fetch () in
-      (match res with
-      | Some _ -> note_sources t (SS.singleton schema)
-      | None -> ());
-      res
+  | _ -> classify (fetch ())
+
+and fetch_stored_traced t ~schema o =
+  Telemetry.with_span "source.fetch"
+    ~attrs:(fun () -> [ ("schema", schema); ("object", Scheme.to_string o) ])
+    (fun () ->
+      let r = fetch_stored t ~schema o in
+      (if Telemetry.active () then
+         match r with
+         | `Stored b ->
+             let rows = Value.Bag.cardinal b in
+             Telemetry.annotate "rows" (string_of_int rows);
+             Telemetry.count ~by:rows "processor.rows_fetched"
+         | `Absent -> Telemetry.annotate "stored" "false"
+         | `Skipped _ -> ());
+      r)
 
 and compute_extent t ~schema o =
   let stored =
-    match
-      Telemetry.with_span "source.fetch"
-        ~attrs:(fun () ->
-          [ ("schema", schema); ("object", Scheme.to_string o) ])
-        (fun () ->
-          let r = fetch_stored t ~schema o in
-          (if Telemetry.active () then
-             match r with
-             | Some b ->
-                 let rows = Value.Bag.cardinal b in
-                 Telemetry.annotate "rows" (string_of_int rows);
-                 Telemetry.count ~by:rows "processor.rows_fetched"
-             | None -> Telemetry.annotate "stored" "false");
-          r)
-    with
-    | Some b -> [ b ]
-    | None -> []
+    match fetch_stored_traced t ~schema o with
+    | `Stored b -> [ b ]
+    | `Absent | `Skipped _ -> []
   in
   let from_pathways =
     List.filter_map
@@ -361,6 +421,114 @@ let extent_of t ~schema o =
   match extent_exn t ~schema o with
   | bag -> Ok bag
   | exception Err e -> Error (add_context ~schema e)
+
+(* -- provenance-annotated extents ---------------------------------------- *)
+
+let hop_of (p : Transform.pathway) info =
+  {
+    Lineage.pathway = p.from_schema ^ "->" ^ p.to_schema;
+    steps = List.length p.steps;
+    surviving = info.surviving;
+    cert = info.cert;
+  }
+
+(* The annotated twin of [extent_exn]/[compute_extent]/[eval_over]: the
+   same derivation walk (same caching discipline, same provenance
+   frames, same pruning) over lineage-carrying bags.  Stored rows are
+   tagged with their extent atom and the telemetry span id of the fetch;
+   every pathway crossing stamps a hop; a degraded-mode skip leaves a
+   marker in the ambient lineage. *)
+let rec extent_av t ~schema o : Peval.entry list * Lineage.t =
+  match EH.find_opt t.pcache (schema, o) with
+  | Some (es, amb, srcs) ->
+      Telemetry.count "processor.extent.cache_hits";
+      note_sources t srcs;
+      (es, amb)
+  | None ->
+      Telemetry.count "processor.extent.cache_misses";
+      if List.mem schema t.visiting then
+        err "cycle in pathway network at schema %s" schema;
+      let sch =
+        match Repository.schema t.repo schema with
+        | Some s -> s
+        | None -> err "no schema %s" schema
+      in
+      if not (Schema.mem o sch) then
+        err "schema %s has no object %s" schema (Scheme.to_string o);
+      t.visiting <- schema :: t.visiting;
+      let frame = push_frame t in
+      let finish () =
+        t.visiting <- List.tl t.visiting;
+        pop_frame t frame
+      in
+      let ((es, amb) as res) =
+        Telemetry.with_span "processor.extent"
+          ~attrs:(fun () ->
+            [ ("schema", schema); ("object", Scheme.to_string o) ])
+          (fun () ->
+            match compute_extent_av t ~schema o with
+            | r -> finish (); r
+            | exception e -> finish (); raise e)
+      in
+      if not frame.tainted then
+        EH.replace t.pcache (schema, o) (es, amb, frame.srcs);
+      res
+
+and compute_extent_av t ~schema o =
+  let base =
+    match fetch_stored_traced t ~schema o with
+    | `Stored b ->
+        (* the atom is ambient too, so an empty stored extent is cited *)
+        let lin =
+          Lineage.atom ?span:(Telemetry.current_span_id ()) ~source:schema o
+        in
+        (List.map (fun (v, n) -> { Peval.v; n; lin }) b, lin)
+    | `Absent -> ([], Lineage.empty)
+    | `Skipped _reason -> ([], Lineage.skip schema)
+  in
+  let contribs =
+    List.filter_map
+      (fun (p : Transform.pathway) ->
+        let info = pathway_info t p in
+        match info.live with
+        | Some live when not (Scheme.Set.mem o live) ->
+            Telemetry.count "processor.pathways_pruned";
+            None
+        | _ -> (
+            let defs = defs_of_pathway t.repo info.simplified in
+            match Scheme.Map.find_opt o defs with
+            | None -> None
+            | Some e ->
+                let es, amb = eval_over_av t ~schema:p.from_schema e in
+                let hop = hop_of p info in
+                Some
+                  ( List.map
+                      (fun (en : Peval.entry) ->
+                        { en with lin = Lineage.add_hop hop en.lin })
+                      es,
+                    Lineage.add_hop hop amb )))
+      (Repository.pathways_into t.repo schema)
+  in
+  List.fold_left
+    (fun (es, amb) (es', amb') ->
+      (Peval.merge_entries es es', Lineage.union amb amb'))
+    base contribs
+
+and eval_over_av t ~schema e =
+  let env =
+    Peval.env
+      ~schemes:(fun s ->
+        let es, amb = extent_av t ~schema s in
+        Some (Peval.abag es amb))
+      ()
+  in
+  match Peval.eval env e with
+  | Ok (Peval.ABag (es, amb)) -> (es, amb)
+  | Ok av ->
+      err "query %s over %s produced a non-collection %s" (Ast.to_string e)
+        schema
+        (Value.to_string (Peval.value_of av))
+  | Error e -> err "%s" (Fmt.str "%a" Peval.pp_error e)
 
 let check_refs t ~schema q =
   let sch =
@@ -398,6 +566,70 @@ let run ?(optimize = true) t ~schema q =
   Telemetry.count "processor.runs";
   run_internal ~optimize t ~schema q
 
+(* -- provenance-annotated runs ------------------------------------------- *)
+
+type annotated_tuple = {
+  value : Value.t;
+  count : int;
+  lineage : Lineage.t;
+  mac : string;
+}
+
+type annotated = {
+  result : Value.t;
+  tuples : annotated_tuple list;
+  lineage : Lineage.t;
+}
+
+let default_mac_key = "automed-provenance-v1"
+
+let run_provenance_internal ~optimize ~key t ~schema q =
+  let evaluated = ref q in
+  match
+    check_refs t ~schema q;
+    let q = if optimize then Automed_iql.Optimize.optimize q else q in
+    evaluated := q;
+    let env =
+      Peval.env
+        ~schemes:(fun s ->
+          let es, amb = extent_av t ~schema s in
+          Some (Peval.abag es amb))
+        ()
+    in
+    Peval.eval env q
+  with
+  | Ok av ->
+      let sign v lin = Lineage.sign ~key v lin in
+      let tuples =
+        match av with
+        | Peval.ABag (es, _) ->
+            List.map
+              (fun (e : Peval.entry) ->
+                { value = e.v; count = e.n; lineage = e.lin;
+                  mac = sign e.v e.lin })
+              es
+        | Peval.Scalar (v, l) ->
+            [ { value = v; count = 1; lineage = l; mac = sign v l } ]
+      in
+      Ok
+        { result = Peval.value_of av;
+          tuples;
+          lineage = Peval.lineage_of av }
+  | Error e ->
+      Error
+        (error ~schema ~expr_size:(Ast.size !evaluated)
+           (Fmt.str "%a" Peval.pp_error e))
+  | exception Err e ->
+      Error (add_context ~schema ~expr_size:(Ast.size !evaluated) e)
+
+let run_provenance ?(optimize = true) ?(key = default_mac_key) t ~schema q =
+  Telemetry.with_span "processor.run"
+    ~attrs:(fun () -> [ ("schema", schema); ("provenance", "true") ])
+  @@ fun () ->
+  Telemetry.count "processor.runs";
+  Telemetry.count "processor.provenance_runs";
+  run_provenance_internal ~optimize ~key t ~schema q
+
 (* -- graceful degradation ------------------------------------------------ *)
 
 type completeness = {
@@ -407,6 +639,7 @@ type completeness = {
   retries : int;
   breaker_opens : int;
   short_circuits : int;
+  source_impact : (string * int) list;
 }
 
 let pp_completeness ppf c =
@@ -419,18 +652,21 @@ let pp_completeness ppf c =
   | [] -> ()
   | ok -> Fmt.pf ppf "@\n  ok: %s" (String.concat ", " ok));
   List.iter
-    (fun (s, reason) -> Fmt.pf ppf "@\n  skipped: %s (%s)" s reason)
+    (fun (s, reason) ->
+      Fmt.pf ppf "@\n  skipped: %s (%s)" s reason;
+      match List.assoc_opt s c.source_impact with
+      | Some n -> Fmt.pf ppf " — could have affected %d answer tuple%s" n
+                    (if n = 1 then "" else "s")
+      | None -> ())
     c.sources_skipped;
   if c.retries > 0 || c.breaker_opens > 0 || c.short_circuits > 0 then
     Fmt.pf ppf "@\n  retries: %d, breaker opens: %d, short circuits: %d"
       c.retries c.breaker_opens c.short_circuits
 
-let run_degraded ?(optimize = true) t ~schema q =
-  Telemetry.with_span "processor.run"
-    ~attrs:(fun () -> [ ("schema", schema); ("degraded", "true") ])
-  @@ fun () ->
-  Telemetry.count "processor.runs";
-  Telemetry.count "processor.degraded_runs";
+(* Runs [f] with degraded-mode skips enabled and builds the completeness
+   report around it; shared by the plain and the provenance-annotated
+   degraded entry points. *)
+let degraded_scope t f =
   let before =
     match t.resilience with
     | Some r -> Resilience.totals r
@@ -459,9 +695,10 @@ let run_degraded ?(optimize = true) t ~schema q =
         after.Resilience.breaker_opens - before.Resilience.breaker_opens;
       short_circuits =
         after.Resilience.short_circuits - before.Resilience.short_circuits;
+      source_impact = [];
     }
   in
-  match run_internal ~optimize t ~schema q with
+  match f () with
   | Ok v ->
       let c = finish () in
       if not c.complete then Telemetry.count "processor.degraded_answers";
@@ -472,6 +709,43 @@ let run_degraded ?(optimize = true) t ~schema q =
   | exception e ->
       ignore (finish ());
       raise e
+
+let run_degraded ?(optimize = true) t ~schema q =
+  Telemetry.with_span "processor.run"
+    ~attrs:(fun () -> [ ("schema", schema); ("degraded", "true") ])
+  @@ fun () ->
+  Telemetry.count "processor.runs";
+  Telemetry.count "processor.degraded_runs";
+  degraded_scope t (fun () -> run_internal ~optimize t ~schema q)
+
+let run_degraded_provenance ?(optimize = true) ?(key = default_mac_key) t
+    ~schema q =
+  Telemetry.with_span "processor.run"
+    ~attrs:(fun () ->
+      [ ("schema", schema); ("degraded", "true"); ("provenance", "true") ])
+  @@ fun () ->
+  Telemetry.count "processor.runs";
+  Telemetry.count "processor.degraded_runs";
+  match
+    degraded_scope t (fun () ->
+        run_provenance_internal ~optimize ~key t ~schema q)
+  with
+  | Ok (ann, c) ->
+      (* per-source lineage counts: how many answer tuples flowed through
+         a bag the skipped source should have fed *)
+      let source_impact =
+        List.map
+          (fun (s, _) ->
+            ( s,
+              List.fold_left
+                (fun acc (tp : annotated_tuple) ->
+                  if Lineage.cites_skip s tp.lineage then acc + tp.count
+                  else acc)
+                0 ann.tuples ))
+          c.sources_skipped
+      in
+      Ok (ann, { c with source_impact })
+  | (Error _ as e) -> e
 
 let run_string t ~schema text =
   match Parser.parse text with
@@ -533,6 +807,165 @@ let reformulate t ~schema q =
          Telemetry.observe "processor.reformulated_size" (float_of_int n));
       Ok q'
   | exception Err e -> Error (add_context ~schema e)
+
+(* -- explain: the plan story --------------------------------------------- *)
+
+type cache_state = Cache_hit | Cache_cold
+
+type explain_pathway = {
+  ep_from : string;
+  ep_steps : int;
+  ep_simplified_steps : int;
+  ep_surviving : int list;
+  ep_cert : string option;
+  ep_decision : explain_decision;
+}
+
+and explain_decision =
+  | Applied of explain_node list
+  | Pruned of string
+  | No_definition of string
+
+and explain_node = {
+  en_schema : string;
+  en_object : Scheme.t;
+  en_stored : bool;
+  en_rows : int option;
+  en_cached : cache_state;
+  en_pathways : explain_pathway list;
+}
+
+type explain = {
+  ex_schema : string;
+  ex_query : Ast.expr;
+  ex_optimized : Ast.expr;
+  ex_roots : explain_node list;
+}
+
+let rec explain_object t ~schema o =
+  if List.mem schema t.visiting then
+    err "cycle in pathway network at schema %s" schema;
+  let stored = Repository.stored_extent t.repo ~schema o in
+  t.visiting <- schema :: t.visiting;
+  let finish () = t.visiting <- List.tl t.visiting in
+  let pathways =
+    match
+      List.map
+        (fun (p : Transform.pathway) ->
+          let info = pathway_info t p in
+          let base =
+            {
+              ep_from = p.from_schema;
+              ep_steps = List.length p.steps;
+              ep_simplified_steps =
+                List.length info.simplified.Transform.steps;
+              ep_surviving = info.surviving;
+              ep_cert = info.cert;
+              ep_decision = Pruned "";
+            }
+          in
+          match info.live with
+          | Some live when not (Scheme.Set.mem o live) ->
+              { base with
+                ep_decision =
+                  Pruned
+                    "reachability: no stored extent is live under this \
+                     pathway's definition of the object, so its \
+                     contribution is provably the empty bag" }
+          | _ -> (
+              let defs = defs_of_pathway t.repo info.simplified in
+              match Scheme.Map.find_opt o defs with
+              | None ->
+                  { base with
+                    ep_decision =
+                      No_definition
+                        "the object is deleted or contracted along the \
+                         pathway: no view definition reaches the target" }
+              | Some e ->
+                  let children =
+                    Scheme.Set.fold
+                      (fun s acc ->
+                        explain_object t ~schema:p.from_schema s :: acc)
+                      (Ast.schemes e) []
+                    |> List.rev
+                  in
+                  { base with ep_decision = Applied children }))
+        (Repository.pathways_into t.repo schema)
+    with
+    | r -> finish (); r
+    | exception e -> finish (); raise e
+  in
+  {
+    en_schema = schema;
+    en_object = o;
+    en_stored = stored <> None;
+    en_rows = Option.map Value.Bag.cardinal stored;
+    en_cached =
+      (if EH.mem t.cache (schema, o) || EH.mem t.pcache (schema, o) then
+         Cache_hit
+       else Cache_cold);
+    en_pathways = pathways;
+  }
+
+let explain_plan ?(optimize = true) t ~schema q =
+  Telemetry.with_span "processor.explain"
+    ~attrs:(fun () -> [ ("schema", schema) ])
+  @@ fun () ->
+  Telemetry.count "processor.explains";
+  match
+    check_refs t ~schema q;
+    let q' = if optimize then Automed_iql.Optimize.optimize q else q in
+    let roots =
+      Scheme.Set.fold
+        (fun s acc -> explain_object t ~schema s :: acc)
+        (Ast.schemes q') []
+      |> List.rev
+    in
+    { ex_schema = schema; ex_query = q; ex_optimized = q'; ex_roots = roots }
+  with
+  | r -> Ok r
+  | exception Err e -> Error (add_context ~schema e)
+
+let pp_explain_node ppf node =
+  let rec pp_node indent ppf n =
+    Fmt.pf ppf "%s<%s> %s%s%s" indent n.en_schema
+      (Scheme.to_string n.en_object)
+      (match (n.en_stored, n.en_rows) with
+      | true, Some rows -> Fmt.str " stored(%d rows)" rows
+      | true, None -> " stored"
+      | false, _ -> "")
+      (match n.en_cached with
+      | Cache_hit -> " [cached]"
+      | Cache_cold -> "");
+    List.iter
+      (fun e ->
+        Fmt.pf ppf "@\n%s  <- %s [%d->%d steps%s%s] " indent e.ep_from
+          e.ep_steps e.ep_simplified_steps
+          (if e.ep_simplified_steps < e.ep_steps then
+             match e.ep_surviving with
+             | [] -> ", no step survives verbatim"
+             | ss ->
+                 Fmt.str ", surviving %s"
+                   (String.concat "," (List.map string_of_int ss))
+           else "")
+          (match e.ep_cert with Some c -> ", cert " ^ c | None -> "");
+        match e.ep_decision with
+        | Pruned reason -> Fmt.pf ppf "PRUNED: %s" reason
+        | No_definition reason -> Fmt.pf ppf "NO DEFINITION: %s" reason
+        | Applied children ->
+            Fmt.pf ppf "applied";
+            List.iter
+              (fun c -> Fmt.pf ppf "@\n%a" (pp_node (indent ^ "    ")) c)
+              children)
+      n.en_pathways
+  in
+  pp_node "" ppf node
+
+let pp_explain ppf e =
+  Fmt.pf ppf "query over %s: %s" e.ex_schema (Ast.to_string e.ex_query);
+  if not (Ast.equal e.ex_query e.ex_optimized) then
+    Fmt.pf ppf "@\noptimized: %s" (Ast.to_string e.ex_optimized);
+  List.iter (fun n -> Fmt.pf ppf "@\n%a" pp_explain_node n) e.ex_roots
 
 let source_env t =
   Eval.env

@@ -17,13 +17,28 @@
       with every residual reference qualified by its source schema name
       ([<<Pedro:protein>>]) so that same-named objects from different
       sources stay distinct.  Running the reformulated query against
-      {!source_env} gives the same answer as {!run}. *)
+      {!source_env} gives the same answer as {!run}.
+
+    Two observability companions ride on the same derivation walk:
+
+    - {!run_provenance} evaluates through the provenance-annotated
+      shadow interpreter ({!Automed_provenance.Peval}), returning the
+      bit-identical answer plus, per answer tuple, the
+      {!Automed_provenance.Lineage.t} citing the stored extents,
+      pathway hops, audit certificates and telemetry spans the tuple
+      was derived from;
+    - {!explain_plan} renders the plan story without running the query:
+      per source the reformulation tree, each reachability-pruning or
+      no-definition decision with its reason, simplification
+      certificates, and cache state. *)
 
 module Scheme = Automed_base.Scheme
 module Ast = Automed_iql.Ast
 module Value = Automed_iql.Value
 module Repository = Automed_repository.Repository
 module Resilience = Automed_resilience.Resilience
+module Lineage = Automed_provenance.Lineage
+module Peval = Automed_provenance.Peval
 
 type t
 (** A processor wraps a repository with an extent cache. *)
@@ -91,6 +106,49 @@ val run : ?optimize:bool -> t -> schema:string -> Ast.expr -> (Value.t, error) r
     qualifiers (filter push-down, selectivity-greedy generator order)
     before evaluation; pass [false] to evaluate the query verbatim. *)
 
+(** {1 Provenance-annotated answers} *)
+
+type annotated_tuple = {
+  value : Value.t;  (** one distinct answer value *)
+  count : int;  (** its bag multiplicity *)
+  lineage : Lineage.t;  (** what it was derived from *)
+  mac : string;
+      (** keyed tamper-evidence digest of (value, lineage); see
+          {!Lineage.sign} *)
+}
+
+type annotated = {
+  result : Value.t;
+      (** the plain answer — bit-identical to what {!run} returns for
+          the same query *)
+  tuples : annotated_tuple list;
+      (** per-tuple lineage: one entry per distinct answer value (in
+          the bag's canonical order), or a single entry for a scalar
+          answer *)
+  lineage : Lineage.t;
+      (** answer-level lineage: everything any tuple cites, joined with
+          the ambient lineage (cited-but-empty extents, pruned-free
+          hops, degraded-mode skips) *)
+}
+
+val default_mac_key : string
+(** Key used to sign tuples when [?key] is omitted. *)
+
+val run_provenance :
+  ?optimize:bool ->
+  ?key:string ->
+  t ->
+  schema:string ->
+  Ast.expr ->
+  (annotated, error) result
+(** Like {!run}, but through the lineage-carrying shadow interpreter.
+    The [result] field is guaranteed bit-identical to {!run}'s answer:
+    scalar operator semantics are delegated to the reference evaluator
+    (see {!Automed_provenance.Peval}), and the suite checks the
+    equivalence by property.  Annotated extents are cached separately
+    (same tainting discipline as the plain cache), so interleaving
+    plain and provenance runs is safe. *)
+
 type completeness = {
   complete : bool;  (** no source was skipped *)
   sources_ok : string list;
@@ -103,6 +161,12 @@ type completeness = {
   retries : int;  (** resilience retries spent during this run *)
   breaker_opens : int;  (** breaker trips during this run *)
   short_circuits : int;  (** fetches rejected by an open breaker *)
+  source_impact : (string * int) list;
+      (** per skipped source, how many answer tuples (counted with
+          multiplicity) carry its skip marker in their lineage — i.e.
+          flowed through a bag the source should have fed and so could
+          have gained support from it.  Only {!run_degraded_provenance}
+          fills this in; {!run_degraded} leaves it empty. *)
 }
 (** The completeness report of a degraded run: which sources answered,
     which were skipped and why, and what the resilience layer spent
@@ -126,12 +190,86 @@ val run_degraded :
     registry (or with no faults) this returns exactly {!run}'s value with
     [complete = true]. *)
 
+val run_degraded_provenance :
+  ?optimize:bool ->
+  ?key:string ->
+  t ->
+  schema:string ->
+  Ast.expr ->
+  (annotated * completeness, error) result
+(** {!run_degraded} through the annotated interpreter.  A skipped
+    source leaves a skip marker in the lineage of every tuple that
+    flowed through a bag it should have fed; the completeness report's
+    [source_impact] counts those tuples per skipped source, answering
+    "how much of this degraded answer could the missing source have
+    changed?". *)
+
 val run_string : t -> schema:string -> string -> (Value.t, error) result
 (** Parses and runs. *)
 
 val reformulate : t -> schema:string -> Ast.expr -> (Ast.expr, error) result
 (** Unfolds the query onto the data source schemas.  Residual references
     are schema-qualified. *)
+
+(** {1 Explain: the plan story}
+
+    {!explain_plan} walks the same reformulation recursion as {!run} and
+    {!reformulate} but records decisions instead of evaluating: which
+    objects are stored (and how many rows), which are cached, and — per
+    pathway into each schema — whether the pathway was applied, pruned
+    by reachability analysis (with the reason it provably cannot
+    contribute), or yields no definition for the object.  It never
+    fetches source data, so explaining a query is side-effect free
+    (breakers are not exercised, caches are not filled). *)
+
+type cache_state = Cache_hit | Cache_cold
+
+type explain_pathway = {
+  ep_from : string;  (** the pathway's source schema *)
+  ep_steps : int;  (** stored (unsimplified) step count *)
+  ep_simplified_steps : int;  (** steps actually replayed *)
+  ep_surviving : int list;
+      (** 1-based original-step indices kept verbatim by the certified
+          simplification (all of them when nothing was simplified) *)
+  ep_cert : string option;  (** audit-certificate id, when simplified *)
+  ep_decision : explain_decision;
+}
+
+and explain_decision =
+  | Applied of explain_node list
+      (** the pathway contributes; children are the source-schema
+          objects its view definition reads *)
+  | Pruned of string  (** reachability pruning, with the reason *)
+  | No_definition of string
+      (** the object is deleted/contracted along the pathway *)
+
+and explain_node = {
+  en_schema : string;
+  en_object : Scheme.t;
+  en_stored : bool;
+  en_rows : int option;  (** stored extent cardinality, when stored *)
+  en_cached : cache_state;
+      (** whether a (plain or provenance) cached extent exists for this
+          object right now *)
+  en_pathways : explain_pathway list;
+}
+
+type explain = {
+  ex_schema : string;
+  ex_query : Ast.expr;  (** as posed *)
+  ex_optimized : Ast.expr;  (** as evaluated (qualifier rescheduling) *)
+  ex_roots : explain_node list;
+      (** one node per schema object the optimized query references *)
+}
+
+val explain_plan :
+  ?optimize:bool -> t -> schema:string -> Ast.expr -> (explain, error) result
+
+val pp_explain_node : explain_node Fmt.t
+
+val pp_explain : explain Fmt.t
+(** Indented text rendering of the whole plan story (the CLI's
+    [automed explain] default output). *)
 
 val source_env : t -> Automed_iql.Eval.env
 (** Environment resolving schema-qualified references ([<<S:t>>] or

@@ -304,6 +304,17 @@ let reset_breaker t name =
 let report t =
   SM.bindings t.srcs |> List.map (fun (n, s) -> (n, s.state, s.stats))
 
+let pp_report ppf rows =
+  match rows with
+  | [] -> Fmt.string ppf "no sources registered"
+  | rows ->
+      List.iteri
+        (fun i (name, state, stats) ->
+          if i > 0 then Fmt.pf ppf "@\n";
+          Fmt.pf ppf "%s: breaker %a, %a" name pp_breaker_state state
+            pp_stats stats)
+        rows
+
 (* -- one attempt through the injector ----------------------------------- *)
 
 let attempt t s f =

@@ -208,3 +208,7 @@ val reset_breaker : t -> string -> unit
 
 val report : t -> (string * breaker_state * stats) list
 (** One row per registered source, sorted by name. *)
+
+val pp_report : (string * breaker_state * stats) list Fmt.t
+(** Human-readable rendering of {!report}, one line per source (the
+    CLI's breaker/degraded status block in [automed explain]). *)

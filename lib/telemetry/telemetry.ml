@@ -42,6 +42,8 @@ let now st =
   t
 
 let install sink =
+  (* flush the sink being replaced so its buffered events are not lost *)
+  (match !current with None -> () | Some st -> st.sink.flush ());
   current := Some { sink; next_id = 0; stack = []; last_ts = !clock () }
 
 let uninstall () =
@@ -73,6 +75,11 @@ let observe name value =
   match !current with
   | None -> ()
   | Some st -> st.sink.emit (Observe { name; value })
+
+let current_span_id () =
+  match !current with
+  | None -> None
+  | Some st -> ( match st.stack with [] -> None | f :: _ -> Some f.fid)
 
 let annotate key value =
   match !current with
@@ -119,6 +126,52 @@ module Memory = struct
 
   type histo = { n : int; sum : float; min : float; max : float }
 
+  (* Bounded reservoir (Vitter's algorithm R) retaining a uniform sample
+     of each histogram's observations for quantile estimation.  The
+     replacement index stream is SplitMix64 seeded from the histogram
+     name, so snapshots are deterministic across runs. *)
+  type reservoir = {
+    samples : float array;
+    mutable seen : int;
+    mutable rng : int64;
+  }
+
+  let reservoir_capacity = 512
+
+  let splitmix_next r =
+    r.rng <- Int64.add r.rng 0x9E3779B97F4A7C15L;
+    let z = r.rng in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let reservoir_create name =
+    {
+      samples = Array.make reservoir_capacity 0.0;
+      seen = 0;
+      rng = Int64.of_int (Hashtbl.hash name);
+    }
+
+  let reservoir_add r v =
+    (if r.seen < reservoir_capacity then r.samples.(r.seen) <- v
+     else
+       let j =
+         Int64.to_int
+           (Int64.rem
+              (Int64.logand (splitmix_next r) Int64.max_int)
+              (Int64.of_int (r.seen + 1)))
+       in
+       if j < reservoir_capacity then r.samples.(j) <- v);
+    r.seen <- r.seen + 1
+
+  type quantiles = { q50 : float; q95 : float; q99 : float }
+
   type open_span = {
     o_parent : int option;
     o_name : string;
@@ -131,6 +184,7 @@ module Memory = struct
     opened : (int, open_span) Hashtbl.t;
     cnt : (string, int ref) Hashtbl.t;
     his : (string, histo ref) Hashtbl.t;
+    res : (string, reservoir) Hashtbl.t;
   }
 
   let create () =
@@ -139,13 +193,15 @@ module Memory = struct
       opened = Hashtbl.create 32;
       cnt = Hashtbl.create 32;
       his = Hashtbl.create 32;
+      res = Hashtbl.create 32;
     }
 
   let reset t =
     t.completed <- [];
     Hashtbl.reset t.opened;
     Hashtbl.reset t.cnt;
-    Hashtbl.reset t.his
+    Hashtbl.reset t.his;
+    Hashtbl.reset t.res
 
   let emit t = function
     | Span_begin { id; parent; name; ts; attrs } ->
@@ -171,6 +227,12 @@ module Memory = struct
         | Some r -> r := !r + delta
         | None -> Hashtbl.add t.cnt name (ref delta))
     | Observe { name; value } -> (
+        (match Hashtbl.find_opt t.res name with
+        | Some r -> reservoir_add r value
+        | None ->
+            let r = reservoir_create name in
+            reservoir_add r value;
+            Hashtbl.add t.res name r);
         match Hashtbl.find_opt t.his name with
         | Some r ->
             let h = !r in
@@ -206,6 +268,29 @@ module Memory = struct
     match Hashtbl.find_opt t.cnt name with Some r -> !r | None -> 0
 
   let find_spans t name = List.filter (fun s -> s.name = name) (spans t)
+
+  (* nearest-rank percentile over the retained sample *)
+  let percentile sorted n p =
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    let rank = if rank < 1 then 1 else if rank > n then n else rank in
+    sorted.(rank - 1)
+
+  let quantiles t name =
+    match Hashtbl.find_opt t.res name with
+    | None -> None
+    | Some r ->
+        let n = Stdlib.min r.seen reservoir_capacity in
+        if n = 0 then None
+        else begin
+          let s = Array.sub r.samples 0 n in
+          Array.sort Float.compare s;
+          Some
+            {
+              q50 = percentile s n 0.50;
+              q95 = percentile s n 0.95;
+              q99 = percentile s n 0.99;
+            }
+        end
 end
 
 (* -- JSONL sink ----------------------------------------------------------- *)
@@ -248,14 +333,25 @@ module Metrics = struct
     spans : int;
     counters : (string * int) list;
     histograms : (string * Memory.histo) list;
+    quantiles : (string * Memory.quantiles) list;
   }
 
   let of_memory m =
+    let histograms = Memory.histograms m in
     {
       spans = List.length (Memory.spans m);
       counters = Memory.counters m;
-      histograms = Memory.histograms m;
+      histograms;
+      quantiles =
+        List.filter_map
+          (fun (name, _) ->
+            match Memory.quantiles m name with
+            | Some q -> Some (name, q)
+            | None -> None)
+          histograms;
     }
+
+  let quantiles_of t name = List.assoc_opt name t.quantiles
 
   let to_text t =
     let b = Buffer.create 256 in
@@ -270,9 +366,16 @@ module Metrics = struct
       Buffer.add_string b "histograms:\n";
       List.iter
         (fun (name, (h : Memory.histo)) ->
+          let qs =
+            match quantiles_of t name with
+            | None -> ""
+            | Some q ->
+                Printf.sprintf " p50=%g p95=%g p99=%g" q.Memory.q50
+                  q.Memory.q95 q.Memory.q99
+          in
           Buffer.add_string b
-            (Printf.sprintf "  %-40s n=%d sum=%g min=%g max=%g\n" name h.n
-               h.sum h.min h.max))
+            (Printf.sprintf "  %-40s n=%d sum=%g min=%g max=%g%s\n" name h.n
+               h.sum h.min h.max qs))
         t.histograms
     end;
     Buffer.contents b
@@ -285,10 +388,19 @@ module Metrics = struct
       t.counters;
     List.iter
       (fun (name, (h : Memory.histo)) ->
+        let qs =
+          match quantiles_of t name with
+          | None -> "\t-\t-\t-"
+          | Some q ->
+              Printf.sprintf "\t%s\t%s\t%s"
+                (Microjson.number q.Memory.q50)
+                (Microjson.number q.Memory.q95)
+                (Microjson.number q.Memory.q99)
+        in
         Buffer.add_string b
-          (Printf.sprintf "histogram\t%s\t%d\t%s\t%s\t%s\n" name h.n
+          (Printf.sprintf "histogram\t%s\t%d\t%s\t%s\t%s%s\n" name h.n
              (Microjson.number h.sum) (Microjson.number h.min)
-             (Microjson.number h.max)))
+             (Microjson.number h.max) qs))
       t.histograms;
     Buffer.contents b
 
@@ -304,10 +416,19 @@ module Metrics = struct
     List.iteri
       (fun i (name, (h : Memory.histo)) ->
         if i > 0 then Buffer.add_char b ',';
+        let qs =
+          match quantiles_of t name with
+          | None -> ""
+          | Some q ->
+              Printf.sprintf ",\"p50\":%s,\"p95\":%s,\"p99\":%s"
+                (Microjson.number q.Memory.q50)
+                (Microjson.number q.Memory.q95)
+                (Microjson.number q.Memory.q99)
+        in
         Buffer.add_string b
-          (Printf.sprintf "%s:{\"n\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}"
+          (Printf.sprintf "%s:{\"n\":%d,\"sum\":%s,\"min\":%s,\"max\":%s%s}"
              (Microjson.escape name) h.n (Microjson.number h.sum)
-             (Microjson.number h.min) (Microjson.number h.max)))
+             (Microjson.number h.min) (Microjson.number h.max) qs))
       t.histograms;
     Buffer.add_string b "}}";
     Buffer.contents b

@@ -45,8 +45,9 @@ val null_sink : sink
 (** Swallows everything (useful to measure probe overhead). *)
 
 val install : sink -> unit
-(** Makes the sink the destination of all probes.  Replaces any
-    previously installed sink (without flushing it). *)
+(** Makes the sink the destination of all probes.  A previously
+    installed sink is flushed before being replaced, so its buffered
+    events are never silently dropped. *)
 
 val uninstall : unit -> unit
 (** Flushes and removes the installed sink, if any. *)
@@ -70,6 +71,11 @@ val with_span :
 val annotate : string -> string -> unit
 (** Attaches a key/value attribute to the innermost active span; no-op
     without a sink or outside any span. *)
+
+val current_span_id : unit -> int option
+(** The id of the innermost active span ([None] without a sink or
+    outside any span).  Provenance annotations record it so an answer
+    tuple links back into the exported Chrome trace. *)
 
 val count : ?by:int -> string -> unit
 (** Increments a named counter (default by 1). *)
@@ -100,6 +106,13 @@ module Memory : sig
 
   type histo = { n : int; sum : float; min : float; max : float }
 
+  type quantiles = { q50 : float; q95 : float; q99 : float }
+  (** Nearest-rank percentiles estimated from a bounded reservoir (512
+      samples, Vitter's algorithm R).  Exact while a histogram has seen
+      at most 512 observations; an unbiased uniform-sample estimate
+      beyond that.  The replacement stream is seeded from the histogram
+      name, so snapshots are deterministic across runs. *)
+
   type t
 
   val create : unit -> t
@@ -120,6 +133,10 @@ module Memory : sig
 
   val find_spans : t -> string -> span list
   (** Completed spans with the given name, in {!spans} order. *)
+
+  val quantiles : t -> string -> quantiles option
+  (** p50/p95/p99 of a histogram's observations ([None] when the
+      histogram has never been observed). *)
 
   val reset : t -> unit
 end
@@ -142,17 +159,22 @@ module Metrics : sig
     spans : int;  (** number of completed spans *)
     counters : (string * int) list;
     histograms : (string * Memory.histo) list;
+    quantiles : (string * Memory.quantiles) list;
+        (** reservoir percentiles, one entry per observed histogram *)
   }
 
   val of_memory : Memory.t -> t
+
+  val quantiles_of : t -> string -> Memory.quantiles option
 
   val to_text : t -> string
   (** Human-readable multi-line summary. *)
 
   val to_tsv : t -> string
-  (** One metric per line: [kind<TAB>name<TAB>fields...]. *)
+  (** One metric per line: [kind<TAB>name<TAB>fields...]; histogram
+      lines end with the p50/p95/p99 fields. *)
 
   val to_json : t -> string
   (** A single JSON object:
-      [{"spans":n,"counters":{..},"histograms":{name:{"n":..,"sum":..,"min":..,"max":..}}}]. *)
+      [{"spans":n,"counters":{..},"histograms":{name:{"n":..,"sum":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..}}}]. *)
 end

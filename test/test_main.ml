@@ -26,6 +26,7 @@ let () =
       ("rewrite", Test_rewrite.suite);
       ("telemetry", Test_telemetry.suite);
       ("resilience", Test_resilience.suite);
+      ("provenance", Test_provenance.suite);
       ("durable", Test_durable.suite);
       ("user-cost", Test_user_cost.suite);
       ("properties", Test_properties.suite);

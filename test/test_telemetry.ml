@@ -275,6 +275,82 @@ let test_sink_equivalence () =
     && Telemetry.Memory.find_spans mem "processor.run" <> []);
   Alcotest.(check bool) "sink gone afterwards" false (Telemetry.active ())
 
+(* -- install semantics, span ids, reservoir percentiles -------------------- *)
+
+let test_install_flushes_replaced_sink () =
+  (* regression: installing over a live sink must flush the old one so
+     its buffered events are not silently dropped *)
+  let flushed = ref false in
+  let old_sink =
+    { Telemetry.emit = (fun _ -> ()); flush = (fun () -> flushed := true) }
+  in
+  Telemetry.install old_sink;
+  Alcotest.(check bool) "not flushed yet" false !flushed;
+  let mem = Telemetry.Memory.create () in
+  Telemetry.install (Telemetry.Memory.sink mem);
+  Alcotest.(check bool) "replaced sink was flushed" true !flushed;
+  Telemetry.count "after.swap";
+  Telemetry.uninstall ();
+  Alcotest.(check int) "new sink receives events" 1
+    (Telemetry.Memory.counter mem "after.swap");
+  Alcotest.(check bool) "uninstalled" false (Telemetry.active ())
+
+let test_current_span_id () =
+  Alcotest.(check (option int)) "none without a sink" None
+    (Telemetry.current_span_id ());
+  let mem = Telemetry.Memory.create () in
+  let inner_id = ref None in
+  Telemetry.with_sink (Telemetry.Memory.sink mem) (fun () ->
+      Alcotest.(check (option int)) "none outside any span" None
+        (Telemetry.current_span_id ());
+      Telemetry.with_span "outer" (fun () ->
+          Telemetry.with_span "inner" (fun () ->
+              inner_id := Telemetry.current_span_id ())));
+  let inner =
+    List.find
+      (fun s -> s.Telemetry.Memory.name = "inner")
+      (Telemetry.Memory.spans mem)
+  in
+  Alcotest.(check (option int)) "innermost span id" (Some inner.Telemetry.Memory.id)
+    !inner_id
+
+let test_reservoir_percentiles () =
+  let mem =
+    record (fun () ->
+        for i = 1 to 100 do
+          Telemetry.observe "lat" (float_of_int i)
+        done)
+  in
+  (match Telemetry.Memory.quantiles mem "lat" with
+  | None -> Alcotest.fail "no quantiles for an observed histogram"
+  | Some q ->
+      (* 100 observations fit the 512-slot reservoir: exact nearest-rank *)
+      Alcotest.(check (float 0.0)) "p50" 50.0 q.Telemetry.Memory.q50;
+      Alcotest.(check (float 0.0)) "p95" 95.0 q.Telemetry.Memory.q95;
+      Alcotest.(check (float 0.0)) "p99" 99.0 q.Telemetry.Memory.q99);
+  Alcotest.(check (option unit)) "unobserved histogram has none" None
+    (Option.map ignore (Telemetry.Memory.quantiles mem "nope"));
+  (* over capacity the reservoir still yields a plausible estimate *)
+  let big =
+    record (fun () ->
+        for i = 1 to 10_000 do
+          Telemetry.observe "big" (float_of_int i)
+        done)
+  in
+  (match Telemetry.Memory.quantiles big "big" with
+  | None -> Alcotest.fail "no quantiles over capacity"
+  | Some q ->
+      Alcotest.(check bool) "p50 in bulk range" true
+        (q.Telemetry.Memory.q50 > 1_000. && q.Telemetry.Memory.q50 < 9_000.);
+      Alcotest.(check bool) "ordered" true
+        (q.Telemetry.Memory.q50 <= q.Telemetry.Memory.q95
+        && q.Telemetry.Memory.q95 <= q.Telemetry.Memory.q99));
+  (* the Metrics snapshot carries the same percentiles *)
+  let m = Telemetry.Metrics.of_memory mem in
+  match Telemetry.Metrics.quantiles_of m "lat" with
+  | Some q -> Alcotest.(check (float 0.0)) "metrics p95" 95.0 q.Telemetry.Memory.q95
+  | None -> Alcotest.fail "metrics snapshot lacks quantiles"
+
 let suite =
   [
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
@@ -293,4 +369,9 @@ let suite =
     Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
     Alcotest.test_case "with-sink run equals no-sink run" `Quick
       test_sink_equivalence;
+    Alcotest.test_case "install flushes the replaced sink" `Quick
+      test_install_flushes_replaced_sink;
+    Alcotest.test_case "current span id" `Quick test_current_span_id;
+    Alcotest.test_case "reservoir percentiles" `Quick
+      test_reservoir_percentiles;
   ]
