@@ -37,6 +37,7 @@ module Resilience = Automed_resilience.Resilience
 module Durable = Automed_durable.Durable
 module Journal = Automed_durable.Journal
 module Vfs = Automed_durable.Vfs
+module Evolution = Automed_evolution.Evolution
 
 let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 let ok = function Ok v -> v | Error e -> die "error: %s" e
@@ -1168,7 +1169,245 @@ let write_provenance_snapshot path outcomes =
                   o.po_atoms o.po_hops)
               outcomes)))
 
+(* -- E-E1: schema-evolution churn ----------------------------------------- *)
+
+(* Fifty evolve+query cycles over the live iSpider trio, with a 20%
+   fault rate injected on pedro throughout (a retry-heavy policy masks
+   the faults, so answers stay exact).  Each cycle applies one delta
+   from a deterministic churn script — satellite sources appear and
+   evolve away again, pedro gains/renames/sheds scratch tables and
+   columns — then:
+
+   - the incremental path repairs the current global schema through
+     [Evolution.evolve] (delta-sized chain pathway, targeted cache
+     invalidation) and answers the seven priority queries on the live,
+     evolved workflow;
+   - the from-scratch control rebuilds a fresh repository, re-runs the
+     whole integration and replays the full delta history, and answers
+     the same seven queries.
+
+   Every cycle all seven answers must be bit-identical between the two
+   paths (and to ground truth: the churn script never touches a queried
+   object).  The per-cycle numbers land in BENCH_evolution.json and the
+   live run's journal is dumped alongside for the CI artifact: repair
+   cost tracks the delta — the chain stays 1-2 steps, and the journaled
+   ops grow only with pedro's own pathway fan-out, never with the
+   repository — while the from-scratch control pays the full
+   integration plus a history replay that grows with every cycle. *)
+
+let evolution_cycles = 50
+let evolution_fault_rate = 0.2
+let evolution_seed = 3L
+
+let evolution_policy =
+  { Resilience.Policy.default with Resilience.Policy.retries = 6 }
+
+(* The deterministic churn script: cycle [i] belongs to block [i/5] and
+   plays one of five phases.  Each block leaves one renamed scratch
+   table behind, so the repository keeps growing while the per-cycle
+   delta stays constant-sized. *)
+let churn_delta i =
+  let k = string_of_int (i / 5) in
+  match i mod 5 with
+  | 0 ->
+      let name = "sat" ^ k in
+      let table = Scheme.table ("s" ^ k) in
+      let schema = ok (Schema.of_objects name [ (table, None) ]) in
+      let rows =
+        Value.Bag.of_list
+          [ Value.Str (name ^ "-r1"); Value.Str (name ^ "-r2") ]
+      in
+      Evolution.Add_source (schema, [ (table, rows) ])
+  | 1 ->
+      Evolution.Alter
+        ( Sources.pedro_name,
+          [ Repository.Alter_add_object (Scheme.table ("tmp" ^ k), None) ] )
+  | 2 ->
+      Evolution.Alter
+        ( Sources.pedro_name,
+          [
+            Repository.Alter_add_object
+              (Scheme.column ("tmp" ^ k) "note", None);
+          ] )
+  | 3 ->
+      Evolution.Alter
+        ( Sources.pedro_name,
+          [
+            Repository.Alter_drop_object (Scheme.column ("tmp" ^ k) "note");
+            Repository.Alter_rename_object
+              (Scheme.table ("tmp" ^ k), Scheme.table ("kept" ^ k));
+          ] )
+  | _ -> Evolution.Drop_source ("sat" ^ k)
+
+type churn_cycle = {
+  ec_cycle : int;
+  ec_kind : string;  (** the plan's human description of the delta *)
+  ec_chain_steps : int;
+  ec_journal_ops : int;  (** journal records the repair appended *)
+  ec_repair_ms : float;
+  ec_live_query_ms : float;  (** the 7 queries on the evolved workflow *)
+  ec_scratch_ms : float;  (** fresh integration + full history replay *)
+  ec_identical : bool;  (** all 7 answers bit-identical live vs scratch *)
+}
+
+let evolution_outcome () =
+  (* the live dataspace: journaled, resilient, faults on pedro *)
+  let repo = Repository.create () in
+  let vfs = Vfs.memory () in
+  let durable = ok (Durable.attach vfs repo) in
+  let res = Resilience.create ~seed:evolution_seed ~policy:evolution_policy () in
+  ok (Sources.wrap_all ~resilience:res repo dataset);
+  let run = ok (Intersection_run.execute ~resilience:res repo) in
+  let wf = run.Intersection_run.workflow in
+  Resilience.inject res ~source:Sources.pedro_name
+    (Resilience.Fault.rate evolution_fault_rate);
+  let run_seven wf' =
+    List.map
+      (fun (q : Queries.query) ->
+        match Workflow.run_query wf' q.Queries.global_text with
+        | Ok v -> (q, v)
+        | Error e ->
+            die "E-E1: query %d: %s" q.Queries.number
+              (Fmt.str "%a" Processor.pp_error e))
+      Queries.all
+  in
+  let cycles =
+    List.init evolution_cycles (fun i ->
+        (* incremental repair on the live workflow *)
+        let before = Durable.appended durable in
+        let t0 = Telemetry.wall_clock () in
+        let _ev, plan = ok (Evolution.evolve wf (churn_delta i)) in
+        let repair_ms = (Telemetry.wall_clock () -. t0) *. 1000.0 in
+        let journal_ops = Durable.appended durable - before in
+        let t0 = Telemetry.wall_clock () in
+        let live = run_seven wf in
+        let live_query_ms = (Telemetry.wall_clock () -. t0) *. 1000.0 in
+        (* the from-scratch control: fresh integration, replay history *)
+        let t0 = Telemetry.wall_clock () in
+        let scratch_repo = Repository.create () in
+        ok (Sources.wrap_all scratch_repo dataset);
+        let scratch_run = ok (Intersection_run.execute scratch_repo) in
+        let scratch_wf = scratch_run.Intersection_run.workflow in
+        for j = 0 to i do
+          ignore (ok (Evolution.evolve scratch_wf (churn_delta j)))
+        done;
+        let scratch = run_seven scratch_wf in
+        let scratch_ms = (Telemetry.wall_clock () -. t0) *. 1000.0 in
+        let identical =
+          List.for_all2
+            (fun ((q : Queries.query), lv) (_, sv) ->
+              Value.compare lv sv = 0
+              && Value.compare lv (Value.Bag (q.Queries.ground_truth dataset))
+                 = 0)
+            live scratch
+        in
+        {
+          ec_cycle = i;
+          ec_kind = plan.Evolution.pl_kind;
+          ec_chain_steps = plan.Evolution.pl_chain_steps;
+          ec_journal_ops = journal_ops;
+          ec_repair_ms = repair_ms;
+          ec_live_query_ms = live_query_ms;
+          ec_scratch_ms = scratch_ms;
+          ec_identical = identical;
+        })
+  in
+  let journal = ok (Vfs.(vfs.read) Durable.journal_file) in
+  (cycles, journal)
+
+let mean f xs =
+  List.fold_left (fun a x -> a +. f x) 0.0 xs /. float_of_int (List.length xs)
+
+let experiment_evolution (cycles, journal) =
+  section
+    (Printf.sprintf
+       "E-E1  Evolution churn: %d evolve+query cycles, %.0f%% faults on pedro"
+       evolution_cycles (100.0 *. evolution_fault_rate));
+  List.iter
+    (fun c ->
+      Printf.printf
+        "cycle %2d  %-28s chain %d, journal ops %2d, repair %6.2f ms, live \
+         queries %6.1f ms, scratch %7.1f ms, %s\n"
+        c.ec_cycle c.ec_kind c.ec_chain_steps c.ec_journal_ops c.ec_repair_ms
+        c.ec_live_query_ms c.ec_scratch_ms
+        (if c.ec_identical then "7/7 identical" else "MISMATCH"))
+    cycles;
+  let half = evolution_cycles / 2 in
+  let first = List.filteri (fun i _ -> i < half) cycles in
+  let second = List.filteri (fun i _ -> i >= half) cycles in
+  Printf.printf
+    "\n\
+     mean repair: %.2f ms (cycles 0-%d) vs %.2f ms (cycles %d-%d) — flat \
+     while the repository grows\n"
+    (mean (fun c -> c.ec_repair_ms) first)
+    (half - 1)
+    (mean (fun c -> c.ec_repair_ms) second)
+    half (evolution_cycles - 1);
+  Printf.printf
+    "mean from-scratch control: %.1f ms vs %.1f ms — pays integration plus \
+     a growing history replay\n"
+    (mean (fun c -> c.ec_scratch_ms) first)
+    (mean (fun c -> c.ec_scratch_ms) second);
+  Printf.printf "evolution journal: %d bytes\n" (String.length journal);
+  if not (List.for_all (fun c -> c.ec_identical) cycles) then
+    die "E-E1: an incremental answer differs from the from-scratch control"
+
+let write_evolution_snapshot path (cycles, journal) =
+  let journal_path = "BENCH_evolution.journal" in
+  let oc = open_out_bin journal_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc journal);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let cycle_json c =
+        Printf.sprintf
+          "{\"cycle\": %d, \"kind\": %s, \"chain_steps\": %d, \
+           \"journal_ops\": %d, \"repair_ms\": %.3f, \"live_query_ms\": \
+           %.3f, \"scratch_ms\": %.3f, \"identical\": %b}"
+          c.ec_cycle (Microjson.escape c.ec_kind) c.ec_chain_steps
+          c.ec_journal_ops c.ec_repair_ms c.ec_live_query_ms c.ec_scratch_ms
+          c.ec_identical
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"E-E1\",\n\
+        \  \"cycles\": %d,\n\
+        \  \"fault_rate\": %.2f,\n\
+        \  \"seed\": %Ld,\n\
+        \  \"faulty_source\": %s,\n\
+        \  \"answers_bit_identical\": %b,\n\
+        \  \"mean_repair_ms\": %.3f,\n\
+        \  \"mean_scratch_ms\": %.3f,\n\
+        \  \"journal_file\": %s,\n\
+        \  \"journal_bytes\": %d,\n\
+        \  \"per_cycle\": [%s]\n\
+         }\n"
+        evolution_cycles evolution_fault_rate evolution_seed
+        (Microjson.escape Sources.pedro_name)
+        (List.for_all (fun c -> c.ec_identical) cycles)
+        (mean (fun c -> c.ec_repair_ms) cycles)
+        (mean (fun c -> c.ec_scratch_ms) cycles)
+        (Microjson.escape journal_path)
+        (String.length journal)
+        (String.concat ",\n    " (List.map cycle_json cycles)))
+
+(* [bench/main.exe evolution] runs only the churn experiment — the CI
+   churn job's entry point (everything stays seeded, so the standalone
+   run produces the same snapshot as the full harness). *)
+let run_evolution_only () =
+  let evolution = with_telemetry "E-E1" evolution_outcome in
+  experiment_evolution evolution;
+  write_evolution_snapshot "BENCH_evolution.json" evolution;
+  Printf.printf
+    "wrote BENCH_evolution.json (E-E1 snapshot) and BENCH_evolution.journal\n"
+
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "evolution" then (
+    run_evolution_only ();
+    exit 0);
   with_telemetry "E-T1" experiment_table1;
   with_telemetry "E-CS1" experiment_counts;
   with_telemetry "E-CS2" experiment_payg;
@@ -1190,6 +1429,7 @@ let () =
   experiment_provenance provenance;
   write_provenance_snapshot "BENCH_provenance.json" provenance;
   Printf.printf "wrote BENCH_provenance.json (E-O1 snapshot)\n";
+  run_evolution_only ();
   run_bechamel () (* no sink: keep the measured path probe-free *);
   with_telemetry "E-P5" bench_federated_scaling;
   with_telemetry "E-P6" bench_integration_end_to_end;

@@ -35,6 +35,7 @@ module Chrome_trace = Automed_telemetry.Chrome_trace
 module Intersection = Automed_integration.Intersection
 module Resilience = Automed_resilience.Resilience
 module Durable = Automed_durable.Durable
+module Evolution = Automed_evolution.Evolution
 module Journal = Automed_durable.Journal
 module Vfs = Automed_durable.Vfs
 
@@ -1360,6 +1361,208 @@ let case_study_cmd =
 
 (* -- durable store ------------------------------------------------------- *)
 
+(* The [evolve] subcommand: live schema evolution over the integrated
+   dataspace.  Always runs the intersection integration first (evolution
+   needs a current global version to repair), then applies — or, with
+   --dry-run, previews — one delta. *)
+
+let parse_scheme text =
+  match Scheme.of_string text with
+  | Ok s -> Ok s
+  | Error _ ->
+      (* bare names are a convenience for tables: [t] means [<<t>>] *)
+      Scheme.of_string (Printf.sprintf "<<%s>>" text)
+
+let parse_delta op args =
+  let* () = Ok () in
+  match (op, args) with
+  | "add-source", [ spec ] -> (
+      match String.index_opt spec '=' with
+      | None -> Error (Printf.sprintf "add-source expects NAME=DIR, got %S" spec)
+      | Some i ->
+          let name = String.sub spec 0 i in
+          let dir = String.sub spec (i + 1) (String.length spec - i - 1) in
+          if not (Sys.file_exists dir && Sys.is_directory dir) then
+            Error (Printf.sprintf "not a directory: %s" dir)
+          else
+            let files =
+              Sys.readdir dir |> Array.to_list
+              |> List.filter (fun f -> Filename.check_suffix f ".csv")
+              |> List.sort String.compare
+            in
+            let* db =
+              List.fold_left
+                (fun acc file ->
+                  let* db = acc in
+                  let tname = Filename.remove_extension file in
+                  let* table =
+                    Csv.load_table_auto ~name:tname
+                      (read_file (Filename.concat dir file))
+                  in
+                  Relational.add_table db table)
+                (Ok (Relational.create_db name))
+                files
+            in
+            (* wrap into a scratch repository to reuse the schema
+               extraction and extent materialisation, then lift the
+               result out as the evolution delta *)
+            let scratch = Repository.create () in
+            let* schema = Wrapper.wrap scratch db in
+            let extents =
+              List.filter_map
+                (fun o ->
+                  Option.map
+                    (fun b -> (o, b))
+                    (Repository.stored_extent scratch ~schema:name o))
+                (Schema.objects schema)
+            in
+            Ok (Evolution.Add_source (schema, extents)))
+  | "drop-source", [ name ] -> Ok (Evolution.Drop_source name)
+  | "add-table", [ source; table ] ->
+      Ok
+        (Evolution.Alter
+           (source, [ Repository.Alter_add_object (Scheme.table table, None) ]))
+  | "drop-table", [ source; table ] ->
+      let* o = parse_scheme table in
+      Ok (Evolution.Alter (source, [ Repository.Alter_drop_object o ]))
+  | "rename-table", [ source; old_t; new_t ] ->
+      Ok
+        (Evolution.Alter
+           ( source,
+             [
+               Repository.Alter_rename_object
+                 (Scheme.table old_t, Scheme.table new_t);
+             ] ))
+  | "add-column", [ source; table; column ] ->
+      Ok
+        (Evolution.Alter
+           ( source,
+             [ Repository.Alter_add_object (Scheme.column table column, None) ]
+           ))
+  | "add-column", [ source; table; column; ty_text ] ->
+      let* ty = Types.of_string ty_text in
+      Ok
+        (Evolution.Alter
+           ( source,
+             [
+               Repository.Alter_add_object (Scheme.column table column, Some ty);
+             ] ))
+  | "drop-column", [ source; table; column ] ->
+      Ok
+        (Evolution.Alter
+           (source, [ Repository.Alter_drop_object (Scheme.column table column) ]))
+  | "rename-column", [ source; table; old_c; new_c ] ->
+      Ok
+        (Evolution.Alter
+           ( source,
+             [
+               Repository.Alter_rename_object
+                 (Scheme.column table old_c, Scheme.column table new_c);
+             ] ))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown evolution %s (or wrong arguments); see automed evolve \
+            --help"
+           op)
+
+(* The --dry-run impact preview: for every current-global object the
+   delta would drop or rename, replay the explain-plan decision story so
+   the integrator sees which pathways feed it today (and why) before
+   committing the evolution. *)
+let print_impact wf (plan : Evolution.plan) =
+  let proc = Workflow.processor wf in
+  let global = Workflow.global_name wf in
+  let affected =
+    plan.Evolution.pl_objects_dropped
+    @ List.map fst plan.Evolution.pl_objects_renamed
+  in
+  let current = Workflow.global_schema wf in
+  List.iter
+    (fun o ->
+      if Schema.mem o current then
+        match Processor.explain_plan proc ~schema:global (Ast.SchemeRef o) with
+        | Error _ -> ()
+        | Ok ex ->
+            List.iter
+              (fun node ->
+                Printf.printf "%s\n"
+                  (Fmt.str "%a" Processor.pp_explain_node node))
+              ex.Processor.ex_roots)
+    affected;
+  List.iter
+    (fun o ->
+      Printf.printf "  %s: new object, no feeding pathway yet\n"
+        (Scheme.to_string o))
+    plan.Evolution.pl_objects_added
+
+let evolve_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "The evolution: $(b,add-source) NAME=DIR, $(b,drop-source) NAME, \
+             $(b,add-table) SOURCE TABLE, $(b,drop-table) SOURCE TABLE, \
+             $(b,rename-table) SOURCE OLD NEW, $(b,add-column) SOURCE TABLE \
+             COLUMN [TYPE], $(b,drop-column) SOURCE TABLE COLUMN, \
+             $(b,rename-column) SOURCE TABLE OLD NEW.")
+  in
+  let rest_args =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS" ~doc:"Operands.")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:
+            "Preview only: print the repair plan (chain steps, pathway \
+             patches and quarantines, cache invalidation) and the current \
+             explain-plan decisions for every affected global object, \
+             without mutating anything.")
+  in
+  let run csv_specs no_resilience dry op args =
+    with_repo false csv_specs no_resilience (fun repo res ->
+        match
+          let* run = Result.map_error Fun.id (Intersection_run.execute ?resilience:res repo) in
+          let wf = run.Intersection_run.workflow in
+          let* delta = parse_delta op args in
+          Ok (wf, delta)
+        with
+        | Error e -> fail "%s" e
+        | Ok (wf, delta) ->
+            if dry then (
+              match Evolution.preview wf delta with
+              | Error e -> fail "%s" e
+              | Ok plan ->
+                  Printf.printf "== plan (dry run) ==\n%s\n"
+                    (Fmt.str "%a" Evolution.pp_plan plan);
+                  Printf.printf "\n== current feeds of affected objects ==\n";
+                  print_impact wf plan;
+                  `Ok ())
+            else
+              match Evolution.evolve wf delta with
+              | Error e -> fail "%s" e
+              | Ok (ev, plan) ->
+                  Printf.printf "evolved %s -> %s\n" ev.Workflow.ev_prev
+                    ev.Workflow.ev_next;
+                  Printf.printf "%s\n" (Fmt.str "%a" Evolution.pp_plan plan);
+                  `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "evolve"
+       ~doc:
+         "Apply one live schema evolution to the integrated dataspace: \
+          add or drop a source, or alter a source's tables and columns.  \
+          The global schema is repaired incrementally (a delta-sized \
+          chain pathway to the next version; stranded pathways patched or \
+          quarantined) — never regenerated from scratch.  With \
+          $(b,--dry-run), prints the repair plan and the explain-plan \
+          decision reasons for every affected global object instead.")
+    Term.(
+      ret (const run $ csv_specs $ no_resilience $ dry_run $ op_arg $ rest_args))
+
 (* The [repo] subcommands operate on an on-disk durable store: a
    checkpoint plus write-ahead journal managed by [Automed_durable]. *)
 
@@ -1483,6 +1686,6 @@ let main =
     [ schemas_cmd; show_cmd; query_cmd; reformulate_cmd; match_cmd;
       pathways_cmd; lint_cmd; analyze_cmd; export_cmd; extent_cmd;
       materialize_cmd; trace_cmd; trace_validate_cmd; explain_cmd;
-      case_study_cmd; repo_cmd ]
+      case_study_cmd; evolve_cmd; repo_cmd ]
 
 let () = exit (Cmd.eval main)

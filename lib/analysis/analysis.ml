@@ -58,12 +58,46 @@ type fix = {
   steps_before : int;
   steps_after : int;
   applications : Rewrite.application list;
+  quarantined : bool;
   applied : (unit, string) result;
 }
 
 let fix_repository ?seed ?trials repo =
   Telemetry.with_span "analysis.fix_repository" @@ fun () ->
-  List.filter_map
+  (* Quarantine pass first: stranded pathways (and data-bearing pathways
+     from evolved-away sources) are replaced by their universal
+     quarantine shape before the simplification pass looks at anything,
+     so the rewriter never reasons over steps that cannot replay. *)
+  let quarantine_fixes =
+    List.filter_map
+      (fun (p : Transform.pathway) ->
+        let label = Printf.sprintf "%s -> %s" p.from_schema p.to_schema in
+        let needs =
+          Quarantine.is_stranded repo p
+          || Repository.retired repo p.from_schema
+             && not (Quarantine.is_quarantined p)
+        in
+        if not needs then None
+        else
+          let applied, steps_after =
+            match Quarantine.quarantine repo p with
+            | Ok p' -> (Ok (), List.length p'.Transform.steps)
+            | Error e -> (Error e, List.length p.steps)
+          in
+          if applied = Ok () then Telemetry.count "analysis.fixes_applied";
+          Some
+            {
+              pathway = label;
+              steps_before = List.length p.steps;
+              steps_after;
+              applications = [];
+              quarantined = true;
+              applied;
+            })
+      (Repository.pathways repo)
+  in
+  quarantine_fixes
+  @ List.filter_map
     (fun (p : Transform.pathway) ->
       let label = Printf.sprintf "%s -> %s" p.from_schema p.to_schema in
       match Repository.schema repo p.from_schema with
@@ -82,6 +116,7 @@ let fix_repository ?seed ?trials repo =
                   steps_before = List.length p.steps;
                   steps_after = List.length o.Rewrite.pathway.Transform.steps;
                   applications = o.Rewrite.applications;
+                  quarantined = false;
                   applied;
                 }
           | `Refused (o, reason) ->
@@ -91,6 +126,7 @@ let fix_repository ?seed ?trials repo =
                   steps_before = List.length p.steps;
                   steps_after = List.length o.Rewrite.pathway.Transform.steps;
                   applications = o.Rewrite.applications;
+                  quarantined = false;
                   applied = Error ("rewrite not certified: " ^ reason);
                 }))
     (Repository.pathways repo)

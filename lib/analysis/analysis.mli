@@ -62,6 +62,10 @@ type fix = {
   steps_before : int;
   steps_after : int;
   applications : Rewrite.application list;
+  quarantined : bool;
+      (** the pathway was stranded by schema evolution (or still carried
+          data of an evolved-away source) and was quarantined instead of
+          simplified; see {!Quarantine} *)
   applied : (unit, string) result;
       (** [Ok ()] when the stored pathway was replaced through
           {!Repository.replace_pathway} (journaled via the repository
@@ -69,9 +73,12 @@ type fix = {
 }
 
 val fix_repository : ?seed:int64 -> ?trials:int -> Repository.t -> fix list
-(** Simplifies every stored pathway and replaces the ones that both
-    changed and certified, through the repository API — so an attached
-    write-ahead journal records each change as an
-    [Op_replace_pathway].  Returns one record per pathway that the
-    rewrite engine touched (certified or refused); untouched pathways
-    are omitted. *)
+(** Two repair passes over every stored pathway, both through the
+    repository API — so an attached write-ahead journal records each
+    change as an [Op_replace_pathway].  First, pathways stranded by
+    schema evolution (see {!Quarantine.check}) and unquarantined
+    pathways from evolved-away sources are quarantined.  Then the
+    remaining pathways are simplified, replacing the ones that both
+    changed and certified.  Returns one record per pathway either pass
+    touched (quarantined, certified or refused); untouched pathways are
+    omitted. *)

@@ -37,7 +37,21 @@ let pathway_diags repo (p : Transform.pathway) =
             if D.has_errors ds then []
             else
               let derived = Pathway_lint.final_state src p in
-              if Schema.same_objects derived registered then []
+              if Repository.is_contribution repo p then
+                (* contributions agree on a subset of the target *)
+                if
+                  List.for_all
+                    (fun o -> Schema.mem o registered)
+                    (Schema.objects derived)
+                then []
+                else
+                  [
+                    D.make ~pathway:name D.Error ~rule:"endpoint-mismatch"
+                      "contribution derives object(s) that are not part of \
+                       the registered schema %s"
+                      p.Transform.to_schema;
+                  ]
+              else if Schema.same_objects derived registered then []
               else
                 [
                   D.make ~pathway:name D.Error ~rule:"endpoint-mismatch"
@@ -205,10 +219,47 @@ let durability_diags ?journaled repo =
         ]
       else []
 
+(* Schema evolution can strand a pathway (steps referencing dropped or
+   renamed objects, or endpoint shapes that drifted apart) or leave a
+   data-bearing pathway flowing from a source that evolved away.  Both
+   have the same repair — quarantine via [lint --fix] — so both surface
+   under dedicated rules. *)
+let evolution_diags repo =
+  List.concat_map
+    (fun (p : Transform.pathway) ->
+      let name = label p in
+      let stranded =
+        match Quarantine.check repo p with
+        | None -> []
+        | Some reason ->
+            [
+              D.make ~pathway:name D.Error ~rule:"stranded-pathway"
+                "pathway was stranded by schema evolution (%s): quarantine \
+                 it with [lint --fix] so it stops contributing"
+                reason;
+            ]
+      in
+      let retired =
+        if
+          Repository.retired repo p.Transform.from_schema
+          && not (Quarantine.is_quarantined p)
+        then
+          [
+            D.make ~pathway:name D.Error ~rule:"stranded-pathway"
+              "source schema %s evolved away but this pathway still carries \
+               its data: quarantine it with [lint --fix]"
+              p.Transform.from_schema;
+          ]
+        else []
+      in
+      stranded @ retired)
+    (Repository.pathways repo)
+
 let lint ?root ?covered ?journaled repo =
   let pathways = Repository.pathways repo in
   List.concat_map (fun p -> endpoint_diags repo p @ pathway_diags repo p) pathways
   @ pair_diags pathways
+  @ evolution_diags repo
   @ reachability_diags ?root repo
   @ source_reachability_diags ?root repo
   @ resilience_diags ?covered repo

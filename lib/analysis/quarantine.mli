@@ -1,0 +1,43 @@
+(** Stranded-pathway detection and quarantine repair.
+
+    A live schema evolution can leave a previously valid pathway
+    {e stranded}: its steps reference objects the evolution dropped or
+    renamed, or its derived object set no longer agrees with the
+    registered target schema.  A stranded pathway cannot simply be
+    deleted — earlier global schema versions are defined through it and
+    must stay queryable — so the repair is {e quarantine}: replace the
+    steps (through {!Repository.replace_pathway}, so the change is
+    journaled and crash-safe) with the universal shape that contracts
+    every current source object and extends every target object with a
+    [Void] lower bound.  The quarantined pathway still derives exactly
+    its target's objects, but every definition it provides is [Void]:
+    it contributes nothing to any answer and the query processor never
+    fetches its source through it. *)
+
+module Schema = Automed_model.Schema
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+
+val check : Repository.t -> Transform.pathway -> string option
+(** [Some reason] when the pathway is stranded against the current
+    repository state: an endpoint schema is gone, the steps no longer
+    replay, or the derived object set disagrees with the registered
+    target (subset agreement for contributions, exact otherwise). *)
+
+val is_stranded : Repository.t -> Transform.pathway -> bool
+
+val is_quarantined : Transform.pathway -> bool
+(** Recognises the quarantine shape: non-empty steps consisting only of
+    [Void]-lower-bound contracts and extends. *)
+
+val quarantined_steps :
+  Repository.t -> Transform.pathway -> Transform.prim list
+(** The universal quarantine steps for the pathway's current endpoint
+    schemas. *)
+
+val quarantine :
+  Repository.t -> Transform.pathway -> (Transform.pathway, string) result
+(** Replaces the pathway's steps with {!quarantined_steps} through
+    {!Repository.replace_pathway} (journaled; contribution status is
+    preserved) and returns the stored replacement.  Emits the
+    [analysis.pathways_quarantined] counter. *)

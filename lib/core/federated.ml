@@ -139,6 +139,10 @@ let member_report repo ~federation q =
           in
           let verdict =
             match live with
+            | _ when Repository.retired repo p.from_schema ->
+                (* retirement beats reachability: the member's extents
+                   are gone for good, whatever its pathway could feed *)
+                Irrelevant "evolved away (retired by schema evolution)"
             | None ->
                 Relevant "pathway not analysable; conservatively kept"
             | Some live -> (
@@ -173,6 +177,7 @@ let relevant_members repo ~federation q =
                 Automed_analysis.Reachability.live_objects ~source:src p
           in
           match live with
+          | _ when Repository.retired repo p.from_schema -> None
           | None -> Some p.from_schema (* unanalysable: assume relevant *)
           | Some live ->
               if Scheme.Set.exists (fun o -> Scheme.Set.mem o live) refs then

@@ -37,7 +37,10 @@ val member_prefix : member:string -> Automed_base.Scheme.t -> Automed_base.Schem
 
 type member_verdict =
   | Relevant of string  (** kept, with the reason *)
-  | Irrelevant of string  (** provably cannot contribute, with the reason *)
+  | Irrelevant of string
+      (** provably cannot contribute, with the reason — including
+          members retired by a live schema evolution, reported as
+          ["evolved away (retired by schema evolution)"] *)
 
 val pp_member_verdict : member_verdict Fmt.t
 

@@ -13,13 +13,23 @@ type iteration = {
   global_name : string;
 }
 
+type evolution = {
+  ev_index : int;
+  ev_description : string;
+  ev_prev : string;
+  ev_next : string;
+  ev_sources_touched : string list;
+}
+
 type t = {
   repo : Repository.t;
   proc : Processor.t;
   base_name : string;
-  srcs : string list;
+  mutable srcs : string list;
   durable : Automed_durable.Durable.t option;
   mutable iters : iteration list; (* newest first *)
+  mutable version : int; (* of the current global schema *)
+  mutable evols : evolution list; (* newest first *)
 }
 
 let ( let* ) = Result.bind
@@ -56,6 +66,8 @@ let start ?resilience ?durable ?simplify repo ~name ~sources =
       srcs = sources;
       durable;
       iters = [];
+      version = 0;
+      evols = [];
     }
   in
   let* () = flush_journal t in
@@ -65,10 +77,8 @@ let repository t = t.repo
 let processor t = t.proc
 let sources t = t.srcs
 
-let global_name t =
-  match t.iters with
-  | [] -> version_name t.base_name 0
-  | it :: _ -> it.global_name
+let global_name t = version_name t.base_name t.version
+let version t = t.version
 
 let global_schema t = Repository.schema_exn t.repo (global_name t)
 let iterations t = List.rev t.iters
@@ -78,7 +88,7 @@ let all_outcomes t =
 
 let record ?(description = "") t outcome ~drop_redundant =
   let index = List.length t.iters + 1 in
-  let global = version_name t.base_name index in
+  let global = version_name t.base_name (t.version + 1) in
   let* _g =
     Global.create ~drop_redundant t.repo ~name:global
       ~intersections:(all_outcomes t @ [ outcome ])
@@ -86,9 +96,56 @@ let record ?(description = "") t outcome ~drop_redundant =
   in
   let it = { index; description; outcome; global_name = global } in
   t.iters <- it :: t.iters;
+  t.version <- t.version + 1;
   Processor.invalidate t.proc;
   let* () = flush_journal t in
   Ok it
+
+(* -- live schema evolution ----------------------------------------------- *)
+
+let evolutions t = List.rev t.evols
+
+(* One evolution step: allocate the next global version name, run the
+   caller's repair (which registers the delta-sized chain pathway from
+   the previous version plus any contributions/quarantines — every
+   mutation journals through the repository observer), then advance the
+   version.  Invalidation is targeted: only cache entries tainted by the
+   touched sources are dropped (Processor.invalidate_source), never the
+   whole cache — untouched sources keep their cached extents, which is
+   what makes re-querying after an evolution cost O(delta).  The journal
+   is flushed before returning so a crash immediately after an evolution
+   replays it completely. *)
+let evolve_version ?(description = "") t ~sources_touched ~repair =
+  let prev = version_name t.base_name t.version in
+  let next = version_name t.base_name (t.version + 1) in
+  let* () = repair ~prev ~next in
+  let* () =
+    if not (Repository.mem_schema t.repo next) then
+      Error
+        (Printf.sprintf "evolution repair did not register global version %s"
+           next)
+    else Ok ()
+  in
+  t.version <- t.version + 1;
+  let ev =
+    {
+      ev_index = List.length t.evols + 1;
+      ev_description = description;
+      ev_prev = prev;
+      ev_next = next;
+      ev_sources_touched = sources_touched;
+    }
+  in
+  t.evols <- ev :: t.evols;
+  List.iter (Processor.invalidate_source t.proc) sources_touched;
+  let* () = flush_journal t in
+  Ok ev
+
+let note_source_added t name =
+  if not (List.mem name t.srcs) then t.srcs <- t.srcs @ [ name ]
+
+let note_source_dropped t name =
+  t.srcs <- List.filter (fun s -> s <> name) t.srcs
 
 let integrate ?(drop_redundant = true) ?description t spec =
   let* outcome = Intersection.create t.repo spec in

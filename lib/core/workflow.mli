@@ -30,6 +30,18 @@ type iteration = {
   global_name : string;  (** the global schema version this produced *)
 }
 
+type evolution = {
+  ev_index : int;  (** 1-based evolution number *)
+  ev_description : string;
+  ev_prev : string;  (** global version the evolution started from *)
+  ev_next : string;  (** global version it produced *)
+  ev_sources_touched : string list;
+      (** source schemas whose data or shape the evolution changed —
+          exactly the ones whose cache entries were invalidated *)
+}
+(** Audit record of one live schema evolution (source churn repaired
+    into a new global version without re-running integration). *)
+
 type t
 
 val start :
@@ -58,9 +70,45 @@ val sources : t -> string list
 val global_name : t -> string
 (** Name of the current global schema version. *)
 
+val version : t -> int
+(** Number of the current global schema version ([<base>_v<version>]).
+    Advanced by both {!integrate} iterations and {!evolve_version}
+    evolutions. *)
+
 val global_schema : t -> Schema.t
 val iterations : t -> iteration list
 (** Oldest first. *)
+
+val evolve_version :
+  ?description:string ->
+  t ->
+  sources_touched:string list ->
+  repair:(prev:string -> next:string -> (unit, string) result) ->
+  (evolution, string) result
+(** One live schema evolution step.  Allocates the next global version
+    name and hands both names to [repair], which must register the new
+    version and the delta-sized pathways that define it (see
+    {!Automed_evolution.Evolution} for the canonical repairs); every
+    repository mutation it performs journals through the durable
+    observer as usual.  On success the workflow advances to the new
+    version, records the {!evolution} audit entry, invalidates exactly
+    the cache entries tainted by [sources_touched] (untouched sources
+    keep their cached extents — the incremental-repair guarantee), and
+    fsyncs the journal so a crash immediately after the evolution
+    replays it completely.  Fails without advancing the version when
+    [repair] fails or did not register the new version. *)
+
+val evolutions : t -> evolution list
+(** Oldest first. *)
+
+val note_source_added : t -> string -> unit
+(** Adds a source schema to the workflow's extensional set, so later
+    {!integrate} iterations federate it into new global versions
+    (idempotent).  Called by the evolution operations; exposed for
+    custom repairs. *)
+
+val note_source_dropped : t -> string -> unit
+(** Removes a source schema from the workflow's extensional set. *)
 
 val integrate :
   ?drop_redundant:bool ->

@@ -261,4 +261,21 @@ let describe_op payload =
       | Repository.Op_remove_schema name ->
           Printf.sprintf "remove schema %s" name
       | Repository.Op_rename_schema (old_name, new_name) ->
-          Printf.sprintf "rename schema %s -> %s" old_name new_name)
+          Printf.sprintf "rename schema %s -> %s" old_name new_name
+      | Repository.Op_add_contribution p ->
+          Printf.sprintf "evolve: contribute %s -> %s (%d steps)"
+            Automed_transform.Transform.(p.from_schema)
+            Automed_transform.Transform.(p.to_schema)
+            (List.length Automed_transform.Transform.(p.steps))
+      | Repository.Op_alter_schema (name, alter) -> (
+          let scheme = Fmt.str "%a" Automed_base.Scheme.pp in
+          match alter with
+          | Repository.Alter_add_object (o, _) ->
+              Printf.sprintf "evolve: alter %s, add object %s" name (scheme o)
+          | Repository.Alter_drop_object o ->
+              Printf.sprintf "evolve: alter %s, drop object %s" name (scheme o)
+          | Repository.Alter_rename_object (a, b) ->
+              Printf.sprintf "evolve: alter %s, rename object %s -> %s" name
+                (scheme a) (scheme b))
+      | Repository.Op_retire_source name ->
+          Printf.sprintf "evolve: retire source %s (evolved away)" name)

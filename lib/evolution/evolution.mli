@@ -1,0 +1,143 @@
+(** Live schema evolution: crash-safe source churn with incremental
+    global-schema repair.
+
+    Dataspace sources churn: new ones appear, old ones disappear, and
+    surviving ones alter their shape (tables and columns are added,
+    dropped, renamed).  Re-running the whole integration workflow after
+    every such delta would cost O(repository); this module repairs the
+    current global schema {e incrementally}, at a cost proportional to
+    the delta:
+
+    - every evolution produces global version [v(N+1)] from [vN] through
+      one delta-sized {e chain pathway} ([vN -> v(N+1)] carrying only
+      the extend/contract/rename steps of the delta) — the query
+      processor derives every untouched object of the new version
+      through the chain from the previous version's cached extents;
+    - a new (or newly added) source feeds its data through a delta-sized
+      {e contribution pathway} ({!Repository.add_contribution});
+    - pathways stranded by an alter are {e patched} in place
+      (modification propagation over the BAV step algebra: renames are
+      substituted into input positions, lost definitions degrade to
+      their [Void] certain-answer lower bound), or quarantined when no
+      patch exists;
+    - a dropped source is {e retired}, not deleted: its schema and
+      pathways stay registered (old global versions remain well-defined
+      and queryable), its extents are cleared, every data-bearing
+      pathway out of it is quarantined, and the query processor reports
+      it as an {e evolved-away} skip in degraded runs.
+
+    Every repository mutation goes through the journaled repository API,
+    so an evolution is crash-safe: a crash at any op boundary replays
+    bit-identically through {!Automed_durable.Durable.recover}.  Cache
+    invalidation is targeted at the touched sources only
+    ({!Workflow.evolve_version}), which is what makes post-evolution
+    re-querying cheap. *)
+
+module Scheme = Automed_base.Scheme
+module Schema = Automed_model.Schema
+module Value = Automed_iql.Value
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Workflow = Automed_integration.Workflow
+
+type delta =
+  | Add_source of Schema.t * (Scheme.t * Value.Bag.t) list
+      (** a new source schema with its stored extents *)
+  | Drop_source of string  (** the source evolved away *)
+  | Alter of string * Repository.schema_alter list
+      (** in-place shape changes of one source, applied in order *)
+
+type plan = {
+  pl_kind : string;  (** human description of the delta *)
+  pl_prev : string;  (** global version the evolution starts from *)
+  pl_next : string;  (** global version it produces *)
+  pl_sources_touched : string list;
+      (** sources whose cache entries are invalidated *)
+  pl_chain_steps : int;  (** steps of the delta-sized chain pathway *)
+  pl_new_contributions : int;
+  pl_pathways_patched : string list;  (** ["from -> to"] labels *)
+  pl_pathways_quarantined : string list;
+  pl_objects_added : Scheme.t list;  (** objects of the next version *)
+  pl_objects_dropped : Scheme.t list;
+  pl_objects_renamed : (Scheme.t * Scheme.t) list;
+}
+(** The impact of an evolution: what {!evolve} will (or did) change.
+    {!preview} computes it without mutating anything — the CLI's
+    [automed evolve --dry-run]. *)
+
+val pp_plan : plan Fmt.t
+
+val preview : Workflow.t -> delta -> (plan, string) result
+(** Dry run: validates the delta against the current repository state
+    and reports the repair {!plan} without performing any mutation.
+    [pl_next] shows the next version number speculatively;
+    [pl_pathways_patched] lists every pathway the repair will examine. *)
+
+val evolve :
+  ?description:string ->
+  Workflow.t ->
+  delta ->
+  (Workflow.evolution * plan, string) result
+(** Applies the delta: repairs the pathway network, registers the next
+    global version through the delta-sized chain, advances the workflow,
+    invalidates exactly the touched sources' cache entries and flushes
+    the journal.  Dispatches on the delta to {!evolve_add_source},
+    {!evolve_drop_source} or {!evolve_alter}. *)
+
+val evolve_add_source :
+  ?description:string ->
+  Workflow.t ->
+  Schema.t ->
+  extents:(Scheme.t * Value.Bag.t) list ->
+  (Workflow.evolution * plan, string) result
+(** Registers the schema and its extents, then exposes every object of
+    the new source (prefixed, [<<S:o>>]) in the next global version:
+    the chain extends the new names, one contribution pathway renames
+    the source's objects into them.  The source joins the workflow's
+    extensional set (later {!Workflow.integrate} iterations federate
+    it) and is registered with the resilience registry when one is
+    attached. *)
+
+val evolve_drop_source :
+  ?description:string ->
+  Workflow.t ->
+  string ->
+  (Workflow.evolution * plan, string) result
+(** Quarantines every data-bearing pathway out of the source, retires it
+    ({!Repository.retire_source}: schema and pathways stay, extents are
+    cleared), marks it evolved in the resilience registry, and contracts
+    its prefixed objects out of the next global version.  Old versions
+    keep the objects with [Void] certain answers; degraded runs report
+    the source as evolved away (a distinct skip kind in lineage and
+    completeness). *)
+
+val evolve_alter :
+  ?description:string ->
+  Workflow.t ->
+  string ->
+  Repository.schema_alter list ->
+  (Workflow.evolution * plan, string) result
+(** Applies the alters to the source schema (extents re-key/drop along),
+    patches every pathway out of the source (quarantining any the
+    repository re-validation still rejects), and builds the next global
+    version: added objects are extended into it (fed by a new
+    delta-sized contribution), dropped ones contracted out, renamed ones
+    renamed along the chain. *)
+
+(** {1 Modification-propagation internals}
+
+    Exposed for tests and for custom repairs through
+    {!Workflow.evolve_version}. *)
+
+val subst_inputs :
+  from_:Scheme.t -> to_:Scheme.t -> Transform.prim list -> Transform.prim list
+(** Substitutes a source-side rename into the input positions of a step
+    sequence (queries, consumed slots, delete/contract subjects) while
+    leaving introduced target-side names untouched. *)
+
+val patch_steps :
+  Schema.t -> Transform.prim list -> Transform.prim list * Schema.t
+(** Tolerant replay against an evolved source schema: steps that no
+    longer work degrade to their best information-preserving repair
+    ([Void] lower bounds) or are dropped.  Returns the repaired steps
+    and the derived final state. *)

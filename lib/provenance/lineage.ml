@@ -29,13 +29,25 @@ end)
 module SS = Set.Make (String)
 module IS = Set.Make (Int)
 
-type t = { la : ASet.t; lh : HSet.t; lsk : SS.t; lsp : IS.t }
+(* [lsk] records sources skipped because they were faulty or breaker-open;
+   [lev] records sources skipped because they evolved away (dropped by a
+   live schema evolution).  The two are distinct skip-marker kinds: a
+   faulty source may come back and the answer may then grow, an
+   evolved-away source will not. *)
+type t = { la : ASet.t; lh : HSet.t; lsk : SS.t; lev : SS.t; lsp : IS.t }
 
-let empty = { la = ASet.empty; lh = HSet.empty; lsk = SS.empty; lsp = IS.empty }
+let empty =
+  {
+    la = ASet.empty;
+    lh = HSet.empty;
+    lsk = SS.empty;
+    lev = SS.empty;
+    lsp = IS.empty;
+  }
 
 let is_empty t =
   ASet.is_empty t.la && HSet.is_empty t.lh && SS.is_empty t.lsk
-  && IS.is_empty t.lsp
+  && SS.is_empty t.lev && IS.is_empty t.lsp
 
 let atom ?span ~source extent =
   {
@@ -45,6 +57,7 @@ let atom ?span ~source extent =
   }
 
 let skip source = { empty with lsk = SS.singleton source }
+let skip_evolved source = { empty with lev = SS.singleton source }
 
 let union a b =
   if is_empty a then b
@@ -54,26 +67,29 @@ let union a b =
       la = ASet.union a.la b.la;
       lh = HSet.union a.lh b.lh;
       lsk = SS.union a.lsk b.lsk;
+      lev = SS.union a.lev b.lev;
       lsp = IS.union a.lsp b.lsp;
     }
 
 let add_hop h t = { t with lh = HSet.add h t.lh }
 let add_span id t = { t with lsp = IS.add id t.lsp }
-let only_skips t = { empty with lsk = t.lsk }
+let only_skips t = { empty with lsk = t.lsk; lev = t.lev }
 let atoms t = ASet.elements t.la
 let hops t = HSet.elements t.lh
-let skipped t = SS.elements t.lsk
+let skipped t = SS.elements (SS.union t.lsk t.lev)
+let skipped_faulty t = SS.elements t.lsk
+let skipped_evolved t = SS.elements t.lev
 let spans t = IS.elements t.lsp
 
 let sources t =
   SS.elements (ASet.fold (fun a acc -> SS.add a.source acc) t.la SS.empty)
 
 let cites_source s t = ASet.exists (fun a -> String.equal a.source s) t.la
-let cites_skip s t = SS.mem s t.lsk
+let cites_skip s t = SS.mem s t.lsk || SS.mem s t.lev
 
 let equal a b =
   ASet.equal a.la b.la && HSet.equal a.lh b.lh && SS.equal a.lsk b.lsk
-  && IS.equal a.lsp b.lsp
+  && SS.equal a.lev b.lev && IS.equal a.lsp b.lsp
 
 let compare a b =
   match ASet.compare a.la b.la with
@@ -81,7 +97,10 @@ let compare a b =
       match HSet.compare a.lh b.lh with
       | 0 -> (
           match SS.compare a.lsk b.lsk with
-          | 0 -> IS.compare a.lsp b.lsp
+          | 0 -> (
+              match SS.compare a.lev b.lev with
+              | 0 -> IS.compare a.lsp b.lsp
+              | c -> c)
           | c -> c)
       | c -> c)
   | c -> c
@@ -101,9 +120,12 @@ let pp ppf t =
   (match spans t with
   | [] -> ()
   | ids -> Fmt.pf ppf " spans %a" Fmt.(list ~sep:comma int) ids);
-  match skipped t with
+  (match skipped_faulty t with
   | [] -> ()
-  | ss -> Fmt.pf ppf " (skipped: %a)" Fmt.(list ~sep:comma string) ss
+  | ss -> Fmt.pf ppf " (skipped: %a)" Fmt.(list ~sep:comma string) ss);
+  match skipped_evolved t with
+  | [] -> ()
+  | ss -> Fmt.pf ppf " (evolved away: %a)" Fmt.(list ~sep:comma string) ss
 
 (* -- canonical JSON ------------------------------------------------------- *)
 
@@ -141,7 +163,13 @@ let to_json t =
     (fun i s ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b (J.escape s))
-    (skipped t);
+    (skipped_faulty t);
+  Buffer.add_string b "],\"evolved\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (J.escape s))
+    (skipped_evolved t);
   Buffer.add_string b "]}";
   Buffer.contents b
 

@@ -55,7 +55,12 @@ val atom : ?span:int -> source:string -> Scheme.t -> t
 
 val skip : string -> t
 (** A lineage recording that the named source was skipped by a degraded
-    run and could have contributed. *)
+    run (faulty or breaker-open) and could have contributed. *)
+
+val skip_evolved : string -> t
+(** The second skip-marker kind: the named source {e evolved away} (was
+    dropped by a live schema evolution).  Unlike a faulty skip, the
+    missing support is permanent — the source will not come back. *)
 
 val union : t -> t -> t
 val add_hop : hop -> t -> t
@@ -70,14 +75,21 @@ val atoms : t -> atom list
 (** Sorted, distinct. *)
 
 val hops : t -> hop list
+
 val skipped : t -> string list
+(** All skipped sources, of either kind. *)
+
+val skipped_faulty : t -> string list
+val skipped_evolved : t -> string list
 val spans : t -> int list
 
 val sources : t -> string list
 (** Distinct source schemas cited by the atoms, sorted. *)
 
 val cites_source : string -> t -> bool
+
 val cites_skip : string -> t -> bool
+(** True for a skip marker of either kind. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
@@ -88,7 +100,7 @@ val pp : t Fmt.t
 
 val to_json : t -> string
 (** Canonical JSON object:
-    [{"atoms":[{"source":..,"extent":..}..],"pathways":[..],"spans":[..],"skipped":[..]}]. *)
+    [{"atoms":[{"source":..,"extent":..}..],"pathways":[..],"spans":[..],"skipped":[..],"evolved":[..]}]. *)
 
 (** {1 Tamper evidence}
 

@@ -94,8 +94,11 @@ type t = {
   mutable visiting : string list; (* schemas on the derivation stack *)
   mutable degraded : bool; (* soften source failures into skips *)
   mutable frames : frame list; (* innermost first *)
-  mutable run_skipped : (string * string) list; (* source, reason; newest first *)
+  mutable run_skipped : (string * string * skip_kind) list;
+      (* source, reason, kind; newest first *)
 }
+
+and skip_kind = Skip_faulty | Skip_evolved
 
 let create ?resilience ?(simplify = true) repo =
   {
@@ -122,6 +125,14 @@ let invalidate t =
   t.visiting <- [];
   t.frames <- []
 
+(* Targeted churn invalidation: exactly the entries tainted by [source]
+   are dropped from all three caches — extent bags and provenance twins
+   whose contributing-source sets cite it, and pathway-info records of
+   pathways that start or end at it (an evolution alters the source's
+   shape or replaces those pathways, so their simplification, live set
+   and certificate are stale).  Entries of untouched sources survive;
+   the emitted counters let tests pin both directions (no stale hits,
+   no over-invalidation). *)
 let invalidate_source t source =
   let doomed =
     EH.fold
@@ -136,7 +147,21 @@ let invalidate_source t source =
         if schema = source || SS.mem source srcs then key :: acc else acc)
       t.pcache []
   in
-  List.iter (EH.remove t.pcache) doomed_p
+  List.iter (EH.remove t.pcache) doomed_p;
+  let doomed_i =
+    Hashtbl.fold
+      (fun (p : Transform.pathway) _ acc ->
+        if p.from_schema = source || p.to_schema = source then p :: acc
+        else acc)
+      t.pinfo []
+  in
+  List.iter (Hashtbl.remove t.pinfo) doomed_i;
+  if Telemetry.active () then begin
+    Telemetry.count ~by:(List.length doomed) "processor.invalidated.extents";
+    Telemetry.count ~by:(List.length doomed_p)
+      "processor.invalidated.provenance";
+    Telemetry.count ~by:(List.length doomed_i) "processor.invalidated.pinfo"
+  end
 
 (* -- provenance frames --------------------------------------------------- *)
 
@@ -160,10 +185,10 @@ let note_sources t ss =
   | [] -> ()
   | f :: _ -> f.srcs <- SS.union f.srcs ss
 
-let note_skip t source reason =
+let note_skip ?(kind = Skip_faulty) t source reason =
   (match t.frames with [] -> () | f :: _ -> f.tainted <- true);
-  if not (List.mem_assoc source t.run_skipped) then
-    t.run_skipped <- (source, reason) :: t.run_skipped
+  if not (List.exists (fun (s, _, _) -> s = source) t.run_skipped) then
+    t.run_skipped <- (source, reason, kind) :: t.run_skipped
 
 (* Derive, for each object of [p.to_schema], its defining expression over
    the objects of [p.from_schema], by symbolically replaying the pathway. *)
@@ -345,7 +370,7 @@ let rec extent_exn t ~schema o =
    becomes a recorded skip (contributing nothing); otherwise it is a
    query error. *)
 and fetch_stored t ~schema o :
-    [ `Stored of Value.Bag.t | `Absent | `Skipped of string ] =
+    [ `Stored of Value.Bag.t | `Absent | `Skipped of string * skip_kind ] =
   let fetch () = Repository.stored_extent t.repo ~schema o in
   let classify = function
     | Some b ->
@@ -353,6 +378,19 @@ and fetch_stored t ~schema o :
         `Stored b
     | None -> `Absent
   in
+  if Repository.retired t.repo schema then
+    (* evolved away: permanent, so no retries and no breaker involvement *)
+    let reason = "source evolved away" in
+    if t.degraded then begin
+      Telemetry.count "source.skipped";
+      Telemetry.count "source.skipped_evolved";
+      if Telemetry.active () then Telemetry.annotate "evolved" schema;
+      note_skip ~kind:Skip_evolved t schema reason;
+      `Skipped (reason, Skip_evolved)
+    end
+    else
+      err "source %s evolved away (retired by schema evolution)" schema
+  else
   match t.resilience with
   | Some r when Resilience.covers r schema -> (
       match Resilience.call r ~source:schema fetch with
@@ -363,7 +401,7 @@ and fetch_stored t ~schema o :
             Telemetry.count "source.skipped";
             if Telemetry.active () then Telemetry.annotate "skipped" schema;
             note_skip t schema reason;
-            `Skipped reason
+            `Skipped (reason, Skip_faulty)
           end
           else err "%s" reason)
   | _ -> classify (fetch ())
@@ -392,6 +430,11 @@ and compute_extent t ~schema o =
   let from_pathways =
     List.filter_map
       (fun (p : Transform.pathway) ->
+        (* a contribution that used to flow from an evolved-away source:
+           the quarantined pathway yields nothing, but a degraded run
+           must account for the support the answer can no longer have *)
+        if t.degraded && Repository.retired t.repo p.from_schema then
+          note_skip ~kind:Skip_evolved t p.from_schema "source evolved away";
         let info = pathway_info t p in
         match info.live with
         | Some live when not (Scheme.Set.mem o live) ->
@@ -484,22 +527,38 @@ and compute_extent_av t ~schema o =
         in
         (List.map (fun (v, n) -> { Peval.v; n; lin }) b, lin)
     | `Absent -> ([], Lineage.empty)
-    | `Skipped _reason -> ([], Lineage.skip schema)
+    | `Skipped (_reason, Skip_faulty) -> ([], Lineage.skip schema)
+    | `Skipped (_reason, Skip_evolved) -> ([], Lineage.skip_evolved schema)
   in
   let contribs =
     List.filter_map
       (fun (p : Transform.pathway) ->
+        let evolved_from =
+          t.degraded && Repository.retired t.repo p.from_schema
+        in
+        if evolved_from then
+          note_skip ~kind:Skip_evolved t p.from_schema "source evolved away";
         let info = pathway_info t p in
         match info.live with
         | Some live when not (Scheme.Set.mem o live) ->
             Telemetry.count "processor.pathways_pruned";
-            None
+            if evolved_from then
+              Some ([], Lineage.skip_evolved p.from_schema)
+            else None
         | _ -> (
             let defs = defs_of_pathway t.repo info.simplified in
             match Scheme.Map.find_opt o defs with
-            | None -> None
+            | None ->
+                if evolved_from then
+                  Some ([], Lineage.skip_evolved p.from_schema)
+                else None
             | Some e ->
                 let es, amb = eval_over_av t ~schema:p.from_schema e in
+                let amb =
+                  if evolved_from then
+                    Lineage.union amb (Lineage.skip_evolved p.from_schema)
+                  else amb
+                in
                 let hop = hop_of p info in
                 Some
                   ( List.map
@@ -636,6 +695,7 @@ type completeness = {
   complete : bool;
   sources_ok : string list;
   sources_skipped : (string * string) list;
+  sources_evolved : string list;
   retries : int;
   breaker_opens : int;
   short_circuits : int;
@@ -653,7 +713,9 @@ let pp_completeness ppf c =
   | ok -> Fmt.pf ppf "@\n  ok: %s" (String.concat ", " ok));
   List.iter
     (fun (s, reason) ->
-      Fmt.pf ppf "@\n  skipped: %s (%s)" s reason;
+      if List.mem s c.sources_evolved then
+        Fmt.pf ppf "@\n  evolved away: %s" s
+      else Fmt.pf ppf "@\n  skipped: %s (%s)" s reason;
       match List.assoc_opt s c.source_impact with
       | Some n -> Fmt.pf ppf " — could have affected %d answer tuple%s" n
                     (if n = 1 then "" else "s")
@@ -689,7 +751,11 @@ let degraded_scope t f =
     {
       complete = skipped = [];
       sources_ok = SS.elements root.srcs;
-      sources_skipped = skipped;
+      sources_skipped = List.map (fun (s, r, _) -> (s, r)) skipped;
+      sources_evolved =
+        List.filter_map
+          (fun (s, _, k) -> if k = Skip_evolved then Some s else None)
+          skipped;
       retries = after.Resilience.retries - before.Resilience.retries;
       breaker_opens =
         after.Resilience.breaker_opens - before.Resilience.breaker_opens;

@@ -71,10 +71,18 @@ val invalidate : t -> unit
 
 val invalidate_source : t -> string -> unit
 (** Drops every cache entry that incorporates data from the given source
-    schema (directly or through derivation), so a recovered or refreshed
-    source is re-fetched on the next query.  Partial bags computed while
-    a source was skipped are never cached in the first place, so this is
-    only needed after the source's {e data} changed. *)
+    schema (directly or through derivation) — extent bags, provenance
+    twins, and the memoised analysis (simplification, live set,
+    certificate) of pathways that start or end at the source — so a
+    recovered, refreshed or {e evolved} source is re-analysed and
+    re-fetched on the next query, while entries of untouched sources
+    stay cached.  Partial bags computed while a source was skipped are
+    never cached in the first place, so this is only needed after the
+    source's data or shape changed.  Emits the counters
+    [processor.invalidated.extents], [processor.invalidated.provenance]
+    and [processor.invalidated.pinfo] with the number of entries
+    dropped (the cache-hygiene regression tests pin both directions on
+    these). *)
 
 type error = {
   message : string;
@@ -156,8 +164,14 @@ type completeness = {
           during this run or served from complete cached extents),
           sorted *)
   sources_skipped : (string * string) list;
-      (** sources that exhausted their resilience policy, with the
-          reason; such sources contribute nothing to the answer *)
+      (** sources that contributed nothing to the answer, with the
+          reason: faulty ones that exhausted their resilience policy,
+          and evolved-away ones (see [sources_evolved]) *)
+  sources_evolved : string list;
+      (** the subset of skipped sources that were not faulty but
+          {e evolved away} — retired by a live schema evolution.  Their
+          absence is permanent: re-running will not recover their
+          contribution, unlike a faulty skip. *)
   retries : int;  (** resilience retries spent during this run *)
   breaker_opens : int;  (** breaker trips during this run *)
   short_circuits : int;  (** fetches rejected by an open breaker *)

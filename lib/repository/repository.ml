@@ -1,9 +1,11 @@
 module Scheme = Automed_base.Scheme
 module Schema = Automed_model.Schema
 module Transform = Automed_transform.Transform
+module Types = Automed_iql.Types
 module Value = Automed_iql.Value
 module Telemetry = Automed_telemetry.Telemetry
 module SM = Map.Make (String)
+module SSet = Set.Make (String)
 
 type extent_key = string * Scheme.t
 
@@ -18,17 +20,27 @@ module EM = Map.Make (EK)
 
 type validator = Schema.t -> Transform.pathway -> (unit, string) result
 
+type schema_alter =
+  | Alter_add_object of Scheme.t * Types.ty option
+  | Alter_drop_object of Scheme.t
+  | Alter_rename_object of Scheme.t * Scheme.t
+
 type op =
   | Op_add_schema of Schema.t
   | Op_add_pathway of Transform.pathway
+  | Op_add_contribution of Transform.pathway
   | Op_replace_pathway of Transform.pathway * Transform.pathway
   | Op_set_extent of string * Scheme.t * Value.Bag.t
   | Op_remove_schema of string
   | Op_rename_schema of string * string
+  | Op_alter_schema of string * schema_alter
+  | Op_retire_source of string
 
 type t = {
   mutable schemas : Schema.t SM.t;
   mutable pathways : Transform.pathway list; (* reverse insertion order *)
+  mutable contribs : Transform.pathway list; (* subset of pathways *)
+  mutable retired : SSet.t;
   mutable extents : Value.Bag.t EM.t;
   mutable validator : validator option;
   mutable observer : (op -> unit) option;
@@ -38,6 +50,8 @@ let create () =
   {
     schemas = SM.empty;
     pathways = [];
+    contribs = [];
+    retired = SSet.empty;
     extents = EM.empty;
     validator = None;
     observer = None;
@@ -82,6 +96,7 @@ let remove_schema t name =
   else begin
     t.schemas <- SM.remove name t.schemas;
     t.extents <- EM.filter (fun (s, _) _ -> s <> name) t.extents;
+    t.retired <- SSet.remove name t.retired;
     notify t (Op_remove_schema name);
     Ok ()
   end
@@ -106,6 +121,8 @@ let rename_schema t name new_name =
             (fun (s', o) bag acc ->
               EM.add ((if s' = name then new_name else s'), o) bag acc)
             t.extents EM.empty;
+        if SSet.mem name t.retired then
+          t.retired <- SSet.add new_name (SSet.remove name t.retired);
         notify t (Op_rename_schema (name, new_name));
         Ok ()
       end
@@ -137,6 +154,48 @@ let add_pathway t (p : Transform.pathway) =
       notify t (Op_add_pathway p);
       Ok ()
 
+let is_contribution t p = List.exists (fun q -> q = p) t.contribs
+let contributions t = List.rev t.contribs
+
+(* A contribution feeds a subset of an existing schema's objects: the
+   derived object set must be contained in the registered target rather
+   than equal to it.  This is the delta-sized way to wire an evolved-in
+   source into an already-built global schema — the alternative, a full
+   pathway, must enumerate a trivial extend for every other object of
+   the target, which is proportional to repository size. *)
+let add_contribution t (p : Transform.pathway) =
+  match schema t p.from_schema with
+  | None -> err "contribution source schema %s is not registered" p.from_schema
+  | Some src -> (
+      match schema t p.to_schema with
+      | None ->
+          err "contribution target schema %s is not registered" p.to_schema
+      | Some target ->
+          let* () = Transform.well_formed src p in
+          let* () =
+            match t.validator with None -> Ok () | Some f -> f src p
+          in
+          let* derived = Transform.apply src p in
+          let stray =
+            List.filter
+              (fun o -> not (Schema.mem o target))
+              (Schema.objects derived)
+          in
+          let* () =
+            match stray with
+            | [] -> Ok ()
+            | o :: _ ->
+                err
+                  "contribution into %s derives %s, which the registered \
+                   schema does not contain"
+                  p.to_schema (Scheme.to_string o)
+          in
+          t.pathways <- p :: t.pathways;
+          t.contribs <- p :: t.contribs;
+          Telemetry.count "repository.contributions_registered";
+          notify t (Op_add_contribution p);
+          Ok ())
+
 let replace_pathway t ~old:(p_old : Transform.pathway) (p_new : Transform.pathway) =
   if
     p_old.from_schema <> p_new.from_schema || p_old.to_schema <> p_new.to_schema
@@ -155,11 +214,20 @@ let replace_pathway t ~old:(p_old : Transform.pathway) (p_new : Transform.pathwa
           match t.validator with None -> Ok () | Some f -> f src p_new
         in
         let* derived = Transform.apply src p_new in
+        let contribution = is_contribution t p_old in
         let* () =
           match schema t p_new.to_schema with
           | None -> err "pathway target schema %s vanished" p_new.to_schema
           | Some existing ->
-              if Schema.same_objects existing derived then Ok ()
+              let agrees =
+                if contribution then
+                  (* contributions keep the weaker subset agreement *)
+                  List.for_all
+                    (fun o -> Schema.mem o existing)
+                    (Schema.objects derived)
+                else Schema.same_objects existing derived
+              in
+              if agrees then Ok ()
               else
                 err
                   "replacement pathway into %s produces a schema that \
@@ -177,9 +245,39 @@ let replace_pathway t ~old:(p_old : Transform.pathway) (p_new : Transform.pathwa
               end
               else q)
             t.pathways;
+        if contribution then begin
+          let swapped = ref false in
+          t.contribs <-
+            List.map
+              (fun q ->
+                if (not !swapped) && q = p_old then begin
+                  swapped := true;
+                  p_new
+                end
+                else q)
+              t.contribs
+        end;
         Telemetry.count "repository.pathways_replaced";
         notify t (Op_replace_pathway (p_old, p_new));
         Ok ()
+
+(* Trusted registration for state loading.  A saved state records
+   pathways that were live when it was written — including ones a raw
+   {!alter_schema} had already stranded (the [stranded-pathway] lint
+   repairs those after recovery).  Re-running replay validation here
+   would turn such a checkpoint into a hard load error, losing the whole
+   store, so only the endpoints are required to exist. *)
+let restore_pathway t ~contribution (p : Transform.pathway) =
+  match (schema t p.from_schema, schema t p.to_schema) with
+  | None, _ -> err "pathway source schema %s is not registered" p.from_schema
+  | _, None -> err "pathway target schema %s is not registered" p.to_schema
+  | Some _, Some _ ->
+      t.pathways <- p :: t.pathways;
+      if contribution then t.contribs <- p :: t.contribs;
+      Telemetry.count "repository.pathways_restored";
+      notify t
+        (if contribution then Op_add_contribution p else Op_add_pathway p);
+      Ok ()
 
 let derive_schema t p =
   let* () = add_pathway t p in
@@ -266,6 +364,52 @@ let set_extent t ~schema:name obj bag =
         notify t (Op_set_extent (name, obj, bag));
         Ok ()
       end
+
+(* Unlike [remove_schema]/[rename_schema], altering is allowed while
+   pathways still reference the schema: that is exactly the live-evolution
+   scenario.  Pathways stranded by the change are the evolution layer's
+   (and the linter's stranded-pathway rule's) responsibility to repair. *)
+let alter_schema t name alter =
+  match schema t name with
+  | None -> err "no schema %s" name
+  | Some s ->
+      let* s' =
+        match alter with
+        | Alter_add_object (o, extent_ty) -> Schema.add_object ?extent_ty o s
+        | Alter_drop_object o -> Schema.remove_object o s
+        | Alter_rename_object (a, b) -> Schema.rename_object a b s
+      in
+      t.schemas <- SM.add name s' t.schemas;
+      (match alter with
+      | Alter_add_object _ -> ()
+      | Alter_drop_object o -> t.extents <- EM.remove (name, o) t.extents
+      | Alter_rename_object (a, b) -> (
+          match EM.find_opt (name, a) t.extents with
+          | None -> ()
+          | Some bag ->
+              t.extents <- EM.add (name, b) bag (EM.remove (name, a) t.extents)));
+      Telemetry.count "repository.schemas_altered";
+      notify t (Op_alter_schema (name, alter));
+      Ok ()
+
+(* Retiring tombstones an evolved-away source: the schema and its
+   pathways stay (so old global-schema versions remain well-defined and
+   the network keeps its shape) but the stored extents are dropped and
+   the processor refuses to fetch from it — in degraded mode the refusal
+   becomes an "evolved away" skip marker rather than a fault. *)
+let retire_source t name =
+  if not (SM.mem name t.schemas) then err "no schema %s" name
+  else if SSet.mem name t.retired then err "schema %s is already retired" name
+  else begin
+    t.retired <- SSet.add name t.retired;
+    t.extents <- EM.filter (fun (s, _) _ -> s <> name) t.extents;
+    Telemetry.count "repository.sources_retired";
+    notify t (Op_retire_source name);
+    Ok ()
+  end
+
+let retired t name = SSet.mem name t.retired
+let retired_sources t = SSet.elements t.retired
 
 let stored_extent t ~schema:name obj = EM.find_opt (name, obj) t.extents
 

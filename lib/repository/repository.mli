@@ -28,14 +28,26 @@ val set_validator : t -> validator option -> unit
 
 val validator : t -> validator option
 
+type schema_alter =
+  | Alter_add_object of Scheme.t * Automed_iql.Types.ty option
+  | Alter_drop_object of Scheme.t
+  | Alter_rename_object of Scheme.t * Scheme.t
+      (** One shape change to a registered schema: the repository-level
+          vocabulary of live source evolution (a table or attribute
+          added, dropped, or renamed mid-lifetime). *)
+
 type op =
   | Op_add_schema of Schema.t
   | Op_add_pathway of Transform.pathway
+  | Op_add_contribution of Transform.pathway
+      (** like [Op_add_pathway] but admitted with subset target agreement *)
   | Op_replace_pathway of Transform.pathway * Transform.pathway
       (** old pathway, new pathway (same endpoints, same position) *)
   | Op_set_extent of string * Scheme.t * Value.Bag.t
   | Op_remove_schema of string
   | Op_rename_schema of string * string
+  | Op_alter_schema of string * schema_alter
+  | Op_retire_source of string
       (** A committed repository mutation, in the vocabulary of the
           public API.  [Op_add_pathway] implies the derived target schema
           (replaying {!add_pathway} re-derives it), so the op stream is a
@@ -77,15 +89,62 @@ val add_pathway : t -> Transform.pathway -> (unit, string) result
     if it is registered, its object set must agree with the application
     result. *)
 
+val add_contribution : t -> Transform.pathway -> (unit, string) result
+(** Registers a pathway that {e feeds} an existing target schema rather
+    than defining it: both endpoint schemas must already be registered,
+    and the object set derived by applying the pathway must be a subset
+    of the target's (instead of {!add_pathway}'s exact agreement).  This
+    is the delta-sized building block of schema evolution — wiring a new
+    or grown source into an already-built global schema without
+    enumerating a trivial extend for every other object.  Contributions
+    participate in reformulation and network search exactly like
+    ordinary pathways. *)
+
+val is_contribution : t -> Transform.pathway -> bool
+val contributions : t -> Transform.pathway list
+(** Contributions in insertion order. *)
+
 val replace_pathway :
   t -> old:Transform.pathway -> Transform.pathway -> (unit, string) result
 (** [replace_pathway t ~old p] swaps a stored pathway (matched
     structurally) for a replacement with the same endpoints, keeping its
     position in the network-search order.  The replacement runs the same
     admission checks as {!add_pathway} (well-formedness, validation gate,
-    target-schema agreement) and notifies the observer with
-    [Op_replace_pathway], so a write-ahead journal records the change —
-    this is how the lint autofixer commits certified simplifications. *)
+    target-schema agreement — or subset agreement when [old] is a
+    contribution, in which case the replacement stays a contribution)
+    and notifies the observer with [Op_replace_pathway], so a
+    write-ahead journal records the change — this is how the lint
+    autofixer commits certified simplifications and how evolution
+    quarantines stranded pathways. *)
+
+val restore_pathway :
+  t -> contribution:bool -> Transform.pathway -> (unit, string) result
+(** Trusted registration used by state loading ({!Serialize.load}) when
+    the checked {!add_pathway}/{!add_contribution} admission fails: a
+    saved state records pathways that were live when written, including
+    ones a raw {!alter_schema} had already stranded, and re-validation
+    must not turn such a state into an unrecoverable load error.  Only
+    the endpoint schemas are required to exist; the [stranded-pathway]
+    lint flags (and [lint --fix] quarantines) anything that no longer
+    replays. *)
+
+val alter_schema : t -> string -> schema_alter -> (unit, string) result
+(** Applies one shape change to a registered schema in place, re-keying
+    or dropping stored extents as needed.  Deliberately permitted while
+    pathways reference the schema (that is the live-evolution scenario);
+    pathways stranded by the change are repaired by the evolution layer
+    or flagged by the linter's [stranded-pathway] rule. *)
+
+val retire_source : t -> string -> (unit, string) result
+(** Tombstones an evolved-away source: keeps the schema and its pathways
+    (old global-schema versions stay well-defined) but drops its stored
+    extents and marks it so the processor reports "source evolved away"
+    instead of fetching.  Fails if the schema is unknown or already
+    retired. *)
+
+val retired : t -> string -> bool
+val retired_sources : t -> string list
+(** Sorted. *)
 
 val derive_schema : t -> Transform.pathway -> (Schema.t, string) result
 (** [add_pathway] followed by looking up the target. *)

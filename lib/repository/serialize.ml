@@ -82,17 +82,44 @@ let render_step buf (step : Transform.prim) =
   Buffer.add_string buf (line step);
   Buffer.add_char buf '\n'
 
-let render_pathway buf (p : Transform.pathway) =
+let render_pathway ?(head = "pathway") buf (p : Transform.pathway) =
   Buffer.add_string buf
-    (Printf.sprintf "pathway %s -> %s\n" (quote p.Transform.from_schema)
+    (Printf.sprintf "%s %s -> %s\n" head (quote p.Transform.from_schema)
        (quote p.Transform.to_schema));
   List.iter (render_step buf) p.Transform.steps;
   Buffer.add_string buf "end\n"
 
+let render_alter buf name (alter : Repository.schema_alter) =
+  let line =
+    match alter with
+    | Repository.Alter_add_object (o, Some ty) ->
+        Printf.sprintf "alter %s add %s : %s" (quote name) (Scheme.to_string o)
+          (Types.to_string ty)
+    | Repository.Alter_add_object (o, None) ->
+        Printf.sprintf "alter %s add %s" (quote name) (Scheme.to_string o)
+    | Repository.Alter_drop_object o ->
+        Printf.sprintf "alter %s drop %s" (quote name) (Scheme.to_string o)
+    | Repository.Alter_rename_object (a, b) ->
+        Printf.sprintf "alter %s rename %s := %s" (quote name)
+          (Scheme.to_string a) (Scheme.to_string b)
+  in
+  Buffer.add_string buf line;
+  Buffer.add_char buf '\n'
+
 let save ?(extents = false) repo =
   let buf = Buffer.create 4096 in
   List.iter (render_schema buf) (Repository.schemas repo);
-  List.iter (render_pathway buf) (Repository.pathways repo);
+  List.iter
+    (fun p ->
+      if not (Repository.is_contribution repo p) then render_pathway buf p)
+    (Repository.pathways repo);
+  List.iter
+    (render_pathway ~head:"contribution" buf)
+    (Repository.contributions repo);
+  List.iter
+    (fun name ->
+      Buffer.add_string buf (Printf.sprintf "retire %s\n" (quote name)))
+    (Repository.retired_sources repo);
   if extents then
     List.iter
       (fun s ->
@@ -237,10 +264,30 @@ let parse_extent_payload payload =
       Ok (Value.Bag.of_list (List.rev values))
   | _ -> err "extent payload must be a bag literal"
 
+let parse_alter_payload rest =
+  let* name, rest = scan_quoted rest in
+  match split_on_first " " (String.trim rest) with
+  | Some ("add", obj_text) ->
+      let* scheme, extent_ty = parse_object_line obj_text in
+      Ok (name, Repository.Alter_add_object (scheme, extent_ty))
+  | Some ("drop", obj_text) ->
+      let* scheme = Scheme.of_string (String.trim obj_text) in
+      Ok (name, Repository.Alter_drop_object scheme)
+  | Some ("rename", obj_text) -> (
+      match split_on_first " := " obj_text with
+      | None -> err "malformed alter rename record"
+      | Some (a_text, b_text) ->
+          let* a = Scheme.of_string (String.trim a_text) in
+          let* b = Scheme.of_string (String.trim b_text) in
+          Ok (name, Repository.Alter_rename_object (a, b)))
+  | _ -> err "malformed alter record: %S" rest
+
 type parse_state = {
   repo : Repository.t;
   mutable current_schema : Schema.t option;
-  mutable current_pathway : (string * string * Transform.prim list) option;
+  mutable current_pathway :
+    (string * string * Transform.prim list * bool) option;
+      (* from, to, reversed steps, is-contribution *)
 }
 
 let flush_schema st =
@@ -260,17 +307,29 @@ let load text =
     if line = "" then Ok ()
     else
       match (st.current_pathway, split_on_first " " line) with
-      | Some (from_s, to_s, steps), _ when line = "end" ->
+      | Some (from_s, to_s, steps, contrib), _ when line = "end" ->
           st.current_pathway <- None;
-          Repository.add_pathway st.repo
+          let p =
             {
               Transform.from_schema = from_s;
               to_schema = to_s;
               steps = List.rev steps;
             }
-      | Some (from_s, to_s, steps), Some ("step", rest) ->
+          in
+          (* a stranded-but-live pathway (raw alter under it) must not
+             make the whole state unloadable: fall back to the trusted
+             restore and let the stranded-pathway lint repair it *)
+          let checked =
+            if contrib then Repository.add_contribution st.repo p
+            else Repository.add_pathway st.repo p
+          in
+          (match checked with
+          | Ok () -> Ok ()
+          | Error _ ->
+              Repository.restore_pathway st.repo ~contribution:contrib p)
+      | Some (from_s, to_s, steps, contrib), Some ("step", rest) ->
           let* step = parse_step rest in
-          st.current_pathway <- Some (from_s, to_s, step :: steps);
+          st.current_pathway <- Some (from_s, to_s, step :: steps, contrib);
           Ok ()
       | Some _, _ -> err "line %d: expected a step or 'end'" line_no
       | None, Some ("schema", rest) ->
@@ -286,16 +345,25 @@ let load text =
               let* s' = Schema.add_object ?extent_ty scheme s in
               st.current_schema <- Some s';
               Ok ())
-      | None, Some ("pathway", rest) ->
+      | None, Some (("pathway" | "contribution") as head, rest) ->
           let* () = flush_schema st in
           let* from_s, rest = scan_quoted rest in
           let rest = String.trim rest in
           if not (String.length rest >= 2 && String.sub rest 0 2 = "->") then
-            err "line %d: malformed pathway header" line_no
+            err "line %d: malformed %s header" line_no head
           else
             let* to_s = unquote (String.sub rest 2 (String.length rest - 2)) in
-            st.current_pathway <- Some (from_s, to_s, []);
+            st.current_pathway <-
+              Some (from_s, to_s, [], head = "contribution");
             Ok ()
+      | None, Some ("retire", rest) ->
+          let* () = flush_schema st in
+          let* name = unquote rest in
+          Repository.retire_source st.repo name
+      | None, Some ("alter", rest) ->
+          let* () = flush_schema st in
+          let* name, alter = parse_alter_payload rest in
+          Repository.alter_schema st.repo name alter
       | None, Some ("extent", rest) -> (
           let* () = flush_schema st in
           match split_on_first " := " rest with
@@ -327,6 +395,11 @@ let save_op (op : Repository.op) =
   (match op with
   | Repository.Op_add_schema s -> render_schema buf s
   | Repository.Op_add_pathway p -> render_pathway buf p
+  | Repository.Op_add_contribution p ->
+      render_pathway ~head:"contribution" buf p
+  | Repository.Op_alter_schema (name, alter) -> render_alter buf name alter
+  | Repository.Op_retire_source name ->
+      Buffer.add_string buf (Printf.sprintf "retire %s\n" (quote name))
   | Repository.Op_replace_pathway (p_old, p_new) ->
       Buffer.add_string buf
         (Printf.sprintf "replace pathway %s -> %s\n"
@@ -397,6 +470,15 @@ let load_op text =
       | Some ("pathway", hdr) ->
           let* p = parse_pathway_block hdr rest in
           Ok (Repository.Op_add_pathway p)
+      | Some ("contribution", hdr) ->
+          let* p = parse_pathway_block hdr rest in
+          Ok (Repository.Op_add_contribution p)
+      | Some ("alter", rest_line) when rest = [] ->
+          let* name, alter = parse_alter_payload rest_line in
+          Ok (Repository.Op_alter_schema (name, alter))
+      | Some ("retire", rest_line) when rest = [] ->
+          let* name = unquote rest_line in
+          Ok (Repository.Op_retire_source name)
       | Some ("replace", rest_line) -> (
           match split_on_first " " (String.trim rest_line) with
           | Some ("pathway", hdr) ->
@@ -466,3 +548,7 @@ let apply_op repo (op : Repository.op) =
       Repository.set_extent repo ~schema:name o bag
   | Repository.Op_remove_schema name -> Repository.remove_schema repo name
   | Repository.Op_rename_schema (a, b) -> Repository.rename_schema repo a b
+  | Repository.Op_add_contribution p -> Repository.add_contribution repo p
+  | Repository.Op_alter_schema (name, alter) ->
+      Repository.alter_schema repo name alter
+  | Repository.Op_retire_source name -> Repository.retire_source repo name

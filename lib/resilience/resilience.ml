@@ -218,10 +218,13 @@ type failure = {
   attempts : int;
   last_error : string;
   circuit_open : bool;
+  evolved : bool;
 }
 
 let pp_failure ppf f =
-  if f.circuit_open && f.attempts = 0 then
+  if f.evolved then
+    Fmt.pf ppf "source %s: evolved away (retired by schema evolution)" f.source
+  else if f.circuit_open && f.attempts = 0 then
     Fmt.pf ppf "source %s: circuit breaker open" f.source
   else
     Fmt.pf ppf "source %s: gave up after %d attempt%s: %s%s" f.source f.attempts
@@ -234,6 +237,7 @@ type source_state = {
   prng : Prng.t;
   mutable profile : Fault.profile;
   mutable state : breaker_state;
+  mutable evolved : bool;
   mutable consecutive_failures : int;
   mutable open_until : float;  (* virtual ms; meaningful while Open *)
   mutable injector_calls : int;  (* drives the flap schedule *)
@@ -269,6 +273,7 @@ let state_of t name =
           prng = Prng.create (source_seed t name);
           profile = Fault.none;
           state = Closed;
+          evolved = false;
           consecutive_failures = 0;
           open_until = 0.0;
           injector_calls = 0;
@@ -294,6 +299,16 @@ let totals t =
 let breaker_state t name =
   match SM.find_opt name t.srcs with Some s -> s.state | None -> Closed
 
+(* Retiring is not a fault: the breaker machinery must not confuse "the
+   source evolved away" (permanent, no retries, no breaker trips) with
+   "the source is faulty" (transient, retried, breaker-guarded). *)
+let retire t ~source =
+  let s = state_of t source in
+  s.evolved <- true
+
+let evolved t name =
+  match SM.find_opt name t.srcs with Some s -> s.evolved | None -> false
+
 let reset_breaker t name =
   match SM.find_opt name t.srcs with
   | None -> ()
@@ -302,17 +317,20 @@ let reset_breaker t name =
       s.consecutive_failures <- 0
 
 let report t =
-  SM.bindings t.srcs |> List.map (fun (n, s) -> (n, s.state, s.stats))
+  SM.bindings t.srcs |> List.map (fun (n, s) -> (n, s.state, s.evolved, s.stats))
 
 let pp_report ppf rows =
   match rows with
   | [] -> Fmt.string ppf "no sources registered"
   | rows ->
       List.iteri
-        (fun i (name, state, stats) ->
+        (fun i (name, state, evolved, stats) ->
           if i > 0 then Fmt.pf ppf "@\n";
-          Fmt.pf ppf "%s: breaker %a, %a" name pp_breaker_state state
-            pp_stats stats)
+          if evolved then
+            Fmt.pf ppf "%s: evolved away (retired), %a" name pp_stats stats
+          else
+            Fmt.pf ppf "%s: breaker %a, %a" name pp_breaker_state state
+              pp_stats stats)
         rows
 
 (* -- one attempt through the injector ----------------------------------- *)
@@ -414,6 +432,18 @@ let backoff t s ~retry_index =
 
 let call t ~source f =
   let s = state_of t source in
+  if s.evolved then begin
+    Telemetry.count "resilience.evolved_reject";
+    Error
+      {
+        source;
+        attempts = 0;
+        last_error = "source evolved away";
+        circuit_open = false;
+        evolved = true;
+      }
+  end
+  else
   (* breaker gate: open -> reject until the cooldown elapses, then let a
      single half-open probe (no retries) through *)
   let gate =
@@ -435,6 +465,7 @@ let call t ~source f =
           attempts = 0;
           last_error = "circuit breaker open";
           circuit_open = true;
+          evolved = false;
         }
   | `Probe | `Pass ->
       let max_attempts = match gate with `Probe -> 1 | _ -> 1 + t.policy.retries in
@@ -459,6 +490,7 @@ let call t ~source f =
                   attempts = attempt_no;
                   last_error = msg;
                   circuit_open = opened;
+                  evolved = false;
                 }
             end
       in

@@ -154,6 +154,9 @@ type failure = {
   attempts : int;  (** attempts actually made (0 when short-circuited) *)
   last_error : string;
   circuit_open : bool;  (** rejected or abandoned because the breaker opened *)
+  evolved : bool;
+      (** rejected because the source was retired by a schema evolution —
+          a permanent condition, distinct from a faulty source *)
 }
 
 val pp_failure : failure Fmt.t
@@ -206,9 +209,23 @@ val reset_breaker : t -> string -> unit
 (** Closes the breaker and clears the consecutive-failure count (e.g.
     after an operator fixed the source). *)
 
-val report : t -> (string * breaker_state * stats) list
-(** One row per registered source, sorted by name. *)
+val retire : t -> source:string -> unit
+(** Marks the source as evolved away.  Subsequent {!call}s are rejected
+    immediately with a failure carrying [evolved = true] — no retries,
+    no backoff, and no breaker trips: retiring is not a fault, and the
+    breaker machinery must not treat a permanent condition as a
+    transient one.  Emits the [resilience.evolved_reject] counter per
+    rejected call. *)
 
-val pp_report : (string * breaker_state * stats) list Fmt.t
+val evolved : t -> string -> bool
+(** True once {!retire} has marked the source; false for unknown ones. *)
+
+val report : t -> (string * breaker_state * bool * stats) list
+(** One row per registered source, sorted by name: breaker state, the
+    evolved-away flag, and cumulative stats. *)
+
+val pp_report : (string * breaker_state * bool * stats) list Fmt.t
 (** Human-readable rendering of {!report}, one line per source (the
-    CLI's breaker/degraded status block in [automed explain]). *)
+    CLI's breaker/degraded status block in [automed explain]); evolved
+    sources render as "evolved away (retired)" instead of a breaker
+    state. *)

@@ -28,6 +28,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("provenance", Test_provenance.suite);
       ("durable", Test_durable.suite);
+      ("evolution", Test_evolution.suite);
       ("user-cost", Test_user_cost.suite);
       ("properties", Test_properties.suite);
       ("bibliome", Test_bibliome.suite);
