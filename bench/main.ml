@@ -38,6 +38,8 @@ module Durable = Automed_durable.Durable
 module Journal = Automed_durable.Journal
 module Vfs = Automed_durable.Vfs
 module Evolution = Automed_evolution.Evolution
+module Health = Automed_observe.Health
+module Bench_diff = Automed_observe.Bench_diff
 
 let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 let ok = function Ok v -> v | Error e -> die "error: %s" e
@@ -57,12 +59,14 @@ let section title =
    micro-benchmarks deliberately run WITHOUT a sink so that the measured
    numbers only pay the single no-sink branch per probe. *)
 
-let snapshots : (string * Telemetry.Metrics.t) list ref = ref []
+let snapshots : (string * float * Telemetry.Metrics.t) list ref = ref []
 
 let with_telemetry name f =
   let mem = Telemetry.Memory.create () in
+  let t0 = Telemetry.wall_clock () in
   let r = Telemetry.with_sink (Telemetry.Memory.sink mem) f in
-  snapshots := (name, Telemetry.Metrics.of_memory mem) :: !snapshots;
+  let wall_ms = (Telemetry.wall_clock () -. t0) *. 1000.0 in
+  snapshots := (name, wall_ms, Telemetry.Metrics.of_memory mem) :: !snapshots;
   r
 
 let write_snapshots path =
@@ -72,12 +76,72 @@ let write_snapshots path =
     (fun () ->
       output_string oc "{";
       List.iteri
-        (fun i (name, m) ->
+        (fun i (name, _wall_ms, m) ->
           if i > 0 then output_string oc ",";
           Printf.fprintf oc "\n  %s: %s" (Microjson.escape name)
             (Telemetry.Metrics.to_json m))
         (List.rev !snapshots);
       output_string oc "\n}\n")
+
+(* -- bench history -------------------------------------------------------- *)
+
+(* Every run appends one JSONL record per experiment to
+   BENCH_history.jsonl: run metadata (timestamp, mode), the experiment's
+   wall clock, and its key counters and latency percentiles.  The file
+   accumulates across runs, so regressions show up as series breaks; the
+   [diff] mode compares a fresh run against the committed
+   BENCH_telemetry.json instead. *)
+
+let history_file = "BENCH_history.jsonl"
+
+(* experiment -> extra JSON members to splice into its history record
+   (e.g. E-E1 registers its per-cycle repair-debt curve) *)
+let history_extras : (string * string) list ref = ref []
+
+let history_record ~ts ~mode (name, wall_ms, (m : Telemetry.Metrics.t)) =
+  let b = Buffer.create 1024 in
+  let add = Buffer.add_string b in
+  add
+    (Printf.sprintf "{\"ts\": %.3f, \"mode\": %s, \"experiment\": %s" ts
+       (Microjson.escape mode) (Microjson.escape name));
+  add (Printf.sprintf ", \"wall_ms\": %s" (Microjson.number wall_ms));
+  add (Printf.sprintf ", \"spans\": %d, \"counters\": {" m.Telemetry.Metrics.spans);
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then add ", ";
+      add (Printf.sprintf "%s: %d" (Microjson.escape n) v))
+    m.Telemetry.Metrics.counters;
+  add "}, \"quantiles\": {";
+  List.iteri
+    (fun i (n, (q : Telemetry.Memory.quantiles)) ->
+      if i > 0 then add ", ";
+      add
+        (Printf.sprintf "%s: {\"p50\": %s, \"p95\": %s, \"p99\": %s}"
+           (Microjson.escape n) (Microjson.number q.q50)
+           (Microjson.number q.q95) (Microjson.number q.q99)))
+    m.Telemetry.Metrics.quantiles;
+  add "}";
+  (match List.assoc_opt name !history_extras with
+  | None -> ()
+  | Some extra -> add (", " ^ extra));
+  add "}";
+  Buffer.contents b
+
+let append_history ~mode =
+  let ts = Telemetry.wall_clock () in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 history_file
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun snap ->
+          output_string oc (history_record ~ts ~mode snap);
+          output_char oc '\n')
+        (List.rev !snapshots));
+  Printf.printf "appended %d record(s) to %s (mode %s)\n"
+    (List.length !snapshots) history_file mode
 
 (* one shared dataset and both integrations *)
 let dataset = Sources.generate ()
@@ -136,6 +200,17 @@ let experiment_table1 () =
 
 let experiment_counts () =
   section "E-CS1  Integration effort: manually-defined transformations";
+  (* the shared runs are built at module init, outside any sink; re-run
+     both integrations on fresh repositories here so the E-CS1 snapshot
+     in BENCH_telemetry.json captures the construction's own metrics
+     (the printed counts still come from the shared runs — the
+     integrations are deterministic, so the numbers are identical) *)
+  let repo = Repository.create () in
+  ok (Sources.wrap_all repo dataset);
+  ignore (ok (Intersection_run.execute repo));
+  let crepo = Repository.create () in
+  ok (Sources.wrap_all crepo dataset);
+  ignore (ok (Classical_run.execute crepo));
   Printf.printf "%-52s %s\n" "intersection methodology (query-driven)" "manual";
   List.iter
     (fun (s : Intersection_run.step) ->
@@ -386,6 +461,16 @@ let experiment_user_cost () =
   section
     "E-FW1  Projected user effort (simulating the Section 4 study metrics)";
   let module User_cost = Automed_ispider.User_cost in
+  (* replay the seven queries under the E-FW1 sink so the snapshot
+     carries the live evaluation counters the projection is modelled on
+     (the shared workflow was built outside any sink) *)
+  List.iter
+    (fun (q : Queries.query) ->
+      ignore
+        (ok_p
+           (Workflow.run_query intersection_run.Intersection_run.workflow
+              q.Queries.global_text)))
+    Queries.all;
   let ic = User_cost.intersection_cost intersection_run in
   let cc = User_cost.classical_cost classical_repo in
   Printf.printf "  %-28s %s\n" "intersection methodology"
@@ -964,7 +1049,17 @@ type simplification_outcome = {
 
 let simplification_config ~simplify label =
   let mem = Telemetry.Memory.create () in
-  Telemetry.with_sink (Telemetry.Memory.sink mem) @@ fun () ->
+  (* tee into the enclosing experiment sink (E-S1's, in the full run):
+     this config needs a private memory to read its own counters, but
+     replacing the outer sink outright left the E-S1 row of
+     BENCH_telemetry.json snapshotting zero metrics *)
+  let sink =
+    let mine = Telemetry.Memory.sink mem in
+    match Telemetry.installed () with
+    | Some outer -> Telemetry.tee mine outer
+    | None -> mine
+  in
+  Telemetry.with_sink sink @@ fun () ->
   let repo = Repository.create () in
   ok (Sources.wrap_all repo dataset);
   let run = ok (Intersection_run.execute ~simplify repo) in
@@ -1248,6 +1343,10 @@ type churn_cycle = {
   ec_live_query_ms : float;  (** the 7 queries on the evolved workflow *)
   ec_scratch_ms : float;  (** fresh integration + full history replay *)
   ec_identical : bool;  (** all 7 answers bit-identical live vs scratch *)
+  (* repair-debt indicators after this cycle (the E-H1 curve) *)
+  ec_chain_depth : int;  (** global version-chain depth *)
+  ec_quarantined : int;  (** quarantine-shaped pathways in the repo *)
+  ec_void_steps : int;  (** Void-degraded steps outside quarantines *)
 }
 
 let evolution_outcome () =
@@ -1310,9 +1409,26 @@ let evolution_outcome () =
           ec_live_query_ms = live_query_ms;
           ec_scratch_ms = scratch_ms;
           ec_identical = identical;
+          ec_chain_depth = Workflow.version wf;
+          ec_quarantined = Health.quarantined_pathways repo;
+          ec_void_steps = Health.void_degraded_steps repo;
         })
   in
   let journal = ok (Vfs.(vfs.read) Durable.journal_file) in
+  (* the per-cycle repair-debt curve rides along in this experiment's
+     BENCH_history.jsonl record (the E-H1 artefact) *)
+  history_extras :=
+    ( "E-E1",
+      Printf.sprintf "\"debt_curve\": [%s]"
+        (String.concat ", "
+           (List.map
+              (fun c ->
+                Printf.sprintf
+                  "{\"cycle\": %d, \"chain_depth\": %d, \"quarantined\": %d, \
+                   \"void_steps\": %d}"
+                  c.ec_cycle c.ec_chain_depth c.ec_quarantined c.ec_void_steps)
+              cycles)) )
+    :: !history_extras;
   (cycles, journal)
 
 let mean f xs =
@@ -1352,6 +1468,50 @@ let experiment_evolution (cycles, journal) =
   if not (List.for_all (fun c -> c.ec_identical) cycles) then
     die "E-E1: an incremental answer differs from the from-scratch control"
 
+(* -- E-H1: the repair-debt growth curve over the E-E1 churn --------------- *)
+
+let experiment_debt_curve (cycles, _journal) =
+  section
+    "E-H1  Repair-debt growth across the churn (health-observatory view)";
+  let cfg = Health.default_config in
+  let level v t = Health.level_label (Health.classify t v) in
+  Printf.printf "  %-7s %-13s %-22s %-18s\n" "cycle" "chain depth"
+    "quarantined pathways" "void-degraded";
+  List.iter
+    (fun c ->
+      if c.ec_cycle mod 5 = 4 || c.ec_cycle = 0 then
+        Printf.printf "  %-7d %4d %-8s %4d %-17s %4d %-8s\n" c.ec_cycle
+          c.ec_chain_depth
+          (level (float_of_int c.ec_chain_depth) cfg.Health.chain_depth)
+          c.ec_quarantined
+          (level (float_of_int c.ec_quarantined) cfg.Health.quarantined)
+          c.ec_void_steps
+          (level (float_of_int c.ec_void_steps) cfg.Health.void_degraded))
+    cycles;
+  let crossing field threshold =
+    List.find_opt (fun c -> float_of_int (field c) >= threshold) cycles
+  in
+  (match
+     crossing (fun c -> c.ec_chain_depth) cfg.Health.chain_depth.Health.warn
+   with
+  | Some c ->
+      Printf.printf
+        "\nchain depth crosses its warn threshold at cycle %d — from here the \
+         observatory recommends re-integration\n"
+        c.ec_cycle
+  | None ->
+      die "E-H1: chain depth never crossed its warn threshold (miscalibrated?)");
+  match
+    crossing (fun c -> c.ec_quarantined) cfg.Health.quarantined.Health.warn
+  with
+  | Some c ->
+      Printf.printf "quarantined pathways cross their warn threshold at cycle %d\n"
+        c.ec_cycle
+  | None ->
+      Printf.printf
+        "quarantined pathways stay under their warn threshold for the whole \
+         run\n"
+
 let write_evolution_snapshot path (cycles, journal) =
   let journal_path = "BENCH_evolution.journal" in
   let oc = open_out_bin journal_path in
@@ -1366,10 +1526,11 @@ let write_evolution_snapshot path (cycles, journal) =
         Printf.sprintf
           "{\"cycle\": %d, \"kind\": %s, \"chain_steps\": %d, \
            \"journal_ops\": %d, \"repair_ms\": %.3f, \"live_query_ms\": \
-           %.3f, \"scratch_ms\": %.3f, \"identical\": %b}"
+           %.3f, \"scratch_ms\": %.3f, \"identical\": %b, \"chain_depth\": \
+           %d, \"quarantined\": %d, \"void_steps\": %d}"
           c.ec_cycle (Microjson.escape c.ec_kind) c.ec_chain_steps
           c.ec_journal_ops c.ec_repair_ms c.ec_live_query_ms c.ec_scratch_ms
-          c.ec_identical
+          c.ec_identical c.ec_chain_depth c.ec_quarantined c.ec_void_steps
       in
       Printf.fprintf oc
         "{\n\
@@ -1394,12 +1555,124 @@ let write_evolution_snapshot path (cycles, journal) =
         (String.length journal)
         (String.concat ",\n    " (List.map cycle_json cycles)))
 
+(* -- diff: bench-regression gate vs the committed snapshot ---------------- *)
+
+(* [bench/main.exe diff] re-runs the deterministic experiments — E-T1,
+   E-CS1 and E-S1, in the same order as the full harness so shared-state
+   cache warmth matches — under fresh sinks and compares their span
+   counts, counters and histogram observation counts against the
+   committed BENCH_telemetry.json.  On the fixed dataset those numbers
+   must reproduce exactly, so drift beyond 10% fails the gate (exit 1):
+   a probe that silently vanished, a plan that stopped pruning, a cache
+   that stopped hitting.  Wall-clock percentiles are reported for
+   context but only gated with [diff --strict-wall] (75% threshold),
+   since shared CI runners make small timing drift meaningless. *)
+
+let diff_experiments = [ "E-T1"; "E-CS1"; "E-S1" ]
+
+let samples_of_metrics experiment (m : Telemetry.Metrics.t) =
+  let open Bench_diff in
+  ({ experiment; metric = "spans";
+     value = float_of_int m.Telemetry.Metrics.spans; kind = Count }
+  :: List.map
+       (fun (n, v) ->
+         { experiment; metric = n; value = float_of_int v; kind = Count })
+       m.Telemetry.Metrics.counters)
+  @ List.map
+      (fun (n, (h : Telemetry.Memory.histo)) ->
+        { experiment; metric = n ^ ".n";
+          value = float_of_int h.Telemetry.Memory.n; kind = Count })
+      m.Telemetry.Metrics.histograms
+  @ List.map
+      (fun (n, (q : Telemetry.Memory.quantiles)) ->
+        { experiment; metric = n ^ ".p50";
+          value = q.Telemetry.Memory.q50; kind = Wall })
+      m.Telemetry.Metrics.quantiles
+
+let baseline_samples path =
+  let content =
+    let ic = try open_in_bin path with Sys_error e -> die "%s" e in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let j =
+    match Microjson.parse content with
+    | Ok j -> j
+    | Error e -> die "%s does not parse: %s" path e
+  in
+  let experiments =
+    match j with
+    | Microjson.Obj members -> members
+    | _ -> die "%s: expected a top-level object" path
+  in
+  let open Bench_diff in
+  List.concat_map
+    (fun (experiment, metrics) ->
+      if not (List.mem experiment diff_experiments) then []
+      else
+        let num = function Microjson.Num v -> Some v | _ -> None in
+        let spans =
+          match Option.bind (Microjson.member "spans" metrics) num with
+          | Some v -> [ { experiment; metric = "spans"; value = v; kind = Count } ]
+          | None -> []
+        in
+        let counters =
+          match Microjson.member "counters" metrics with
+          | Some (Microjson.Obj cs) ->
+              List.filter_map
+                (fun (n, v) ->
+                  Option.map
+                    (fun v ->
+                      { experiment; metric = n; value = v; kind = Count })
+                    (num v))
+                cs
+          | _ -> []
+        in
+        let histograms =
+          match Microjson.member "histograms" metrics with
+          | Some (Microjson.Obj hs) ->
+              List.concat_map
+                (fun (n, h) ->
+                  let field metric key kind =
+                    Option.map
+                      (fun v -> { experiment; metric; value = v; kind })
+                      (Option.bind (Microjson.member key h) num)
+                  in
+                  List.filter_map Fun.id
+                    [ field (n ^ ".n") "n" Count;
+                      field (n ^ ".p50") "p50" Wall ])
+                hs
+          | _ -> []
+        in
+        spans @ counters @ histograms)
+    experiments
+
+let run_diff ~strict_wall () =
+  let baseline = baseline_samples "BENCH_telemetry.json" in
+  with_telemetry "E-T1" experiment_table1;
+  with_telemetry "E-CS1" experiment_counts;
+  let simplification = with_telemetry "E-S1" simplification_outcomes in
+  experiment_simplification simplification;
+  let current =
+    List.concat_map
+      (fun (name, _wall_ms, m) -> samples_of_metrics name m)
+      (List.rev !snapshots)
+  in
+  let config = { Bench_diff.default_config with Bench_diff.gate_wall = strict_wall } in
+  let findings = Bench_diff.diff ~config ~baseline current in
+  section "bench diff: fresh run vs committed BENCH_telemetry.json";
+  print_string (Bench_diff.to_text findings);
+  append_history ~mode:"diff";
+  if Bench_diff.gate_failures findings <> [] then exit 1
+
 (* [bench/main.exe evolution] runs only the churn experiment — the CI
    churn job's entry point (everything stays seeded, so the standalone
    run produces the same snapshot as the full harness). *)
 let run_evolution_only () =
   let evolution = with_telemetry "E-E1" evolution_outcome in
   experiment_evolution evolution;
+  experiment_debt_curve evolution;
   write_evolution_snapshot "BENCH_evolution.json" evolution;
   Printf.printf
     "wrote BENCH_evolution.json (E-E1 snapshot) and BENCH_evolution.journal\n"
@@ -1407,6 +1680,13 @@ let run_evolution_only () =
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "evolution" then (
     run_evolution_only ();
+    append_history ~mode:"evolution";
+    exit 0);
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "diff" then (
+    let strict_wall =
+      Array.exists (fun a -> a = "--strict-wall") Sys.argv
+    in
+    run_diff ~strict_wall ();
     exit 0);
   with_telemetry "E-T1" experiment_table1;
   with_telemetry "E-CS1" experiment_counts;
@@ -1436,4 +1716,5 @@ let () =
   with_telemetry "E-P7" bench_scale_sweep;
   write_snapshots "BENCH_telemetry.json";
   Printf.printf "\nwrote BENCH_telemetry.json (per-experiment metric snapshots)\n";
+  append_history ~mode:"full";
   Printf.printf "all experiments completed.\n"

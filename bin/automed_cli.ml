@@ -1679,6 +1679,216 @@ let repo_cmd =
           journal plus checksummed checkpoints.")
     [ repo_snapshot_cmd; repo_recover_cmd; repo_scrub_cmd; repo_log_cmd ]
 
+(* -- observability: metrics catalog and health status -------------------- *)
+
+module Catalog = Automed_observe.Catalog
+module Health = Automed_observe.Health
+
+let metrics_catalog_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the catalog as one JSON object.")
+  in
+  let run json =
+    if json then print_endline (Catalog.to_json ())
+    else print_string (Catalog.to_text ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "catalog"
+       ~doc:
+         "Dump the typed metrics catalog: every counter and histogram \
+          name a probe can emit, with its kind, unit and description.")
+    Term.(ret (const run $ json))
+
+let ml_files_under dir =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc entry -> walk acc (Filename.concat path entry))
+        acc (Sys.readdir path)
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  List.sort compare (walk [] dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let metrics_check_cmd =
+  let srcs =
+    Arg.(
+      value & opt_all string []
+      & info [ "src" ] ~docv:"DIR"
+          ~doc:
+            "Source tree to scan (repeatable); every .ml file under it is \
+             checked.  Defaults to lib, bin and bench under the current \
+             directory.")
+  in
+  let run srcs =
+    let srcs = if srcs = [] then [ "lib"; "bin"; "bench" ] else srcs in
+    let roots = List.filter Sys.file_exists srcs in
+    match List.concat_map ml_files_under roots with
+    | [] -> fail "no .ml files found under: %s" (String.concat ", " srcs)
+    | files -> (
+        let issues =
+          Catalog.check (List.map (fun f -> (f, read_file f)) files)
+        in
+        match issues with
+        | [] ->
+            Printf.printf
+              "metrics catalog clean: %d declarations, %d files scanned\n"
+              (List.length Catalog.all) (List.length files);
+            `Ok ()
+        | _ ->
+            List.iter
+              (fun i -> Printf.eprintf "%s\n" (Fmt.str "%a" Catalog.pp_issue i))
+              issues;
+            fail "%d metrics catalog issue(s)" (List.length issues))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Scan source trees for $(b,Telemetry.count)/$(b,Telemetry.observe) \
+          probe sites and fail when a site uses an uncatalogued name, a \
+          catalogue entry has no emit site left, or a counter name is used \
+          as a histogram (or vice versa).")
+    Term.(ret (const run $ srcs))
+
+let metrics_cmd =
+  Cmd.group
+    (Cmd.info "metrics"
+       ~doc:
+         "The typed metrics catalog: the single source of truth every \
+          telemetry probe name must be declared in.")
+    [ metrics_catalog_cmd; metrics_check_cmd ]
+
+let status_json report (metrics : Telemetry.Metrics.t) top =
+  let b = Buffer.create 2048 in
+  let add = Buffer.add_string b in
+  (* splice the extra dashboard members into the health report object *)
+  let h = Health.to_json report in
+  add (String.sub h 0 (String.length h - 1));
+  add ",\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then add ",";
+      add (Printf.sprintf "%s:%d" (Microjson.escape name) v))
+    top;
+  add "},\"latency\":{";
+  List.iteri
+    (fun i (name, (q : Telemetry.Memory.quantiles)) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf "%s:{\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+           (Microjson.escape name) (Microjson.number q.q50)
+           (Microjson.number q.q95) (Microjson.number q.q99)))
+    metrics.Telemetry.Metrics.quantiles;
+  add "}}";
+  Buffer.contents b
+
+let status_json_check doc =
+  match Microjson.parse doc with
+  | Error e -> Error (Printf.sprintf "emitted JSON does not parse: %s" e)
+  | Ok j ->
+      let missing =
+        List.filter
+          (fun k -> Microjson.member k j = None)
+          [ "global"; "version"; "overall"; "needs_reintegration";
+            "indicators"; "counters"; "latency" ]
+      in
+      if missing = [] then Ok ()
+      else
+        Error
+          (Printf.sprintf "emitted JSON lacks member(s): %s"
+             (String.concat ", " missing))
+
+let status_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the dashboard as one JSON object, self-validated against \
+             the schema before printing.")
+  in
+  let run no_simplify fault_seed json =
+    let resilience = Resilience.create ~seed:fault_seed () in
+    let repo = Repository.create () in
+    let ( let* ) = Result.bind in
+    match
+      let* durable = Durable.attach (Vfs.memory ()) repo in
+      let* () = Sources.wrap_all ~resilience repo (Sources.generate ()) in
+      let* run =
+        Intersection_run.execute ~resilience ~simplify:(not no_simplify) repo
+      in
+      Ok (durable, run.Intersection_run.workflow)
+    with
+    | Error e -> fail "%s" e
+    | Ok (durable, wf) ->
+        (* probe workload: the seven case-study queries, under a private
+           sink, so the counter and latency panes reflect live behaviour *)
+        let mem = Telemetry.Memory.create () in
+        Telemetry.with_sink (Telemetry.Memory.sink mem) (fun () ->
+            List.iter
+              (fun (q : Queries.query) ->
+                let t0 = Telemetry.wall_clock () in
+                ignore (Workflow.run_query wf q.Queries.global_text);
+                Telemetry.observe "status.probe_ms"
+                  ((Telemetry.wall_clock () -. t0) *. 1000.0))
+              Queries.all);
+        let metrics = Telemetry.Metrics.of_memory mem in
+        let report = Health.assess ~resilience ~durable ~metrics wf in
+        let top =
+          List.filteri
+            (fun i _ -> i < 10)
+            (List.stable_sort
+               (fun (_, a) (_, b) -> compare b a)
+               metrics.Telemetry.Metrics.counters)
+        in
+        if json then (
+          let doc = status_json report metrics top in
+          match status_json_check doc with
+          | Error e -> fail "internal error: %s" e
+          | Ok () ->
+              print_endline doc;
+              `Ok ())
+        else (
+          print_string (Health.to_text report);
+          Printf.printf
+            "\ntop counters (probe workload: the 7 case-study queries)\n";
+          List.iter
+            (fun (n, v) -> Printf.printf "  %-44s %8d\n" n v)
+            top;
+          Printf.printf "\nlatency percentiles\n";
+          List.iter
+            (fun (n, (q : Telemetry.Memory.quantiles)) ->
+              Printf.printf "  %-36s %-8s p50 %10.3f  p95 %10.3f  p99 %10.3f\n"
+                n
+                (match Catalog.find n with
+                | Some d -> d.Catalog.unit_
+                | None -> "")
+                q.q50 q.q95 q.q99)
+            metrics.Telemetry.Metrics.quantiles;
+          `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "The dataspace health dashboard: builds the integrated iSpider \
+          dataspace with the resilience and durability layers wired, runs \
+          the seven case-study queries as a probe workload, and reports \
+          repair debt (version-chain depth, quarantined pathways, \
+          Void-degraded definitions, retired sources, journal bytes, \
+          breaker states, cache churn) classified against ok/warn/critical \
+          thresholds, plus the top counters and latency percentiles of \
+          the probe run.")
+    Term.(ret (const run $ no_simplify $ fault_seed $ json))
+
 let main =
   let doc = "AutoMed-style dataspace integration with intersection schemas" in
   let info = Cmd.info "automed-cli" ~version:"1.0.0" ~doc in
@@ -1686,6 +1896,6 @@ let main =
     [ schemas_cmd; show_cmd; query_cmd; reformulate_cmd; match_cmd;
       pathways_cmd; lint_cmd; analyze_cmd; export_cmd; extent_cmd;
       materialize_cmd; trace_cmd; trace_validate_cmd; explain_cmd;
-      case_study_cmd; evolve_cmd; repo_cmd ]
+      case_study_cmd; evolve_cmd; repo_cmd; metrics_cmd; status_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -48,15 +48,13 @@ let is_stranded repo p = check repo p <> None
 
 (* Quarantined steps are recognisable by shape: nothing but [Void]-bound
    contracts and extends, so the pathway provably contributes nothing. *)
+let is_void_degraded_step = function
+  | Transform.Contract (_, Ast.Void, _) | Transform.Extend (_, Ast.Void, _) ->
+      true
+  | _ -> false
+
 let is_quarantined (p : Transform.pathway) =
-  p.steps <> []
-  && List.for_all
-       (function
-         | Transform.Contract (_, Ast.Void, _)
-         | Transform.Extend (_, Ast.Void, _) ->
-             true
-         | _ -> false)
-       p.steps
+  p.steps <> [] && List.for_all is_void_degraded_step p.steps
 
 let quarantined_steps repo (p : Transform.pathway) =
   let src = Repository.schema_exn repo p.from_schema in

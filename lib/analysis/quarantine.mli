@@ -26,6 +26,12 @@ val check : Repository.t -> Transform.pathway -> string option
 
 val is_stranded : Repository.t -> Transform.pathway -> bool
 
+val is_void_degraded_step : Transform.prim -> bool
+(** A [Void]-lower-bound contract or extend: the "no information" bound
+    the evolution repair degrades a definition to when it cannot be
+    propagated.  Counted per step by the health observatory's
+    repair-debt accounting. *)
+
 val is_quarantined : Transform.pathway -> bool
 (** Recognises the quarantine shape: non-empty steps consisting only of
     [Void]-lower-bound contracts and extends. *)

@@ -20,6 +20,16 @@ let repository t = t.repo
 let vfs t = t.vfs
 let appended t = t.appended
 
+(* Bytes accumulated in the journal since the last checkpoint — the
+   repair-debt input of the health observatory.  Read from the store
+   rather than tracked in memory so it is also right after [recover]. *)
+let journal_bytes t =
+  if not (t.vfs.exists journal_file) then 0
+  else
+    match Journal.read t.vfs ~file:journal_file with
+    | Ok scan -> scan.Journal.total_bytes
+    | Error _ -> 0
+
 (* -- checkpoint format --------------------------------------------------- *)
 
 let render_checkpoint repo =

@@ -33,6 +33,13 @@ val vfs : t -> Vfs.t
 val appended : t -> int
 (** Journal records appended through this handle (resets on snapshot). *)
 
+val journal_bytes : t -> int
+(** Bytes sitting in the journal since the last checkpoint, read from
+    the store itself (so it is also right after {!recover}); 0 when the
+    journal is absent or unreadable.  One of the repair-debt indicators
+    of the health observatory: growth here is replay work the next
+    recovery must pay until a {!snapshot} retires it. *)
+
 val attach :
   Vfs.t -> Automed_repository.Repository.t -> (t, string) result
 (** Starts journaling the repository's mutations.  Fails if the

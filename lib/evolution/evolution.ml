@@ -556,7 +556,29 @@ let preview wf = function
   | Drop_source s -> preview_drop_source wf s
   | Alter (s, alters) -> preview_alter wf s alters
 
-let evolve ?description wf = function
-  | Add_source (s, extents) -> evolve_add_source ?description wf s ~extents
-  | Drop_source s -> evolve_drop_source ?description wf s
-  | Alter (s, alters) -> evolve_alter ?description wf s alters
+(* Each applied evolution runs inside an [evolution.evolve] span (kind +
+   source attrs, so a trace tells an add from an alter) and lands one
+   observation in the [evolution.repair_ms] histogram — the per-repair
+   latency distribution that [automed status] and the E-E1 churn bench
+   report as percentiles. *)
+let delta_attrs = function
+  | Add_source (s, _) -> [ ("kind", "add-source"); ("source", Schema.name s) ]
+  | Drop_source s -> [ ("kind", "drop-source"); ("source", s) ]
+  | Alter (s, alters) ->
+      [ ("kind", "alter"); ("source", s);
+        ("alters", string_of_int (List.length alters)) ]
+
+let evolve ?description wf delta =
+  Telemetry.with_span "evolution.evolve" ~attrs:(fun () -> delta_attrs delta)
+  @@ fun () ->
+  let t0 = Telemetry.wall_clock () in
+  let result =
+    match delta with
+    | Add_source (s, extents) -> evolve_add_source ?description wf s ~extents
+    | Drop_source s -> evolve_drop_source ?description wf s
+    | Alter (s, alters) -> evolve_alter ?description wf s alters
+  in
+  if Telemetry.active () && Result.is_ok result then
+    Telemetry.observe "evolution.repair_ms"
+      ((Telemetry.wall_clock () -. t0) *. 1000.0);
+  result

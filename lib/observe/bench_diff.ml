@@ -1,0 +1,153 @@
+type kind = Count | Wall
+
+type sample = {
+  experiment : string;
+  metric : string;
+  value : float;
+  kind : kind;
+}
+
+type verdict = Steady | Improved | Regressed | New_metric | Missing_metric
+
+type finding = {
+  f_experiment : string;
+  f_metric : string;
+  f_kind : kind;
+  f_baseline : float;
+  f_current : float;
+  f_change_pct : float;
+  f_verdict : verdict;
+  f_gate : bool;
+}
+
+type config = { count_pct : float; wall_pct : float; gate_wall : bool }
+
+let default_config = { count_pct = 10.0; wall_pct = 75.0; gate_wall = false }
+
+let change_pct ~baseline ~current =
+  if baseline = 0.0 then if current = 0.0 then 0.0 else Float.infinity
+  else (current -. baseline) /. Float.abs baseline *. 100.0
+
+let compare_pair config (s : sample) ~baseline ~current =
+  let pct = change_pct ~baseline ~current in
+  let tol = match s.kind with Count -> config.count_pct | Wall -> config.wall_pct in
+  let verdict =
+    if Float.abs pct <= tol then Steady
+    else if pct > 0.0 then Regressed
+    else Improved
+  in
+  let gate =
+    verdict = Regressed
+    && (match s.kind with Count -> true | Wall -> config.gate_wall)
+  in
+  {
+    f_experiment = s.experiment;
+    f_metric = s.metric;
+    f_kind = s.kind;
+    f_baseline = baseline;
+    f_current = current;
+    f_change_pct = pct;
+    f_verdict = verdict;
+    f_gate = gate;
+  }
+
+let key s = (s.experiment, s.metric)
+
+let diff ?(config = default_config) ~baseline current =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace tbl (key s) s) baseline;
+  let seen = Hashtbl.create 64 in
+  let paired =
+    List.map
+      (fun (c : sample) ->
+        Hashtbl.replace seen (key c) ();
+        match Hashtbl.find_opt tbl (key c) with
+        | Some b -> compare_pair config c ~baseline:b.value ~current:c.value
+        | None ->
+            {
+              f_experiment = c.experiment;
+              f_metric = c.metric;
+              f_kind = c.kind;
+              f_baseline = Float.nan;
+              f_current = c.value;
+              f_change_pct = Float.nan;
+              f_verdict = New_metric;
+              f_gate = false;
+            })
+      current
+  in
+  let missing =
+    List.filter_map
+      (fun (b : sample) ->
+        if Hashtbl.mem seen (key b) then None
+        else
+          Some
+            {
+              f_experiment = b.experiment;
+              f_metric = b.metric;
+              f_kind = b.kind;
+              f_baseline = b.value;
+              f_current = Float.nan;
+              f_change_pct = Float.nan;
+              f_verdict = Missing_metric;
+              f_gate = b.kind = Count;
+            })
+      baseline
+  in
+  let magnitude f =
+    if Float.is_nan f.f_change_pct then Float.infinity
+    else Float.abs f.f_change_pct
+  in
+  List.stable_sort
+    (fun a b ->
+      match (b.f_gate, a.f_gate) with
+      | true, false -> 1
+      | false, true -> -1
+      | _ -> compare (magnitude b) (magnitude a))
+    (paired @ missing)
+
+let gate_failures findings = List.filter (fun f -> f.f_gate) findings
+
+let verdict_label = function
+  | Steady -> "steady"
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | New_metric -> "new"
+  | Missing_metric -> "MISSING"
+
+let kind_label = function Count -> "count" | Wall -> "wall"
+
+let fmt_value v =
+  if Float.is_nan v then "-"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v
+
+let fmt_pct p =
+  if Float.is_nan p then "-"
+  else if Float.is_integer p && Float.abs p = Float.infinity then
+    if p > 0.0 then "+inf%" else "-inf%"
+  else Printf.sprintf "%+.1f%%" p
+
+let to_text findings =
+  let b = Buffer.create 1024 in
+  let gates = gate_failures findings in
+  let steady = List.filter (fun f -> f.f_verdict = Steady) findings in
+  Buffer.add_string b
+    (if gates = [] then
+       Printf.sprintf "bench diff: ok (%d metrics compared, %d steady)\n"
+         (List.length findings) (List.length steady)
+     else
+       Printf.sprintf "bench diff: %d GATE FAILURE(S) over %d metrics\n"
+         (List.length gates) (List.length findings));
+  List.iter
+    (fun f ->
+      if f.f_verdict <> Steady then
+        Buffer.add_string b
+          (Printf.sprintf "  %s %-6s %-8s %s/%s: %s -> %s (%s)\n"
+             (if f.f_gate then "[gate]" else "      ")
+             (kind_label f.f_kind)
+             (verdict_label f.f_verdict)
+             f.f_experiment f.f_metric (fmt_value f.f_baseline)
+             (fmt_value f.f_current) (fmt_pct f.f_change_pct)))
+    findings;
+  Buffer.contents b

@@ -1,0 +1,272 @@
+module Repository = Automed_repository.Repository
+module Workflow = Automed_integration.Workflow
+module Resilience = Automed_resilience.Resilience
+module Durable = Automed_durable.Durable
+module Telemetry = Automed_telemetry.Telemetry
+module Microjson = Automed_telemetry.Microjson
+module Quarantine = Automed_analysis.Quarantine
+module Transform = Automed_transform.Transform
+
+type level = Good | Warn | Critical
+
+let level_label = function
+  | Good -> "ok"
+  | Warn -> "warn"
+  | Critical -> "critical"
+
+let level_rank = function Good -> 0 | Warn -> 1 | Critical -> 2
+let worst a b = if level_rank a >= level_rank b then a else b
+
+type thresholds = { warn : float; critical : float }
+
+let classify t v =
+  if v >= t.critical then Critical else if v >= t.warn then Warn else Good
+
+type config = {
+  chain_depth : thresholds;
+  quarantined : thresholds;
+  void_degraded : thresholds;
+  retired_sources : thresholds;
+  journal_bytes : thresholds;
+  breakers : thresholds;
+  cache_churn : thresholds;
+}
+
+(* Calibrated against the shipped case study: the integrated iSpider
+   baseline (version 6, no churn) classifies ok everywhere, and the
+   E-E1 50-cycle churn run crosses the chain-depth and quarantine warn
+   thresholds around cycles 13-15 and their critical thresholds around
+   cycles 41-44 — the E-H1 debt curve in BENCH_history.jsonl shows the
+   crossings.  Three baselines are structural, not debt, and the
+   thresholds sit above them: the intersection construction leaves 21
+   quarantine-shaped all-[Void] federation pathways (intersection and
+   extension schemas linked to global versions) plus ~2970 individual
+   [Void]-bound federation steps, and building the dataspace journals
+   ~512 KiB before any churn; the churn then adds ~13 [Void] steps per
+   cycle on top of the baseline. *)
+let default_config =
+  {
+    chain_depth = { warn = 20.0; critical = 48.0 };
+    quarantined = { warn = 40.0; critical = 72.0 };
+    void_degraded = { warn = 3150.0; critical = 3500.0 };
+    retired_sources = { warn = 8.0; critical = 24.0 };
+    journal_bytes = { warn = 2097152.0; critical = 8388608.0 };
+    breakers = { warn = 1.0; critical = 3.0 };
+    cache_churn = { warn = 500.0; critical = 5000.0 };
+  }
+
+type indicator = {
+  i_name : string;
+  i_value : float;
+  i_unit : string;
+  i_thresholds : thresholds;
+  i_level : level;
+  i_detail : string;
+}
+
+type report = {
+  r_global : string;
+  r_version : int;
+  r_indicators : indicator list;
+  r_overall : level;
+  r_needs_reintegration : bool;
+}
+
+(* -- debt walkers --------------------------------------------------------- *)
+
+let quarantined_pathways repo =
+  List.length (List.filter Quarantine.is_quarantined (Repository.pathways repo))
+
+(* [Void]-bound steps appear for two reasons: the integration federates
+   unmapped objects with deliberately unbounded extends (a fixed,
+   structural baseline), and every evolution repair degrades what it
+   cannot propagate — a patched definition falls to the [Void] lower
+   bound, and each chain link [Void]-bounds the objects the delta added
+   or dropped.  The raw count over non-quarantined pathways therefore
+   grows with accumulated repairs and resets on re-integration, which
+   is exactly the debt being priced; the thresholds sit above the
+   structural baseline. *)
+let void_degraded_steps repo =
+  List.fold_left
+    (fun acc (p : Transform.pathway) ->
+      if Quarantine.is_quarantined p then acc
+      else
+        acc
+        + List.length
+            (List.filter Quarantine.is_void_degraded_step p.Transform.steps))
+    0 (Repository.pathways repo)
+
+(* -- assessment ----------------------------------------------------------- *)
+
+let truncate_names names =
+  match names with
+  | [] -> ""
+  | _ ->
+      let shown = List.filteri (fun i _ -> i < 4) names in
+      String.concat ", " shown
+      ^ if List.length names > 4 then ", ..." else ""
+
+let counter_total metrics prefix =
+  match metrics with
+  | None -> 0
+  | Some (m : Telemetry.Metrics.t) ->
+      List.fold_left
+        (fun acc (name, v) ->
+          if
+            String.length name >= String.length prefix
+            && String.sub name 0 (String.length prefix) = prefix
+          then acc + v
+          else acc)
+        0 m.Telemetry.Metrics.counters
+
+let of_repository ?(config = default_config) ?(version = 0)
+    ?(global = "(none)") ?resilience ?durable ?metrics repo =
+  let ind name value unit_ thresholds detail =
+    {
+      i_name = name;
+      i_value = value;
+      i_unit = unit_;
+      i_thresholds = thresholds;
+      i_level = classify thresholds value;
+      i_detail = detail;
+    }
+  in
+  let quarantined =
+    List.filter Quarantine.is_quarantined (Repository.pathways repo)
+  in
+  let retired = Repository.retired_sources repo in
+  let jbytes =
+    match durable with Some d -> Durable.journal_bytes d | None -> 0
+  in
+  let jrecords = match durable with Some d -> Durable.appended d | None -> 0 in
+  let breaker_rows =
+    match resilience with
+    | None -> []
+    | Some r ->
+        List.filter
+          (fun (_, state, _, _) -> state <> Resilience.Closed)
+          (Resilience.report r)
+  in
+  let churn = counter_total metrics "processor.invalidated." in
+  let indicators =
+    [
+      ind "chain-depth" (float_of_int version) "versions" config.chain_depth
+        (Printf.sprintf "global version chain v0..v%d (current %s)" version
+           global);
+      ind "quarantined-pathways"
+        (float_of_int (List.length quarantined))
+        "pathways" config.quarantined
+        (truncate_names
+           (List.map
+              (fun (p : Transform.pathway) ->
+                p.Transform.from_schema ^ "->" ^ p.Transform.to_schema)
+              quarantined));
+      ind "void-degraded-steps"
+        (float_of_int (void_degraded_steps repo))
+        "steps" config.void_degraded
+        "definitions patched down to the Void bound (quarantines excluded)";
+      ind "retired-sources"
+        (float_of_int (List.length retired))
+        "sources" config.retired_sources (truncate_names retired);
+      ind "journal-debt" (float_of_int jbytes) "bytes" config.journal_bytes
+        (Printf.sprintf "%d records since last checkpoint" jrecords);
+      ind "breakers-not-closed"
+        (float_of_int (List.length breaker_rows))
+        "breakers" config.breakers
+        (truncate_names
+           (List.map
+              (fun (name, state, _, _) ->
+                Printf.sprintf "%s:%s" name
+                  (match state with
+                  | Resilience.Open -> "open"
+                  | Resilience.Half_open -> "half-open"
+                  | Resilience.Closed -> "closed"))
+              breaker_rows));
+      ind "cache-invalidation-churn" (float_of_int churn) "entries"
+        config.cache_churn
+        "processor.invalidated.* entries dropped in this metric window";
+    ]
+  in
+  let overall =
+    List.fold_left (fun acc i -> worst acc i.i_level) Good indicators
+  in
+  let debt_names =
+    [ "chain-depth"; "quarantined-pathways"; "void-degraded-steps" ]
+  in
+  let needs =
+    List.exists
+      (fun i -> List.mem i.i_name debt_names && i.i_level <> Good)
+      indicators
+  in
+  {
+    r_global = global;
+    r_version = version;
+    r_indicators = indicators;
+    r_overall = overall;
+    r_needs_reintegration = needs;
+  }
+
+let assess ?config ?resilience ?durable ?metrics wf =
+  of_repository ?config
+    ~version:(Workflow.version wf)
+    ~global:(Workflow.global_name wf)
+    ?resilience ?durable ?metrics (Workflow.repository wf)
+
+(* -- rendering ------------------------------------------------------------ *)
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v
+
+let to_text r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "health of %s (version chain depth %d): %s%s\n" r.r_global
+       r.r_version
+       (level_label r.r_overall)
+       (if r.r_needs_reintegration then
+          "  ** re-integration recommended: repair debt over budget **"
+        else ""));
+  List.iter
+    (fun i ->
+      Buffer.add_string b
+        (Printf.sprintf "  [%-8s] %-26s %10s %-9s (warn %s, critical %s)%s\n"
+           (level_label i.i_level) i.i_name (fmt_value i.i_value) i.i_unit
+           (fmt_value i.i_thresholds.warn)
+           (fmt_value i.i_thresholds.critical)
+           (if i.i_detail = "" then "" else "  " ^ i.i_detail)))
+    r.r_indicators;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  let add = Buffer.add_string b in
+  add "{\"global\":";
+  add (Microjson.escape r.r_global);
+  add (Printf.sprintf ",\"version\":%d,\"overall\":" r.r_version);
+  add (Microjson.escape (level_label r.r_overall));
+  add
+    (Printf.sprintf ",\"needs_reintegration\":%b,\"indicators\":["
+       r.r_needs_reintegration);
+  List.iteri
+    (fun idx i ->
+      if idx > 0 then add ",";
+      add "{\"name\":";
+      add (Microjson.escape i.i_name);
+      add ",\"value\":";
+      add (Microjson.number i.i_value);
+      add ",\"unit\":";
+      add (Microjson.escape i.i_unit);
+      add ",\"warn\":";
+      add (Microjson.number i.i_thresholds.warn);
+      add ",\"critical\":";
+      add (Microjson.number i.i_thresholds.critical);
+      add ",\"level\":";
+      add (Microjson.escape (level_label i.i_level));
+      add ",\"detail\":";
+      add (Microjson.escape i.i_detail);
+      add "}")
+    r.r_indicators;
+  add "]}";
+  Buffer.contents b

@@ -118,6 +118,9 @@ let repository t = t.repo
 let resilience t = t.resilience
 let simplify_enabled t = t.simplify
 
+let cache_stats t =
+  (EH.length t.cache, EH.length t.pcache, Hashtbl.length t.pinfo)
+
 let invalidate t =
   EH.reset t.cache;
   EH.reset t.pcache;

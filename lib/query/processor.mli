@@ -66,6 +66,11 @@ val simplify_enabled : t -> bool
 (** Whether the static-analysis fast path (certified simplification and
     reachability pruning) is on. *)
 
+val cache_stats : t -> int * int * int
+(** Live entries in the three caches — plain extents, provenance twins,
+    memoised pathway analyses — for the status dashboard's cache line
+    (how much state a cache-invalidation churn throws away). *)
+
 val invalidate : t -> unit
 (** Drops the extent cache (call after data or pathway changes). *)
 

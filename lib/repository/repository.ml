@@ -416,6 +416,11 @@ let stored_extent t ~schema:name obj = EM.find_opt (name, obj) t.extents
 let has_stored_extents t name =
   EM.exists (fun (s, _) _ -> s = name) t.extents
 
+let stored_extent_count t = EM.cardinal t.extents
+
+let stored_row_count t =
+  EM.fold (fun _ bag acc -> acc + Value.Bag.cardinal bag) t.extents 0
+
 let pp_summary ppf t =
   Fmt.pf ppf "@[<v>schemas: %a@,pathways: %a@,stored extents: %d@]"
     Fmt.(list ~sep:(any ", ") string)

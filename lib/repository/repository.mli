@@ -170,4 +170,11 @@ val stored_extent : t -> schema:string -> Scheme.t -> Value.Bag.t option
 val has_stored_extents : t -> string -> bool
 (** True when at least one object of the schema has a stored extent. *)
 
+val stored_extent_count : t -> int
+(** Materialised extents across all schemas (the status dashboard's
+    inventory line). *)
+
+val stored_row_count : t -> int
+(** Total rows across all materialised extents. *)
+
 val pp_summary : t Fmt.t

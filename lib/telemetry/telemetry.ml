@@ -55,6 +55,15 @@ let uninstall () =
 
 let active () = !current <> None
 
+let installed () =
+  match !current with None -> None | Some st -> Some st.sink
+
+let tee a b =
+  {
+    emit = (fun e -> a.emit e; b.emit e);
+    flush = (fun () -> a.flush (); b.flush ());
+  }
+
 let with_sink sink f =
   let previous = !current in
   install sink;

@@ -56,6 +56,16 @@ val active : unit -> bool
 (** True while a sink is installed.  Guard for probes whose payload is
     expensive to compute (e.g. a bag cardinality). *)
 
+val installed : unit -> sink option
+(** The currently installed sink, if any.  A scoped measurement that
+    must not steal events from an enclosing one combines the two with
+    {!tee}: [with_sink (match installed () with Some o -> tee mine o
+    | None -> mine) f]. *)
+
+val tee : sink -> sink -> sink
+(** [tee a b] forwards every event to both sinks; [flush] flushes
+    both, [a] first. *)
+
 val with_sink : sink -> (unit -> 'a) -> 'a
 (** [with_sink s f] installs [s], runs [f], then flushes [s] and
     restores the previously installed sink (if any) — exception-safe. *)

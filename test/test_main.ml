@@ -25,6 +25,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("rewrite", Test_rewrite.suite);
       ("telemetry", Test_telemetry.suite);
+      ("observe", Test_observe.suite);
       ("resilience", Test_resilience.suite);
       ("provenance", Test_provenance.suite);
       ("durable", Test_durable.suite);

@@ -351,6 +351,79 @@ let test_reservoir_percentiles () =
   | Some q -> Alcotest.(check (float 0.0)) "metrics p95" 95.0 q.Telemetry.Memory.q95
   | None -> Alcotest.fail "metrics snapshot lacks quantiles"
 
+(* -- hostile metric names ------------------------------------------------- *)
+
+(* Names a probe should never use, but that must round-trip through
+   every JSON emitter without producing invalid documents: tabs,
+   quotes, newlines, backslashes, non-ASCII. *)
+let hostile_names =
+  [ "tab\tname"; "quo\"te"; "new\nline"; "back\\slash";
+    "caf\xc3\xa9.r\xc3\xa9sum\xc3\xa9"; "ctrl\x01char" ]
+
+let hostile_record () =
+  record (fun () ->
+      Telemetry.with_span "hostile\t\"span\"" (fun () ->
+          List.iter
+            (fun n ->
+              Telemetry.count n;
+              Telemetry.observe n (float_of_int (String.length n)))
+            hostile_names))
+
+let test_hostile_names_chrome_trace () =
+  let mem = hostile_record () in
+  let json = Chrome_trace.render ~process_name:"hostile \"proc\"" mem in
+  (match Chrome_trace.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid trace: %s" e);
+  match Microjson.parse json with
+  | Error e -> Alcotest.failf "trace not JSON: %s" e
+  | Ok _ -> ()
+
+let test_hostile_names_metrics_json () =
+  let mem = hostile_record () in
+  let m = Telemetry.Metrics.of_memory mem in
+  match Microjson.parse (Telemetry.Metrics.to_json m) with
+  | Error e -> Alcotest.failf "metrics not JSON: %s" e
+  | Ok doc -> (
+      let counters =
+        match Microjson.member "counters" doc with
+        | Some (Microjson.Obj cs) -> cs
+        | _ -> Alcotest.fail "counters missing"
+      in
+      Alcotest.(check int)
+        "every hostile counter survives the round-trip"
+        (List.length hostile_names) (List.length counters);
+      List.iter
+        (fun n ->
+          match List.assoc_opt n counters with
+          | Some (Microjson.Num 1.0) -> ()
+          | Some _ -> Alcotest.failf "counter %S has wrong value" n
+          | None -> Alcotest.failf "counter %S lost in the round-trip" n)
+        hostile_names;
+      match Microjson.member "histograms" doc with
+      | Some (Microjson.Obj hs) ->
+          Alcotest.(check int)
+            "every hostile histogram survives"
+            (List.length hostile_names) (List.length hs)
+      | _ -> Alcotest.fail "histograms missing")
+
+let test_hostile_names_jsonl () =
+  let buf = Buffer.create 256 in
+  let sink = Telemetry.Jsonl.sink (Buffer.add_string buf) in
+  Telemetry.with_sink sink (fun () ->
+      List.iter (fun n -> Telemetry.count n) hostile_names);
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check int) "one line per event" (List.length hostile_names)
+    (List.length lines);
+  List.iter
+    (fun l ->
+      match Microjson.parse l with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "jsonl line %S not JSON: %s" l e)
+    lines
+
 let suite =
   [
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
@@ -374,4 +447,10 @@ let suite =
     Alcotest.test_case "current span id" `Quick test_current_span_id;
     Alcotest.test_case "reservoir percentiles" `Quick
       test_reservoir_percentiles;
+    Alcotest.test_case "hostile names: chrome trace" `Quick
+      test_hostile_names_chrome_trace;
+    Alcotest.test_case "hostile names: metrics json" `Quick
+      test_hostile_names_metrics_json;
+    Alcotest.test_case "hostile names: jsonl sink" `Quick
+      test_hostile_names_jsonl;
   ]
