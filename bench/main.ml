@@ -39,6 +39,7 @@ module Journal = Automed_durable.Journal
 module Vfs = Automed_durable.Vfs
 module Evolution = Automed_evolution.Evolution
 module Health = Automed_observe.Health
+module Maintain = Automed_maintain.Maintain
 module Bench_diff = Automed_observe.Bench_diff
 
 let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
@@ -1344,9 +1345,9 @@ type churn_cycle = {
   ec_scratch_ms : float;  (** fresh integration + full history replay *)
   ec_identical : bool;  (** all 7 answers bit-identical live vs scratch *)
   (* repair-debt indicators after this cycle (the E-H1 curve) *)
-  ec_chain_depth : int;  (** global version-chain depth *)
-  ec_quarantined : int;  (** quarantine-shaped pathways in the repo *)
-  ec_void_steps : int;  (** Void-degraded steps outside quarantines *)
+  ec_chain_depth : int;  (** effective chain depth (link hops to anchor) *)
+  ec_quarantined : int;  (** quarantine-shaped pathways on the active surface *)
+  ec_void_steps : int;  (** Void-degraded surface steps outside quarantines *)
 }
 
 let evolution_outcome () =
@@ -1409,9 +1410,14 @@ let evolution_outcome () =
           ec_live_query_ms = live_query_ms;
           ec_scratch_ms = scratch_ms;
           ec_identical = identical;
-          ec_chain_depth = Workflow.version wf;
-          ec_quarantined = Health.quarantined_pathways repo;
-          ec_void_steps = Health.void_degraded_steps repo;
+          (* debt priced on the current version's active surface — the
+             view maintenance can actually pay down *)
+          ec_chain_depth =
+            Health.effective_chain_depth repo ~root:(Workflow.global_name wf);
+          ec_quarantined =
+            Health.quarantined_pathways ~root:(Workflow.global_name wf) repo;
+          ec_void_steps =
+            Health.void_degraded_steps ~root:(Workflow.global_name wf) repo;
         })
   in
   let journal = ok (Vfs.(vfs.read) Durable.journal_file) in
@@ -1555,6 +1561,301 @@ let write_evolution_snapshot path (cycles, journal) =
         (String.length journal)
         (String.concat ",\n    " (List.map cycle_json cycles)))
 
+(* -- E-M1: autonomic maintenance over a 200-cycle churn ------------------- *)
+
+(* The tentpole experiment: the same deterministic churn script as E-E1
+   but four times as long, run twice.  The OFF arm is left unmaintained
+   and only its debt curve is recorded (the contrast).  The ON arm gets
+   one maintenance-scheduler tick after every cycle, and every cycle
+   all seven case-study queries are verified bit-identical against
+   ground truth AND against a from-scratch control that re-integrates
+   and replays the full unmaintained history — proving the maintenance
+   transactions (certified compaction, reclamation, checkpoints) never
+   change an answer while they keep every core debt indicator below
+   its warn threshold. *)
+
+let maintenance_cycles = 200
+
+(* The 200-cycle soak makes ~30x more faulted fetches than E-E1, so a
+   5-consecutive-failure streak (p = 0.2^5 per run) is near-certain to
+   occur somewhere; give the retry loop enough headroom that no fetch
+   ever exhausts it and disable the breaker — the experiment measures
+   maintenance debt, not fault exhaustion. *)
+let maintenance_policy =
+  {
+    evolution_policy with
+    Resilience.Policy.retries = 10;
+    Resilience.Policy.breaker_threshold = 0;
+  }
+
+type m_cycle = {
+  mc_cycle : int;
+  mc_depth : int;
+  mc_quarantined : int;
+  mc_void : int;
+  mc_retired : int;
+  mc_journal : int;
+  mc_worst : Health.level;  (** worst core-indicator level after the tick *)
+  mc_events : string list;  (** maintenance actions fired this cycle *)
+  mc_identical : bool;  (** 7/7 vs ground truth and from-scratch control *)
+}
+
+let m_core_indicators =
+  [ "chain-depth"; "quarantined-pathways"; "void-degraded-steps";
+    "retired-sources"; "journal-debt" ]
+
+let m_indicator (report : Health.report) name =
+  match
+    List.find_opt
+      (fun (i : Health.indicator) -> i.Health.i_name = name)
+      report.Health.r_indicators
+  with
+  | Some i -> i
+  | None -> die "E-M1: report lacks indicator %s" name
+
+let maintenance_off_arm () =
+  let repo = Repository.create () in
+  let res =
+    Resilience.create ~seed:evolution_seed ~policy:maintenance_policy ()
+  in
+  ok (Sources.wrap_all ~resilience:res repo dataset);
+  let run = ok (Intersection_run.execute ~resilience:res repo) in
+  let wf = run.Intersection_run.workflow in
+  Resilience.inject res ~source:Sources.pedro_name
+    (Resilience.Fault.rate evolution_fault_rate);
+  List.init maintenance_cycles (fun i ->
+      ignore (ok (Evolution.evolve wf (churn_delta i)));
+      let report = Health.assess ~resilience:res wf in
+      let v name = int_of_float (m_indicator report name).Health.i_value in
+      (i, v "chain-depth", v "quarantined-pathways", v "void-degraded-steps"))
+
+let maintenance_on_arm () =
+  let repo = Repository.create () in
+  let durable = ok (Durable.attach (Vfs.memory ()) repo) in
+  let res =
+    Resilience.create ~seed:evolution_seed ~policy:maintenance_policy ()
+  in
+  ok (Sources.wrap_all ~resilience:res repo dataset);
+  let run = ok (Intersection_run.execute ~resilience:res repo) in
+  let wf = run.Intersection_run.workflow in
+  Resilience.inject res ~source:Sources.pedro_name
+    (Resilience.Fault.rate evolution_fault_rate);
+  let scheduler = Maintain.Scheduler.create () in
+  let run_seven wf' =
+    List.map
+      (fun (q : Queries.query) ->
+        match Workflow.run_query wf' q.Queries.global_text with
+        | Ok v -> (q, v)
+        | Error e ->
+            die "E-M1: query %d: %s" q.Queries.number
+              (Fmt.str "%a" Processor.pp_error e))
+      Queries.all
+  in
+  let cycles =
+    List.init maintenance_cycles (fun i ->
+        ignore (ok (Evolution.evolve wf (churn_delta i)));
+        let events =
+          match
+            Maintain.Scheduler.tick ~durable ~resilience:res scheduler wf
+          with
+          | Ok evs -> evs
+          | Error e -> die "E-M1: scheduler tick %d: %s" i e
+        in
+        let live = run_seven wf in
+        (* the from-scratch control: fresh integration, full unmaintained
+           history replay — the answer baseline maintenance must match *)
+        let scratch_repo = Repository.create () in
+        ok (Sources.wrap_all scratch_repo dataset);
+        let scratch_run = ok (Intersection_run.execute scratch_repo) in
+        let scratch_wf = scratch_run.Intersection_run.workflow in
+        for j = 0 to i do
+          ignore (ok (Evolution.evolve scratch_wf (churn_delta j)))
+        done;
+        let scratch = run_seven scratch_wf in
+        let identical =
+          List.for_all2
+            (fun ((q : Queries.query), lv) (_, sv) ->
+              Value.compare lv sv = 0
+              && Value.compare lv (Value.Bag (q.Queries.ground_truth dataset))
+                 = 0)
+            live scratch
+        in
+        let report = Health.assess ~resilience:res ~durable wf in
+        let v name = int_of_float (m_indicator report name).Health.i_value in
+        let worst =
+          List.fold_left
+            (fun acc name ->
+              let l = (m_indicator report name).Health.i_level in
+              if l > acc then l else acc)
+            Health.Good m_core_indicators
+        in
+        {
+          mc_cycle = i;
+          mc_depth = v "chain-depth";
+          mc_quarantined = v "quarantined-pathways";
+          mc_void = v "void-degraded-steps";
+          mc_retired = v "retired-sources";
+          mc_journal = v "journal-debt";
+          mc_worst = worst;
+          mc_events = List.map (fun e -> Maintain.action_label e.Maintain.e_action) events;
+          mc_identical = identical;
+        })
+  in
+  (cycles, Maintain.Scheduler.events scheduler)
+
+let maintenance_outcome () =
+  let off = maintenance_off_arm () in
+  let on, events = maintenance_on_arm () in
+  (* a sampled debt curve rides along in the E-M1 BENCH_history.jsonl
+     record; the full per-cycle data lives in BENCH_maintain.json *)
+  let sampled pred to_json rows =
+    String.concat ", " (List.map to_json (List.filter pred rows))
+  in
+  history_extras :=
+    ( "E-M1",
+      Printf.sprintf
+        "\"actions\": %d, \"debt_curve\": {\"maintained\": [%s], \
+         \"unmaintained\": [%s]}"
+        (List.length events)
+        (sampled
+           (fun c -> c.mc_cycle mod 10 = 9 || c.mc_cycle = 0)
+           (fun c ->
+             Printf.sprintf
+               "{\"cycle\": %d, \"chain_depth\": %d, \"quarantined\": %d, \
+                \"void_steps\": %d}"
+               c.mc_cycle c.mc_depth c.mc_quarantined c.mc_void)
+           on)
+        (sampled
+           (fun (i, _, _, _) -> i mod 10 = 9 || i = 0)
+           (fun (i, d, q, v) ->
+             Printf.sprintf
+               "{\"cycle\": %d, \"chain_depth\": %d, \"quarantined\": %d, \
+                \"void_steps\": %d}"
+               i d q v)
+           off) )
+    :: !history_extras;
+  (off, on, events)
+
+let experiment_maintenance (off, on, events) =
+  section
+    (Printf.sprintf
+       "E-M1  Autonomic maintenance: %d evolve+query cycles, %.0f%% faults, \
+        scheduler on vs off"
+       maintenance_cycles
+       (100.0 *. evolution_fault_rate));
+  Printf.printf "maintenance actions fired (%d):\n" (List.length events);
+  print_string (Maintain.Scheduler.report_to_text events);
+  Printf.printf
+    "\n  %-7s %-26s %-26s %-15s\n" "cycle" "chain depth  on / off"
+    "void steps  on / off" "quarantined on / off";
+  List.iter
+    (fun (c : m_cycle) ->
+      if c.mc_cycle mod 20 = 19 || c.mc_cycle = 0 then
+        let _, od, oq, ov =
+          List.nth off c.mc_cycle
+        in
+        Printf.printf "  %-7d %6d / %-6d %12s %6d / %-6d %12s %4d / %-4d\n"
+          c.mc_cycle c.mc_depth od ""
+          c.mc_void ov ""
+          c.mc_quarantined oq)
+    on;
+  let max_depth =
+    List.fold_left (fun acc c -> max acc c.mc_depth) 0 on
+  in
+  let worst =
+    List.fold_left
+      (fun acc c -> if c.mc_worst > acc then c.mc_worst else acc)
+      Health.Good on
+  in
+  Printf.printf
+    "\nmaintained arm: max chain depth %d, worst core-indicator level %s, \
+     %d/%d cycles 7/7 bit-identical\n"
+    max_depth
+    (Health.level_label worst)
+    (List.length (List.filter (fun c -> c.mc_identical) on))
+    (List.length on);
+  let off_crossing field threshold =
+    List.find_opt (fun r -> float_of_int (field r) >= threshold) off
+  in
+  let cfg = Health.default_config in
+  (match
+     off_crossing (fun (_, d, _, _) -> d) cfg.Health.chain_depth.Health.warn
+   with
+  | Some (i, _, _, _) ->
+      Printf.printf
+        "unmaintained arm: chain depth crosses warn at cycle %d" i
+  | None -> die "E-M1: unmaintained chain depth never crossed warn");
+  (match
+     off_crossing (fun (_, _, q, _) -> q) cfg.Health.quarantined.Health.warn
+   with
+  | Some (i, _, _, _) -> Printf.printf ", quarantines at cycle %d" i
+  | None -> die "E-M1: unmaintained quarantines never crossed warn");
+  (match
+     off_crossing (fun (_, _, _, v) -> v) cfg.Health.void_degraded.Health.warn
+   with
+  | Some (i, _, _, _) -> Printf.printf ", void steps at cycle %d\n" i
+  | None ->
+      Printf.printf
+        ", void steps stay under warn for the whole unmaintained run\n");
+  (* the acceptance gates *)
+  if not (List.for_all (fun c -> c.mc_identical) on) then
+    die "E-M1: a maintained answer differs from the from-scratch control";
+  if worst <> Health.Good then
+    die
+      "E-M1: a core health indicator reached %s under maintenance \
+       (should stay below warn)"
+      (Health.level_label worst);
+  if max_depth > 13 then
+    die "E-M1: chain depth reached %d — not bounded by the scheduler"
+      max_depth
+
+let write_maintenance_snapshot path (off, on, events) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let on_json (c : m_cycle) =
+        Printf.sprintf
+          "{\"cycle\": %d, \"chain_depth\": %d, \"quarantined\": %d, \
+           \"void_steps\": %d, \"retired\": %d, \"journal_bytes\": %d, \
+           \"worst\": %s, \"events\": [%s], \"identical\": %b}"
+          c.mc_cycle c.mc_depth c.mc_quarantined c.mc_void c.mc_retired
+          c.mc_journal
+          (Microjson.escape (Health.level_label c.mc_worst))
+          (String.concat ", " (List.map Microjson.escape c.mc_events))
+          c.mc_identical
+      in
+      let off_json (i, d, q, v) =
+        Printf.sprintf
+          "{\"cycle\": %d, \"chain_depth\": %d, \"quarantined\": %d, \
+           \"void_steps\": %d}"
+          i d q v
+      in
+      let event_json (e : Maintain.event) =
+        Printf.sprintf
+          "{\"tick\": %d, \"action\": %s, \"trigger\": %s, \"outcome\": %s}"
+          e.Maintain.e_tick
+          (Microjson.escape (Maintain.action_label e.Maintain.e_action))
+          (Microjson.escape e.Maintain.e_trigger)
+          (Microjson.escape e.Maintain.e_outcome)
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"E-M1\",\n\
+        \  \"cycles\": %d,\n\
+        \  \"fault_rate\": %.2f,\n\
+        \  \"seed\": %Ld,\n\
+        \  \"answers_bit_identical\": %b,\n\
+        \  \"events\": [%s],\n\
+        \  \"maintained\": [%s],\n\
+        \  \"unmaintained\": [%s]\n\
+         }\n"
+        maintenance_cycles evolution_fault_rate evolution_seed
+        (List.for_all (fun c -> c.mc_identical) on)
+        (String.concat ",\n    " (List.map event_json events))
+        (String.concat ",\n    " (List.map on_json on))
+        (String.concat ",\n    " (List.map off_json off)))
+
 (* -- diff: bench-regression gate vs the committed snapshot ---------------- *)
 
 (* [bench/main.exe diff] re-runs the deterministic experiments — E-T1,
@@ -1677,10 +1978,22 @@ let run_evolution_only () =
   Printf.printf
     "wrote BENCH_evolution.json (E-E1 snapshot) and BENCH_evolution.journal\n"
 
+(* [bench/main.exe maintenance] runs only E-M1 — the CI long-churn
+   maintenance job's entry point (seeded, so runs reproduce). *)
+let run_maintenance_only () =
+  let outcome = with_telemetry "E-M1" maintenance_outcome in
+  experiment_maintenance outcome;
+  write_maintenance_snapshot "BENCH_maintain.json" outcome;
+  Printf.printf "wrote BENCH_maintain.json (E-M1 snapshot)\n"
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "evolution" then (
     run_evolution_only ();
     append_history ~mode:"evolution";
+    exit 0);
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "maintenance" then (
+    run_maintenance_only ();
+    append_history ~mode:"maintenance";
     exit 0);
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "diff" then (
     let strict_wall =

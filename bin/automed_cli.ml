@@ -1683,6 +1683,73 @@ let repo_cmd =
 
 module Catalog = Automed_observe.Catalog
 module Health = Automed_observe.Health
+module Maintain = Automed_maintain.Maintain
+
+(* -- health threshold overrides ------------------------------------------ *)
+
+let threshold_names =
+  [ "chain-depth"; "quarantined-pathways"; "void-degraded-steps";
+    "retired-sources"; "journal-debt"; "breakers-not-closed";
+    "cache-invalidation-churn" ]
+
+let parse_threshold spec =
+  match String.index_opt spec '=' with
+  | None ->
+      Error (Printf.sprintf "expected INDICATOR=WARN,CRITICAL, got %S" spec)
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      if not (List.mem name threshold_names) then
+        Error
+          (Printf.sprintf "unknown indicator %S (one of: %s)" name
+             (String.concat ", " threshold_names))
+      else
+        match String.split_on_char ',' rest with
+        | [ w; c ] -> (
+            match (float_of_string_opt w, float_of_string_opt c) with
+            | Some warn, Some critical when warn <= critical ->
+                Ok (name, warn, critical)
+            | Some _, Some _ ->
+                Error
+                  (Printf.sprintf "%s: warn must not exceed critical" name)
+            | _ ->
+                Error
+                  (Printf.sprintf "%s: WARN and CRITICAL must be numbers" name))
+        | _ ->
+            Error
+              (Printf.sprintf "%s: expected two values WARN,CRITICAL" name))
+
+let threshold_conv =
+  let parse s =
+    match parse_threshold s with Ok v -> Ok v | Error e -> Error (`Msg e)
+  in
+  let print ppf (n, w, c) = Format.fprintf ppf "%s=%g,%g" n w c in
+  Arg.conv (parse, print)
+
+let thresholds_arg =
+  Arg.(
+    value
+    & opt_all threshold_conv []
+    & info [ "threshold" ] ~docv:"INDICATOR=WARN,CRITICAL"
+        ~doc:
+          "Override one health indicator's thresholds (repeatable).  \
+           Indicators: chain-depth, quarantined-pathways, \
+           void-degraded-steps, retired-sources, journal-debt, \
+           breakers-not-closed, cache-invalidation-churn.")
+
+let apply_thresholds overrides =
+  List.fold_left
+    (fun (c : Health.config) (name, warn, critical) ->
+      let t = { Health.warn; critical } in
+      match name with
+      | "chain-depth" -> { c with Health.chain_depth = t }
+      | "quarantined-pathways" -> { c with Health.quarantined = t }
+      | "void-degraded-steps" -> { c with Health.void_degraded = t }
+      | "retired-sources" -> { c with Health.retired_sources = t }
+      | "journal-debt" -> { c with Health.journal_bytes = t }
+      | "breakers-not-closed" -> { c with Health.breakers = t }
+      | _ -> { c with Health.cache_churn = t })
+    Health.default_config overrides
 
 let metrics_catalog_cmd =
   let json =
@@ -1816,7 +1883,17 @@ let status_cmd =
             "Emit the dashboard as one JSON object, self-validated against \
              the schema before printing.")
   in
-  let run no_simplify fault_seed json =
+  let exit_code =
+    Arg.(
+      value & flag
+      & info [ "exit-code" ]
+          ~doc:
+            "Reflect the overall classification in the exit status: 0 when \
+             ok, 1 when any indicator is warn, 2 when any is critical — \
+             for CI gates and cron probes.")
+  in
+  let run no_simplify fault_seed json exit_code thresholds =
+    let config = apply_thresholds thresholds in
     let resilience = Resilience.create ~seed:fault_seed () in
     let repo = Repository.create () in
     let ( let* ) = Result.bind in
@@ -1842,7 +1919,15 @@ let status_cmd =
                   ((Telemetry.wall_clock () -. t0) *. 1000.0))
               Queries.all);
         let metrics = Telemetry.Metrics.of_memory mem in
-        let report = Health.assess ~resilience ~durable ~metrics wf in
+        let report = Health.assess ~config ~resilience ~durable ~metrics wf in
+        let finish () =
+          if not exit_code then `Ok ()
+          else
+            match report.Health.r_overall with
+            | Health.Good -> `Ok ()
+            | Health.Warn -> exit 1
+            | Health.Critical -> exit 2
+        in
         let top =
           List.filteri
             (fun i _ -> i < 10)
@@ -1856,7 +1941,7 @@ let status_cmd =
           | Error e -> fail "internal error: %s" e
           | Ok () ->
               print_endline doc;
-              `Ok ())
+              finish ())
         else (
           print_string (Health.to_text report);
           Printf.printf
@@ -1874,7 +1959,7 @@ let status_cmd =
                 | None -> "")
                 q.q50 q.q95 q.q99)
             metrics.Telemetry.Metrics.quantiles;
-          `Ok ())
+          finish ())
   in
   Cmd.v
     (Cmd.info "status"
@@ -1887,7 +1972,315 @@ let status_cmd =
           breaker states, cache churn) classified against ok/warn/critical \
           thresholds, plus the top counters and latency percentiles of \
           the probe run.")
-    Term.(ret (const run $ no_simplify $ fault_seed $ json))
+    Term.(
+      ret
+        (const run $ no_simplify $ fault_seed $ json $ exit_code
+       $ thresholds_arg))
+
+(* -- autonomic maintenance ----------------------------------------------- *)
+
+(* The deterministic churn script shared with the E-E1/E-M1 benches:
+   block [i/5] adds a satellite source, grows and alters a scratch table
+   on pedro, then drops the satellite again — each block leaves one
+   renamed table and one quarantined pathway behind, so debt accrues at
+   a constant rate per block. *)
+let maintain_churn_delta i =
+  let k = string_of_int (i / 5) in
+  match i mod 5 with
+  | 0 ->
+      let name = "sat" ^ k in
+      let table = Scheme.table ("s" ^ k) in
+      Result.map
+        (fun schema ->
+          Evolution.Add_source
+            ( schema,
+              [ ( table,
+                  Value.Bag.of_list
+                    [ Value.Str (name ^ "-r1"); Value.Str (name ^ "-r2") ] )
+              ] ))
+        (Schema.of_objects name [ (table, None) ])
+  | 1 ->
+      Ok
+        (Evolution.Alter
+           ( Sources.pedro_name,
+             [ Repository.Alter_add_object (Scheme.table ("tmp" ^ k), None) ]
+           ))
+  | 2 ->
+      Ok
+        (Evolution.Alter
+           ( Sources.pedro_name,
+             [
+               Repository.Alter_add_object
+                 (Scheme.column ("tmp" ^ k) "note", None);
+             ] ))
+  | 3 ->
+      Ok
+        (Evolution.Alter
+           ( Sources.pedro_name,
+             [
+               Repository.Alter_drop_object (Scheme.column ("tmp" ^ k) "note");
+               Repository.Alter_rename_object
+                 (Scheme.table ("tmp" ^ k), Scheme.table ("kept" ^ k));
+             ] ))
+  | _ -> Ok (Evolution.Drop_source ("sat" ^ k))
+
+(* Build the journaled, resilient iSpider dataspace the maintenance
+   commands operate on — the same shape as [status]. *)
+let build_live_dataspace ~no_simplify ~fault_seed ~fault_rate =
+  let policy =
+    { Resilience.Policy.default with Resilience.Policy.retries = 6 }
+  in
+  let resilience = Resilience.create ~seed:fault_seed ~policy () in
+  let repo = Repository.create () in
+  let ( let* ) = Result.bind in
+  let* durable = Durable.attach (Vfs.memory ()) repo in
+  let* () = Sources.wrap_all ~resilience repo (Sources.generate ()) in
+  let* run =
+    Intersection_run.execute ~resilience ~simplify:(not no_simplify) repo
+  in
+  if fault_rate > 0.0 then
+    Resilience.inject resilience ~source:Sources.pedro_name
+      (Resilience.Fault.rate fault_rate);
+  Ok (durable, resilience, run.Intersection_run.workflow)
+
+let maintain_cycles default =
+  Arg.(
+    value & opt int default
+    & info [ "cycles" ] ~docv:"N"
+        ~doc:
+          "Evolution churn cycles to drive against the dataspace (the \
+           deterministic 5-phase script the benches use).")
+
+let maintain_fault_rate =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:
+          "Per-attempt failure probability injected on the pedro source \
+           during churn (deterministic under $(b,--fault-seed)).")
+
+let health_summary wf =
+  let report = Health.assess wf in
+  Printf.sprintf "overall %s, chain depth %.0f links"
+    (Health.level_label report.Health.r_overall)
+    (match
+       List.find_opt
+         (fun i -> i.Health.i_name = "chain-depth")
+         report.Health.r_indicators
+     with
+    | Some i -> i.Health.i_value
+    | None -> 0.0)
+
+let print_compaction verb (c : Maintain.compaction) =
+  Printf.printf
+    "%s: composed %d chain links (%d steps) from anchor %s into a \
+     %d-step certified shortcut\n" verb c.Maintain.c_links
+    c.Maintain.c_steps_before c.Maintain.c_anchor c.Maintain.c_steps_after;
+  Printf.printf
+    "  replaced link %s; %d contributions rerouted, %d dead ones \
+     dropped\n" c.Maintain.c_retired c.Maintain.c_rerouted
+    c.Maintain.c_dropped_contributions;
+  let cert = c.Maintain.c_certificate in
+  Printf.printf
+    "  certificate: %d object definitions over %d differential trials%s\n"
+    cert.Maintain.Equiv.objects cert.Maintain.Equiv.trials
+    (if cert.Maintain.Equiv.reverse_checked then ", reverse checked" else "")
+
+let print_reclamation verb (r : Maintain.reclamation) =
+  Printf.printf
+    "%s: %d inert quarantined pathway(s) removed, %d retired schema(s) \
+     pruned%s\n" verb r.Maintain.rc_pathways_removed
+    (List.length r.Maintain.rc_schemas_pruned)
+    (match r.Maintain.rc_new_version with
+    | Some v -> Printf.sprintf ", re-integrated as %s" v
+    | None -> "")
+
+let maintain_cmd =
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:
+            "After the churn, report what compaction and reclamation \
+             would do (every check and certification runs) without \
+             mutating the repository.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Run the churn unmaintained, then a single scheduler tick: \
+             shows the debt the tick pays down.")
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Interleave one scheduler tick after every churn cycle (the \
+             default): the autonomic loop that keeps debt below warn.")
+  in
+  let run no_simplify fault_seed cycles fault_rate dry_run once watch
+      thresholds =
+    ignore watch;
+    let config = apply_thresholds thresholds in
+    let policy = { Maintain.default_policy with Maintain.health = config } in
+    match build_live_dataspace ~no_simplify ~fault_seed ~fault_rate with
+    | Error e -> fail "%s" e
+    | Ok (durable, resilience, wf) -> (
+        let scheduler = Maintain.Scheduler.create ~policy () in
+        let tick () =
+          match
+            Maintain.Scheduler.tick ~durable ~resilience scheduler wf
+          with
+          | Error e -> Error e
+          | Ok events ->
+              print_string (Maintain.Scheduler.report_to_text events);
+              Ok ()
+        in
+        let ( let* ) = Result.bind in
+        let outcome =
+          let churn i =
+            let* delta = maintain_churn_delta i in
+            let* _ev, _plan = Evolution.evolve wf delta in
+            Ok ()
+          in
+          let rec cycle i =
+            if i >= cycles then Ok ()
+            else
+              let* () = churn i in
+              let* () =
+                if dry_run || once then Ok () (* maintenance held back *)
+                else tick ()
+              in
+              cycle (i + 1)
+          in
+          let* () = cycle 0 in
+          if dry_run then (
+            Printf.printf "after %d unmaintained cycles: %s\n" cycles
+              (health_summary wf);
+            let* c = Maintain.compact ~dry_run:true wf in
+            (match c with
+            | Maintain.Compacted c -> print_compaction "would compact" c
+            | Maintain.Nothing_to_do why ->
+                Printf.printf "compaction: nothing to do (%s)\n" why
+            | Maintain.Refused why ->
+                Printf.printf "compaction would be refused: %s\n" why);
+            let* r = Maintain.reclaim ~dry_run:true wf in
+            print_reclamation "would reclaim" r;
+            Ok ())
+          else if once then (
+            Printf.printf "after %d unmaintained cycles: %s\n" cycles
+              (health_summary wf);
+            let* () = tick () in
+            Printf.printf "after one maintenance tick: %s\n"
+              (health_summary wf);
+            Ok ())
+          else (
+            Printf.printf
+              "%d churn cycles with a maintenance tick each; %d \
+               maintenance action(s) fired\n" cycles
+              (List.length (Maintain.Scheduler.events scheduler));
+            Printf.printf "final state: %s\n" (health_summary wf);
+            Ok ())
+        in
+        match outcome with
+        | Error e -> fail "%s" e
+        | Ok () ->
+            let report =
+              Health.assess ~config ~resilience ~durable wf
+            in
+            print_string (Health.to_text report);
+            (* watch mode is a promise: the scheduler keeps debt below
+               warn.  Breaking it is a failure; --dry-run and --once
+               exist precisely to *show* accumulated debt, so they
+               always exit 0. *)
+            if
+              (not (dry_run || once))
+              && report.Health.r_overall <> Health.Good
+            then exit 1;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "maintain"
+       ~doc:
+         "The autonomic maintenance loop: drives deterministic evolution \
+          churn against the integrated iSpider dataspace while the \
+          debt-driven scheduler fires certified chain compaction, \
+          quarantine reclamation and journal checkpoints with \
+          hysteresis.  $(b,--dry-run) previews the actions, $(b,--once) \
+          runs a single tick after unmaintained churn, $(b,--watch) \
+          (the default) interleaves a tick per cycle.")
+    Term.(
+      ret
+        (const run $ no_simplify $ fault_seed $ maintain_cycles 40
+       $ maintain_fault_rate $ dry_run $ once $ watch $ thresholds_arg))
+
+let compact_cmd =
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:
+            "Run every check and certification but leave the repository \
+             untouched.")
+  in
+  let run no_simplify fault_seed cycles fault_rate dry_run =
+    match build_live_dataspace ~no_simplify ~fault_seed ~fault_rate with
+    | Error e -> fail "%s" e
+    | Ok (_durable, _resilience, wf) -> (
+        let ( let* ) = Result.bind in
+        let outcome =
+          let rec churn i =
+            if i >= cycles then Ok ()
+            else
+              let* delta = maintain_churn_delta i in
+              let* _ = Evolution.evolve wf delta in
+              churn (i + 1)
+          in
+          let* () = churn 0 in
+          let repo = Workflow.repository wf in
+          let before =
+            Health.effective_chain_depth repo ~root:(Workflow.global_name wf)
+          in
+          let* result = Maintain.compact ~dry_run wf in
+          Ok (repo, before, result)
+        in
+        match outcome with
+        | Error e -> fail "%s" e
+        | Ok (repo, before, result) -> (
+            match result with
+            | Maintain.Compacted c ->
+                print_compaction
+                  (if dry_run then "would compact" else "compacted")
+                  c;
+                let after =
+                  Health.effective_chain_depth repo
+                    ~root:(Workflow.global_name wf)
+                in
+                Printf.printf "  effective chain depth: %d -> %d links\n"
+                  before after;
+                `Ok ()
+            | Maintain.Nothing_to_do why ->
+                Printf.printf "nothing to do: %s\n" why;
+                `Ok ()
+            | Maintain.Refused why -> fail "compaction refused: %s" why))
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "One-shot certified chain compaction: churns the integrated \
+          iSpider dataspace through $(b,--cycles) evolution cycles, then \
+          composes the accumulated global version chain into a single \
+          certified shortcut pathway (refusing if no equivalence \
+          certificate can be produced) and reroutes interior \
+          contributions onto the current version.  Every old version \
+          keeps answering bit-identically.")
+    Term.(
+      ret
+        (const run $ no_simplify $ fault_seed $ maintain_cycles 12
+       $ maintain_fault_rate $ dry_run))
 
 let main =
   let doc = "AutoMed-style dataspace integration with intersection schemas" in
@@ -1896,6 +2289,7 @@ let main =
     [ schemas_cmd; show_cmd; query_cmd; reformulate_cmd; match_cmd;
       pathways_cmd; lint_cmd; analyze_cmd; export_cmd; extent_cmd;
       materialize_cmd; trace_cmd; trace_validate_cmd; explain_cmd;
-      case_study_cmd; evolve_cmd; repo_cmd; metrics_cmd; status_cmd ]
+      case_study_cmd; evolve_cmd; repo_cmd; metrics_cmd; status_cmd;
+      maintain_cmd; compact_cmd ]
 
 let () = exit (Cmd.eval main)

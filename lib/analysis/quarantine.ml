@@ -56,6 +56,28 @@ let is_void_degraded_step = function
 let is_quarantined (p : Transform.pathway) =
   p.steps <> [] && List.for_all is_void_degraded_step p.steps
 
+(* The strong certificate behind certified pathway removal: all steps
+   are [Void]-bound (no definition carries information) and every source
+   object is contracted (no object passes through with an identity
+   definition, as it does in the extends-only federation shape).  Every
+   derived definition is therefore the empty [Void] contribution and
+   removing the pathway cannot change any answer. *)
+let is_inert repo (p : Transform.pathway) =
+  is_quarantined p
+  &&
+  match Repository.schema repo p.from_schema with
+  | None -> false
+  | Some src ->
+      let contracted =
+        List.filter_map
+          (function Transform.Contract (o, _, _) -> Some o | _ -> None)
+          p.steps
+        |> Scheme.Set.of_list
+      in
+      List.for_all
+        (fun o -> Scheme.Set.mem o contracted)
+        (Schema.objects src)
+
 let quarantined_steps repo (p : Transform.pathway) =
   let src = Repository.schema_exn repo p.from_schema in
   let tgt = Repository.schema_exn repo p.to_schema in

@@ -34,7 +34,24 @@ val is_void_degraded_step : Transform.prim -> bool
 
 val is_quarantined : Transform.pathway -> bool
 (** Recognises the quarantine shape: non-empty steps consisting only of
-    [Void]-lower-bound contracts and extends. *)
+    [Void]-lower-bound contracts and extends.  Note the shape is a
+    necessary, not sufficient, sign of contributing nothing: a pathway
+    whose steps only extend {e other} objects (the federation shape
+    {!Automed_integration.Global.create} builds) passes its own objects
+    through untouched, with identity definitions.  Use {!is_inert} for
+    the strong "contributes nothing" certificate. *)
+
+val is_inert : Repository.t -> Transform.pathway -> bool
+(** The strong quarantine certificate: the pathway {e provably
+    contributes nothing} to any answer, so removing it from the
+    repository preserves every query on every schema version
+    bit-identically.  Requires {!is_quarantined} {e and} that every
+    object of the (registered) source schema is contracted by some
+    step — nothing passes through, so every definition the pathway
+    derives is the empty [Void] contribution.  This is exactly the
+    shape {!quarantined_steps} writes; maintenance reclamation relies
+    on it to retire dead quarantines
+    ({!Automed_repository.Repository.remove_pathway}). *)
 
 val quarantined_steps :
   Repository.t -> Transform.pathway -> Transform.prim list

@@ -288,4 +288,19 @@ let describe_op payload =
               Printf.sprintf "evolve: alter %s, rename object %s -> %s" name
                 (scheme a) (scheme b))
       | Repository.Op_retire_source name ->
-          Printf.sprintf "evolve: retire source %s (evolved away)" name)
+          Printf.sprintf "evolve: retire source %s (evolved away)" name
+      | Repository.Op_remove_pathway p ->
+          Printf.sprintf "maintain: drop inert pathway %s -> %s"
+            Automed_transform.Transform.(p.from_schema)
+            Automed_transform.Transform.(p.to_schema)
+      | Repository.Op_compact_pathway (retired, shortcut, reroutes) ->
+          Printf.sprintf
+            "maintain: compact chain %s -> %s into %s -> %s (%d -> %d \
+             steps, %d contributions rerouted)"
+            Automed_transform.Transform.(retired.from_schema)
+            Automed_transform.Transform.(retired.to_schema)
+            Automed_transform.Transform.(shortcut.from_schema)
+            Automed_transform.Transform.(shortcut.to_schema)
+            (List.length Automed_transform.Transform.(retired.steps))
+            (List.length Automed_transform.Transform.(shortcut.steps))
+            (List.length reroutes))

@@ -1,0 +1,165 @@
+(** Autonomic maintenance: paying the pay-as-you-go debt back down.
+
+    The evolution layer keeps every global schema version answerable by
+    never deleting anything: each churn cycle chains another version,
+    dropped sources leave quarantined pathways behind, and the journal
+    grows without bound.  {!Automed_observe.Health} prices that debt;
+    this module pays it:
+
+    {ul
+    {- {!compact} composes the whole global version chain into one
+       certified shortcut pathway ({!Automed_analysis.Rewrite.simplify}
+       proof-checked by {!Automed_analysis.Equiv.check} — an
+       uncertifiable composition is {e refused}, leaving the repository
+       untouched), reroutes the contributions feeding interior versions
+       onto the current version (each rerouting certified by symbolic
+       definition comparison), and commits the whole rewiring as one
+       atomic journaled transaction
+       ({!Automed_repository.Repository.compact_chain}).  Every old
+       version keeps its original pathways and stays answerable
+       bit-identically; the {e current} version stops routing through
+       the interiors, so its active-surface debt falls.}
+    {- {!reclaim} retires dead weight: removes quarantined pathways
+       proven inert ({!Automed_analysis.Quarantine.is_inert}) whose
+       source has evolved away, prunes the now-unreferenced retired
+       schemas, and re-integrates a fresh global version directly from
+       the live sources (a new chain anchor: depth and accumulated
+       [Void] degradation reset to the structural baseline).}
+    {- {!Scheduler} closes the loop: it consumes
+       {!Automed_observe.Health.assess} reports and fires
+       compaction / reclamation / checkpoint with hysteresis, keeping
+       every core debt indicator below its warn threshold (the E-M1
+       bench drives 200 churn cycles this way).}} *)
+
+module Schema = Automed_model.Schema
+module Transform = Automed_transform.Transform
+module Repository = Automed_repository.Repository
+module Workflow = Automed_integration.Workflow
+module Equiv = Automed_analysis.Equiv
+module Health = Automed_observe.Health
+module Durable = Automed_durable.Durable
+module Resilience = Automed_resilience.Resilience
+module Telemetry = Automed_telemetry.Telemetry
+
+(** {1 Chain compaction} *)
+
+type compaction = {
+  c_anchor : string;  (** chain anchor the shortcut starts from *)
+  c_retired : string;  (** label of the link the shortcut replaced *)
+  c_links : int;  (** chain links composed into the shortcut *)
+  c_steps_before : int;  (** steps in the raw composition *)
+  c_steps_after : int;  (** steps in the certified shortcut *)
+  c_rerouted : int;  (** interior contributions rerouted onto the current version *)
+  c_dropped_contributions : int;
+      (** interior contributions proven dead (all definitions [Void] or
+          contracted away downstream) and therefore not rerouted *)
+  c_certificate : Equiv.certificate;  (** the shortcut's equivalence proof *)
+}
+
+type compact_result =
+  | Compacted of compaction
+  | Nothing_to_do of string  (** chain already at (or one link from) its anchor *)
+  | Refused of string
+      (** a certificate could not be produced — the repository is
+          untouched, queries keep routing through the full chain *)
+
+val compact : ?dry_run:bool -> Workflow.t -> (compact_result, string) result
+(** Walks the version chain from the workflow's current global version
+    back to its anchor, composes the links, simplifies, certifies, and
+    commits — or refuses.  [dry_run] performs every check and
+    certification but skips the commit (the returned {!compaction}
+    describes what would have happened).  [Error] is reserved for a
+    malformed repository (e.g. a version with two incoming chain
+    links); certification failures come back as [Refused]. *)
+
+(** {1 Quarantine / Void reclamation} *)
+
+type reclamation = {
+  rc_pathways_removed : int;
+      (** inert quarantined pathways of evolved-away sources removed *)
+  rc_schemas_pruned : string list;
+      (** retired source schemas left unreferenced by the removal *)
+  rc_new_version : string option;
+      (** the re-integrated global version ([None] on dry-run) *)
+}
+
+val reclaim :
+  ?dry_run:bool -> ?drop_redundant:bool -> Workflow.t ->
+  (reclamation, string) result
+(** Targeted re-integration instead of a from-scratch rebuild: drops
+    provably-inert quarantines of retired sources
+    ({!Repository.remove_pathway}, journaled one op each), prunes the
+    retired schemas those removals disconnect, then re-derives a fresh
+    global version over the {e live} sources by re-running the stored
+    integration outcomes ({!Workflow.evolve_version} +
+    [Global.create]).  The new version is a chain {e anchor} — no
+    incoming chain link — so effective chain depth resets to 0 and the
+    accumulated [Void] degradation leaves the active surface.  All
+    previous versions keep answering bit-identically.  [drop_redundant]
+    (default [true]) is passed to the federation builder, matching the
+    original integration. *)
+
+(** {1 The debt-driven scheduler} *)
+
+type action = Compact | Reclaim | Checkpoint
+
+val action_label : action -> string
+(** ["compact"], ["reclaim"] or ["checkpoint"]. *)
+
+type policy = {
+  fire_fraction : float;
+      (** fire when an indicator reaches this fraction of its warn
+          threshold — below 1.0 the scheduler acts {e before} the
+          indicator ever degrades to warn *)
+  clear_fraction : float;
+      (** hysteresis: a fired action re-arms only once its driving
+          indicator has fallen back below [clear_fraction * warn] *)
+  reclaim_cooldown : int;
+      (** minimum scheduler ticks between reclamations (each one
+          appends a full re-integration to the journal) *)
+  health : Health.config;  (** thresholds the indicators are read against *)
+}
+
+val default_policy : policy
+(** [fire_fraction = 0.85], [clear_fraction = 0.5],
+    [reclaim_cooldown = 10], {!Health.default_config}. *)
+
+type event = {
+  e_tick : int;  (** 1-based tick the action fired on *)
+  e_action : action;
+  e_trigger : string;  (** indicator and value that pulled the trigger *)
+  e_outcome : string;  (** what the action reported back *)
+}
+
+module Scheduler : sig
+  type t
+
+  val create : ?policy:policy -> unit -> t
+
+  val tick :
+    ?durable:Durable.t ->
+    ?resilience:Resilience.t ->
+    ?metrics:Telemetry.Metrics.t ->
+    t ->
+    Workflow.t ->
+    (event list, string) result
+  (** One maintenance heartbeat: assess health under the policy's
+      thresholds, then fire (in order) compaction when chain depth is
+      near warn, reclamation when quarantine/[Void]/retired-source debt
+      is near warn {e or} a compaction was refused or left the chain
+      long, and a journal checkpoint ({!Durable.snapshot}) when journal
+      debt is near warn.  Hysteresis: compaction re-arms only after
+      its driving indicator clears, and reclamation respects the
+      cooldown; checkpoints need neither — {!Durable.snapshot} resets
+      journal debt to zero, so firing on the live journal size is
+      self-hysteretic.  Returns the events fired this tick
+      (often none — the whole point is that ticks are cheap). *)
+
+  val events : t -> event list
+  (** Every event fired over the scheduler's lifetime, oldest first. *)
+
+  val ticks : t -> int
+
+  val report_to_text : event list -> string
+  (** One line per event, for the CLI and bench logs. *)
+end

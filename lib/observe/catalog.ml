@@ -64,6 +64,18 @@ let all =
     c "lint.diagnostics.info" "diagnostics" "lint diagnostics at info level";
     c "lint.diagnostics.warning" "diagnostics"
       "lint diagnostics at warning level";
+    c "maintain.checkpoints" "checkpoints"
+      "journal checkpoints fired by the maintenance scheduler";
+    c "maintain.compactions" "compactions"
+      "certified chain compactions committed";
+    c "maintain.compactions_refused" "compactions"
+      "chain compactions refused because a certificate could not be produced";
+    c "maintain.pathways_reclaimed" "pathways"
+      "provably-inert quarantined pathways removed by reclamation";
+    c "maintain.reclamations" "reclamations"
+      "targeted re-integrations committed by reclamation";
+    c "maintain.scheduler_ticks" "ticks"
+      "maintenance scheduler heartbeats (most fire no action)";
     c "processor.degraded_answers" "answers"
       "answers served with at least one source skipped";
     c "processor.degraded_runs" "runs" "degraded-mode query evaluations";
@@ -92,6 +104,8 @@ let all =
     c "processor.rows_fetched" "rows" "rows fetched from source extents";
     c "processor.runs" "runs" "plain query evaluations";
     c "processor.translations" "queries" "schema-to-schema query translations";
+    c "repository.chains_compacted" "transactions"
+      "atomic chain-compaction transactions applied (swap + reroutes)";
     c "repository.contributions_registered" "pathways"
       "contribution pathways registered";
     c "repository.find_path.nodes_expanded" "nodes"
@@ -99,6 +113,8 @@ let all =
     h "repository.find_path.path_length" "steps"
       "length of each pathway chain found between two schemas";
     c "repository.pathways_registered" "pathways" "pathways registered";
+    c "repository.pathways_removed" "pathways"
+      "pathways removed under a caller-held inertness certificate";
     c "repository.pathways_replaced" "pathways"
       "pathways replaced in place (lint --fix, quarantine, patches)";
     c "repository.pathways_restored" "pathways"

@@ -32,23 +32,32 @@ type config = {
   cache_churn : thresholds;
 }
 
-(* Calibrated against the shipped case study: the integrated iSpider
-   baseline (version 6, no churn) classifies ok everywhere, and the
-   E-E1 50-cycle churn run crosses the chain-depth and quarantine warn
-   thresholds around cycles 13-15 and their critical thresholds around
-   cycles 41-44 — the E-H1 debt curve in BENCH_history.jsonl shows the
-   crossings.  Three baselines are structural, not debt, and the
-   thresholds sit above them: the intersection construction leaves 21
-   quarantine-shaped all-[Void] federation pathways (intersection and
-   extension schemas linked to global versions) plus ~2970 individual
-   [Void]-bound federation steps, and building the dataspace journals
-   ~512 KiB before any churn; the churn then adds ~13 [Void] steps per
-   cycle on top of the baseline. *)
+(* Calibrated against the shipped case study, with debt priced on the
+   current version's {e active surface} (the pathways a query on the
+   current global version can route through) rather than the whole
+   repository — old versions stay registered forever, so whole-repo
+   counts could only ever grow and no maintenance could pay them down.
+   The integrated iSpider baseline classifies ok everywhere: its chain
+   anchor is the integration version itself (0 link hops), the
+   federation leaves 3 quarantine-shaped all-[Void] pathways and ~430
+   individual [Void]-bound steps on the surface, and building the
+   dataspace journals ~512 KiB before any churn.  Each unmaintained
+   churn cycle then stacks one chain link (carrying ~10-70 [Void]-bound
+   steps) onto the surface and every 5-cycle block leaves ~6
+   quarantine-shaped pathways behind, so over the E-E1/E-H1 50-cycle
+   run chain depth crosses warn at cycle 13 and quarantines at cycle
+   19, both reaching critical around cycle 44 (the E-H1 debt curve in
+   BENCH_history.jsonl shows the crossings); [Void]-step debt grows
+   more slowly (~924 after one cycle, ~1514 after 50) and crosses warn
+   on E-M1's 200-cycle unmaintained horizon.  The maintained E-M1 arm
+   stays below warn on every core indicator for 200 cycles: compaction
+   pays the chain-depth and [Void]-step debt (interior links leave the
+   surface), reclamation the quarantine and retired-source debt. *)
 let default_config =
   {
-    chain_depth = { warn = 20.0; critical = 48.0 };
-    quarantined = { warn = 40.0; critical = 72.0 };
-    void_degraded = { warn = 3150.0; critical = 3500.0 };
+    chain_depth = { warn = 14.0; critical = 42.0 };
+    quarantined = { warn = 30.0; critical = 60.0 };
+    void_degraded = { warn = 2000.0; critical = 4000.0 };
     retired_sources = { warn = 8.0; critical = 24.0 };
     journal_bytes = { warn = 2097152.0; critical = 8388608.0 };
     breakers = { warn = 1.0; critical = 3.0 };
@@ -74,8 +83,88 @@ type report = {
 
 (* -- debt walkers --------------------------------------------------------- *)
 
-let quarantined_pathways repo =
-  List.length (List.filter Quarantine.is_quarantined (Repository.pathways repo))
+(* "base_v7" -> Some ("base", 7): the version-name convention of
+   [Workflow.version_name], which is how chain links are recognised
+   without the repository knowing about versions. *)
+let split_version name =
+  match String.rindex_opt name '_' with
+  | None -> None
+  | Some i ->
+      let base = String.sub name 0 i in
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      if String.length suffix >= 2 && suffix.[0] = 'v' then
+        match
+          int_of_string_opt (String.sub suffix 1 (String.length suffix - 1))
+        with
+        | Some j when j >= 0 -> Some (base, j)
+        | _ -> None
+      else None
+
+(* The pathways a query on [root] can actually route through: the
+   transitive [pathways_into] closure.  Maintenance rewires the current
+   version around retired interiors, so debt priced on this surface can
+   go back down — debt priced on the whole repository never does,
+   because old versions (and their quarantines) are kept answerable
+   forever. *)
+let active_surface repo ~root =
+  let rec grow visited acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+        if List.mem s visited then grow visited acc rest
+        else
+          let incoming = Repository.pathways_into repo s in
+          let srcs =
+            List.map
+              (fun (p : Transform.pathway) -> p.Transform.from_schema)
+              incoming
+          in
+          grow (s :: visited) (List.rev_append incoming acc) (srcs @ rest)
+  in
+  grow [] [] [ root ]
+
+(* Non-contribution links between versions of the same global base:
+   the chain a query on an old version walks to reach stored data. *)
+let chain_links repo name =
+  match split_version name with
+  | None -> []
+  | Some (base, _) ->
+      List.filter
+        (fun (p : Transform.pathway) ->
+          (not (Repository.is_contribution repo p))
+          &&
+          match split_version p.Transform.from_schema with
+          | Some (b, _) -> b = base
+          | None -> false)
+        (Repository.pathways_into repo name)
+
+(* Link hops from [root] back to its chain anchor (an integration
+   version has no incoming global-to-global link).  Unlike the raw
+   version counter this falls when compaction replaces the last link
+   with an anchor shortcut: the interiors stay registered and
+   answerable, but the current version no longer routes through them. *)
+let effective_chain_depth repo ~root =
+  let rec depth visited name =
+    if List.mem name visited then 0
+    else
+      match chain_links repo name with
+      | [] -> 0
+      | links ->
+          1
+          + List.fold_left
+              (fun acc (p : Transform.pathway) ->
+                max acc (depth (name :: visited) p.Transform.from_schema))
+              0 links
+  in
+  depth [] root
+
+let surface_pathways ?root repo =
+  match root with
+  | None -> Repository.pathways repo
+  | Some root -> active_surface repo ~root
+
+let quarantined_pathways ?root repo =
+  List.length
+    (List.filter Quarantine.is_quarantined (surface_pathways ?root repo))
 
 (* [Void]-bound steps appear for two reasons: the integration federates
    unmapped objects with deliberately unbounded extends (a fixed,
@@ -86,7 +175,7 @@ let quarantined_pathways repo =
    grows with accumulated repairs and resets on re-integration, which
    is exactly the debt being priced; the thresholds sit above the
    structural baseline. *)
-let void_degraded_steps repo =
+let void_degraded_steps ?root repo =
   List.fold_left
     (fun acc (p : Transform.pathway) ->
       if Quarantine.is_quarantined p then acc
@@ -94,7 +183,8 @@ let void_degraded_steps repo =
         acc
         + List.length
             (List.filter Quarantine.is_void_degraded_step p.Transform.steps))
-    0 (Repository.pathways repo)
+    0
+    (surface_pathways ?root repo)
 
 (* -- assessment ----------------------------------------------------------- *)
 
@@ -131,10 +221,27 @@ let of_repository ?(config = default_config) ?(version = 0)
       i_detail = detail;
     }
   in
+  (* Price debt on the current version's active surface when the global
+     schema is actually registered; fall back to whole-repository
+     walks (and the raw version counter) otherwise, e.g. for a bare
+     repository or a synthetic report. *)
+  let root = if Repository.mem_schema repo global then Some global else None in
   let quarantined =
-    List.filter Quarantine.is_quarantined (Repository.pathways repo)
+    List.filter Quarantine.is_quarantined (surface_pathways ?root repo)
   in
   let retired = Repository.retired_sources repo in
+  let chain_value, chain_detail =
+    match root with
+    | Some g ->
+        ( float_of_int (effective_chain_depth repo ~root:g),
+          Printf.sprintf
+            "link hops from %s to its chain anchor (raw chain v0..v%d)" g
+            version )
+    | None ->
+        ( float_of_int version,
+          Printf.sprintf "global version chain v0..v%d (current %s)" version
+            global )
+  in
   let jbytes =
     match durable with Some d -> Durable.journal_bytes d | None -> 0
   in
@@ -150,9 +257,7 @@ let of_repository ?(config = default_config) ?(version = 0)
   let churn = counter_total metrics "processor.invalidated." in
   let indicators =
     [
-      ind "chain-depth" (float_of_int version) "versions" config.chain_depth
-        (Printf.sprintf "global version chain v0..v%d (current %s)" version
-           global);
+      ind "chain-depth" chain_value "links" config.chain_depth chain_detail;
       ind "quarantined-pathways"
         (float_of_int (List.length quarantined))
         "pathways" config.quarantined
@@ -162,7 +267,7 @@ let of_repository ?(config = default_config) ?(version = 0)
                 p.Transform.from_schema ^ "->" ^ p.Transform.to_schema)
               quarantined));
       ind "void-degraded-steps"
-        (float_of_int (void_degraded_steps repo))
+        (float_of_int (void_degraded_steps ?root repo))
         "steps" config.void_degraded
         "definitions patched down to the Void bound (quarantines excluded)";
       ind "retired-sources"

@@ -35,11 +35,15 @@ val classify : thresholds -> float -> level
     escalate (pinned by a test). *)
 
 (** Per-indicator thresholds.  The defaults are calibrated against the
-    shipped iSpider case study: the integrated baseline classifies as
-    ok on every indicator, and the E-E1 50-cycle churn run crosses the
-    warn thresholds of all three debt indicators (chain depth,
-    quarantined pathways, [Void]-degraded steps) mid-run and their
-    critical thresholds near the end (the E-H1 debt curve). *)
+    shipped iSpider case study with debt priced on the current
+    version's {e active surface} (see {!active_surface}): the
+    integrated baseline classifies as ok on every indicator; the
+    unmaintained E-E1 50-cycle churn run crosses the chain-depth and
+    quarantine warn thresholds mid-run (cycles 13 and 19) and their
+    critical thresholds near the end, with [Void]-step debt crossing
+    warn on the longer 200-cycle unmaintained horizon (the E-H1 and
+    E-M1 debt curves); the maintained E-M1 200-cycle run stays below
+    warn throughout. *)
 type config = {
   chain_depth : thresholds;
   quarantined : thresholds;
@@ -69,16 +73,35 @@ type report = {
   r_needs_reintegration : bool;
 }
 
-(** {1 Debt walkers} (exposed for the bench harness's per-cycle curve) *)
+(** {1 Debt walkers} (exposed for the bench harness's per-cycle curve
+    and the maintenance scheduler) *)
 
-val quarantined_pathways : Repository.t -> int
-(** Pathways in the all-[Void] quarantine shape. *)
+val active_surface :
+  Repository.t -> root:string -> Automed_transform.Transform.pathway list
+(** The pathways a query rooted at schema [root] can route through: the
+    transitive [pathways_into] closure.  Maintenance compaction rewires
+    the current version around retired interiors, so debt priced on
+    this surface can go back down — whole-repository counts only ever
+    grow, because old versions (and their quarantines) stay registered
+    and answerable forever. *)
 
-val void_degraded_steps : Repository.t -> int
+val effective_chain_depth : Repository.t -> root:string -> int
+(** Link hops from [root] back to its chain anchor, following
+    non-contribution pathways between versions of the same global base
+    (names in the [base_vN] convention).  An integration version has no
+    incoming chain link, so the integrated baseline measures 0; each
+    evolution adds a hop; compaction collapses the walk back to one. *)
+
+val quarantined_pathways : ?root:string -> Repository.t -> int
+(** Pathways in the all-[Void] quarantine shape; with [root], only
+    those on that schema's {!active_surface}. *)
+
+val void_degraded_steps : ?root:string -> Repository.t -> int
 (** [Void]-lower-bound extend/contract steps in {e non-quarantined}
     pathways: definitions individually degraded to "no information"
     (by an evolution patch, or a deliberately unbounded federation
-    step) without the whole pathway being quarantined. *)
+    step) without the whole pathway being quarantined.  With [root],
+    only steps of pathways on that schema's {!active_surface}. *)
 
 (** {1 Assessment} *)
 
@@ -94,7 +117,11 @@ val of_repository :
 (** The full walk.  [version]/[global] default to [0]/["(none)"];
     omitted subsystems contribute a zero-valued indicator (reported,
     so the dashboard shape is stable).  [metrics] supplies the
-    cache-invalidation churn counters ([processor.invalidated.*]). *)
+    cache-invalidation churn counters ([processor.invalidated.*]).
+    When the [global] schema is registered, the three debt indicators
+    are priced on its {!active_surface} and chain depth is
+    {!effective_chain_depth}; otherwise the walk falls back to
+    whole-repository counts and the raw [version] number. *)
 
 val assess :
   ?config:config ->

@@ -35,6 +35,9 @@ type op =
   | Op_rename_schema of string * string
   | Op_alter_schema of string * schema_alter
   | Op_retire_source of string
+  | Op_remove_pathway of Transform.pathway
+  | Op_compact_pathway of
+      Transform.pathway * Transform.pathway * Transform.pathway list
 
 type t = {
   mutable schemas : Schema.t SM.t;
@@ -260,6 +263,135 @@ let replace_pathway t ~old:(p_old : Transform.pathway) (p_new : Transform.pathwa
         Telemetry.count "repository.pathways_replaced";
         notify t (Op_replace_pathway (p_old, p_new));
         Ok ()
+
+(* Certified removal: the repository only checks registration — the
+   caller (maintenance reclamation) holds the semantic certificate that
+   the pathway contributes nothing (Quarantine.is_inert), so removal
+   preserves every answer.  The first structural match goes, mirroring
+   replace_pathway. *)
+let remove_pathway t (p : Transform.pathway) =
+  if not (List.exists (fun q -> q = p) t.pathways) then
+    err "no pathway %s -> %s with these steps is registered" p.from_schema
+      p.to_schema
+  else begin
+    let removed = ref false in
+    t.pathways <-
+      List.filter
+        (fun q ->
+          if (not !removed) && q = p then begin
+            removed := true;
+            false
+          end
+          else true)
+        t.pathways;
+    (let dropped = ref false in
+     t.contribs <-
+       List.filter
+         (fun q ->
+           if (not !dropped) && q = p then begin
+             dropped := true;
+             false
+           end
+           else true)
+         t.contribs);
+    Telemetry.count "repository.pathways_removed";
+    notify t (Op_remove_pathway p);
+    Ok ()
+  end
+
+(* One atomic chain-compaction transaction: swap [retired] for
+   [shortcut] in place and append the rerouted contributions, all under
+   a single observer notification.  Atomicity matters because bag union
+   is additive: applying the swap and the reroutes as separate journaled
+   ops would leave boundaries where the target schema's derivation
+   under- or double-counts multiplicities.  All admission checks run
+   before any mutation, so a failing check leaves the state untouched. *)
+let compact_chain t ~retired:(p_ret : Transform.pathway)
+    ~shortcut:(p_new : Transform.pathway) ~reroutes =
+  if p_ret.to_schema <> p_new.to_schema then
+    err "compaction shortcut must keep the target %s" p_ret.to_schema
+  else if not (List.exists (fun q -> q = p_ret) t.pathways) then
+    err "no pathway %s -> %s with these steps is registered" p_ret.from_schema
+      p_ret.to_schema
+  else if is_contribution t p_ret then
+    err "pathway %s -> %s is a contribution, not a chain link"
+      p_ret.from_schema p_ret.to_schema
+  else
+    let* target =
+      match schema t p_new.to_schema with
+      | Some s -> Ok s
+      | None -> err "compaction target schema %s vanished" p_new.to_schema
+    in
+    let admit_shortcut () =
+      match schema t p_new.from_schema with
+      | None ->
+          err "shortcut source schema %s is not registered" p_new.from_schema
+      | Some src ->
+          let* () = Transform.well_formed src p_new in
+          let* () =
+            match t.validator with None -> Ok () | Some f -> f src p_new
+          in
+          let* derived = Transform.apply src p_new in
+          if Schema.same_objects target derived then Ok ()
+          else
+            err
+              "compaction shortcut into %s produces a schema that disagrees \
+               with the registered one"
+              p_new.to_schema
+    in
+    let admit_reroute (r : Transform.pathway) =
+      if r.to_schema <> p_new.to_schema then
+        err "rerouted contribution %s -> %s does not feed the compacted \
+             version %s"
+          r.from_schema r.to_schema p_new.to_schema
+      else
+        match schema t r.from_schema with
+        | None ->
+            err "rerouted contribution source schema %s is not registered"
+              r.from_schema
+        | Some src ->
+            let* () = Transform.well_formed src r in
+            let* () =
+              match t.validator with None -> Ok () | Some f -> f src r
+            in
+            let* derived = Transform.apply src r in
+            let stray =
+              List.filter
+                (fun o -> not (Schema.mem o target))
+                (Schema.objects derived)
+            in
+            (match stray with
+            | [] -> Ok ()
+            | o :: _ ->
+                err
+                  "rerouted contribution into %s derives %s, which the \
+                   registered schema does not contain"
+                  r.to_schema (Scheme.to_string o))
+    in
+    let* () = admit_shortcut () in
+    let* () =
+      List.fold_left
+        (fun acc r ->
+          let* () = acc in
+          admit_reroute r)
+        (Ok ()) reroutes
+    in
+    let replaced = ref false in
+    t.pathways <-
+      List.map
+        (fun q ->
+          if (not !replaced) && q = p_ret then begin
+            replaced := true;
+            p_new
+          end
+          else q)
+        t.pathways;
+    (* pathways are held newest-first *)
+    t.pathways <- List.rev_append reroutes t.pathways;
+    t.contribs <- List.rev_append reroutes t.contribs;
+    Telemetry.count "repository.chains_compacted";
+    notify t (Op_compact_pathway (p_ret, p_new, reroutes));
+    Ok ()
 
 (* Trusted registration for state loading.  A saved state records
    pathways that were live when it was written — including ones a raw

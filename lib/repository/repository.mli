@@ -48,6 +48,14 @@ type op =
   | Op_rename_schema of string * string
   | Op_alter_schema of string * schema_alter
   | Op_retire_source of string
+  | Op_remove_pathway of Transform.pathway
+      (** certified removal of a pathway that contributes nothing (see
+          {!remove_pathway}) *)
+  | Op_compact_pathway of
+      Transform.pathway * Transform.pathway * Transform.pathway list
+      (** retired chain link, shortcut replacing it, rerouted
+          contributions — one atomic maintenance transaction (see
+          {!compact_chain}) *)
       (** A committed repository mutation, in the vocabulary of the
           public API.  [Op_add_pathway] implies the derived target schema
           (replaying {!add_pathway} re-derives it), so the op stream is a
@@ -116,6 +124,39 @@ val replace_pathway :
     write-ahead journal records the change — this is how the lint
     autofixer commits certified simplifications and how evolution
     quarantines stranded pathways. *)
+
+val remove_pathway : t -> Transform.pathway -> (unit, string) result
+(** Removes a stored pathway (matched structurally; contribution status
+    is cleared along with it) and notifies the observer with
+    [Op_remove_pathway].  The repository checks only that the pathway is
+    registered — {e answer preservation is the caller's certificate}:
+    maintenance reclamation only removes pathways proven inert
+    ({!Automed_analysis.Quarantine.is_inert}: every definition is the
+    empty [Void] contribution), so every query on every schema version
+    stays bit-identical.  Target schemas are never unregistered by this
+    call. *)
+
+val compact_chain :
+  t ->
+  retired:Transform.pathway ->
+  shortcut:Transform.pathway ->
+  reroutes:Transform.pathway list ->
+  (unit, string) result
+(** One atomic chain-compaction transaction: swaps the stored
+    non-contribution pathway [retired] (matched structurally, keeping
+    its network-search position) for [shortcut] — same target schema,
+    any registered source schema — and registers each of [reroutes] as a
+    contribution into that same target.  The shortcut runs
+    {!add_pathway}'s admission checks (well-formedness, validation gate,
+    exact target agreement), each reroute runs
+    {!add_contribution}'s (subset agreement).  All-or-nothing: any
+    failing check leaves the repository untouched.  The observer is
+    notified once, with [Op_compact_pathway], so the whole maintenance
+    transaction is a single journal record and a crash can only land
+    before or after it — never between the swap and the reroutes, where
+    the target's derivation would be transiently wrong (bag union is
+    additive, so a half-applied rewiring double- or under-counts
+    multiplicities). *)
 
 val restore_pathway :
   t -> contribution:bool -> Transform.pathway -> (unit, string) result

@@ -417,7 +417,28 @@ let save_op (op : Repository.op) =
       Buffer.add_string buf (Printf.sprintf "remove %s\n" (quote name))
   | Repository.Op_rename_schema (a, b) ->
       Buffer.add_string buf
-        (Printf.sprintf "rename %s -> %s\n" (quote a) (quote b)));
+        (Printf.sprintf "rename %s -> %s\n" (quote a) (quote b))
+  | Repository.Op_remove_pathway p -> render_pathway ~head:"drop pathway" buf p
+  | Repository.Op_compact_pathway (retired, shortcut, reroutes) ->
+      Buffer.add_string buf
+        (Printf.sprintf "compact pathway %s -> %s\n"
+           (quote retired.Transform.from_schema)
+           (quote retired.Transform.to_schema));
+      List.iter (render_step buf) retired.Transform.steps;
+      Buffer.add_string buf
+        (Printf.sprintf "with %s -> %s\n"
+           (quote shortcut.Transform.from_schema)
+           (quote shortcut.Transform.to_schema));
+      List.iter (render_step buf) shortcut.Transform.steps;
+      List.iter
+        (fun (r : Transform.pathway) ->
+          Buffer.add_string buf
+            (Printf.sprintf "contribution %s -> %s\n"
+               (quote r.Transform.from_schema)
+               (quote r.Transform.to_schema));
+          List.iter (render_step buf) r.Transform.steps)
+        reroutes;
+      Buffer.add_string buf "end\n");
   Buffer.contents buf
 
 let parse_schema_block name lines =
@@ -536,6 +557,74 @@ let load_op text =
           expect_arrow "rename" r @@ fun b_text ->
           let* b = unquote b_text in
           Ok (Repository.Op_rename_schema (a, b))
+      | Some ("drop", rest_line) -> (
+          match split_on_first " " (String.trim rest_line) with
+          | Some ("pathway", hdr) ->
+              let* p = parse_pathway_block hdr rest in
+              Ok (Repository.Op_remove_pathway p)
+          | _ -> err "malformed drop record")
+      | Some ("compact", rest_line) -> (
+          match split_on_first " " (String.trim rest_line) with
+          | Some ("pathway", hdr) ->
+              let* rf, r = scan_quoted hdr in
+              expect_arrow "compact" r @@ fun to_text ->
+              let* rt = unquote to_text in
+              let* body =
+                match List.rev rest with
+                | last :: before when String.trim last = "end" ->
+                    Ok (List.rev before)
+                | _ -> err "unterminated compact record"
+              in
+              let parse_hdr hdr =
+                let* f, r = scan_quoted hdr in
+                expect_arrow "compact" r @@ fun to_text ->
+                let* t = unquote to_text in
+                Ok (f, t)
+              in
+              let finish (kind, f, t, rev_steps) =
+                ( kind,
+                  {
+                    Transform.from_schema = f;
+                    to_schema = t;
+                    steps = List.rev rev_steps;
+                  } )
+              in
+              let* sections_rev, current =
+                List.fold_left
+                  (fun acc line ->
+                    let* done_, cur = acc in
+                    match split_on_first " " (String.trim line) with
+                    | Some ("step", s) ->
+                        let* st = parse_step s in
+                        let k, f, t, steps = cur in
+                        Ok (done_, (k, f, t, st :: steps))
+                    | Some ("with", hdr) ->
+                        let* f, t = parse_hdr hdr in
+                        Ok (finish cur :: done_, (`Shortcut, f, t, []))
+                    | Some ("contribution", hdr) ->
+                        let* f, t = parse_hdr hdr in
+                        Ok (finish cur :: done_, (`Contribution, f, t, []))
+                    | _ -> err "unexpected line in compact record: %S" line)
+                  (Ok ([], (`Retired, rf, rt, [])))
+                  body
+              in
+              let sections = List.rev (finish current :: sections_rev) in
+              (match sections with
+              | (`Retired, retired) :: (`Shortcut, shortcut) :: tail ->
+                  let* reroutes =
+                    List.fold_left
+                      (fun acc sec ->
+                        let* acc = acc in
+                        match sec with
+                        | `Contribution, p -> Ok (p :: acc)
+                        | _ -> err "malformed compact record")
+                      (Ok []) tail
+                  in
+                  Ok
+                    (Repository.Op_compact_pathway
+                       (retired, shortcut, List.rev reroutes))
+              | _ -> err "compact record missing 'with' shortcut section")
+          | _ -> err "malformed compact record")
       | _ -> err "unrecognised journal record %S" first)
 
 let apply_op repo (op : Repository.op) =
@@ -552,3 +641,6 @@ let apply_op repo (op : Repository.op) =
   | Repository.Op_alter_schema (name, alter) ->
       Repository.alter_schema repo name alter
   | Repository.Op_retire_source name -> Repository.retire_source repo name
+  | Repository.Op_remove_pathway p -> Repository.remove_pathway repo p
+  | Repository.Op_compact_pathway (retired, shortcut, reroutes) ->
+      Repository.compact_chain repo ~retired ~shortcut ~reroutes

@@ -30,6 +30,7 @@ let () =
       ("provenance", Test_provenance.suite);
       ("durable", Test_durable.suite);
       ("evolution", Test_evolution.suite);
+      ("maintain", Test_maintain.suite);
       ("user-cost", Test_user_cost.suite);
       ("properties", Test_properties.suite);
       ("bibliome", Test_bibliome.suite);

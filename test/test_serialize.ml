@@ -328,6 +328,50 @@ let test_replace_op_roundtrip () =
   | Ok _ -> Alcotest.fail "decoded to a different op"
   | Error e -> Alcotest.fail e
 
+let test_maintenance_op_roundtrips () =
+  (* the maintenance transactions' journal records survive the op codec *)
+  let pathway from_schema to_schema steps =
+    { Transform.from_schema; to_schema; steps }
+  in
+  let link a b =
+    pathway a b [ Transform.Rename (Scheme.table "t", Scheme.table "b") ]
+  in
+  let roundtrip op = Serialize.load_op (Serialize.save_op op) in
+  let check_same msg op op' =
+    Alcotest.(check string) msg (Serialize.save_op op) (Serialize.save_op op')
+  in
+  (* Op_remove_pathway, including an empty-steps (fully Void) pathway *)
+  List.iter
+    (fun p ->
+      let op = Repository.Op_remove_pathway p in
+      match roundtrip op with
+      | Ok (Repository.Op_remove_pathway p') ->
+          check_same "remove-pathway round-trip" op
+            (Repository.Op_remove_pathway p')
+      | Ok _ -> Alcotest.fail "decoded to a different op"
+      | Error e -> Alcotest.fail e)
+    [ link "sat0" "ispider_v9"; pathway "sat0" "ispider_v9" [] ];
+  (* Op_compact_pathway: no reroutes, several reroutes, hostile names *)
+  List.iter
+    (fun (retired, shortcut, reroutes) ->
+      let op = Repository.Op_compact_pathway (retired, shortcut, reroutes) in
+      match roundtrip op with
+      | Ok (Repository.Op_compact_pathway (r, s, rs)) ->
+          check_same "compact-pathway round-trip" op
+            (Repository.Op_compact_pathway (r, s, rs));
+          Alcotest.(check int) "reroute count preserved"
+            (List.length reroutes) (List.length rs)
+      | Ok _ -> Alcotest.fail "decoded to a different op"
+      | Error e -> Alcotest.fail e)
+    [
+      (link "ispider_v17" "ispider_v18", link "ispider_v6" "ispider_v18", []);
+      ( link "ispider_v17" "ispider_v18",
+        link "ispider_v6" "ispider_v18",
+        [ link "pedro" "ispider_v18"; link "gpmdb" "ispider_v18" ] );
+      ( link "a\nb" "c\"d", link "e|f" "c\"d",
+        [ pathway "\xffsrc" "c\"d" [] ] );
+    ]
+
 let suite =
   [
     Alcotest.test_case "structure round-trip" `Quick test_roundtrip_structure;
@@ -339,6 +383,8 @@ let suite =
     Alcotest.test_case "iSpider dataspace round-trip" `Slow test_ispider_roundtrip;
     Alcotest.test_case "replace-pathway op round-trip" `Quick
       test_replace_op_roundtrip;
+    Alcotest.test_case "maintenance op round-trips" `Quick
+      test_maintenance_op_roundtrips;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_fixpoint; prop_load_total; prop_op_codec ]
